@@ -1,0 +1,70 @@
+// Suubench runs the experiment suite that regenerates the paper's Table 1
+// and the validation figures. See DESIGN.md §5 for the experiment index and
+// EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	suubench -list
+//	suubench -run t1-indep [-trials 40] [-seed 1] [-scale 1.0] [-csv]
+//	suubench -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "", "experiment id to run, or \"all\"")
+		trials  = flag.Int("trials", 0, "override trials per cell (0 = experiment default)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		scale   = flag.Float64("scale", 1.0, "sweep scale in (0,1]")
+		workers = flag.Int("workers", 0, "Monte Carlo workers (0 = GOMAXPROCS)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.What)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nrun with: suubench -run <id> | all")
+		}
+		return
+	}
+
+	cfg := bench.Config{Trials: *trials, Seed: *seed, Workers: *workers, Scale: *scale}
+	var exps []bench.Experiment
+	if *run == "all" {
+		exps = bench.All()
+	} else {
+		e, ok := bench.Lookup(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "suubench: unknown experiment %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{e}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		t, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "suubench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.Format())
+			fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Suusim runs one scheduling algorithm on one SUU instance (JSON from
+// suugen or handwritten) and reports the estimated expected makespan with
+// a 95% confidence interval, alongside the LP lower bound.
+//
+// Usage:
+//
+//	suugen -family chains -n 32 -m 8 | suusim -alg suu-c -trials 100
+//	suusim -i instance.json -alg suu-i-sem
+//	suusim -algs    # list algorithms
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	exactpkg "repro/internal/exact"
+	"repro/internal/model"
+	"repro/internal/rounding"
+	"repro/internal/sim"
+)
+
+// newPolicy builds the named algorithm with fresh caches.
+func newPolicy(name string) (sim.Policy, bool) {
+	lp1 := rounding.NewCache()
+	lp2 := rounding.NewLP2Cache()
+	switch name {
+	case "suu-i-sem":
+		return &core.SEM{Cache: lp1}, true
+	case "suu-i-obl":
+		return &core.OBL{Cache: lp1}, true
+	case "suu-c":
+		return &core.Chains{LP1Cache: lp1, LP2Cache: lp2}, true
+	case "suu-c-lr":
+		return &core.Chains{LP1Cache: lp1, LP2Cache: lp2, LongJobs: &core.OBL{Cache: lp1}}, true
+	case "suu-t":
+		return &core.Forest{Engine: &core.Chains{LP1Cache: lp1, LP2Cache: lp2}}, true
+	case "layered":
+		return &core.Layered{Inner: &core.SEM{Cache: lp1}}, true
+	case "greedy":
+		return baseline.Greedy{}, true
+	case "greedy-prec":
+		return baseline.GreedyPrec{}, true
+	case "sequential":
+		return baseline.Sequential{}, true
+	case "split":
+		return baseline.EligibleSplit{}, true
+	}
+	return nil, false
+}
+
+const algList = "suu-i-sem suu-i-obl suu-c suu-c-lr suu-t layered greedy greedy-prec sequential split"
+
+func main() {
+	var (
+		algs   = flag.Bool("algs", false, "list algorithms and exit")
+		input  = flag.String("i", "-", "instance JSON file (- = stdin)")
+		alg    = flag.String("alg", "suu-i-sem", "algorithm to run")
+		trials = flag.Int("trials", 100, "Monte Carlo trials")
+		seed   = flag.Int64("seed", 1, "random seed")
+		trace  = flag.Bool("trace", false, "run one trial and print an ASCII Gantt chart")
+		width  = flag.Int("width", 120, "Gantt chart width (with -trace)")
+		exact  = flag.Bool("exact", false, "also compute the exact optimum by DP (small instances only)")
+	)
+	flag.Parse()
+	if *algs {
+		fmt.Println("algorithms:", algList)
+		return
+	}
+
+	var data []byte
+	var err error
+	if *input == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*input)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	var ins model.Instance
+	if err := json.Unmarshal(data, &ins); err != nil {
+		fatal(err)
+	}
+
+	p, ok := newPolicy(*alg)
+	if !ok {
+		fatal(fmt.Errorf("unknown algorithm %q (have: %s)", *alg, algList))
+	}
+
+	if *trace {
+		w := sim.NewWorld(&ins, rand.New(rand.NewSource(*seed)))
+		tr := &sim.Trace{}
+		w.SetTracer(tr)
+		if err := p.Run(w); err != nil {
+			fatal(err)
+		}
+		ms, err := w.Makespan()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("one trial of %s on n=%d m=%d (seed %d): makespan %d\n",
+			p.Name(), ins.N, ins.M, *seed, ms)
+		fmt.Print(tr.Gantt(*width))
+		return
+	}
+
+	res, err := sim.MonteCarlo(&ins, p, *trials, *seed, 0)
+	if err != nil {
+		fatal(err)
+	}
+
+	jobs := make([]int, ins.N)
+	for j := range jobs {
+		jobs[j] = j
+	}
+	_, tstar, err := rounding.SolveLP1(&ins, jobs, 0.5)
+	if err != nil {
+		fatal(err)
+	}
+	lb := math.Max(tstar/2, 1)
+
+	fmt.Printf("instance: n=%d m=%d class=%v\n", ins.N, ins.M, ins.Class())
+	fmt.Printf("algorithm: %s (%d trials)\n", p.Name(), *trials)
+	fmt.Printf("E[makespan] ≈ %.2f ±%.2f (median %.0f, p90 %.0f, max %.0f)\n",
+		res.Summary.Mean, res.Summary.CI95(), res.Summary.Median, res.Summary.P90, res.Summary.Max)
+	fmt.Printf("LP lower bound on E[T_OPT]: %.2f  =>  ratio ≤ %.2f\n", lb, res.Summary.Mean/lb)
+
+	if *exact {
+		opt, err := exactpkg.Optimal(&ins)
+		if err != nil {
+			fmt.Printf("exact optimum: unavailable (%v)\n", err)
+			return
+		}
+		fmt.Printf("exact E[T_OPT] = %.4f  =>  true ratio %.2f\n", opt, res.Summary.Mean/opt)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "suusim: %v\n", err)
+	os.Exit(1)
+}

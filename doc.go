@@ -1,0 +1,32 @@
+// Package suu is a Go implementation of "Improved Approximations for
+// Multiprocessor Scheduling Under Uncertainty" (Crutchfield, Dzunic,
+// Fineman, Karger, Scott — SPAA 2008).
+//
+// The SUU problem: n unit-step jobs must be completed by m machines; job j
+// fails on machine i in any given step with probability q_ij,
+// independently; precedence constraints form a DAG; several machines may
+// work the same job in one step. The objective is the expected makespan.
+//
+// The package exposes:
+//
+//   - the problem model (Instance) and instance generators (Generate),
+//   - the paper's algorithms: SEM — the O(log log min{m,n})-approximation
+//     for independent jobs, OBL — the oblivious O(log n)-approximation,
+//     Chains (SUU-C) for disjoint-chain precedence, Forest (SUU-T) for
+//     directed forests, and Layered for MapReduce-style layered DAGs,
+//   - baselines (Greedy, Sequential, EligibleSplit),
+//   - the SUU* simulator (NewWorld, MonteCarlo) built on the paper's
+//     deferred-decision reformulation (Appendix A),
+//   - the exact optimum for small instances (ExactOptimal), and
+//   - the experiment harness that regenerates the paper's Table 1
+//     (Experiments, RunExperiment).
+//
+// Quickstart:
+//
+//	ins, _ := suu.Generate(suu.Spec{Family: "uniform", M: 8, N: 32, Seed: 1})
+//	res, _ := suu.Estimate(ins, suu.NewSEM(), 100, 1)
+//	fmt.Println(res.Summary) // estimated expected makespan
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// reproductions of the paper's results.
+package suu

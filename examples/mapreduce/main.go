@@ -1,0 +1,65 @@
+// MapReduce: the paper's introduction motivates SUU with Google's
+// MapReduce, whose dependencies form a complete bipartite graph — every
+// reduce job waits on every map job, i.e. two phases of independent jobs.
+// This example schedules a map/reduce workload on an unreliable volunteer
+// pool with the Layered scheduler (SEM per phase) and compares against
+// running jobs one at a time.
+//
+//	go run ./examples/mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	suu "repro"
+)
+
+func main() {
+	const (
+		mappers  = 24
+		reducers = 8
+		machines = 12
+		trials   = 100
+	)
+	ins, err := suu.Generate(suu.Spec{
+		Family: "mapreduce",
+		M:      machines,
+		N:      mappers + reducers,
+		NMap:   mappers,
+		Seed:   7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MapReduce job: %d map + %d reduce tasks on %d volunteer machines\n",
+		mappers, reducers, machines)
+	fmt.Printf("dependency class: %v (%d edges — complete bipartite)\n\n",
+		ins.Class(), ins.Prec.Edges())
+
+	layered, err := suu.Estimate(ins, suu.NewLayered(), trials, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := suu.Estimate(ins, suu.NewSequential(), trials, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	split, err := suu.Estimate(ins, suu.NewEligibleSplit(), trials, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("layered+SEM (phase-by-phase): E[T] ≈ %6.1f ±%.1f  — tail-robust, proven bound\n",
+		layered.Summary.Mean, layered.Summary.CI95())
+	fmt.Printf("eligible-split heuristic:     E[T] ≈ %6.1f ±%.1f  — fast here, no guarantee\n",
+		split.Summary.Mean, split.Summary.CI95())
+	fmt.Printf("one job at a time:            E[T] ≈ %6.1f ±%.1f  — the O(n) fallback\n",
+		seq.Summary.Mean, seq.Summary.CI95())
+
+	fmt.Println("\nEach phase is an independent-jobs SUU-I instance, so SEM's")
+	fmt.Println("O(log log min{m,n}) guarantee applies phase by phase — including on")
+	fmt.Println("adversarial pools where the heuristics degrade (see the specialist")
+	fmt.Println("rows of t1-indep in EXPERIMENTS.md). The constants SEM pays here")
+	fmt.Println("are the LP-rounding factor 6 of Lemma 2.")
+}

@@ -1,0 +1,65 @@
+// Render farm: video post-production pipelines are chains — per shot:
+// decode → simulate → render → composite → encode — executed on flaky
+// spot instances. Precedence forming disjoint chains is exactly SUU-C
+// territory (Section 4): LP2 assigns machines, random delays spread the
+// chains to bound congestion, and the occasional pathological frame (a
+// "long job") is batched through SUU-I-SEM at segment boundaries.
+//
+//	go run ./examples/renderfarm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	suu "repro"
+)
+
+func main() {
+	const (
+		shots    = 12 // chains
+		stages   = 4  // jobs per chain
+		machines = 8
+		trials   = 60
+	)
+	ins, err := suu.Generate(suu.Spec{
+		Family: "chains-hard", // some frames are pathological for most nodes
+		M:      machines,
+		N:      shots * stages,
+		Z:      shots,
+		Seed:   23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chains, err := ins.Chains()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("render farm: %d shots × %d pipeline stages = %d tasks on %d spot nodes\n",
+		len(chains), stages, ins.N, ins.M)
+	fmt.Printf("precedence class: %v\n\n", ins.Class())
+
+	for _, a := range []struct {
+		label string
+		p     suu.Policy
+	}{
+		{"SUU-C (paper §4)", suu.NewChains()},
+		{"eligible-split heuristic", suu.NewEligibleSplit()},
+		{"one task at a time", suu.NewSequential()},
+	} {
+		res, err := suu.Estimate(ins, a.p, trials, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s E[T] ≈ %6.1f ±%.1f   (p90 %.0f, max %.0f)\n",
+			a.label, res.Summary.Mean, res.Summary.CI95(),
+			res.Summary.P90, res.Summary.Max)
+	}
+
+	fmt.Println("\nSUU-C pays constant-factor overheads (LP rounding, chain delays)")
+	fmt.Println("for a guarantee that holds on adversarial instances; the heuristics")
+	fmt.Println("are faster here but have no bound — see EXPERIMENTS.md (t1-chains)")
+	fmt.Println("for the scaling comparison and f-batch for where the paper's")
+	fmt.Println("long-job machinery overtakes the alternatives.")
+}

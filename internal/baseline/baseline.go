@@ -1,0 +1,177 @@
+// Package baseline implements the comparison schedulers for the paper's
+// Table 1 experiments:
+//
+//   - Greedy: a Lin–Rajaraman-style greedy that levels assigned log mass
+//     across remaining jobs each step — the O(log n)-approximation family
+//     the paper improves on for independent jobs,
+//   - Sequential: every machine on one job at a time — the trivial
+//     O(n)-approximation the paper uses as an endgame,
+//   - EligibleSplit: machines split evenly across currently eligible jobs —
+//     a natural work-conserving heuristic for any precedence class.
+//
+// All baselines observe only completions (never hidden thresholds), exactly
+// like the paper's schedules.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// maxSteps bounds step-driven baselines; hitting it indicates a stalled
+// policy (bug), not bad luck.
+const maxSteps = 50_000_000
+
+// Greedy is the Lin–Rajaraman-style greedy for independent jobs: at every
+// step each machine works on the remaining job with the smallest log mass
+// assigned so far (among jobs it can help), leveling the minimum mass —
+// the strategy behind their O(log n)-approximation. Since schedules cannot
+// see accrued thresholds, the deficit bookkeeping uses assigned mass, which
+// the policy knows exactly.
+type Greedy struct{}
+
+// Name implements sim.Policy.
+func (Greedy) Name() string { return "lr-greedy" }
+
+// Run completes all jobs of an independent-jobs instance.
+func (g Greedy) Run(w *sim.World) error {
+	ins := w.Instance()
+	if ins.Prec != nil && ins.Prec.Edges() > 0 {
+		return fmt.Errorf("baseline: %s requires independent jobs", g.Name())
+	}
+	deficit := make([]float64, ins.N)
+	assign := make([]int, ins.M)
+	for steps := 0; !w.AllDone(); steps++ {
+		if steps >= maxSteps {
+			return fmt.Errorf("baseline: %s stalled after %d steps", g.Name(), steps)
+		}
+		rem := w.Remaining()
+		for i := 0; i < ins.M; i++ {
+			best, bestDeficit := -1, 0.0
+			for _, j := range rem {
+				if ins.L[i][j] <= 0 {
+					continue
+				}
+				if best < 0 || deficit[j] < bestDeficit {
+					best, bestDeficit = j, deficit[j]
+				}
+			}
+			assign[i] = best
+			if best >= 0 {
+				deficit[best] += ins.L[i][best]
+			}
+		}
+		if _, err := w.Step(assign); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sequential runs eligible jobs one at a time with every machine — the
+// trivial O(n)-approximation. It handles any precedence class.
+type Sequential struct{}
+
+// Name implements sim.Policy.
+func (Sequential) Name() string { return "sequential" }
+
+// Run completes all jobs one at a time in eligibility order.
+func (s Sequential) Run(w *sim.World) error {
+	for steps := 0; !w.AllDone(); steps++ {
+		if steps >= maxSteps {
+			return fmt.Errorf("baseline: %s stalled", s.Name())
+		}
+		elig := w.EligibleJobs()
+		if len(elig) == 0 {
+			return fmt.Errorf("baseline: %s: no eligible jobs with %d remaining",
+				s.Name(), w.NumRemaining())
+		}
+		for _, j := range elig {
+			if _, err := w.SoloAll(j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GreedyPrec generalizes Greedy to arbitrary precedence constraints: each
+// step every machine works the *eligible* job with the least log mass
+// assigned since it became eligible. The paper's conclusion asks whether
+// such a greedy heuristic can match the proven bounds; this policy is the
+// experimental answer's subject (no guarantee is known, and adversarial
+// instances exist, but it is strong on benign ones).
+type GreedyPrec struct{}
+
+// Name implements sim.Policy.
+func (GreedyPrec) Name() string { return "greedy-prec" }
+
+// Run completes all jobs of any acyclic instance.
+func (g GreedyPrec) Run(w *sim.World) error {
+	ins := w.Instance()
+	deficit := make([]float64, ins.N)
+	assign := make([]int, ins.M)
+	for steps := 0; !w.AllDone(); steps++ {
+		if steps >= maxSteps {
+			return fmt.Errorf("baseline: %s stalled after %d steps", g.Name(), steps)
+		}
+		elig := w.EligibleJobs()
+		if len(elig) == 0 {
+			return fmt.Errorf("baseline: %s: no eligible jobs with %d remaining",
+				g.Name(), w.NumRemaining())
+		}
+		for i := 0; i < ins.M; i++ {
+			best, bestDeficit := -1, 0.0
+			for _, j := range elig {
+				if ins.L[i][j] <= 0 {
+					continue
+				}
+				if best < 0 || deficit[j] < bestDeficit {
+					best, bestDeficit = j, deficit[j]
+				}
+			}
+			assign[i] = best
+			if best >= 0 {
+				deficit[best] += ins.L[i][best]
+			}
+		}
+		if _, err := w.Step(assign); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EligibleSplit splits the machines evenly across the currently eligible
+// jobs every step, rotating the pairing so every machine eventually touches
+// every job (progress is guaranteed even when some machine is useless for
+// some job). It is the natural work-conserving heuristic for any DAG and
+// the "eager" chains baseline.
+type EligibleSplit struct{}
+
+// Name implements sim.Policy.
+func (EligibleSplit) Name() string { return "eligible-split" }
+
+// Run completes all jobs, one unit step at a time.
+func (e EligibleSplit) Run(w *sim.World) error {
+	ins := w.Instance()
+	assign := make([]int, ins.M)
+	for steps := 0; !w.AllDone(); steps++ {
+		if steps >= maxSteps {
+			return fmt.Errorf("baseline: %s stalled", e.Name())
+		}
+		elig := w.EligibleJobs()
+		if len(elig) == 0 {
+			return fmt.Errorf("baseline: %s: no eligible jobs with %d remaining",
+				e.Name(), w.NumRemaining())
+		}
+		for i := 0; i < ins.M; i++ {
+			assign[i] = elig[(i+steps)%len(elig)]
+		}
+		if _, err := w.Step(assign); err != nil {
+			return err
+		}
+	}
+	return nil
+}

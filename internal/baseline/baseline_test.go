@@ -1,0 +1,132 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestGreedyCompletes(t *testing.T) {
+	ins, err := workload.IndependentUniform(rand.New(rand.NewSource(1)), 4, 12, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.MonteCarlo(ins, Greedy{}, 10, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Mean <= 0 {
+		t.Fatal("nonpositive makespan")
+	}
+}
+
+func TestGreedyRejectsPrecedence(t *testing.T) {
+	ins, err := workload.Chains(rand.New(rand.NewSource(2)), 2, 6, 2, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sim.NewWorld(ins, rand.New(rand.NewSource(1)))
+	if err := (Greedy{}).Run(w); err == nil {
+		t.Fatal("greedy must reject precedence")
+	}
+}
+
+func TestGreedySkipsUselessMachines(t *testing.T) {
+	// Machine 1 is useless for job 1 (q=1): greedy must still finish by
+	// routing machine 0 there eventually.
+	q := [][]float64{
+		{0.5, 0.5},
+		{0.5, 1.0},
+	}
+	ins, err := model.New(2, 2, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.MonteCarlo(ins, Greedy{}, 50, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Summary.Mean) {
+		t.Fatal("NaN mean")
+	}
+}
+
+func TestSequentialWorksOnAllClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	specs := []workload.Spec{
+		{Family: "uniform", M: 3, N: 8, Seed: 1},
+		{Family: "chains", M: 3, N: 9, Z: 3, Seed: 2},
+		{Family: "forest", M: 3, N: 10, Seed: 3},
+		{Family: "mapreduce", M: 3, N: 8, NMap: 5, Seed: 4},
+	}
+	_ = rng
+	for _, spec := range specs {
+		ins, err := workload.Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Family, err)
+		}
+		for _, p := range []sim.Policy{Sequential{}, EligibleSplit{}} {
+			res, err := sim.MonteCarlo(ins, p, 5, 11, 0)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", p.Name(), spec.Family, err)
+			}
+			if res.Summary.Mean < 1 {
+				t.Fatalf("%s on %s: mean %g", p.Name(), spec.Family, res.Summary.Mean)
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Greedy{}).Name() == "" || (Sequential{}).Name() == "" || (EligibleSplit{}).Name() == "" {
+		t.Fatal("names must be nonempty")
+	}
+}
+
+func TestGreedyPrecAllClasses(t *testing.T) {
+	specs := []workload.Spec{
+		{Family: "uniform", M: 3, N: 8, Seed: 21},
+		{Family: "chains", M: 3, N: 9, Z: 3, Seed: 22},
+		{Family: "forest", M: 3, N: 10, Seed: 23},
+		{Family: "mapreduce", M: 3, N: 8, NMap: 5, Seed: 24},
+	}
+	for _, spec := range specs {
+		ins, err := workload.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.MonteCarlo(ins, GreedyPrec{}, 10, 5, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Family, err)
+		}
+		if res.Summary.Mean < 1 {
+			t.Fatalf("%s: mean %g", spec.Family, res.Summary.Mean)
+		}
+	}
+}
+
+// TestGreedyPrecMatchesGreedyOnIndependent: with no precedence the two
+// greedies are the same algorithm and must produce identical runs.
+func TestGreedyPrecMatchesGreedyOnIndependent(t *testing.T) {
+	ins, err := workload.IndependentUniform(rand.New(rand.NewSource(31)), 3, 9, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sim.MonteCarlo(ins, Greedy{}, 20, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.MonteCarlo(ins, GreedyPrec{}, 20, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Makespans {
+		if a.Makespans[i] != b.Makespans[i] {
+			t.Fatalf("trial %d: %g vs %g", i, a.Makespans[i], b.Makespans[i])
+		}
+	}
+}

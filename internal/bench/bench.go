@@ -1,0 +1,167 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation. The paper is theoretical — its only exhibit is Table 1
+// (approximation ratios per precedence class) — so each experiment measures
+// the empirical counterpart: expected makespan over a lower bound on
+// E[T_OPT], ours vs baselines, as instance size scales, plus validation
+// experiments for the internal theorems the bounds rest on (SEM round
+// counts, random-delay congestion, rounding quality, SUU ≡ SUU*, exact
+// ratios on small instances, and the stochastic Appendix C extension).
+//
+// Every experiment is registered by ID; cmd/suubench runs them by name and
+// bench_test.go wires each to a testing.B benchmark.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Trials per (instance, algorithm) pair; 0 means the experiment's
+	// default.
+	Trials int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Workers for Monte Carlo parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// Scale in (0,1] shrinks the size sweep and trial counts
+	// proportionally; 0 means 1 (full sweep). Benchmarks use small scales
+	// to stay fast.
+	Scale float64
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 || c.Scale > 1 {
+		return 1
+	}
+	return c.Scale
+}
+
+// sizes returns a Scale-proportional prefix of the experiment's sweep.
+func (c Config) sizes(all []int) []int {
+	k := int(float64(len(all))*c.scale() + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// trials scales the default trial count, with a floor to keep CIs sane.
+func (c Config) trials(def int) int {
+	t := c.Trials
+	if t == 0 {
+		t = int(float64(def) * c.scale())
+	}
+	if t < 5 {
+		t = 5
+	}
+	return t
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the table as aligned plain text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes-free cells by
+// construction).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Experiment is a runnable experiment with metadata.
+type Experiment struct {
+	ID   string
+	What string
+	Run  func(Config) (*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// ratioCell formats "ratio ±ci".
+func ratioCell(mean, ci, lower float64) string {
+	return fmt.Sprintf("%.2f ±%.2f", mean/lower, ci/lower)
+}

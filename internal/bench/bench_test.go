@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"a-equiv", "a-quantize", "a-rounding", "a-solver", "f-batch", "f-delay", "f-exact", "f-rounds",
+		"f-stoch", "t1-chains", "t1-forest", "t1-indep", "x-greedy",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("experiment %d = %q, want %q", i, e.ID, want[i])
+		}
+		if e.What == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+	if _, ok := Lookup("t1-indep"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("lookup of unknown id must fail")
+	}
+}
+
+func TestTableFormatAndCSV(t *testing.T) {
+	tb := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	out := tb.Format()
+	for _, want := range []string{"demo", "a", "bb", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n1,2\n") {
+		t.Fatalf("CSV wrong:\n%s", csv)
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	c := Config{Scale: 0.5}
+	if got := c.sizes([]int{1, 2, 3, 4}); len(got) != 2 {
+		t.Fatalf("sizes %v", got)
+	}
+	if got := c.trials(40); got != 20 {
+		t.Fatalf("trials %d", got)
+	}
+	c = Config{}
+	if got := c.sizes([]int{1, 2}); len(got) != 2 {
+		t.Fatalf("full scale sizes %v", got)
+	}
+	c = Config{Scale: 0.01}
+	if got := c.trials(40); got != 5 {
+		t.Fatalf("floor trials %d", got)
+	}
+}
+
+// TestExperimentsSmoke runs every experiment at tiny scale: the harness
+// must produce well-formed tables with consistent row widths.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test runs every experiment")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tb, err := e.Run(Config{Scale: 0.25, Trials: 5, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s: no rows", e.ID)
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Header) {
+					t.Fatalf("%s: row width %d != header %d", e.ID, len(row), len(tb.Header))
+				}
+			}
+			if tb.Format() == "" || tb.CSV() == "" {
+				t.Fatalf("%s: empty rendering", e.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,393 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/model"
+	"repro/internal/rounding"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func newDetRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// evenChains links n jobs into chains of length per (the last may be
+// shorter), returning the DAG and its chain list.
+func evenChains(n, per int) (*dag.DAG, []dag.Chain) {
+	g := dag.New(n)
+	var chains []dag.Chain
+	for s := 0; s < n; s += per {
+		var c dag.Chain
+		for j := s; j < s+per && j < n; j++ {
+			if j > s {
+				g.MustEdge(j-1, j)
+			}
+			c = append(c, j)
+		}
+		chains = append(chains, c)
+	}
+	return g, chains
+}
+
+func init() {
+	register(Experiment{
+		ID:   "t1-chains",
+		What: "Table 1 row 2: disjoint chains — SUU-C with SEM long jobs (ours) vs OBL long jobs (LR-style) vs naive; ratio to LP2 lower bound",
+		Run:  table1Chains,
+	})
+	register(Experiment{
+		ID:   "t1-forest",
+		What: "Table 1 row 3: directed forests — SUU-T vs LR-style vs naive; ratio to LP1+critical-path lower bound",
+		Run:  table1Forest,
+	})
+	register(Experiment{
+		ID:   "f-delay",
+		What: "Theorem 7 validation: random chain delays vs none — max congestion and makespan",
+		Run:  figDelay,
+	})
+	register(Experiment{
+		ID:   "a-quantize",
+		What: "Section 4 quantization trick ablation: SUU-C with assignments rounded to multiples of t*/(nm) + reinserted steps, vs plain",
+		Run:  ablQuantize,
+	})
+	register(Experiment{
+		ID:   "x-greedy",
+		What: "the conclusion's open question: can a greedy heuristic match the proven bounds? greedy-prec vs the guaranteed algorithms per class",
+		Run:  exploreGreedy,
+	})
+}
+
+// exploreGreedy addresses the paper's closing question ("It would also be
+// interesting if a greedy heuristic could achieve the same bounds"):
+// measure the precedence-aware mass-leveling greedy against the guaranteed
+// algorithm of each class, on both benign and adversarial (specialist)
+// instances.
+func exploreGreedy(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "x-greedy",
+		Title:  "greedy heuristic vs guaranteed algorithms (conclusion's open question)",
+		Header: []string{"class", "family", "n", "m", "LB", "greedy-prec", "guaranteed", "alg"},
+	}
+	trials := cfg.trials(30)
+	type arm struct {
+		class  string
+		family string
+		n, m   int
+		mk     func() sim.Policy
+		name   string
+	}
+	lp1 := func() *rounding.Cache { return rounding.NewCache() }
+	arms := []arm{
+		{"independent", "uniform", 64, 32,
+			func() sim.Policy { return &core.SEM{Cache: lp1()} }, "sem"},
+		{"independent", "specialist", 64, 32,
+			func() sim.Policy { return &core.SEM{Cache: lp1()} }, "sem"},
+		{"chains", "chains-hard", 48, 6,
+			func() sim.Policy {
+				return &core.Chains{LP1Cache: lp1(), LP2Cache: rounding.NewLP2Cache()}
+			}, "suu-c"},
+		{"forest", "forest", 32, 8,
+			func() sim.Policy {
+				return &core.Forest{Engine: &core.Chains{LP1Cache: lp1(), LP2Cache: rounding.NewLP2Cache()}}
+			}, "suu-t"},
+	}
+	k := int(float64(len(arms))*cfg.scale() + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	for _, a := range arms[:k] {
+		ins, err := workload.Generate(workload.Spec{
+			Family: a.family, M: a.m, N: a.n, Seed: cfg.Seed + int64(a.n), Groups: 4, Z: a.n / 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		lb, err := lowerBoundDAG(ins)
+		if err != nil {
+			return nil, err
+		}
+		gr, err := sim.MonteCarlo(ins, baseline.GreedyPrec{}, trials, cfg.Seed, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		gu, err := sim.MonteCarlo(ins, a.mk(), trials, cfg.Seed, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			a.class, a.family, fmt.Sprint(a.n), fmt.Sprint(a.m), f1(lb),
+			ratioCell(gr.Summary.Mean, gr.Summary.CI95(), lb),
+			ratioCell(gu.Summary.Mean, gu.Summary.CI95(), lb),
+			a.name,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"greedy-prec levels assigned log mass over eligible jobs each step; no approximation guarantee is known for it",
+		"the open question remains open: greedy wins on these families by constants, but nothing rules out adversarial instances where it loses its lead",
+		fmt.Sprintf("%d trials per cell", trials))
+	return t, nil
+}
+
+// ablQuantize exercises the paper's nonpolynomial-t device: quantizing
+// assignments to multiples of t*/(nm) and reinserting the lost steps. In
+// simulation the quantum is usually < 1 step (no-op); the experiment
+// scales ℓ down to force multi-hundred-step assignments where the quantum
+// engages, and confirms the makespan overhead is the predicted O(t*).
+func ablQuantize(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "a-quantize",
+		Title:  "SUU-C quantization (Section 4): plain vs quantized assignments",
+		Header: []string{"n", "m", "t*", "quantum", "E[T] plain", "E[T] quantized", "overhead"},
+	}
+	trials := cfg.trials(20)
+	for _, n := range cfg.sizes([]int{8, 12, 16}) {
+		const m = 2
+		// Tiny ℓ everywhere makes LP assignments hundreds of steps long,
+		// so the quantum t*/(nm) exceeds 1 and the trick engages.
+		rng := newDetRand(cfg.Seed + int64(n))
+		q := make([][]float64, m)
+		for i := range q {
+			q[i] = make([]float64, n)
+			for j := range q[i] {
+				q[i][j] = 0.985 + 0.01*rng.Float64() // ℓ ≈ 0.007..0.022
+			}
+		}
+		g, chains := evenChains(n, 4)
+		ins, err := model.New(m, n, q, g)
+		if err != nil {
+			return nil, err
+		}
+		lp2, err := rounding.RoundLP2(ins, chains)
+		if err != nil {
+			return nil, err
+		}
+		quantum := int64(lp2.TFrac) / int64(n*m)
+		lp2c := rounding.NewLP2Cache()
+		lp1c := rounding.NewCache()
+		plain, err := sim.MonteCarlo(ins,
+			&core.Chains{LP1Cache: lp1c, LP2Cache: lp2c}, trials, cfg.Seed, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		quant, err := sim.MonteCarlo(ins,
+			&core.Chains{LP1Cache: lp1c, LP2Cache: lp2c, Quantize: true}, trials, cfg.Seed, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(m), f1(lp2.TFrac), fmt.Sprint(quantum),
+			fmt.Sprintf("%.0f ±%.0f", plain.Summary.Mean, plain.Summary.CI95()),
+			fmt.Sprintf("%.0f ±%.0f", quant.Summary.Mean, quant.Summary.CI95()),
+			f2(quant.Summary.Mean / plain.Summary.Mean),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"quantum = ⌊t*⌋/(nm); rows with quantum ≥ 2 actually exercise the rounding-down + reinsertion path",
+		"the paper predicts expected reinserted steps ≤ 2t*, i.e. overhead bounded by a small constant factor")
+	return t, nil
+}
+
+// lowerBoundChains is max(t*_LP2/2, critical path, 1); Lemma 5 justifies
+// the LP2 term, and every chain needs one step per job regardless.
+func lowerBoundChains(ins *model.Instance) (float64, error) {
+	chains, err := ins.Chains()
+	if err != nil {
+		return 0, err
+	}
+	_, _, _, tstar, err := rounding.SolveLP2(ins, chains)
+	if err != nil {
+		return 0, err
+	}
+	longest := 0
+	for _, c := range chains {
+		if len(c) > longest {
+			longest = len(c)
+		}
+	}
+	return math.Max(math.Max(tstar/2, float64(longest)), 1), nil
+}
+
+// lowerBoundDAG works for any precedence class: the precedence-free LP1
+// bound and the critical path length.
+func lowerBoundDAG(ins *model.Instance) (float64, error) {
+	jobs := make([]int, ins.N)
+	for j := range jobs {
+		jobs[j] = j
+	}
+	_, tstar, err := rounding.SolveLP1(ins, jobs, 0.5)
+	if err != nil {
+		return 0, err
+	}
+	depth := 1
+	if ins.Prec != nil {
+		layers, err := ins.Prec.Layers()
+		if err != nil {
+			return 0, err
+		}
+		depth = len(layers)
+	}
+	return math.Max(math.Max(tstar/2, float64(depth)), 1), nil
+}
+
+func table1Chains(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "t1-chains",
+		Title: "disjoint chains: E[T]/LB (LB = max(t*_LP2/2, longest chain))",
+		Header: []string{"family", "n", "m", "LB",
+			"suu-c(ours)", "suu-c-lr(obl)", "split", "sequential"},
+	}
+	trials := cfg.trials(30)
+	for _, family := range []string{"chains", "chains-hard"} {
+		for _, n := range cfg.sizes([]int{16, 32, 48, 64, 96}) {
+			m := n / 4
+			z := n / 8
+			if family == "chains-hard" {
+				// Few machines keep LP2 small; chains of 4 give batches
+				// of up to n/4 long jobs in the first segment.
+				m = 6
+				z = n / 4
+			}
+			if m < 2 {
+				m = 2
+			}
+			spec := workload.Spec{Family: family, M: m, N: n, Seed: cfg.Seed + int64(n), Z: z}
+			if spec.Z < 1 {
+				spec.Z = 1
+			}
+			ins, err := workload.Generate(spec)
+			if err != nil {
+				return nil, err
+			}
+			lb, err := lowerBoundChains(ins)
+			if err != nil {
+				return nil, err
+			}
+			lp1c, lp2c := rounding.NewCache(), rounding.NewLP2Cache()
+			policies := []sim.Policy{
+				&core.Chains{LP1Cache: lp1c, LP2Cache: lp2c},
+				&core.Chains{LP1Cache: lp1c, LP2Cache: lp2c, LongJobs: &core.OBL{Cache: lp1c}},
+				baseline.EligibleSplit{},
+				baseline.Sequential{},
+			}
+			row := []string{family, fmt.Sprint(n), fmt.Sprint(m), f1(lb)}
+			for pi, p := range policies {
+				res, err := sim.MonteCarlo(ins, p, trials, cfg.Seed+int64(1000*pi), cfg.Workers)
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s n=%d: %w", p.Name(), family, n, err)
+				}
+				row = append(row, ratioCell(res.Summary.Mean, res.Summary.CI95(), lb))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"suu-c-lr replaces the long-job SEM batches with OBL — the O(log n) component that costs Lin–Rajaraman their extra factor",
+		fmt.Sprintf("%d trials per cell", trials))
+	return t, nil
+}
+
+func table1Forest(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "t1-forest",
+		Title: "directed forests: E[T]/LB (LB = max(t*_LP1/2, critical path))",
+		Header: []string{"family", "n", "m", "LB",
+			"suu-t(ours)", "suu-t-lr(obl)", "split", "sequential"},
+	}
+	trials := cfg.trials(25)
+	for _, family := range []string{"forest", "in-forest"} {
+		for _, n := range cfg.sizes([]int{16, 32, 48}) {
+			m := n / 4
+			if m < 2 {
+				m = 2
+			}
+			ins, err := workload.Generate(workload.Spec{Family: family, M: m, N: n, Seed: cfg.Seed + int64(n)})
+			if err != nil {
+				return nil, err
+			}
+			lb, err := lowerBoundDAG(ins)
+			if err != nil {
+				return nil, err
+			}
+			lp1c, lp2c := rounding.NewCache(), rounding.NewLP2Cache()
+			policies := []sim.Policy{
+				&core.Forest{Engine: &core.Chains{LP1Cache: lp1c, LP2Cache: lp2c}},
+				&core.Forest{Engine: &core.Chains{LP1Cache: lp1c, LP2Cache: lp2c, LongJobs: &core.OBL{Cache: lp1c}}},
+				baseline.EligibleSplit{},
+				baseline.Sequential{},
+			}
+			row := []string{family, fmt.Sprint(n), fmt.Sprint(m), f1(lb)}
+			for pi, p := range policies {
+				res, err := sim.MonteCarlo(ins, p, trials, cfg.Seed+int64(1000*pi), cfg.Workers)
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s n=%d: %w", p.Name(), family, n, err)
+				}
+				row = append(row, ratioCell(res.Summary.Mean, res.Summary.CI95(), lb))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"SUU-T = heavy-path decomposition into ≤⌈log n⌉+1 blocks of chains, SUU-C per block (Appendix B)",
+		fmt.Sprintf("%d trials per cell", trials))
+	return t, nil
+}
+
+func figDelay(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "f-delay",
+		Title: "random delays (Theorem 7): congestion and makespan, with vs without",
+		Header: []string{"n", "m", "bound log(n+m)/loglog(n+m)",
+			"maxcong delay", "maxcong none", "E[T] delay", "E[T] none"},
+	}
+	trials := cfg.trials(30)
+	for _, n := range cfg.sizes([]int{24, 48, 96}) {
+		// Few machines and many short chains: the regime where chains
+		// collide on machines and the delays earn their keep.
+		m := 4
+		z := n / 3
+		ins, err := workload.Generate(workload.Spec{Family: "chains", M: m, N: n, Z: z, Seed: cfg.Seed + int64(n)})
+		if err != nil {
+			return nil, err
+		}
+		bound := math.Log2(float64(n+m)) / math.Log2(math.Log2(float64(n+m)))
+		row := []string{fmt.Sprint(n), fmt.Sprint(m), f1(bound)}
+		congs := make([]float64, 2)
+		makes := make([]string, 2)
+		for vi, noDelay := range []bool{false, true} {
+			var mu sync.Mutex
+			var maxCong int64
+			p := &core.Chains{
+				LP1Cache: rounding.NewCache(),
+				LP2Cache: rounding.NewLP2Cache(),
+				NoDelay:  noDelay,
+				OnStats: func(s core.ChainsStats) {
+					mu.Lock()
+					if s.MaxCongestion > maxCong {
+						maxCong = s.MaxCongestion
+					}
+					mu.Unlock()
+				},
+			}
+			res, err := sim.MonteCarlo(ins, p, trials, cfg.Seed, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			congs[vi] = float64(maxCong)
+			mu.Unlock()
+			makes[vi] = fmt.Sprintf("%.1f ±%.1f", res.Summary.Mean, res.Summary.CI95())
+		}
+		row = append(row, f1(congs[0]), f1(congs[1]), makes[0], makes[1])
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"maxcong = worst per-machine congestion in any superstep across all trials",
+		"Theorem 7: with delays congestion stays O(log(n+m)/loglog(n+m)); without, it can grow with the number of chains")
+	return t, nil
+}

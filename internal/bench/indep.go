@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/model"
+	"repro/internal/rounding"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:   "t1-indep",
+		What: "Table 1 row 1: independent jobs — SEM (ours, O(loglog)) vs OBL/greedy (O(log)) vs naive; ratio to LP lower bound vs n",
+		Run:  table1Independent,
+	})
+	register(Experiment{
+		ID:   "f-rounds",
+		What: "Theorem 4 validation: SEM rounds actually used and survivors per round vs the budget K",
+		Run:  figRounds,
+	})
+	register(Experiment{
+		ID:   "a-rounding",
+		What: "Lemma 2 ablation: flow-based rounding vs naive per-entry ceiling (schedule length and makespan)",
+		Run:  ablRounding,
+	})
+}
+
+// lowerBoundIndep returns the Lemma 1 lower bound max(t*_LP1(J,1/2)/2, 1).
+func lowerBoundIndep(ins *model.Instance) (float64, error) {
+	jobs := make([]int, ins.N)
+	for j := range jobs {
+		jobs[j] = j
+	}
+	_, tstar, err := rounding.SolveLP1(ins, jobs, 0.5)
+	if err != nil {
+		return 0, err
+	}
+	return math.Max(tstar/2, 1), nil
+}
+
+func table1Independent(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "t1-indep",
+		Title: "independent jobs: E[T]/LB, lower is better (LB = t*_LP1/2)",
+		Header: []string{"family", "n", "m", "LB",
+			"sem(ours)", "obl", "greedy", "split", "sequential"},
+	}
+	trials := cfg.trials(40)
+	var semRatios, oblRatios []float64
+	var ns []int
+	for _, family := range []string{"uniform", "skill", "specialist"} {
+		for _, n := range cfg.sizes([]int{8, 16, 32, 64, 128}) {
+			m := n / 2
+			if m < 2 {
+				m = 2
+			}
+			ins, err := workload.Generate(workload.Spec{Family: family, M: m, N: n, Seed: cfg.Seed + int64(n), Groups: 4})
+			if err != nil {
+				return nil, err
+			}
+			lb, err := lowerBoundIndep(ins)
+			if err != nil {
+				return nil, err
+			}
+			cache := rounding.NewCache()
+			policies := []sim.Policy{
+				&core.SEM{Cache: cache},
+				&core.OBL{Cache: cache},
+				baseline.Greedy{},
+				baseline.EligibleSplit{},
+				baseline.Sequential{},
+			}
+			row := []string{family, fmt.Sprint(n), fmt.Sprint(m), f1(lb)}
+			for pi, p := range policies {
+				res, err := sim.MonteCarlo(ins, p, trials, cfg.Seed+int64(1000*pi), cfg.Workers)
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s n=%d: %w", p.Name(), family, n, err)
+				}
+				row = append(row, ratioCell(res.Summary.Mean, res.Summary.CI95(), lb))
+				if family == "uniform" {
+					switch pi {
+					case 0:
+						semRatios = append(semRatios, res.Summary.Mean/lb)
+						ns = append(ns, n)
+					case 1:
+						oblRatios = append(oblRatios, res.Summary.Mean/lb)
+					}
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	if len(ns) >= 3 {
+		if gc, err := stats.CompareGrowth(ns, semRatios); err == nil {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"sem growth fits (uniform): vs log2(n) slope %.3f rmse %.3f | vs loglog slope %.3f rmse %.3f",
+				gc.LogFit.B, gc.LogFit.RMSE, gc.LogLogFit.B, gc.LogLogFit.RMSE))
+		}
+		if gc, err := stats.CompareGrowth(ns, oblRatios); err == nil {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"obl growth fits (uniform): vs log2(n) slope %.3f rmse %.3f | vs loglog slope %.3f rmse %.3f",
+				gc.LogFit.B, gc.LogFit.RMSE, gc.LogLogFit.B, gc.LogLogFit.RMSE))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: SEM is O(loglog min{m,n}), OBL/greedy are O(log n); expect the sem column to stay nearly flat while obl/greedy drift upward",
+		fmt.Sprintf("%d trials per cell", trials))
+	return t, nil
+}
+
+func figRounds(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "f-rounds",
+		Title:  "SEM semioblivious rounds: budget K vs rounds used (mean over trials)",
+		Header: []string{"n", "m", "K", "mean rounds used", "mean survivors@2", "mean survivors@3", "p(endgame)"},
+	}
+	trials := cfg.trials(60)
+	for _, n := range cfg.sizes([]int{16, 32, 64, 96, 128}) {
+		m := n / 2
+		ins, err := workload.Generate(workload.Spec{Family: "uniform", M: m, N: n, Seed: cfg.Seed + int64(n)})
+		if err != nil {
+			return nil, err
+		}
+		k := core.Rounds(m, n)
+		var mu sync.Mutex
+		surv := make(map[int][]int) // round -> survivor counts
+		sem := &core.SEM{Cache: rounding.NewCache()}
+		var usedSum, endgames, samples float64
+		sem.OnRound = func(round, remaining int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if round <= k && remaining > 0 {
+				surv[round] = append(surv[round], remaining)
+			}
+			if round == k+1 {
+				samples++
+				if remaining > 0 {
+					endgames++
+				}
+			}
+		}
+		if _, err := sim.MonteCarlo(ins, sem, trials, cfg.Seed, cfg.Workers); err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		for round := 1; round <= k; round++ {
+			usedSum += float64(len(surv[round]))
+		}
+		meanUsed := usedSum / samples
+		s2 := meanOfInts(surv[2])
+		s3 := meanOfInts(surv[3])
+		pEnd := endgames / samples
+		mu.Unlock()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(m), fmt.Sprint(k),
+			f2(meanUsed), f1(s2), f1(s3), f2(pEnd),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"survivors@k = jobs still uncompleted entering round k (when any); p(endgame) = fraction of trials reaching the post-K fallback",
+		"Theorem 4: survivors shrink doubly exponentially, so rounds used ≈ 2–3 regardless of K")
+	return t, nil
+}
+
+func meanOfInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += float64(x)
+	}
+	return s / float64(len(xs))
+}
+
+// replayOBL repeats a precomputed oblivious schedule until done — it lets
+// the rounding ablation compare schedule qualities without re-solving the
+// LP in every Monte Carlo trial.
+type replayOBL struct {
+	name string
+	o    *sched.Oblivious
+}
+
+func (p replayOBL) Name() string { return p.name }
+func (p replayOBL) Run(w *sim.World) error {
+	_, err := w.RepeatOblivious(p.o, 1<<30)
+	return err
+}
+
+func ablRounding(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "a-rounding",
+		Title:  "Lemma 2 flow rounding vs naive ceilings on spread-out (MWU) fractional solutions",
+		Header: []string{"n", "m", "t", "len(flow)", "len(naive)", "E[T] flow-obl", "E[T] naive-obl"},
+	}
+	trials := cfg.trials(30)
+	for _, n := range cfg.sizes([]int{16, 32, 64, 128}) {
+		m := n / 2
+		ins, err := workload.Generate(workload.Spec{Family: "uniform", M: m, N: n, Seed: cfg.Seed + int64(n), QLo: 0.6, QHi: 0.95})
+		if err != nil {
+			return nil, err
+		}
+		jobs := make([]int, n)
+		// The exact simplex returns vertex solutions with ≤ n+m positive
+		// entries, which even naive ceilings round harmlessly. The MWU
+		// engine's solutions spread mass across many machines per job —
+		// the regime Lemma 2's flow rounding exists for.
+		cover := &lp.CoverInstance{M: m, N: n, Rates: make([][]float64, m), Demands: make([]float64, n)}
+		for i := 0; i < m; i++ {
+			cover.Rates[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				cover.Rates[i][j] = math.Min(ins.L[i][j], 0.5)
+			}
+		}
+		for j := range jobs {
+			jobs[j] = j
+			cover.Demands[j] = 0.5
+		}
+		xfrac, tfrac, err := lp.SolveCoverMWU(cover, 0.1)
+		if err != nil {
+			return nil, err
+		}
+		flow, err := rounding.RoundFractional(ins, jobs, 0.5, xfrac, tfrac*1.1)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := rounding.RoundFractionalNaive(ins, jobs, 0.5, xfrac, tfrac*1.1)
+		if err != nil {
+			return nil, err
+		}
+		resFlow, err := sim.MonteCarlo(ins,
+			replayOBL{"obl-flow", flow.Assignment.Serialize()}, trials, cfg.Seed, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		resNaive, err := sim.MonteCarlo(ins,
+			replayOBL{"obl-naive", naive.Assignment.Serialize()}, trials, cfg.Seed, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(m), f1(flow.TFrac),
+			fmt.Sprint(flow.Length), fmt.Sprint(naive.Length),
+			fmt.Sprintf("%.1f ±%.1f", resFlow.Summary.Mean, resFlow.Summary.CI95()),
+			fmt.Sprintf("%.1f ±%.1f", resNaive.Summary.Mean, resNaive.Summary.CI95()),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"both arms round the SAME MWU fractional solution (eps=0.1); t is its certified load bound",
+		"len = serialized schedule length (max machine load); Lemma 2 guarantees len(flow) ≤ ⌈6t⌉, the naive arm has no such bound")
+	return t, nil
+}

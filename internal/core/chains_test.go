@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/model"
+	"repro/internal/rounding"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestChainsDeterministicGivenThresholdsAndSeed: with fixed thresholds and
+// a fixed world RNG (which drives the chain delays), SUU-C must be fully
+// deterministic.
+func TestChainsDeterministicGivenThresholdsAndSeed(t *testing.T) {
+	ins := chainsInstance(t, 31, 3, 12, 3)
+	thr := make([]float64, 12)
+	rng := rand.New(rand.NewSource(2))
+	for j := range thr {
+		thr[j] = 0.2 + 3*rng.Float64()
+	}
+	p := &Chains{LP1Cache: rounding.NewCache(), LP2Cache: rounding.NewLP2Cache()}
+	var first int64
+	for rep := 0; rep < 3; rep++ {
+		w, err := sim.NewWorldWithThresholds(ins, thr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same delay randomness each repetition.
+		*w.Rng() = *rand.New(rand.NewSource(77))
+		if err := p.Run(w); err != nil {
+			t.Fatal(err)
+		}
+		ms, err := w.Makespan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep == 0 {
+			first = ms
+		} else if ms != first {
+			t.Fatalf("rep %d: makespan %d != %d", rep, ms, first)
+		}
+	}
+}
+
+// TestChainsRandomInstances: SUU-C completes random chain instances of
+// every shape without errors; the world enforces legality throughout.
+func TestChainsRandomInstances(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(5)
+		z := 1 + rng.Intn(5)
+		n := z * (1 + rng.Intn(4))
+		ins, err := workload.Chains(rng, m, n, z, 0.1, 0.95)
+		if err != nil {
+			t.Logf("seed %d: gen: %v", seed, err)
+			return false
+		}
+		p := &Chains{LP1Cache: rounding.NewCache(), LP2Cache: rounding.NewLP2Cache()}
+		w := sim.NewWorld(ins, rand.New(rand.NewSource(seed+1)))
+		if err := p.Run(w); err != nil {
+			t.Logf("seed %d: run: %v", seed, err)
+			return false
+		}
+		ms, err := w.Makespan()
+		if err != nil || ms < int64(n/z) {
+			t.Logf("seed %d: makespan %d err %v", seed, ms, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChainsStatsAccounting: the reported flattened timeline length
+// (SumCongestion) plus batch time must match the world clock.
+func TestChainsStatsAccounting(t *testing.T) {
+	ins := chainsInstance(t, 33, 3, 12, 3)
+	var mu sync.Mutex
+	var sumCong int64
+	p := &Chains{
+		LP1Cache: rounding.NewCache(),
+		LP2Cache: rounding.NewLP2Cache(),
+		OnStats: func(s ChainsStats) {
+			mu.Lock()
+			sumCong += s.SumCongestion
+			mu.Unlock()
+		},
+	}
+	w := sim.NewWorld(ins, rand.New(rand.NewSource(3)))
+	if err := p.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// The clock includes batch time (SEM on long jobs), so it can only be
+	// at least the flattened pseudoschedule length — but the final
+	// makespan can be below the clock only via early stop, never above.
+	if w.Clock() < sumCong {
+		t.Fatalf("clock %d < flattened supersteps %d", w.Clock(), sumCong)
+	}
+	ms, _ := w.Makespan()
+	if ms > w.Clock() {
+		t.Fatalf("makespan %d beyond clock %d", ms, w.Clock())
+	}
+}
+
+// TestForestMixedOrientation: a forest mixing in- and out-trees must
+// schedule correctly through the per-component decomposition.
+func TestForestMixedOrientation(t *testing.T) {
+	g := dag.New(8)
+	// Out-tree: 0 -> {1, 2}, 2 -> 3.
+	g.MustEdge(0, 1)
+	g.MustEdge(0, 2)
+	g.MustEdge(2, 3)
+	// In-tree: {5, 6} -> 4, 7 -> 6.
+	g.MustEdge(5, 4)
+	g.MustEdge(6, 4)
+	g.MustEdge(7, 6)
+	q := make([][]float64, 2)
+	for i := range q {
+		q[i] = make([]float64, 8)
+		for j := range q[i] {
+			q[i][j] = 0.4
+		}
+	}
+	ins, err := model.New(2, 8, q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Class() != dag.ClassMixedForest {
+		t.Fatalf("class %v", ins.Class())
+	}
+	p := &Forest{Engine: &Chains{LP1Cache: rounding.NewCache(), LP2Cache: rounding.NewLP2Cache()}}
+	for seed := int64(0); seed < 5; seed++ {
+		runPolicy(t, p, ins, seed)
+	}
+}
+
+// TestChainsSingleJobChains: n singleton chains with extreme probability
+// spread — stress for the grouping ranges in the rounding.
+func TestChainsSingleJobChains(t *testing.T) {
+	m, n := 3, 6
+	q := make([][]float64, m)
+	for i := range q {
+		q[i] = make([]float64, n)
+		for j := range q[i] {
+			switch (i + j) % 3 {
+			case 0:
+				q[i][j] = 0.999 // ℓ ≈ 0.0014
+			case 1:
+				q[i][j] = 0.5
+			default:
+				q[i][j] = 0.01 // ℓ ≈ 6.6
+			}
+		}
+	}
+	ins, err := model.New(m, n, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Chains{LP1Cache: rounding.NewCache(), LP2Cache: rounding.NewLP2Cache()}
+	runPolicy(t, p, ins, 9)
+}

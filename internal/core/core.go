@@ -1,0 +1,241 @@
+// Package core implements the paper's scheduling algorithms — its primary
+// contribution:
+//
+//   - OBL: the oblivious O(log n)-approximation for independent jobs
+//     (Section 3, SUU-I-OBL),
+//   - SEM: the semioblivious O(log log min{m,n})-approximation for
+//     independent jobs (Section 3, SUU-I-SEM),
+//   - Chains: the O(log(n+m)·loglog min{m,n})-approximation for disjoint
+//     chains (Section 4, SUU-C),
+//   - Forest: the O(log n · log(n+m) · loglog min{m,n})-approximation for
+//     directed forests (Appendix B, SUU-T),
+//   - Layered: a level-by-level extension for general layered DAGs such as
+//     MapReduce's bipartite phases (motivated by the paper's introduction).
+//
+// Every algorithm implements sim.Policy, driving a sim.World (the SUU*
+// engine) to completion; randomized choices draw from the world's RNG so
+// trials stay reproducible.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rounding"
+	"repro/internal/sim"
+)
+
+// maxPasses bounds schedule repetitions; in threshold mode ≈130 passes
+// suffice for any job (threshold ≤ 64, mass ≥ 1/2 per pass), so hitting
+// this limit means a bug rather than bad luck.
+const maxPasses = 1 << 30
+
+// SubsetRunner is a policy component that completes a given set of
+// mutually-independent eligible jobs. SUU-C uses one to finish each
+// segment's batch of long jobs: plugging in SEM gives the paper's
+// algorithm; plugging in OBL gives the Lin–Rajaraman-style baseline with
+// the extra log factor.
+type SubsetRunner interface {
+	Name() string
+	RunOnSubset(w *sim.World, jobs []int) error
+}
+
+// remainingOf filters jobs down to those not yet completed.
+func remainingOf(w *sim.World, jobs []int) []int {
+	var out []int
+	for _, j := range jobs {
+		if !w.Done(j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// requireIndependent rejects worlds whose instances have precedence
+// constraints; OBL and SEM are defined for SUU-I.
+func requireIndependent(w *sim.World, name string) error {
+	ins := w.Instance()
+	if ins.Prec != nil && ins.Prec.Edges() > 0 {
+		return fmt.Errorf("core: %s requires independent jobs, instance has precedence class %v",
+			name, ins.Class())
+	}
+	return nil
+}
+
+// OBL is SUU-I-OBL (Section 3): round LP1(J, 1/2) into a finite oblivious
+// schedule of length O(E[T_OPT]) that gives every job failure probability
+// at most 1/√2 per pass, then repeat the schedule until all jobs complete.
+// Expected makespan O(E[T_OPT]·log n).
+type OBL struct {
+	// Cache, if set, memoizes the LP rounding across Monte Carlo trials.
+	Cache *rounding.Cache
+}
+
+// Name implements sim.Policy.
+func (o *OBL) Name() string { return "suu-i-obl" }
+
+// Run completes all jobs of an independent-jobs instance.
+func (o *OBL) Run(w *sim.World) error {
+	if err := requireIndependent(w, o.Name()); err != nil {
+		return err
+	}
+	return o.RunOnSubset(w, w.Remaining())
+}
+
+// RunOnSubset completes the given eligible jobs by repeating their
+// LP1(jobs, 1/2) schedule.
+func (o *OBL) RunOnSubset(w *sim.World, jobs []int) error {
+	jobs = remainingOf(w, jobs)
+	if len(jobs) == 0 {
+		return nil
+	}
+	r, err := o.Cache.RoundLP1(w.Instance(), jobs, 0.5)
+	if err != nil {
+		return err
+	}
+	_, err = w.RepeatOblivious(r.Assignment.Serialize(), maxPasses)
+	return err
+}
+
+// SEM is SUU-I-SEM (Section 3): K = ⌈log₂log₂ min{m,n}⌉ + 3 rounds with
+// doubling mass targets L_k = 2^(k−2), each an oblivious LP1 schedule over
+// the still-uncompleted jobs; stragglers after round K run one at a time on
+// all machines (n ≤ m) or under a repeated round-K schedule (m < n).
+// Expected makespan O(E[T_OPT]·log log min{m,n}).
+type SEM struct {
+	// Cache, if set, memoizes LP roundings across Monte Carlo trials
+	// (round 1 is identical in every trial).
+	Cache *rounding.Cache
+	// OnRound, if set, observes (round, jobs still uncompleted) at the
+	// start of every round, and (K+1, stragglers) when the endgame fires.
+	// It must be safe for concurrent use.
+	OnRound func(round, remaining int)
+}
+
+// Name implements sim.Policy.
+func (s *SEM) Name() string { return "suu-i-sem" }
+
+// Rounds returns the round budget K for a subproblem with nJobs jobs:
+// ⌈log₂ log₂ min{m, nJobs}⌉ + 3, with the degenerate min{m,n} < 4 cases
+// getting the constant floor of 3.
+func Rounds(m, nJobs int) int {
+	minMN := m
+	if nJobs < minMN {
+		minMN = nJobs
+	}
+	k := 3
+	if minMN >= 4 {
+		k += int(math.Ceil(math.Log2(math.Log2(float64(minMN))) - 1e-12))
+	}
+	return k
+}
+
+// Run completes all jobs of an independent-jobs instance.
+func (s *SEM) Run(w *sim.World) error {
+	if err := requireIndependent(w, s.Name()); err != nil {
+		return err
+	}
+	return s.RunOnSubset(w, w.Remaining())
+}
+
+// RunOnSubset completes the given eligible jobs; it is the long-job
+// subroutine of SUU-C and the per-layer engine of Layered.
+func (s *SEM) RunOnSubset(w *sim.World, jobs []int) error {
+	ins := w.Instance()
+	jobs = remainingOf(w, jobs)
+	if len(jobs) == 0 {
+		return nil
+	}
+	k := Rounds(ins.M, len(jobs))
+	var lastRound *rounding.LP1Result
+	for round := 1; round <= k; round++ {
+		rem := remainingOf(w, jobs)
+		if len(rem) == 0 {
+			// Completed inside the round budget; still report the endgame
+			// observation so OnRound sees every execution exactly once.
+			if s.OnRound != nil {
+				s.OnRound(k+1, 0)
+			}
+			return nil
+		}
+		if s.OnRound != nil {
+			s.OnRound(round, len(rem))
+		}
+		target := math.Pow(2, float64(round-2)) // L_k = 2^(k−2), L_1 = 1/2
+		r, err := s.Cache.RoundLP1(ins, rem, target)
+		if err != nil {
+			return err
+		}
+		lastRound = r
+		if err := w.RunOblivious(r.Assignment.Serialize()); err != nil {
+			return err
+		}
+	}
+	rem := remainingOf(w, jobs)
+	if s.OnRound != nil {
+		s.OnRound(k+1, len(rem))
+	}
+	if len(rem) == 0 {
+		return nil
+	}
+	// Endgame (Theorem 4): by now every straggler's threshold is huge
+	// (probability ≤ 1/min{m,n} that any exists).
+	if len(jobs) <= ins.M {
+		// n ≤ m: run stragglers one at a time on all machines.
+		for _, j := range rem {
+			if _, err := w.SoloAll(j); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// m < n: repeat the round-K schedule until the stragglers finish.
+	// Every straggler is covered: it was uncompleted when round K was
+	// built, so the round-K assignment gives it mass ≥ L_K per pass.
+	_, err := w.RepeatOblivious(lastRound.Assignment.Serialize(), maxPasses)
+	return err
+}
+
+// Layered schedules a general layered DAG level by level: each layer of the
+// longest-path layering is a set of independent jobs (no edges inside a
+// layer), eligible as soon as all earlier layers finish. MapReduce's
+// complete-bipartite dependencies (paper introduction) are the canonical
+// two-layer case. The approximation factor multiplies SEM's by the number
+// of layers.
+type Layered struct {
+	// Inner completes each layer; defaults to SEM with a fresh cache.
+	Inner SubsetRunner
+}
+
+// Name implements sim.Policy.
+func (l *Layered) Name() string {
+	if l.Inner != nil {
+		return "layered+" + l.Inner.Name()
+	}
+	return "layered+suu-i-sem"
+}
+
+// Run completes all jobs layer by layer.
+func (l *Layered) Run(w *sim.World) error {
+	inner := l.Inner
+	if inner == nil {
+		inner = &SEM{Cache: rounding.NewCache()}
+	}
+	ins := w.Instance()
+	if ins.Prec == nil {
+		return inner.RunOnSubset(w, w.Remaining())
+	}
+	layers, err := ins.Prec.Layers()
+	if err != nil {
+		return err
+	}
+	for _, layer := range layers {
+		if err := inner.RunOnSubset(w, layer); err != nil {
+			return err
+		}
+	}
+	if !w.AllDone() {
+		return fmt.Errorf("core: layered left %d jobs uncompleted", w.NumRemaining())
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package dag
+
+import "fmt"
+
+// Class identifies which precedence-constraint family a DAG belongs to.
+// The paper gives separate algorithms per class; Classify picks the most
+// specific one that applies.
+type Class int
+
+const (
+	// ClassIndependent means the DAG has no edges (SUU-I).
+	ClassIndependent Class = iota
+	// ClassChains means every vertex has at most one predecessor and at
+	// most one successor: a disjoint union of simple paths (SUU-C).
+	ClassChains
+	// ClassOutForest means every vertex has at most one predecessor:
+	// a forest of out-trees (edges point away from roots).
+	ClassOutForest
+	// ClassInForest means every vertex has at most one successor:
+	// a forest of in-trees (edges point toward roots).
+	ClassInForest
+	// ClassMixedForest means every weakly-connected component is an
+	// out-tree or an in-tree, but the forest mixes both orientations.
+	ClassMixedForest
+	// ClassGeneral is everything else.
+	ClassGeneral
+)
+
+// String returns a human-readable class name.
+func (c Class) String() string {
+	switch c {
+	case ClassIndependent:
+		return "independent"
+	case ClassChains:
+		return "chains"
+	case ClassOutForest:
+		return "out-forest"
+	case ClassInForest:
+		return "in-forest"
+	case ClassMixedForest:
+		return "mixed-forest"
+	case ClassGeneral:
+		return "general"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// IsForest reports whether the class is schedulable by SUU-T
+// (chains count: a chain is a degenerate tree).
+func (c Class) IsForest() bool {
+	switch c {
+	case ClassIndependent, ClassChains, ClassOutForest, ClassInForest, ClassMixedForest:
+		return true
+	}
+	return false
+}
+
+// Classify returns the most specific precedence class of g.
+// The graph must be acyclic; Classify returns ClassGeneral for cyclic
+// graphs (Validate reports cycles separately).
+func (g *DAG) Classify() Class {
+	if g.Validate() != nil {
+		return ClassGeneral
+	}
+	if g.edges == 0 {
+		return ClassIndependent
+	}
+	chains, outOK, inOK := true, true, true
+	for v := 0; v < g.n; v++ {
+		if len(g.preds[v]) > 1 {
+			chains, outOK = false, false
+		}
+		if len(g.succs[v]) > 1 {
+			chains, inOK = false, false
+		}
+	}
+	switch {
+	case chains:
+		return ClassChains
+	case outOK:
+		return ClassOutForest
+	case inOK:
+		return ClassInForest
+	}
+	// Check per-component orientation for a mixed forest.
+	comp := g.components()
+	mixed := true
+	for _, vs := range comp {
+		out, in := true, true
+		for _, v := range vs {
+			if len(g.preds[v]) > 1 {
+				out = false
+			}
+			if len(g.succs[v]) > 1 {
+				in = false
+			}
+		}
+		if !out && !in {
+			mixed = false
+			break
+		}
+	}
+	if mixed {
+		return ClassMixedForest
+	}
+	return ClassGeneral
+}
+
+// components returns the weakly-connected components as vertex lists.
+func (g *DAG) components() [][]int {
+	id := make([]int, g.n)
+	for i := range id {
+		id[i] = -1
+	}
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if id[s] >= 0 {
+			continue
+		}
+		c := len(comps)
+		stack := []int{s}
+		id[s] = c
+		var vs []int
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			vs = append(vs, v)
+			for _, w := range g.succs[v] {
+				if id[w] < 0 {
+					id[w] = c
+					stack = append(stack, w)
+				}
+			}
+			for _, w := range g.preds[v] {
+				if id[w] < 0 {
+					id[w] = c
+					stack = append(stack, w)
+				}
+			}
+		}
+		comps = append(comps, vs)
+	}
+	return comps
+}
+
+// Chains extracts the disjoint chains of a DAG whose class is
+// ClassIndependent or ClassChains. Each chain lists its vertices in
+// precedence order; isolated vertices become length-1 chains.
+func (g *DAG) Chains() ([]Chain, error) {
+	switch g.Classify() {
+	case ClassIndependent, ClassChains:
+	default:
+		return nil, fmt.Errorf("dag: Chains on class %v", g.Classify())
+	}
+	seen := make([]bool, g.n)
+	var chains []Chain
+	for v := 0; v < g.n; v++ {
+		if seen[v] || len(g.preds[v]) != 0 {
+			continue
+		}
+		var c Chain
+		for u := v; ; {
+			c = append(c, u)
+			seen[u] = true
+			if len(g.succs[u]) == 0 {
+				break
+			}
+			u = g.succs[u][0]
+		}
+		chains = append(chains, c)
+	}
+	return chains, nil
+}

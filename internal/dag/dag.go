@@ -1,0 +1,204 @@
+// Package dag provides the directed-acyclic-graph machinery that underlies
+// SUU precedence constraints: construction and validation, topological
+// ordering, classification into the precedence classes studied by the paper
+// (independent, disjoint chains, directed forests), chain extraction, and the
+// heavy-path chain decomposition of forests into O(log n) blocks used by the
+// SUU-T algorithm (Appendix B, after Kumar et al.).
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DAG is a directed graph on vertices 0..n-1 intended to be acyclic.
+// Vertices are jobs; an edge (u, v) means u must complete before v starts.
+// The zero value is unusable; construct with New.
+type DAG struct {
+	n     int
+	edges int
+	succs [][]int
+	preds [][]int
+}
+
+// New returns an empty DAG on n vertices.
+func New(n int) *DAG {
+	if n < 0 {
+		n = 0
+	}
+	return &DAG{
+		n:     n,
+		succs: make([][]int, n),
+		preds: make([][]int, n),
+	}
+}
+
+// N returns the number of vertices.
+func (g *DAG) N() int { return g.n }
+
+// Edges returns the number of edges.
+func (g *DAG) Edges() int { return g.edges }
+
+// AddEdge adds the precedence edge u -> v. It rejects out-of-range vertices,
+// self-loops, and duplicate edges. It does not check acyclicity; call
+// TopoOrder (or Validate) after construction.
+func (g *DAG) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("dag: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("dag: self-loop on vertex %d", u)
+	}
+	for _, w := range g.succs[u] {
+		if w == v {
+			return fmt.Errorf("dag: duplicate edge (%d,%d)", u, v)
+		}
+	}
+	g.succs[u] = append(g.succs[u], v)
+	g.preds[v] = append(g.preds[v], u)
+	g.edges++
+	return nil
+}
+
+// MustEdge is AddEdge that panics on error; it is a convenience for tests
+// and generators building graphs known to be well formed.
+func (g *DAG) MustEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// Succs returns the successors of v. The returned slice is owned by the DAG
+// and must not be modified.
+func (g *DAG) Succs(v int) []int { return g.succs[v] }
+
+// Preds returns the predecessors of v. The returned slice is owned by the
+// DAG and must not be modified.
+func (g *DAG) Preds(v int) []int { return g.preds[v] }
+
+// InDegree returns the number of predecessors of v.
+func (g *DAG) InDegree(v int) int { return len(g.preds[v]) }
+
+// OutDegree returns the number of successors of v.
+func (g *DAG) OutDegree(v int) int { return len(g.succs[v]) }
+
+// Clone returns a deep copy of the DAG.
+func (g *DAG) Clone() *DAG {
+	c := New(g.n)
+	for u, ss := range g.succs {
+		for _, v := range ss {
+			c.succs[u] = append(c.succs[u], v)
+			c.preds[v] = append(c.preds[v], u)
+		}
+	}
+	c.edges = g.edges
+	return c
+}
+
+// Reverse returns a new DAG with every edge direction flipped.
+func (g *DAG) Reverse() *DAG {
+	r := New(g.n)
+	for u, ss := range g.succs {
+		for _, v := range ss {
+			r.succs[v] = append(r.succs[v], u)
+			r.preds[u] = append(r.preds[u], v)
+		}
+	}
+	r.edges = g.edges
+	return r
+}
+
+// ErrCycle is returned when a supposed DAG contains a directed cycle.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// TopoOrder returns a topological order of the vertices (Kahn's algorithm),
+// or ErrCycle if the graph has a directed cycle.
+func (g *DAG) TopoOrder() ([]int, error) {
+	indeg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		indeg[v] = len(g.preds[v])
+	}
+	queue := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range g.succs[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Validate checks that the graph is acyclic.
+func (g *DAG) Validate() error {
+	_, err := g.TopoOrder()
+	return err
+}
+
+// Layers partitions vertices by longest-path depth: layer 0 holds sources,
+// and a vertex's layer is 1 + max layer over its predecessors. Jobs within a
+// layer are mutually independent given all earlier layers are complete, which
+// is the structure exploited by the layered (MapReduce-style) scheduler.
+func (g *DAG) Layers() ([][]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, g.n)
+	maxDepth := 0
+	for _, v := range order {
+		for _, u := range g.preds[v] {
+			if depth[u]+1 > depth[v] {
+				depth[v] = depth[u] + 1
+			}
+		}
+		if depth[v] > maxDepth {
+			maxDepth = depth[v]
+		}
+	}
+	layers := make([][]int, maxDepth+1)
+	for v := 0; v < g.n; v++ {
+		layers[depth[v]] = append(layers[depth[v]], v)
+	}
+	return layers, nil
+}
+
+// TransitiveClosure returns reach[u][v] = true iff there is a directed path
+// from u to v (u ≠ v). Quadratic memory; intended for small instances
+// (exact DP, validation).
+func (g *DAG) TransitiveClosure() ([][]bool, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	reach := make([][]bool, g.n)
+	for v := range reach {
+		reach[v] = make([]bool, g.n)
+	}
+	// Process in reverse topological order so successors are complete.
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		for _, v := range g.succs[u] {
+			reach[u][v] = true
+			for w := 0; w < g.n; w++ {
+				if reach[v][w] {
+					reach[u][w] = true
+				}
+			}
+		}
+	}
+	return reach, nil
+}

@@ -1,0 +1,504 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge(0,1): %v", err)
+	}
+	cases := []struct {
+		u, v int
+		name string
+	}{
+		{0, 1, "duplicate"},
+		{1, 1, "self-loop"},
+		{-1, 0, "negative"},
+		{0, 3, "out of range"},
+	}
+	for _, c := range cases {
+		if err := g.AddEdge(c.u, c.v); err == nil {
+			t.Errorf("AddEdge(%d,%d) (%s): want error", c.u, c.v, c.name)
+		}
+	}
+	if g.Edges() != 1 {
+		t.Errorf("Edges() = %d, want 1", g.Edges())
+	}
+}
+
+func TestTopoOrderValid(t *testing.T) {
+	g := New(6)
+	g.MustEdge(0, 2)
+	g.MustEdge(1, 2)
+	g.MustEdge(2, 3)
+	g.MustEdge(2, 4)
+	g.MustEdge(4, 5)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTopo(t, g, order)
+}
+
+func checkTopo(t *testing.T, g *DAG, order []int) {
+	t.Helper()
+	if len(order) != g.N() {
+		t.Fatalf("order length %d, want %d", len(order), g.N())
+	}
+	pos := make([]int, g.N())
+	seen := make([]bool, g.N())
+	for i, v := range order {
+		if v < 0 || v >= g.N() || seen[v] {
+			t.Fatalf("bad or repeated vertex %d in order", v)
+		}
+		seen[v] = true
+		pos[v] = i
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Succs(u) {
+			if pos[u] >= pos[v] {
+				t.Fatalf("edge (%d,%d) violates topo order", u, v)
+			}
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := New(3)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	g.MustEdge(2, 0)
+	if _, err := g.TopoOrder(); err != ErrCycle {
+		t.Fatalf("got %v, want ErrCycle", err)
+	}
+	if g.Validate() != ErrCycle {
+		t.Fatal("Validate should report the cycle")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	indep := New(4)
+
+	chains := New(5)
+	chains.MustEdge(0, 1)
+	chains.MustEdge(1, 2)
+	chains.MustEdge(3, 4)
+
+	outF := New(4)
+	outF.MustEdge(0, 1)
+	outF.MustEdge(0, 2)
+	outF.MustEdge(2, 3)
+
+	inF := New(4)
+	inF.MustEdge(1, 0)
+	inF.MustEdge(2, 0)
+	inF.MustEdge(3, 2)
+
+	mixed := New(6)
+	mixed.MustEdge(0, 1) // out-tree 0->{1,2}
+	mixed.MustEdge(0, 2)
+	mixed.MustEdge(4, 3) // in-tree {4,5}->3
+	mixed.MustEdge(5, 3)
+
+	diamond := New(4)
+	diamond.MustEdge(0, 1)
+	diamond.MustEdge(0, 2)
+	diamond.MustEdge(1, 3)
+	diamond.MustEdge(2, 3)
+
+	cases := []struct {
+		name string
+		g    *DAG
+		want Class
+	}{
+		{"independent", indep, ClassIndependent},
+		{"chains", chains, ClassChains},
+		{"out-forest", outF, ClassOutForest},
+		{"in-forest", inF, ClassInForest},
+		{"mixed-forest", mixed, ClassMixedForest},
+		{"general", diamond, ClassGeneral},
+	}
+	for _, c := range cases {
+		if got := c.g.Classify(); got != c.want {
+			t.Errorf("%s: Classify() = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if ClassGeneral.IsForest() {
+		t.Error("general class must not count as forest")
+	}
+	for _, c := range []Class{ClassIndependent, ClassChains, ClassOutForest, ClassInForest, ClassMixedForest} {
+		if !c.IsForest() {
+			t.Errorf("%v should be forest-schedulable", c)
+		}
+	}
+}
+
+func TestChainsExtraction(t *testing.T) {
+	g := New(6)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	g.MustEdge(3, 4)
+	chains, err := g.Chains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 3 {
+		t.Fatalf("got %d chains, want 3", len(chains))
+	}
+	seen := make(map[int]bool)
+	for _, c := range chains {
+		for i, v := range c {
+			if seen[v] {
+				t.Fatalf("vertex %d in two chains", v)
+			}
+			seen[v] = true
+			if i > 0 {
+				if got := g.Preds(v); len(got) != 1 || got[0] != c[i-1] {
+					t.Fatalf("chain order broken at %d", v)
+				}
+			}
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("chains cover %d vertices, want 6", len(seen))
+	}
+	bad := New(3)
+	bad.MustEdge(0, 1)
+	bad.MustEdge(0, 2)
+	if _, err := bad.Chains(); err == nil {
+		t.Fatal("Chains on out-tree should error")
+	}
+}
+
+func TestLayers(t *testing.T) {
+	g := New(5)
+	g.MustEdge(0, 2)
+	g.MustEdge(1, 2)
+	g.MustEdge(2, 3)
+	g.MustEdge(1, 4)
+	layers, err := g.Layers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {2, 4}, {3}}
+	if len(layers) != len(want) {
+		t.Fatalf("got %d layers, want %d", len(layers), len(want))
+	}
+	for i := range want {
+		if len(layers[i]) != len(want[i]) {
+			t.Fatalf("layer %d = %v, want %v", i, layers[i], want[i])
+		}
+		got := make(map[int]bool)
+		for _, v := range layers[i] {
+			got[v] = true
+		}
+		for _, v := range want[i] {
+			if !got[v] {
+				t.Fatalf("layer %d = %v, want %v", i, layers[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g := New(4)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	g.MustEdge(3, 2)
+	reach, err := g.TransitiveClosure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTrue := [][2]int{{0, 1}, {0, 2}, {1, 2}, {3, 2}}
+	for _, p := range wantTrue {
+		if !reach[p[0]][p[1]] {
+			t.Errorf("reach[%d][%d] = false, want true", p[0], p[1])
+		}
+	}
+	wantFalse := [][2]int{{1, 0}, {2, 0}, {0, 3}, {3, 0}, {0, 0}}
+	for _, p := range wantFalse {
+		if reach[p[0]][p[1]] {
+			t.Errorf("reach[%d][%d] = true, want false", p[0], p[1])
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := New(3)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	r := g.Reverse()
+	if r.Edges() != 2 || len(r.Succs(2)) != 1 || r.Succs(2)[0] != 1 {
+		t.Fatal("Reverse wrong")
+	}
+}
+
+// randomForest builds a random forest with both orientations on n vertices.
+func randomForest(n int, rng *rand.Rand) *DAG {
+	g := New(n)
+	// Partition vertices into trees; orient each randomly.
+	perm := rng.Perm(n)
+	for start := 0; start < n; {
+		size := 1 + rng.Intn(n-start)
+		vs := perm[start : start+size]
+		out := rng.Intn(2) == 0
+		for i := 1; i < len(vs); i++ {
+			parent := vs[rng.Intn(i)]
+			if out {
+				g.MustEdge(parent, vs[i])
+			} else {
+				g.MustEdge(vs[i], parent)
+			}
+		}
+		start += size
+	}
+	return g
+}
+
+func TestDecomposeForestProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := randomForest(n, rng)
+		blocks, err := g.DecomposeForest()
+		if err != nil {
+			t.Logf("DecomposeForest: %v (class %v)", err, g.Classify())
+			return false
+		}
+		return checkDecomposition(t, g, blocks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkDecomposition verifies the three decomposition invariants:
+// partition, chain-internal precedence, and cross-block precedence.
+func checkDecomposition(t *testing.T, g *DAG, blocks []Block) bool {
+	t.Helper()
+	n := g.N()
+	blockOf := make([]int, n)
+	posInChain := make([]int, n)
+	chainID := make([]int, n)
+	for i := range blockOf {
+		blockOf[i] = -1
+	}
+	cid := 0
+	for bi, b := range blocks {
+		for _, c := range b {
+			for pi, v := range c {
+				if v < 0 || v >= n || blockOf[v] != -1 {
+					t.Logf("vertex %d repeated or out of range", v)
+					return false
+				}
+				blockOf[v] = bi
+				posInChain[v] = pi
+				chainID[v] = cid
+			}
+			cid++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if blockOf[v] == -1 {
+			t.Logf("vertex %d missing from decomposition", v)
+			return false
+		}
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Succs(u) {
+			switch {
+			case chainID[u] == chainID[v]:
+				if posInChain[u] >= posInChain[v] {
+					t.Logf("edge (%d,%d) backwards within chain", u, v)
+					return false
+				}
+			case blockOf[u] >= blockOf[v]:
+				t.Logf("edge (%d,%d): block %d !< %d", u, v, blockOf[u], blockOf[v])
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDecomposeForestBlockCount(t *testing.T) {
+	// A full binary out-tree on 63 vertices has light-depth ≤ log2(63) ≈ 5,
+	// so at most 6 blocks.
+	g := New(63)
+	for v := 1; v < 63; v++ {
+		g.MustEdge((v-1)/2, v)
+	}
+	blocks, err := g.DecomposeForest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) > 6 {
+		t.Fatalf("binary tree decomposed into %d blocks, want ≤ 6", len(blocks))
+	}
+	if !checkDecomposition(t, g, blocks) {
+		t.Fatal("invalid decomposition")
+	}
+}
+
+func TestDecomposeChainSingleBlock(t *testing.T) {
+	g := New(10)
+	for v := 0; v+1 < 10; v++ {
+		g.MustEdge(v, v+1)
+	}
+	blocks, err := g.DecomposeForest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || len(blocks[0]) != 1 || len(blocks[0][0]) != 10 {
+		t.Fatalf("chain should decompose into one block with one chain, got %v", blocks)
+	}
+}
+
+func TestDecomposeIndependent(t *testing.T) {
+	g := New(5)
+	blocks, err := g.DecomposeForest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || len(blocks[0]) != 5 {
+		t.Fatalf("independent: got %d blocks, first with %d chains", len(blocks), len(blocks[0]))
+	}
+}
+
+func TestDecomposeInTree(t *testing.T) {
+	// In-tree: 15-vertex full binary tree with edges child->parent.
+	g := New(15)
+	for v := 1; v < 15; v++ {
+		g.MustEdge(v, (v-1)/2)
+	}
+	blocks, err := g.DecomposeForest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checkDecomposition(t, g, blocks) {
+		t.Fatal("invalid in-tree decomposition")
+	}
+	// Root (vertex 0) must be in the last block's chain end.
+	last := blocks[len(blocks)-1]
+	found := false
+	for _, c := range last {
+		if c[len(c)-1] == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("in-tree root should complete last")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.MustEdge(0, 1)
+	c := g.Clone()
+	c.MustEdge(1, 2)
+	if g.Edges() != 1 || c.Edges() != 2 {
+		t.Fatalf("clone not independent: %d, %d", g.Edges(), c.Edges())
+	}
+}
+
+func TestWidth(t *testing.T) {
+	// Independent: width n.
+	indep := New(5)
+	if w, err := indep.Width(); err != nil || w != 5 {
+		t.Fatalf("independent width %d, %v", w, err)
+	}
+	// Chain: width 1.
+	chain := New(6)
+	for v := 0; v+1 < 6; v++ {
+		chain.MustEdge(v, v+1)
+	}
+	if w, err := chain.Width(); err != nil || w != 1 {
+		t.Fatalf("chain width %d, %v", w, err)
+	}
+	// Diamond 0->{1,2}->3: width 2.
+	d := New(4)
+	d.MustEdge(0, 1)
+	d.MustEdge(0, 2)
+	d.MustEdge(1, 3)
+	d.MustEdge(2, 3)
+	if w, err := d.Width(); err != nil || w != 2 {
+		t.Fatalf("diamond width %d, %v", w, err)
+	}
+	// Two disjoint chains of 3: width 2.
+	two := New(6)
+	two.MustEdge(0, 1)
+	two.MustEdge(1, 2)
+	two.MustEdge(3, 4)
+	two.MustEdge(4, 5)
+	if w, err := two.Width(); err != nil || w != 2 {
+		t.Fatalf("two-chain width %d, %v", w, err)
+	}
+	// Empty graph.
+	if w, err := New(0).Width(); err != nil || w != 0 {
+		t.Fatalf("empty width %d, %v", w, err)
+	}
+	// Cycle errors.
+	cyc := New(2)
+	cyc.MustEdge(0, 1)
+	cyc.MustEdge(1, 0)
+	if _, err := cyc.Width(); err == nil {
+		t.Fatal("cycle must error")
+	}
+}
+
+// TestWidthMatchesBruteForce cross-checks Dilworth against explicit
+// antichain enumeration on random small DAGs.
+func TestWidthMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.3 {
+					g.MustEdge(u, v)
+				}
+			}
+		}
+		got, err := g.Width()
+		if err != nil {
+			return false
+		}
+		reach, err := g.TransitiveClosure()
+		if err != nil {
+			return false
+		}
+		best := 0
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			ok := true
+			size := 0
+			for u := 0; u < n && ok; u++ {
+				if mask&(1<<uint(u)) == 0 {
+					continue
+				}
+				size++
+				for v := 0; v < n; v++ {
+					if v != u && mask&(1<<uint(v)) != 0 && (reach[u][v] || reach[v][u]) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok && size > best {
+				best = size
+			}
+		}
+		if got != best {
+			t.Logf("seed %d: width %d, brute force %d", seed, got, best)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package dag
+
+import "fmt"
+
+// Chain is a sequence of vertices in precedence order: each vertex must
+// complete before the next may start.
+type Chain []int
+
+// Block is a set of vertex-disjoint chains that can be scheduled together
+// as one disjoint-chains sub-instance: once all earlier blocks are complete,
+// the only remaining precedence among a block's vertices is chain-internal.
+type Block []Chain
+
+// DecomposeForest splits a directed forest into an ordered list of blocks
+// using heavy-path decomposition (the chain-decomposition technique of
+// Kumar et al. used by the paper's SUU-T algorithm, Appendix B).
+//
+// Every vertex appears in exactly one chain of exactly one block. Processing
+// blocks in order respects all precedence constraints: for any edge (u, v),
+// either u and v share a chain with u earlier, or u's block strictly
+// precedes v's. The number of blocks is at most ⌊log₂ n⌋ + 1 per tree
+// because each extra block crosses a light edge, which at least halves the
+// subtree size.
+//
+// Out-trees are decomposed on the forward graph; in-trees on the reverse
+// graph with block order and chain direction flipped. Mixed forests are
+// handled per component; an in-tree component's blocks are appended after
+// the out-tree blocks it is independent of (disjoint components have no
+// cross edges, so any interleaving is valid — we merge positionally).
+func (g *DAG) DecomposeForest() ([]Block, error) {
+	cls := g.Classify()
+	if !cls.IsForest() {
+		return nil, fmt.Errorf("dag: DecomposeForest on class %v", cls)
+	}
+	if cls == ClassIndependent {
+		b := make(Block, g.n)
+		for v := 0; v < g.n; v++ {
+			b[v] = Chain{v}
+		}
+		return []Block{b}, nil
+	}
+	rev := g.Reverse()
+	var all [][]Block // one ordered block list per component
+	for _, vs := range g.components() {
+		out := true
+		for _, v := range vs {
+			if len(g.preds[v]) > 1 {
+				out = false
+				break
+			}
+		}
+		if out {
+			all = append(all, heavyPathBlocks(g, vs, false))
+		} else {
+			// In-tree: decompose the reversed component (an out-tree),
+			// then flip chain direction and block order.
+			blocks := heavyPathBlocks(rev, vs, true)
+			all = append(all, blocks)
+		}
+	}
+	// Merge positionally: global block i is the union of every component's
+	// i-th block. Components are disjoint, so chains remain vertex-disjoint
+	// and precedence is preserved.
+	maxLen := 0
+	for _, bs := range all {
+		if len(bs) > maxLen {
+			maxLen = len(bs)
+		}
+	}
+	merged := make([]Block, maxLen)
+	for _, bs := range all {
+		for i, b := range bs {
+			merged[i] = append(merged[i], b...)
+		}
+	}
+	return merged, nil
+}
+
+// heavyPathBlocks decomposes one out-tree component (vertices vs of g, where
+// every vertex has at most one predecessor within the component) into blocks
+// of heavy paths grouped by light-depth. If flip is set, the graph g is the
+// reverse of the real precedence graph (an in-tree being processed as an
+// out-tree): chains are reversed and blocks are emitted deepest-first so that
+// real precedence still runs from earlier blocks to later ones.
+func heavyPathBlocks(g *DAG, vs []int, flip bool) []Block {
+	inComp := make(map[int]bool, len(vs))
+	for _, v := range vs {
+		inComp[v] = true
+	}
+	// Find the root: the unique vertex with no predecessor in the component.
+	root := -1
+	for _, v := range vs {
+		hasPred := false
+		for _, u := range g.preds[v] {
+			if inComp[u] {
+				hasPred = true
+				break
+			}
+		}
+		if !hasPred {
+			root = v
+			break
+		}
+	}
+	if root < 0 {
+		// Cannot happen for an acyclic component; guard anyway.
+		return nil
+	}
+	// Subtree sizes by iterative post-order.
+	size := make(map[int]int, len(vs))
+	type frame struct {
+		v    int
+		next int
+	}
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		ss := g.succs[f.v]
+		if f.next < len(ss) {
+			child := ss[f.next]
+			f.next++
+			if inComp[child] {
+				stack = append(stack, frame{child, 0})
+			}
+			continue
+		}
+		sz := 1
+		for _, c := range ss {
+			if inComp[c] {
+				sz += size[c]
+			}
+		}
+		size[f.v] = sz
+		stack = stack[:len(stack)-1]
+	}
+	// Walk heavy paths: a path head is the root or a vertex reached by a
+	// light edge; lightDepth(head) counts light edges from the root.
+	type headInfo struct {
+		v     int
+		depth int
+	}
+	heads := []headInfo{{root, 0}}
+	var blocks []Block
+	ensure := func(d int) {
+		for len(blocks) <= d {
+			blocks = append(blocks, nil)
+		}
+	}
+	for len(heads) > 0 {
+		h := heads[len(heads)-1]
+		heads = heads[:len(heads)-1]
+		var chain Chain
+		v := h.v
+		for {
+			chain = append(chain, v)
+			// Pick the heavy child; queue the light ones as new heads.
+			heavy, heavySize := -1, -1
+			for _, c := range g.succs[v] {
+				if inComp[c] && size[c] > heavySize {
+					heavy, heavySize = c, size[c]
+				}
+			}
+			for _, c := range g.succs[v] {
+				if inComp[c] && c != heavy {
+					heads = append(heads, headInfo{c, h.depth + 1})
+				}
+			}
+			if heavy < 0 {
+				break
+			}
+			v = heavy
+		}
+		if flip {
+			for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+				chain[i], chain[j] = chain[j], chain[i]
+			}
+		}
+		ensure(h.depth)
+		blocks[h.depth] = append(blocks[h.depth], chain)
+	}
+	if flip {
+		for i, j := 0, len(blocks)-1; i < j; i, j = i+1, j-1 {
+			blocks[i], blocks[j] = blocks[j], blocks[i]
+		}
+	}
+	return blocks
+}

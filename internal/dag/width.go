@@ -1,0 +1,35 @@
+package dag
+
+import "repro/internal/matching"
+
+// Width returns the width of the DAG: the size of its largest antichain
+// (set of mutually incomparable jobs). Width is the quantity Malewicz's
+// polynomial-time exact algorithm is parameterized by (the paper's
+// reference [12]: SUU is in P for constant machines and constant width),
+// and it bounds how many jobs can ever be eligible simultaneously —
+// which is what makes the exact DP tractable on narrow DAGs.
+//
+// By Dilworth's theorem the width equals the minimum number of chains
+// covering the DAG under the *transitive* order, computed as
+// n − maxmatching on the comparability bipartite graph. Quadratic memory
+// (transitive closure); intended for the small instances the exact DP
+// accepts.
+func (g *DAG) Width() (int, error) {
+	if g.n == 0 {
+		return 0, nil
+	}
+	reach, err := g.TransitiveClosure()
+	if err != nil {
+		return 0, err
+	}
+	b := matching.NewBipartite(g.n, g.n)
+	for u := 0; u < g.n; u++ {
+		for v := 0; v < g.n; v++ {
+			if reach[u][v] {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	_, size := b.MaxMatching()
+	return g.n - size, nil
+}

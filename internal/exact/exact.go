@@ -1,0 +1,202 @@
+// Package exact computes the true optimal expected makespan E[T_OPT] of
+// small SUU instances by dynamic programming over job subsets — the
+// approach Malewicz used for constant machines and constant dag width
+// (the paper's reference [12]). It provides ground truth for measuring
+// real approximation ratios in the F/exact experiment: LP bounds only
+// upper-bound the ratio, the DP pins it down.
+//
+// States are successor-closed sets S of uncompleted jobs (if j is
+// uncompleted, every successor of j is too). For a machine→eligible-job
+// action a, each eligible job j fails the step with probability
+// f_j(a) = Π_{i: a(i)=j} q_ij independently, so
+//
+//	E[S] = min_a ( 1 + Σ_{∅≠c⊆elig} P(c|a)·E[S∖c] ) / (1 − P(∅|a)),
+//
+// where P(c|a) is the probability that exactly the set c completes.
+// The recursion is exponential in n and |elig|^m in actions; Optimal
+// refuses instances whose estimated work exceeds a budget instead of
+// silently hanging.
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// workBudget caps the estimated number of inner-loop operations.
+const workBudget = 200_000_000
+
+// Optimal returns E[T_OPT] for the instance. It errors when the state or
+// action space is too large (keep n ≤ ~12 with few machines, or chains
+// with small width — a narrow DAG of 30 jobs is fine).
+func Optimal(ins *model.Instance) (float64, error) {
+	n, m := ins.N, ins.M
+	if n > 30 {
+		return 0, fmt.Errorf("exact: n = %d too large (max 30)", n)
+	}
+	// Successor masks for closure checks and eligibility.
+	succs := make([]uint32, n)
+	preds := make([]uint32, n)
+	if ins.Prec != nil {
+		for u := 0; u < n; u++ {
+			for _, v := range ins.Prec.Succs(u) {
+				succs[u] |= 1 << uint(v)
+				preds[v] |= 1 << uint(u)
+			}
+		}
+	}
+	full := uint32(1)<<uint(n) - 1
+
+	// Estimate work: closed states × actions × outcome subsets. The DAG
+	// width bounds every eligible set (no antichain is larger), and for
+	// chain-class instances the closed-state count is the product of
+	// (chain length + 1) rather than 2^n — a length-28 chain has width 1
+	// and only 29 states.
+	width, err := widthOf(ins)
+	if err != nil {
+		return 0, err
+	}
+	est := stateBound(ins) * math.Pow(float64(max(width, 1)), float64(m)) * math.Pow(2, float64(width))
+	if est > workBudget {
+		return 0, fmt.Errorf("exact: estimated work %.3g exceeds budget %d (n=%d m=%d width=%d)",
+			est, int64(workBudget), n, m, width)
+	}
+
+	memo := make(map[uint32]float64, 1<<uint(n))
+	memo[0] = 0
+	var solve func(s uint32) (float64, error)
+	solve = func(s uint32) (float64, error) {
+		if v, ok := memo[s]; ok {
+			return v, nil
+		}
+		elig := eligibleSet(s, preds)
+		if elig == 0 {
+			return 0, fmt.Errorf("exact: state %b has no eligible jobs", s)
+		}
+		var eligJobs []int
+		for j := 0; j < n; j++ {
+			if elig&(1<<uint(j)) != 0 {
+				eligJobs = append(eligJobs, j)
+			}
+		}
+		k := len(eligJobs)
+		// Enumerate machine→job assignments as base-k counters.
+		assign := make([]int, m)
+		fail := make([]float64, k)
+		best := math.Inf(1)
+		for {
+			for t := range fail {
+				fail[t] = 1
+			}
+			for i, ai := range assign {
+				fail[ai] *= ins.Q[i][eligJobs[ai]]
+			}
+			// Expected-time contribution of this action.
+			val, err := actionValue(s, eligJobs, fail, solve)
+			if err != nil {
+				return 0, err
+			}
+			if val < best {
+				best = val
+			}
+			// Next assignment.
+			i := 0
+			for ; i < m; i++ {
+				assign[i]++
+				if assign[i] < k {
+					break
+				}
+				assign[i] = 0
+			}
+			if i == m {
+				break
+			}
+		}
+		memo[s] = best
+		return best, nil
+	}
+	return solve(full)
+}
+
+// actionValue computes (1 + Σ_{c≠∅} P(c)·E[S∖c]) / (1 − P(∅)) for the
+// action with per-eligible-job failure probabilities fail. Returns +Inf
+// when the action makes no progress (all fail probabilities 1).
+func actionValue(s uint32, eligJobs []int, fail []float64, solve func(uint32) (float64, error)) (float64, error) {
+	k := len(eligJobs)
+	pStay := 1.0
+	for _, f := range fail {
+		pStay *= f
+	}
+	if pStay >= 1-1e-15 {
+		return math.Inf(1), nil
+	}
+	num := 1.0
+	// Iterate completing subsets c over the eligible jobs.
+	for c := uint32(1); c < 1<<uint(k); c++ {
+		p := 1.0
+		t := s
+		for bit := 0; bit < k; bit++ {
+			if c&(1<<uint(bit)) != 0 {
+				p *= 1 - fail[bit]
+				t &^= 1 << uint(eligJobs[bit])
+			} else {
+				p *= fail[bit]
+			}
+		}
+		if p == 0 {
+			continue
+		}
+		sub, err := solve(t)
+		if err != nil {
+			return 0, err
+		}
+		num += p * sub
+	}
+	return num / (1 - pStay), nil
+}
+
+// widthOf returns the precedence width (n for independent jobs).
+func widthOf(ins *model.Instance) (int, error) {
+	if ins.Prec == nil {
+		return ins.N, nil
+	}
+	return ins.Prec.Width()
+}
+
+// stateBound bounds the number of successor-closed remaining-job sets.
+// For chain-class precedence the closed sets factor per chain (a closed
+// set keeps a suffix of each chain), giving Π(len+1); otherwise 2^n.
+func stateBound(ins *model.Instance) float64 {
+	if chains, err := ins.Chains(); err == nil {
+		prod := 1.0
+		for _, c := range chains {
+			prod *= float64(len(c) + 1)
+			if prod > 1e18 {
+				return prod
+			}
+		}
+		return prod
+	}
+	return math.Pow(2, float64(ins.N))
+}
+
+// eligibleSet returns the jobs of s whose predecessors are all outside s.
+func eligibleSet(s uint32, preds []uint32) uint32 {
+	var e uint32
+	for j := range preds {
+		bit := uint32(1) << uint(j)
+		if s&bit != 0 && preds[j]&s == 0 {
+			e |= bit
+		}
+	}
+	return e
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

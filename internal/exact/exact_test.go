@@ -1,0 +1,187 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func mustNew(t *testing.T, m, n int, q [][]float64, g *dag.DAG) *model.Instance {
+	t.Helper()
+	ins, err := model.New(m, n, q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func TestSingleJobSingleMachine(t *testing.T) {
+	// Geometric: E[T] = 1/(1-q).
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		ins := mustNew(t, 1, 1, [][]float64{{q}}, nil)
+		got, err := Optimal(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / (1 - q)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("q=%g: got %g, want %g", q, got, want)
+		}
+	}
+}
+
+func TestSingleJobManyMachines(t *testing.T) {
+	// Optimal assigns all machines: E[T] = 1/(1-q1·q2·q3).
+	ins := mustNew(t, 3, 1, [][]float64{{0.9}, {0.8}, {0.7}}, nil)
+	got, err := Optimal(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (1 - 0.9*0.8*0.7)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %g, want %g", got, want)
+	}
+}
+
+func TestTwoJobsOneMachine(t *testing.T) {
+	// One machine, two identical jobs: E = 2/(1-q) (work them in either
+	// order; switching gains nothing).
+	const q = 0.6
+	ins := mustNew(t, 1, 2, [][]float64{{q, q}}, nil)
+	got, err := Optimal(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 / (1 - q)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %g, want %g", got, want)
+	}
+}
+
+func TestChainAdditivity(t *testing.T) {
+	// Chain j0 -> j1, one machine: expectations add.
+	g := dag.New(2)
+	g.MustEdge(0, 1)
+	ins := mustNew(t, 1, 2, [][]float64{{0.5, 0.25}}, g)
+	got, err := Optimal(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1/(1-0.5) + 1/(1-0.25)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %g, want %g", got, want)
+	}
+}
+
+func TestTwoJobsTwoMachinesSymmetric(t *testing.T) {
+	// Two machines, two jobs, all q identical. Working distinct jobs
+	// dominates doubling on one. Let p = 1-q; from state {0,1}:
+	// E2 = 1 + q²E2 + 2pq·E1, E1 = 1/(1-q²).
+	const q = 0.5
+	ins := mustNew(t, 2, 2, [][]float64{{q, q}, {q, q}}, nil)
+	got, err := Optimal(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := 1 / (1 - q*q)
+	e2 := (1 + 2*(1-q)*q*e1) / (1 - q*q)
+	if math.Abs(got-e2) > 1e-9 {
+		t.Fatalf("got %g, want %g", got, e2)
+	}
+	if got >= 2/(1-q) {
+		t.Fatalf("parallel optimum %g should beat sequential %g", got, 2/(1-q))
+	}
+}
+
+// TestDPLowerBoundsSimulatedPolicies: no policy can beat the DP optimum.
+func TestDPLowerBoundsSimulatedPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := make([][]float64, 2)
+	for i := range q {
+		q[i] = make([]float64, 4)
+		for j := range q[i] {
+			q[i][j] = 0.2 + 0.6*rng.Float64()
+		}
+	}
+	ins := mustNew(t, 2, 4, q, nil)
+	opt, err := Optimal(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.MonteCarlo(ins, trivialPolicy{}, 20000, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow 3 standard errors of slack.
+	if res.Summary.Mean < opt-3*res.Summary.Sem {
+		t.Fatalf("simulated policy mean %.4f beats DP optimum %.4f", res.Summary.Mean, opt)
+	}
+}
+
+type trivialPolicy struct{}
+
+func (trivialPolicy) Name() string { return "solo-sequential" }
+func (trivialPolicy) Run(w *sim.World) error {
+	for !w.AllDone() {
+		for _, j := range w.EligibleJobs() {
+			if _, err := w.SoloAll(j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func TestOptimalRefusesHugeInstances(t *testing.T) {
+	q := make([][]float64, 1)
+	q[0] = make([]float64, 25)
+	for j := range q[0] {
+		q[0][j] = 0.5
+	}
+	ins := mustNew(t, 1, 25, q, nil)
+	if _, err := Optimal(ins); err == nil {
+		t.Fatal("n=25 must be refused")
+	}
+	// Wide instance with many machines: action space blows up.
+	q2 := make([][]float64, 6)
+	for i := range q2 {
+		q2[i] = make([]float64, 14)
+		for j := range q2[i] {
+			q2[i][j] = 0.5
+		}
+	}
+	ins2 := mustNew(t, 6, 14, q2, nil)
+	if _, err := Optimal(ins2); err == nil {
+		t.Fatal("14 jobs × 6 machines must be refused")
+	}
+}
+
+func TestDeepChainIsCheap(t *testing.T) {
+	// A chain has width 1: eligible sets stay tiny, so a long chain is
+	// fine despite 2^n states... the closed sets of a chain are only n+1.
+	n := 18
+	g := dag.New(n)
+	q := make([][]float64, 2)
+	for i := range q {
+		q[i] = make([]float64, n)
+		for j := range q[i] {
+			q[i][j] = 0.5
+		}
+	}
+	for j := 0; j+1 < n; j++ {
+		g.MustEdge(j, j+1)
+	}
+	ins := mustNew(t, 2, n, q, g)
+	got, err := Optimal(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n) / (1 - 0.25)
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("got %g, want %g", got, want)
+	}
+}

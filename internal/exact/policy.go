@@ -1,0 +1,136 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Policy plays the exact optimal adaptive strategy computed by the subset
+// DP: at every step it looks up the remaining-jobs state and applies the
+// machine→job assignment that minimizes the expected remaining makespan.
+// It implements sim.Policy, so the optimum can be *simulated* and compared
+// against Optimal's closed-form expectation — a strong end-to-end check of
+// both the DP and the simulator.
+type Policy struct {
+	ins    *model.Instance
+	action map[uint32][]int // state -> assignment (per machine, job id)
+	value  float64
+}
+
+// OptimalPolicy computes the optimal adaptive policy. Costs are identical
+// to Optimal (exponential in n); the same work-budget guard applies.
+func OptimalPolicy(ins *model.Instance) (*Policy, error) {
+	n, m := ins.N, ins.M
+	if n > 30 {
+		return nil, fmt.Errorf("exact: n = %d too large (max 30)", n)
+	}
+	preds := make([]uint32, n)
+	if ins.Prec != nil {
+		for u := 0; u < n; u++ {
+			for _, v := range ins.Prec.Succs(u) {
+				preds[v] |= 1 << uint(u)
+			}
+		}
+	}
+	full := uint32(1)<<uint(n) - 1
+	width, err := widthOf(ins)
+	if err != nil {
+		return nil, err
+	}
+	est := stateBound(ins) * math.Pow(float64(max(width, 1)), float64(m)) * math.Pow(2, float64(width))
+	if est > workBudget {
+		return nil, fmt.Errorf("exact: estimated work %.3g exceeds budget %d", est, int64(workBudget))
+	}
+
+	p := &Policy{ins: ins, action: make(map[uint32][]int)}
+	memo := map[uint32]float64{0: 0}
+	var solve func(s uint32) (float64, error)
+	solve = func(s uint32) (float64, error) {
+		if v, ok := memo[s]; ok {
+			return v, nil
+		}
+		elig := eligibleSet(s, preds)
+		if elig == 0 {
+			return 0, fmt.Errorf("exact: state %b has no eligible jobs", s)
+		}
+		var eligJobs []int
+		for j := 0; j < n; j++ {
+			if elig&(1<<uint(j)) != 0 {
+				eligJobs = append(eligJobs, j)
+			}
+		}
+		k := len(eligJobs)
+		assign := make([]int, m)
+		fail := make([]float64, k)
+		best := math.Inf(1)
+		bestAssign := make([]int, m)
+		for {
+			for t := range fail {
+				fail[t] = 1
+			}
+			for i, ai := range assign {
+				fail[ai] *= ins.Q[i][eligJobs[ai]]
+			}
+			val, err := actionValue(s, eligJobs, fail, solve)
+			if err != nil {
+				return 0, err
+			}
+			if val < best {
+				best = val
+				for i, ai := range assign {
+					bestAssign[i] = eligJobs[ai]
+				}
+			}
+			i := 0
+			for ; i < m; i++ {
+				assign[i]++
+				if assign[i] < k {
+					break
+				}
+				assign[i] = 0
+			}
+			if i == m {
+				break
+			}
+		}
+		memo[s] = best
+		p.action[s] = append([]int(nil), bestAssign...)
+		return best, nil
+	}
+	v, err := solve(full)
+	if err != nil {
+		return nil, err
+	}
+	p.value = v
+	return p, nil
+}
+
+// Value returns E[T_OPT], the policy's expected makespan.
+func (p *Policy) Value() float64 { return p.value }
+
+// Name implements sim.Policy.
+func (p *Policy) Name() string { return "exact-optimal" }
+
+// Run implements sim.Policy by replaying the precomputed optimal actions.
+func (p *Policy) Run(w *sim.World) error {
+	if w.Instance() != p.ins {
+		return fmt.Errorf("exact: policy bound to a different instance")
+	}
+	for !w.AllDone() {
+		var state uint32
+		for _, j := range w.Remaining() {
+			state |= 1 << uint(j)
+		}
+		assign, ok := p.action[state]
+		if !ok {
+			return fmt.Errorf("exact: unreachable state %b", state)
+		}
+		if _, err := w.Step(assign); err != nil {
+			return err
+		}
+	}
+	return nil
+}

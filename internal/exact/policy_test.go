@@ -1,0 +1,140 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// TestSimulatedOptimalMatchesDPValue is the strongest cross-check in the
+// repository: simulating the DP-optimal policy must reproduce the DP's
+// closed-form expected makespan, in BOTH simulators (threshold SUU* and
+// coin-flip SUU). A pass ties together the DP, the Theorem 10
+// equivalence, and the step engine.
+func TestSimulatedOptimalMatchesDPValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := make([][]float64, 2)
+	for i := range q {
+		q[i] = make([]float64, 5)
+		for j := range q[i] {
+			q[i][j] = 0.2 + 0.6*rng.Float64()
+		}
+	}
+	ins, err := model.New(2, 5, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := OptimalPolicy(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 60000
+	res, err := sim.MonteCarlo(ins, p, trials, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Summary.Mean-p.Value()) > 4*res.Summary.Sem+0.01 {
+		t.Fatalf("threshold sim mean %.4f vs DP value %.4f (sem %.4f)",
+			res.Summary.Mean, p.Value(), res.Summary.Sem)
+	}
+	resCoin, err := sim.MonteCarloCoin(ins, p, trials, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resCoin.Summary.Mean-p.Value()) > 4*resCoin.Summary.Sem+0.01 {
+		t.Fatalf("coin sim mean %.4f vs DP value %.4f (sem %.4f)",
+			resCoin.Summary.Mean, p.Value(), resCoin.Summary.Sem)
+	}
+}
+
+func TestOptimalPolicyValueMatchesOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(4)
+		q := make([][]float64, 2)
+		for i := range q {
+			q[i] = make([]float64, n)
+			for j := range q[i] {
+				q[i][j] = 0.1 + 0.8*rng.Float64()
+			}
+		}
+		ins, err := model.New(2, n, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Optimal(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := OptimalPolicy(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Value()-want) > 1e-9 {
+			t.Fatalf("trial %d: policy value %g != Optimal %g", trial, p.Value(), want)
+		}
+	}
+}
+
+func TestOptimalPolicyWrongInstance(t *testing.T) {
+	a, err := model.New(1, 2, [][]float64{{0.5, 0.5}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := model.New(1, 2, [][]float64{{0.5, 0.5}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := OptimalPolicy(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sim.NewWorld(b, rand.New(rand.NewSource(1)))
+	if err := p.Run(w); err == nil {
+		t.Fatal("running on a different instance must error")
+	}
+}
+
+func TestOptimalPolicyRefusesHuge(t *testing.T) {
+	q := make([][]float64, 4)
+	for i := range q {
+		q[i] = make([]float64, 16)
+		for j := range q[i] {
+			q[i][j] = 0.5
+		}
+	}
+	ins, err := model.New(4, 16, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OptimalPolicy(ins); err == nil {
+		t.Fatal("16 jobs × 4 machines must be refused")
+	}
+}
+
+// TestOptimalBeatsHeuristics: on a specialist instance the optimal policy
+// must (weakly) beat any policy; check against the trivial one.
+func TestOptimalBeatsHeuristics(t *testing.T) {
+	q := [][]float64{
+		{0.1, 0.9, 0.9},
+		{0.9, 0.1, 0.9},
+	}
+	ins, err := model.New(2, 3, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := OptimalPolicy(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.MonteCarlo(ins, trivialPolicy{}, 30000, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Value() > res.Summary.Mean+3*res.Summary.Sem {
+		t.Fatalf("optimal %.4f worse than trivial policy %.4f", p.Value(), res.Summary.Mean)
+	}
+}

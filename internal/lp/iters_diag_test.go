@@ -1,0 +1,71 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestIterationDiagnostics tracks simplex pivot counts on LP1-shaped
+// programs, including the degenerate rank-1 "skill" structure
+// (ℓ_ij = p_i/h_j) that historically triggered Bland stalls.
+func TestIterationDiagnostics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	build := func(n, m int, skill bool) *Problem {
+		p := NewProblem(m*n + 1)
+		p.C[m*n] = 1
+		pow := make([]float64, m)
+		hard := make([]float64, n)
+		for i := range pow {
+			pow[i] = math.Pow(2, rng.Float64()*4-2)
+		}
+		for j := range hard {
+			hard[j] = math.Pow(2, rng.Float64()*4-1)
+		}
+		for j := 0; j < n; j++ {
+			var terms []Term
+			for i := 0; i < m; i++ {
+				rate := 0.05 + rng.Float64()
+				if skill {
+					rate = math.Min(pow[i]/hard[j], 0.5)
+				}
+				terms = append(terms, Term{i*n + j, rate})
+			}
+			p.AddConstraint(terms, GE, 0.5)
+		}
+		for i := 0; i < m; i++ {
+			terms := make([]Term, 0, n+1)
+			for j := 0; j < n; j++ {
+				terms = append(terms, Term{i*n + j, 1})
+			}
+			terms = append(terms, Term{m * n, -1})
+			p.AddConstraint(terms, LE, 0)
+		}
+		return p
+	}
+	for _, c := range []struct {
+		n, m  int
+		skill bool
+	}{
+		{64, 16, false}, {128, 32, false}, {64, 16, true}, {128, 32, true}, {192, 16, true},
+	} {
+		p := build(c.n, c.m, c.skill)
+		start := time.Now()
+		s, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status != Optimal {
+			t.Fatalf("status %v", s.Status)
+		}
+		if r := p.Residual(s.X); r > 1e-6 {
+			t.Fatalf("residual %g", r)
+		}
+		t.Logf("n=%d m=%d skill=%v: %d iters in %v, obj %.3f",
+			c.n, c.m, c.skill, s.Iters, time.Since(start).Round(time.Millisecond), s.Obj)
+		if s.Iters > 1500+40*(c.n+c.m) {
+			t.Errorf("n=%d m=%d skill=%v: %d iterations is pathological", c.n, c.m, c.skill, s.Iters)
+		}
+	}
+}

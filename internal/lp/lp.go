@@ -1,0 +1,472 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  A x {≤,=,≥} b,   x ≥ 0.
+//
+// It is the LP engine behind the paper's relaxations (LP1) and (LP2)
+// (Sections 3 and 4): those programs have a few thousand variables and a few
+// hundred to a couple thousand constraints, well within reach of a careful
+// dense implementation. The solver uses Dantzig pricing with a ratio-test
+// tie-break on basis index, and falls back to Bland's rule when it detects
+// stalling, which guarantees termination.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota // Σ a_i x_i ≤ b
+	GE           // Σ a_i x_i ≥ b
+	EQ           // Σ a_i x_i = b
+)
+
+// String returns the relation symbol.
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Term is one coefficient of a sparse constraint row.
+type Term struct {
+	Var  int     // variable index
+	Coef float64 // coefficient
+}
+
+// Constraint is one sparse row a·x {≤,=,≥} b.
+type Constraint struct {
+	Terms []Term
+	Op    Op
+	B     float64
+}
+
+// Problem is a linear program over NumVars nonnegative variables.
+type Problem struct {
+	NumVars int
+	C       []float64 // minimization objective, length NumVars
+	Cons    []Constraint
+}
+
+// NewProblem returns an empty minimization problem on n variables.
+func NewProblem(n int) *Problem {
+	return &Problem{NumVars: n, C: make([]float64, n)}
+}
+
+// AddConstraint appends a sparse constraint row.
+func (p *Problem) AddConstraint(terms []Term, op Op, b float64) {
+	p.Cons = append(p.Cons, Constraint{Terms: terms, Op: op, B: b})
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String returns a human-readable status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	X      []float64 // values of the original variables (Optimal only)
+	Obj    float64   // objective value (Optimal only)
+	Iters  int       // simplex pivots across both phases (diagnostics)
+}
+
+// ErrIterationLimit is returned if the simplex exceeds its iteration budget,
+// which indicates a numerical pathology rather than a legitimate answer.
+var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
+
+const (
+	eps      = 1e-9 // pivot / feasibility tolerance
+	costEps  = 1e-9 // reduced-cost optimality tolerance
+	cleanEps = 1e-9 // solution cleanup threshold
+)
+
+// tableau is the dense simplex state.
+type tableau struct {
+	rows  int
+	cols  int // total columns excluding RHS
+	a     [][]float64
+	b     []float64
+	basis []int
+	// cost row (reduced costs) and its RHS (negated objective value)
+	cost    []float64
+	costRHS float64
+	banned  []bool // columns barred from entering (artificials in phase 2)
+	iters   int    // pivots performed
+}
+
+// Solve solves the problem. The error is non-nil only for internal failures
+// (iteration limit); infeasible/unbounded outcomes are reported via Status.
+func Solve(p *Problem) (*Solution, error) {
+	if len(p.C) != p.NumVars {
+		return nil, fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.C), p.NumVars)
+	}
+	m := len(p.Cons)
+	n := p.NumVars
+
+	// Count auxiliary columns. Rows are normalized to b ≥ 0 first, which
+	// flips LE<->GE, so count after normalization.
+	type rowInfo struct {
+		terms []Term
+		op    Op
+		b     float64
+	}
+	rows := make([]rowInfo, m)
+	slacks, artificials := 0, 0
+	for i, c := range p.Cons {
+		ri := rowInfo{terms: c.Terms, op: c.Op, b: c.B}
+		if ri.b < 0 {
+			// Negate the row.
+			neg := make([]Term, len(ri.terms))
+			for k, t := range ri.terms {
+				neg[k] = Term{t.Var, -t.Coef}
+			}
+			ri.terms = neg
+			ri.b = -ri.b
+			switch ri.op {
+			case LE:
+				ri.op = GE
+			case GE:
+				ri.op = LE
+			}
+		}
+		switch ri.op {
+		case LE:
+			slacks++
+		case GE:
+			slacks++ // surplus
+			artificials++
+		case EQ:
+			artificials++
+		}
+		rows[i] = ri
+	}
+
+	cols := n + slacks + artificials
+	t := &tableau{
+		rows:   m,
+		cols:   cols,
+		a:      make([][]float64, m),
+		b:      make([]float64, m),
+		basis:  make([]int, m),
+		cost:   make([]float64, cols),
+		banned: make([]bool, cols),
+	}
+	for i := range t.a {
+		t.a[i] = make([]float64, cols)
+	}
+	artStart := n + slacks
+	slackIdx, artIdx := n, artStart
+	for i, ri := range rows {
+		row := t.a[i]
+		for _, term := range ri.terms {
+			if term.Var < 0 || term.Var >= n {
+				return nil, fmt.Errorf("lp: constraint %d references variable %d (have %d)", i, term.Var, n)
+			}
+			row[term.Var] += term.Coef
+		}
+		t.b[i] = ri.b
+		switch ri.op {
+		case LE:
+			row[slackIdx] = 1
+			t.basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1
+			slackIdx++
+			row[artIdx] = 1
+			t.basis[i] = artIdx
+			artIdx++
+		case EQ:
+			row[artIdx] = 1
+			t.basis[i] = artIdx
+			artIdx++
+		}
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if artificials > 0 {
+		for j := artStart; j < cols; j++ {
+			t.cost[j] = 1
+		}
+		t.costRHS = 0
+		for i := range t.a {
+			if t.basis[i] >= artStart {
+				subRow(t.cost, t.a[i], 1)
+				t.costRHS -= t.b[i]
+			}
+		}
+		if err := t.iterate(); err != nil {
+			return nil, err
+		}
+		if -t.costRHS > 1e-7*(1+math.Abs(t.costRHS)) && -t.costRHS > 1e-7 {
+			return &Solution{Status: Infeasible, Iters: t.iters}, nil
+		}
+		// Drive any remaining artificials out of the basis.
+		for i := 0; i < t.rows; i++ {
+			if t.basis[i] < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(t.a[i][j]) > 1e-7 {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: the artificial stays basic at value 0.
+				t.b[i] = 0
+			}
+		}
+		for j := artStart; j < cols; j++ {
+			t.banned[j] = true
+		}
+	}
+
+	// Phase 2: original objective.
+	for j := range t.cost {
+		t.cost[j] = 0
+	}
+	copy(t.cost, p.C)
+	t.costRHS = 0
+	for i := range t.a {
+		cb := 0.0
+		if t.basis[i] < n {
+			cb = p.C[t.basis[i]]
+		}
+		if cb != 0 {
+			subRow(t.cost, t.a[i], cb)
+			t.costRHS -= cb * t.b[i]
+		}
+	}
+	switch err := t.iterate(); {
+	case err == errUnbounded:
+		return &Solution{Status: Unbounded, Iters: t.iters}, nil
+	case err != nil:
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i, bi := range t.basis {
+		if bi < n {
+			v := t.b[i]
+			if v < 0 && v > -cleanEps {
+				v = 0
+			}
+			x[bi] = v
+		}
+	}
+	obj := 0.0
+	for j, cj := range p.C {
+		obj += cj * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: obj, Iters: t.iters}, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// pricing rules, escalating with degeneracy.
+const (
+	priceDantzig = iota // most negative reduced cost
+	priceRandom         // uniform among negative columns (stall escape)
+	priceBland          // first negative column (cannot cycle)
+)
+
+// iterate runs primal simplex pivots until optimality, unboundedness, or
+// the iteration budget is exhausted. Dantzig pricing runs while the
+// objective improves. Degenerate stalls — endemic to the rank-1 "skill"
+// instances, whose ratio tests tie massively — switch to randomized
+// pricing, which escapes degenerate vertices in a handful of pivots with
+// high probability; if even that stalls, Bland's rule is the guaranteed
+// backstop. Any strict improvement resets to Dantzig, so no basis can
+// repeat across resets.
+func (t *tableau) iterate() error {
+	maxIter := 5000 + 60*(t.rows+t.cols)
+	mode := priceDantzig
+	stall := 0
+	rng := rand.New(rand.NewSource(int64(t.rows)*1e6 + int64(t.cols)))
+	lastObj := math.Inf(1)
+	for iter := 0; iter < maxIter; iter++ {
+		col := t.chooseColumn(mode, rng)
+		if col < 0 {
+			return nil // optimal
+		}
+		row := t.chooseRow(col)
+		if row < 0 {
+			return errUnbounded
+		}
+		t.pivot(row, col)
+		obj := -t.costRHS
+		switch {
+		case obj < lastObj-1e-12*(1+math.Abs(lastObj)):
+			lastObj = obj
+			stall = 0
+			mode = priceDantzig
+		default:
+			stall++
+			switch {
+			case stall > 4*t.rows+1000:
+				mode = priceBland
+			case stall > t.rows/2+40:
+				mode = priceRandom
+			}
+		}
+	}
+	return ErrIterationLimit
+}
+
+// chooseColumn picks the entering column under the given pricing rule.
+// Returns -1 at optimality.
+func (t *tableau) chooseColumn(mode int, rng *rand.Rand) int {
+	best, bestVal := -1, -costEps
+	seen := 0
+	for j := 0; j < t.cols; j++ {
+		if t.banned[j] {
+			continue
+		}
+		c := t.cost[j]
+		if c >= -costEps {
+			continue
+		}
+		switch mode {
+		case priceBland:
+			return j
+		case priceRandom:
+			// Reservoir-sample one negative column uniformly.
+			seen++
+			if rng.Intn(seen) == 0 {
+				best = j
+			}
+		default:
+			if c < bestVal {
+				best, bestVal = j, c
+			}
+		}
+	}
+	return best
+}
+
+// chooseRow performs the ratio test for entering column c, breaking ties by
+// the smallest basis index (a cheap anti-cycling heuristic). Returns -1 if
+// the column is unbounded.
+func (t *tableau) chooseRow(c int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.rows; i++ {
+		aic := t.a[i][c]
+		if aic <= eps {
+			continue
+		}
+		r := t.b[i] / aic
+		if r < bestRatio-eps || (r < bestRatio+eps && (best < 0 || t.basis[i] < t.basis[best])) {
+			best, bestRatio = i, r
+		}
+	}
+	return best
+}
+
+// pivot makes column c basic in row r.
+func (t *tableau) pivot(r, c int) {
+	pr := t.a[r]
+	inv := 1 / pr[c]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[c] = 1 // kill roundoff
+	t.b[r] *= inv
+	for i := 0; i < t.rows; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][c]
+		if f == 0 {
+			continue
+		}
+		subRow(t.a[i], pr, f)
+		t.a[i][c] = 0
+		t.b[i] -= f * t.b[r]
+		if t.b[i] < 0 && t.b[i] > -cleanEps {
+			t.b[i] = 0
+		}
+	}
+	if f := t.cost[c]; f != 0 {
+		subRow(t.cost, pr, f)
+		t.cost[c] = 0
+		t.costRHS -= f * t.b[r]
+	}
+	t.basis[r] = c
+	t.iters++
+}
+
+// subRow computes dst -= f*src over the full row. It is the hot loop of the
+// solver; keeping it straight-line lets the compiler eliminate bounds checks.
+func subRow(dst, src []float64, f float64) {
+	_ = dst[len(src)-1]
+	for j := range src {
+		dst[j] -= f * src[j]
+	}
+}
+
+// Residual reports the worst constraint violation of x (positive means
+// infeasible by that amount) and is used by tests and defensive checks.
+func (p *Problem) Residual(x []float64) float64 {
+	worst := 0.0
+	for _, c := range p.Cons {
+		lhs := 0.0
+		for _, t := range c.Terms {
+			lhs += t.Coef * x[t.Var]
+		}
+		var v float64
+		switch c.Op {
+		case LE:
+			v = lhs - c.B
+		case GE:
+			v = c.B - lhs
+		case EQ:
+			v = math.Abs(lhs - c.B)
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	for _, xi := range x {
+		if -xi > worst {
+			worst = -xi
+		}
+	}
+	return worst
+}

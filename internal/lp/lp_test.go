@@ -1,0 +1,390 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOrDie(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestSimpleLP(t *testing.T) {
+	// min -x - 2y s.t. x + y <= 4, x <= 2, y <= 3  =>  x=1? no:
+	// optimum at (1,3): obj -7.
+	p := NewProblem(2)
+	p.C = []float64{-1, -2}
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 4)
+	p.AddConstraint([]Term{{0, 1}}, LE, 2)
+	p.AddConstraint([]Term{{1, 1}}, LE, 3)
+	s := solveOrDie(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.Obj-(-7)) > 1e-6 {
+		t.Fatalf("obj = %g, want -7", s.Obj)
+	}
+	if math.Abs(s.X[0]-1) > 1e-6 || math.Abs(s.X[1]-3) > 1e-6 {
+		t.Fatalf("x = %v, want (1,3)", s.X)
+	}
+}
+
+func TestGEAndEQ(t *testing.T) {
+	// min x + y s.t. x + 2y >= 4, x = 1  => y = 1.5, obj 2.5
+	p := NewProblem(2)
+	p.C = []float64{1, 1}
+	p.AddConstraint([]Term{{0, 1}, {1, 2}}, GE, 4)
+	p.AddConstraint([]Term{{0, 1}}, EQ, 1)
+	s := solveOrDie(t, p)
+	if s.Status != Optimal || math.Abs(s.Obj-2.5) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 2.5", s.Status, s.Obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.C = []float64{1}
+	p.AddConstraint([]Term{{0, 1}}, LE, 1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 2)
+	s := solveOrDie(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.C = []float64{-1, 0}
+	p.AddConstraint([]Term{{1, 1}}, LE, 5)
+	s := solveOrDie(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3)
+	p := NewProblem(1)
+	p.C = []float64{1}
+	p.AddConstraint([]Term{{0, -1}}, LE, -3)
+	s := solveOrDie(t, p)
+	if s.Status != Optimal || math.Abs(s.Obj-3) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 3", s.Status, s.Obj)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Classic degenerate LP; must terminate and find optimum.
+	p := NewProblem(4)
+	p.C = []float64{-0.75, 150, -0.02, 6}
+	p.AddConstraint([]Term{{0, 0.25}, {1, -60}, {2, -0.04}, {3, 9}}, LE, 0)
+	p.AddConstraint([]Term{{0, 0.5}, {1, -90}, {2, -0.02}, {3, 3}}, LE, 0)
+	p.AddConstraint([]Term{{2, 1}}, LE, 1)
+	s := solveOrDie(t, p)
+	if s.Status != Optimal || math.Abs(s.Obj-(-0.05)) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal -0.05", s.Status, s.Obj)
+	}
+}
+
+func TestEqualityOnly(t *testing.T) {
+	// min x+y+z s.t. x+y = 2, y+z = 2: optimum y=2, obj 2.
+	p := NewProblem(3)
+	p.C = []float64{1, 1, 1}
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 2)
+	p.AddConstraint([]Term{{1, 1}, {2, 1}}, EQ, 2)
+	s := solveOrDie(t, p)
+	if s.Status != Optimal || math.Abs(s.Obj-2) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 2", s.Status, s.Obj)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	p := NewProblem(2)
+	p.C = []float64{1, 1}
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, GE, 2)
+	p.AddConstraint([]Term{{0, 2}, {1, 2}}, GE, 4) // same halfspace
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 2) // forces tightness
+	s := solveOrDie(t, p)
+	if s.Status != Optimal || math.Abs(s.Obj-2) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 2", s.Status, s.Obj)
+	}
+}
+
+func TestResidual(t *testing.T) {
+	p := NewProblem(2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 0.5)
+	if r := p.Residual([]float64{0.5, 0.5}); r > 1e-12 {
+		t.Fatalf("feasible point has residual %g", r)
+	}
+	if r := p.Residual([]float64{0.25, 0.5}); math.Abs(r-0.25) > 1e-12 {
+		t.Fatalf("residual = %g, want 0.25", r)
+	}
+	// x0 = -1 violates x0 >= 0.5 by 1.5 (worse than the negativity violation of 1).
+	if r := p.Residual([]float64{-1, 3}); math.Abs(r-1.5) > 1e-9 {
+		t.Fatalf("worst residual = %g, want 1.5", r)
+	}
+	// With only the LE row, negativity dominates.
+	p2 := NewProblem(1)
+	p2.AddConstraint([]Term{{0, 1}}, LE, 5)
+	if r := p2.Residual([]float64{-1}); math.Abs(r-1) > 1e-9 {
+		t.Fatalf("negativity residual = %g, want 1", r)
+	}
+}
+
+// bruteForce solves a tiny LP by vertex enumeration: every vertex of the
+// feasible polytope is the intersection of nvars tight constraints drawn
+// from the rows plus the axes x_i = 0.
+func bruteForce(p *Problem) (float64, bool) {
+	n := p.NumVars
+	// Build the full halfspace list: rows then axes.
+	type hs struct {
+		a []float64
+		b float64
+	}
+	var planes []hs
+	for _, c := range p.Cons {
+		a := make([]float64, n)
+		for _, t := range c.Terms {
+			a[t.Var] += t.Coef
+		}
+		planes = append(planes, hs{a, c.B})
+	}
+	for i := 0; i < n; i++ {
+		a := make([]float64, n)
+		a[i] = 1
+		planes = append(planes, hs{a, 0})
+	}
+	feasible := func(x []float64) bool {
+		for i := range x {
+			if x[i] < -1e-7 {
+				return false
+			}
+		}
+		return p.Residual(x) < 1e-7
+	}
+	best, found := math.Inf(1), false
+	idx := make([]int, n)
+	var rec func(k, from int)
+	rec = func(k, from int) {
+		if k == n {
+			// Solve the k tight equations by Gaussian elimination.
+			a := make([][]float64, n)
+			b := make([]float64, n)
+			for r, pi := range idx {
+				a[r] = append([]float64(nil), planes[pi].a...)
+				b[r] = planes[pi].b
+			}
+			x, ok := gauss(a, b)
+			if !ok || !feasible(x) {
+				return
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.C[j] * x[j]
+			}
+			if obj < best {
+				best, found = obj, true
+			}
+			return
+		}
+		for i := from; i < len(planes); i++ {
+			idx[k] = i
+			rec(k+1, i+1)
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+func gauss(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		piv, pv := -1, 1e-9
+		for r := col; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > pv {
+				piv, pv = r, v
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for j := col; j < n; j++ {
+			a[col][j] *= inv
+		}
+		b[col] *= inv
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := col; j < n; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	return b, true
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(2) // 2 or 3 vars
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.C[j] = math.Round(rng.Float64()*10) - 3 // mostly positive
+		}
+		// Bound the feasible region so the LP can't be unbounded:
+		// sum x_i <= 10.
+		sum := make([]Term, n)
+		for j := 0; j < n; j++ {
+			sum[j] = Term{j, 1}
+		}
+		p.AddConstraint(sum, LE, 10)
+		nc := 1 + rng.Intn(4)
+		for k := 0; k < nc; k++ {
+			var terms []Term
+			for j := 0; j < n; j++ {
+				c := math.Round(rng.Float64()*8) - 4
+				if c != 0 {
+					terms = append(terms, Term{j, c})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			op := LE
+			if rng.Intn(2) == 0 {
+				op = GE
+			}
+			p.AddConstraint(terms, op, math.Round(rng.Float64()*10)-2)
+		}
+		s, err := Solve(p)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want, found := bruteForce(p)
+		if !found {
+			return s.Status == Infeasible
+		}
+		if s.Status != Optimal {
+			t.Logf("seed %d: simplex says %v, brute force found obj %g", seed, s.Status, want)
+			return false
+		}
+		if math.Abs(s.Obj-want) > 1e-5*(1+math.Abs(want)) {
+			t.Logf("seed %d: simplex obj %g, brute force %g", seed, s.Obj, want)
+			return false
+		}
+		if r := p.Residual(s.X); r > 1e-6 {
+			t.Logf("seed %d: residual %g", seed, r)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLP1Shaped exercises the solver on problems with the structure of the
+// paper's (LP1): mass covering rows and machine load rows.
+func TestLP1Shaped(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10) // jobs
+		m := 1 + rng.Intn(6)  // machines
+		L := 0.5
+		// Variables: x_ij (i*n + j), then t at index m*n.
+		p := NewProblem(m*n + 1)
+		p.C[m*n] = 1
+		ell := make([][]float64, m)
+		for i := range ell {
+			ell[i] = make([]float64, n)
+			for j := range ell[i] {
+				ell[i][j] = math.Min(rng.Float64()*2, L)
+			}
+		}
+		for j := 0; j < n; j++ {
+			var terms []Term
+			for i := 0; i < m; i++ {
+				if ell[i][j] > 0 {
+					terms = append(terms, Term{i*n + j, ell[i][j]})
+				}
+			}
+			p.AddConstraint(terms, GE, L)
+		}
+		for i := 0; i < m; i++ {
+			terms := make([]Term, 0, n+1)
+			for j := 0; j < n; j++ {
+				terms = append(terms, Term{i*n + j, 1})
+			}
+			terms = append(terms, Term{m * n, -1})
+			p.AddConstraint(terms, LE, 0)
+		}
+		s := solveOrDie(t, p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		if r := p.Residual(s.X); r > 1e-6 {
+			t.Fatalf("trial %d: residual %g", trial, r)
+		}
+		if s.Obj < -1e-9 {
+			t.Fatalf("trial %d: negative makespan %g", trial, s.Obj)
+		}
+	}
+}
+
+func TestObjectiveMismatch(t *testing.T) {
+	p := &Problem{NumVars: 2, C: []float64{1}}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("want error for mismatched objective length")
+	}
+}
+
+func TestBadVariableIndex(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{3, 1}}, LE, 1)
+	if _, err := Solve(p); err == nil {
+		t.Fatal("want error for out-of-range variable")
+	}
+}
+
+func BenchmarkSimplexLP1(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, m := 40, 16
+	p := NewProblem(m*n + 1)
+	p.C[m*n] = 1
+	for j := 0; j < n; j++ {
+		var terms []Term
+		for i := 0; i < m; i++ {
+			terms = append(terms, Term{i*n + j, rng.Float64()})
+		}
+		p.AddConstraint(terms, GE, 0.5)
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]Term, 0, n+1)
+		for j := 0; j < n; j++ {
+			terms = append(terms, Term{i*n + j, 1})
+		}
+		terms = append(terms, Term{m * n, -1})
+		p.AddConstraint(terms, LE, 0)
+	}
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

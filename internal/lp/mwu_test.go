@@ -1,0 +1,202 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func coverViaSimplex(t *testing.T, ins *CoverInstance) float64 {
+	t.Helper()
+	p := NewProblem(ins.M*ins.N + 1)
+	tv := ins.M * ins.N
+	p.C[tv] = 1
+	for j := 0; j < ins.N; j++ {
+		var terms []Term
+		for i := 0; i < ins.M; i++ {
+			if ins.Rates[i][j] > 0 {
+				terms = append(terms, Term{i*ins.N + j, ins.Rates[i][j]})
+			}
+		}
+		p.AddConstraint(terms, GE, ins.Demands[j])
+	}
+	for i := 0; i < ins.M; i++ {
+		terms := make([]Term, 0, ins.N+1)
+		for j := 0; j < ins.N; j++ {
+			terms = append(terms, Term{i*ins.N + j, 1})
+		}
+		terms = append(terms, Term{tv, -1})
+		p.AddConstraint(terms, LE, 0)
+	}
+	s, err := Solve(p)
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("simplex reference failed: %v %v", err, s)
+	}
+	return s.Obj
+}
+
+func randomCover(rng *rand.Rand) *CoverInstance {
+	m, n := 1+rng.Intn(5), 1+rng.Intn(8)
+	ins := &CoverInstance{M: m, N: n, Rates: make([][]float64, m), Demands: make([]float64, n)}
+	for i := range ins.Rates {
+		ins.Rates[i] = make([]float64, n)
+		for j := range ins.Rates[i] {
+			if rng.Float64() < 0.8 {
+				ins.Rates[i][j] = 0.05 + 2*rng.Float64()
+			}
+		}
+	}
+	for j := range ins.Demands {
+		ins.Demands[j] = 0.25 + 2*rng.Float64()
+		// Guarantee coverability.
+		if allZeroCol(ins.Rates, j) {
+			ins.Rates[rng.Intn(m)][j] = 1
+		}
+	}
+	return ins
+}
+
+func allZeroCol(a [][]float64, j int) bool {
+	for i := range a {
+		if a[i][j] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMWUNearOptimal: the MWU value must be within (1+O(eps)) of the
+// simplex optimum and the returned solution must actually be feasible.
+func TestMWUNearOptimal(t *testing.T) {
+	const eps = 0.1
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ins := randomCover(rng)
+		x, got, err := SolveCoverMWU(ins, eps)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want := coverViaSimplex(t, ins)
+		// The routing is feasible at loads ≤ (1+eps)·got, so the true
+		// optimum satisfies want ≤ (1+eps)·got; got may sit slightly
+		// below want but never by more than the relaxation factor.
+		if got < want/(1+eps)-1e-9 {
+			t.Logf("seed %d: mwu %g below optimum %g beyond the (1+eps) slack", seed, got, want)
+			return false
+		}
+		if got > want*(1+4*eps)+1e-9 {
+			t.Logf("seed %d: mwu %g too far above optimum %g", seed, got, want)
+			return false
+		}
+		// Feasibility of the certificate: demands covered, loads ≤ (1+eps)t.
+		for j := 0; j < ins.N; j++ {
+			mass := 0.0
+			for i := 0; i < ins.M; i++ {
+				mass += ins.Rates[i][j] * x[i][j]
+			}
+			if mass < ins.Demands[j]*(1-1e-9) {
+				t.Logf("seed %d: job %d covered %g of %g", seed, j, mass, ins.Demands[j])
+				return false
+			}
+		}
+		for i := 0; i < ins.M; i++ {
+			load := 0.0
+			for j := 0; j < ins.N; j++ {
+				load += x[i][j]
+			}
+			if load > (1+eps)*got+1e-9 {
+				t.Logf("seed %d: machine %d load %g over (1+eps)t = %g", seed, i, load, (1+eps)*got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMWUErrors(t *testing.T) {
+	good := &CoverInstance{M: 1, N: 1, Rates: [][]float64{{1}}, Demands: []float64{1}}
+	if _, _, err := SolveCoverMWU(good, 0); err == nil {
+		t.Fatal("eps=0 must error")
+	}
+	if _, _, err := SolveCoverMWU(&CoverInstance{}, 0.1); err == nil {
+		t.Fatal("empty must error")
+	}
+	bad := &CoverInstance{M: 1, N: 1, Rates: [][]float64{{0}}, Demands: []float64{1}}
+	if _, _, err := SolveCoverMWU(bad, 0.1); err == nil {
+		t.Fatal("uncoverable job must error")
+	}
+	neg := &CoverInstance{M: 1, N: 1, Rates: [][]float64{{1}}, Demands: []float64{-1}}
+	if _, _, err := SolveCoverMWU(neg, 0.1); err == nil {
+		t.Fatal("negative demand must error")
+	}
+}
+
+func TestMWUSingleMachine(t *testing.T) {
+	// One machine: t = Σ L_j / a_j exactly (up to eps).
+	ins := &CoverInstance{
+		M:       1,
+		N:       3,
+		Rates:   [][]float64{{1, 2, 4}},
+		Demands: []float64{1, 1, 1},
+	}
+	_, got, err := SolveCoverMWU(ins, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + 0.5 + 0.25
+	if math.Abs(got-want) > 0.3*want {
+		t.Fatalf("got %g, want ≈ %g", got, want)
+	}
+}
+
+func BenchmarkMWUvsSimplex(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 32, 128
+	ins := &CoverInstance{M: m, N: n, Rates: make([][]float64, m), Demands: make([]float64, n)}
+	for i := range ins.Rates {
+		ins.Rates[i] = make([]float64, n)
+		for j := range ins.Rates[i] {
+			ins.Rates[i][j] = 0.05 + rng.Float64()
+		}
+	}
+	for j := range ins.Demands {
+		ins.Demands[j] = 0.5
+	}
+	b.Run("mwu", func(b *testing.B) {
+		for k := 0; k < b.N; k++ {
+			if _, _, err := SolveCoverMWU(ins, 0.1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("simplex", func(b *testing.B) {
+		for k := 0; k < b.N; k++ {
+			p := NewProblem(m*n + 1)
+			tv := m * n
+			p.C[tv] = 1
+			for j := 0; j < n; j++ {
+				var terms []Term
+				for i := 0; i < m; i++ {
+					terms = append(terms, Term{i*n + j, ins.Rates[i][j]})
+				}
+				p.AddConstraint(terms, GE, 0.5)
+			}
+			for i := 0; i < m; i++ {
+				terms := make([]Term, 0, n+1)
+				for j := 0; j < n; j++ {
+					terms = append(terms, Term{i*n + j, 1})
+				}
+				terms = append(terms, Term{tv, -1})
+				p.AddConstraint(terms, LE, 0)
+			}
+			if _, err := Solve(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,98 @@
+// Package matching implements Hopcroft–Karp maximum bipartite matching.
+// It powers the Birkhoff–von Neumann timetable decomposition used by the
+// stochastic-scheduling extension (Appendix C): each decomposition step needs
+// a perfect matching on the positive entries of a doubly balanced matrix.
+package matching
+
+// Bipartite is a bipartite graph with nLeft left and nRight right vertices.
+type Bipartite struct {
+	nLeft, nRight int
+	adj           [][]int32
+}
+
+// NewBipartite returns an empty bipartite graph.
+func NewBipartite(nLeft, nRight int) *Bipartite {
+	return &Bipartite{nLeft: nLeft, nRight: nRight, adj: make([][]int32, nLeft)}
+}
+
+// AddEdge connects left vertex u to right vertex v. Out-of-range endpoints
+// are ignored silently only in the sense that they panic — callers construct
+// graphs programmatically and bad indices are bugs.
+func (b *Bipartite) AddEdge(u, v int) {
+	if u < 0 || u >= b.nLeft || v < 0 || v >= b.nRight {
+		panic("matching: edge out of range")
+	}
+	b.adj[u] = append(b.adj[u], int32(v))
+}
+
+const unmatched = int32(-1)
+
+// MaxMatching computes a maximum matching with Hopcroft–Karp in
+// O(E·√V) time. It returns matchL (for each left vertex, its right partner
+// or -1) and the matching size.
+func (b *Bipartite) MaxMatching() ([]int, int) {
+	matchL := make([]int32, b.nLeft)
+	matchR := make([]int32, b.nRight)
+	for i := range matchL {
+		matchL[i] = unmatched
+	}
+	for i := range matchR {
+		matchR[i] = unmatched
+	}
+	dist := make([]int32, b.nLeft)
+	queue := make([]int32, 0, b.nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		const inf = int32(1 << 30)
+		found := false
+		for u := range dist {
+			if matchL[u] == unmatched {
+				dist[u] = 0
+				queue = append(queue, int32(u))
+			} else {
+				dist[u] = inf
+			}
+		}
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range b.adj[u] {
+				w := matchR[v]
+				if w == unmatched {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(u int32) bool
+	dfs = func(u int32) bool {
+		for _, v := range b.adj[u] {
+			w := matchR[v]
+			if w == unmatched || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = int32(1 << 30)
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for u := int32(0); int(u) < b.nLeft; u++ {
+			if matchL[u] == unmatched && dfs(u) {
+				size++
+			}
+		}
+	}
+	out := make([]int, b.nLeft)
+	for i, v := range matchL {
+		out[i] = int(v)
+	}
+	return out, size
+}

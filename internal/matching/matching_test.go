@@ -1,0 +1,134 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPerfectMatching(t *testing.T) {
+	b := NewBipartite(3, 3)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 1)
+	b.AddEdge(2, 2)
+	match, size := b.MaxMatching()
+	if size != 3 {
+		t.Fatalf("size = %d, want 3", size)
+	}
+	if match[0] != 0 || match[1] != 1 || match[2] != 2 {
+		t.Fatalf("match = %v", match)
+	}
+}
+
+func TestNoEdges(t *testing.T) {
+	b := NewBipartite(2, 2)
+	match, size := b.MaxMatching()
+	if size != 0 || match[0] != -1 || match[1] != -1 {
+		t.Fatalf("size=%d match=%v", size, match)
+	}
+}
+
+func TestAugmentingPathNeeded(t *testing.T) {
+	// Greedy matching would match 0-0 and strand 1; Hopcroft-Karp must
+	// find the augmenting path.
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	_, size := b.MaxMatching()
+	if size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	b := NewBipartite(1, 1)
+	b.AddEdge(0, 5)
+}
+
+// hungarianSize computes the maximum matching size by simple augmenting
+// search, as an independent reference.
+func hungarianSize(nl, nr int, adj [][]int) int {
+	matchR := make([]int, nr)
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	var try func(u int, seen []bool) bool
+	try = func(u int, seen []bool) bool {
+		for _, v := range adj[u] {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if matchR[v] == -1 || try(matchR[v], seen) {
+				matchR[v] = u
+				return true
+			}
+		}
+		return false
+	}
+	size := 0
+	for u := 0; u < nl; u++ {
+		if try(u, make([]bool, nr)) {
+			size++
+		}
+	}
+	return size
+}
+
+func TestAgainstAugmentingSearch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 1+rng.Intn(10), 1+rng.Intn(10)
+		b := NewBipartite(nl, nr)
+		adj := make([][]int, nl)
+		for u := 0; u < nl; u++ {
+			for v := 0; v < nr; v++ {
+				if rng.Float64() < 0.3 {
+					b.AddEdge(u, v)
+					adj[u] = append(adj[u], v)
+				}
+			}
+		}
+		match, size := b.MaxMatching()
+		want := hungarianSize(nl, nr, adj)
+		if size != want {
+			t.Logf("seed %d: size %d, want %d", seed, size, want)
+			return false
+		}
+		// Matching must be consistent: distinct partners, real edges.
+		used := make(map[int]bool)
+		count := 0
+		for u, v := range match {
+			if v == -1 {
+				continue
+			}
+			count++
+			if used[v] {
+				t.Logf("seed %d: right vertex %d matched twice", seed, v)
+				return false
+			}
+			used[v] = true
+			ok := false
+			for _, w := range adj[u] {
+				if w == v {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Logf("seed %d: matched pair (%d,%d) is not an edge", seed, u, v)
+				return false
+			}
+		}
+		return count == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

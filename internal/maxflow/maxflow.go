@@ -1,0 +1,156 @@
+// Package maxflow implements Dinic's maximum-flow algorithm with integer
+// capacities. An integral maximum flow is exactly what Lemmas 2 and 6 of the
+// paper need: Ford–Fulkerson integrality turns the fractional LP assignment
+// into an integral machine→job assignment without losing more than constant
+// factors in load or mass.
+package maxflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the capacity used for uncapacitated edges.
+const Inf = int64(math.MaxInt64 / 4)
+
+// Graph is a flow network on vertices 0..n-1. The zero value is unusable;
+// construct with New.
+type Graph struct {
+	n    int
+	head [][]int32 // adjacency: indices into the edge arrays
+	to   []int32
+	cap  []int64 // residual capacity
+	// level and iter are scratch for Dinic.
+	level []int32
+	iter  []int32
+}
+
+// New returns an empty flow network on n vertices.
+func New(n int) *Graph {
+	return &Graph{
+		n:     n,
+		head:  make([][]int32, n),
+		level: make([]int32, n),
+		iter:  make([]int32, n),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds a directed edge u->v with the given capacity and returns its
+// identifier, usable with Flow after a MaxFlow call. The reverse edge is
+// created automatically with zero capacity.
+func (g *Graph) AddEdge(u, v int, capacity int64) (int, error) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0, fmt.Errorf("maxflow: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if capacity < 0 {
+		return 0, fmt.Errorf("maxflow: negative capacity %d on edge (%d,%d)", capacity, u, v)
+	}
+	id := len(g.to)
+	g.to = append(g.to, int32(v), int32(u))
+	g.cap = append(g.cap, capacity, 0)
+	g.head[u] = append(g.head[u], int32(id))
+	g.head[v] = append(g.head[v], int32(id+1))
+	return id, nil
+}
+
+// Flow returns the amount of flow routed through edge id by the last MaxFlow
+// call (the reverse edge's residual capacity).
+func (g *Graph) Flow(id int) int64 { return g.cap[id^1] }
+
+// Capacity returns the remaining (residual) capacity of edge id.
+func (g *Graph) Capacity(id int) int64 { return g.cap[id] }
+
+// MaxFlow computes the maximum s-t flow. It may be called once per graph
+// (capacities are consumed).
+func (g *Graph) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	var total int64
+	for g.bfs(s, t) {
+		for i := range g.iter {
+			g.iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, Inf)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// bfs builds the level graph; reports whether t is reachable.
+func (g *Graph) bfs(s, t int) bool {
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := make([]int32, 0, g.n)
+	queue = append(queue, int32(s))
+	g.level[s] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, id := range g.head[v] {
+			if g.cap[id] > 0 && g.level[g.to[id]] < 0 {
+				g.level[g.to[id]] = g.level[v] + 1
+				queue = append(queue, g.to[id])
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+// dfs sends a blocking-flow augmentation of at most up units from v to t.
+func (g *Graph) dfs(v, t int, up int64) int64 {
+	if v == t {
+		return up
+	}
+	for ; g.iter[v] < int32(len(g.head[v])); g.iter[v]++ {
+		id := g.head[v][g.iter[v]]
+		w := int(g.to[id])
+		if g.cap[id] <= 0 || g.level[w] != g.level[v]+1 {
+			continue
+		}
+		d := g.dfs(w, t, min64(up, g.cap[id]))
+		if d > 0 {
+			g.cap[id] -= d
+			g.cap[id^1] += d
+			return d
+		}
+	}
+	g.level[v] = -1
+	return 0
+}
+
+// MinCut returns the source side of a minimum s-t cut after MaxFlow has run:
+// the set of vertices reachable from s in the residual graph.
+func (g *Graph) MinCut(s int) []bool {
+	side := make([]bool, g.n)
+	stack := []int{s}
+	side[s] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range g.head[v] {
+			w := int(g.to[id])
+			if g.cap[id] > 0 && !side[w] {
+				side[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return side
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

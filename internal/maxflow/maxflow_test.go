@@ -1,0 +1,207 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustEdge(t testing.TB, g *Graph, u, v int, c int64) int {
+	t.Helper()
+	id, err := g.AddEdge(u, v, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestSmallNetwork(t *testing.T) {
+	// Classic CLRS example; max flow 23.
+	g := New(6)
+	mustEdge(t, g, 0, 1, 16)
+	mustEdge(t, g, 0, 2, 13)
+	mustEdge(t, g, 1, 2, 10)
+	mustEdge(t, g, 2, 1, 4)
+	mustEdge(t, g, 1, 3, 12)
+	mustEdge(t, g, 3, 2, 9)
+	mustEdge(t, g, 2, 4, 14)
+	mustEdge(t, g, 4, 3, 7)
+	mustEdge(t, g, 3, 5, 20)
+	mustEdge(t, g, 4, 5, 4)
+	if f := g.MaxFlow(0, 5); f != 23 {
+		t.Fatalf("max flow = %d, want 23", f)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1, 5)
+	mustEdge(t, g, 2, 3, 5)
+	if f := g.MaxFlow(0, 3); f != 0 {
+		t.Fatalf("max flow = %d, want 0", f)
+	}
+}
+
+func TestSelfFlow(t *testing.T) {
+	g := New(2)
+	mustEdge(t, g, 0, 1, 5)
+	if f := g.MaxFlow(0, 0); f != 0 {
+		t.Fatalf("max flow s==t = %d, want 0", f)
+	}
+}
+
+func TestEdgeErrors(t *testing.T) {
+	g := New(2)
+	if _, err := g.AddEdge(0, 5, 1); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+	if _, err := g.AddEdge(0, 1, -1); err == nil {
+		t.Fatal("want negative-capacity error")
+	}
+}
+
+func TestFlowPerEdge(t *testing.T) {
+	g := New(4)
+	a := mustEdge(t, g, 0, 1, 3)
+	b := mustEdge(t, g, 0, 2, 2)
+	c := mustEdge(t, g, 1, 3, 2)
+	d := mustEdge(t, g, 2, 3, 3)
+	if f := g.MaxFlow(0, 3); f != 4 {
+		t.Fatalf("max flow = %d, want 4", f)
+	}
+	if g.Flow(a) != 2 || g.Flow(b) != 2 || g.Flow(c) != 2 || g.Flow(d) != 2 {
+		t.Fatalf("edge flows %d %d %d %d, want 2 2 2 2",
+			g.Flow(a), g.Flow(b), g.Flow(c), g.Flow(d))
+	}
+}
+
+// edmondsKarp is an independent reference implementation for cross-checking.
+func edmondsKarp(n int, edges [][3]int64, s, t int) int64 {
+	capm := make([][]int64, n)
+	for i := range capm {
+		capm[i] = make([]int64, n)
+	}
+	for _, e := range edges {
+		capm[e[0]][e[1]] += e[2]
+	}
+	var total int64
+	for {
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] < 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for w := 0; w < n; w++ {
+				if parent[w] < 0 && capm[v][w] > 0 {
+					parent[w] = v
+					queue = append(queue, w)
+				}
+			}
+		}
+		if parent[t] < 0 {
+			return total
+		}
+		aug := int64(1 << 60)
+		for v := t; v != s; v = parent[v] {
+			if capm[parent[v]][v] < aug {
+				aug = capm[parent[v]][v]
+			}
+		}
+		for v := t; v != s; v = parent[v] {
+			capm[parent[v]][v] -= aug
+			capm[v][parent[v]] += aug
+		}
+		total += aug
+	}
+}
+
+func TestAgainstEdmondsKarp(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		ne := rng.Intn(3 * n)
+		g := New(n)
+		var edges [][3]int64
+		ids := make([]int, 0, ne)
+		for k := 0; k < ne; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(rng.Intn(20))
+			edges = append(edges, [3]int64{int64(u), int64(v), c})
+			id, err := g.AddEdge(u, v, c)
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		s, sink := 0, n-1
+		got := g.MaxFlow(s, sink)
+		want := edmondsKarp(n, edges, s, sink)
+		if got != want {
+			t.Logf("seed %d: dinic %d, edmonds-karp %d", seed, got, want)
+			return false
+		}
+		// Flow conservation at internal vertices.
+		net := make([]int64, n)
+		for k, id := range ids {
+			fl := g.Flow(id)
+			if fl < 0 || fl > edges[k][2] {
+				t.Logf("seed %d: edge flow %d outside [0,%d]", seed, fl, edges[k][2])
+				return false
+			}
+			net[edges[k][0]] -= fl
+			net[edges[k][1]] += fl
+		}
+		for v := 0; v < n; v++ {
+			if v == s || v == sink {
+				continue
+			}
+			if net[v] != 0 {
+				t.Logf("seed %d: conservation violated at %d (net %d)", seed, v, net[v])
+				return false
+			}
+		}
+		if net[sink] != got || net[s] != -got {
+			t.Logf("seed %d: endpoint flow mismatch", seed)
+			return false
+		}
+		// Max-flow = min-cut.
+		side := g.MinCut(s)
+		if side[sink] {
+			t.Logf("seed %d: sink on source side of cut", seed)
+			return false
+		}
+		var cut int64
+		for k := range edges {
+			if side[edges[k][0]] && !side[edges[k][1]] {
+				cut += edges[k][2]
+			}
+		}
+		if cut != got {
+			t.Logf("seed %d: cut %d != flow %d", seed, cut, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeCapacities(t *testing.T) {
+	g := New(3)
+	a := mustEdge(t, g, 0, 1, Inf)
+	mustEdge(t, g, 1, 2, 1000000)
+	if f := g.MaxFlow(0, 2); f != 1000000 {
+		t.Fatalf("max flow = %d, want 1000000", f)
+	}
+	if g.Flow(a) != 1000000 {
+		t.Fatalf("edge flow %d", g.Flow(a))
+	}
+}

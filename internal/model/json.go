@@ -1,0 +1,53 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// jsonInstance is the wire form of an Instance: probabilities plus an edge
+// list. Log failures are derived, not stored.
+type jsonInstance struct {
+	M     int         `json:"m"`
+	N     int         `json:"n"`
+	Q     [][]float64 `json:"q"`
+	Edges [][2]int    `json:"edges,omitempty"`
+}
+
+// MarshalJSON encodes the instance (probabilities and precedence edges).
+func (ins *Instance) MarshalJSON() ([]byte, error) {
+	ji := jsonInstance{M: ins.M, N: ins.N, Q: ins.Q}
+	if ins.Prec != nil {
+		for u := 0; u < ins.Prec.N(); u++ {
+			for _, v := range ins.Prec.Succs(u) {
+				ji.Edges = append(ji.Edges, [2]int{u, v})
+			}
+		}
+	}
+	return json.Marshal(ji)
+}
+
+// UnmarshalJSON decodes and validates an instance.
+func (ins *Instance) UnmarshalJSON(data []byte) error {
+	var ji jsonInstance
+	if err := json.Unmarshal(data, &ji); err != nil {
+		return fmt.Errorf("model: decoding instance: %w", err)
+	}
+	var prec *dag.DAG
+	if len(ji.Edges) > 0 {
+		prec = dag.New(ji.N)
+		for _, e := range ji.Edges {
+			if err := prec.AddEdge(e[0], e[1]); err != nil {
+				return fmt.Errorf("model: decoding instance: %w", err)
+			}
+		}
+	}
+	built, err := New(ji.M, ji.N, ji.Q, prec)
+	if err != nil {
+		return err
+	}
+	*ins = *built
+	return nil
+}

@@ -1,0 +1,173 @@
+// Package model defines the SUU problem instance (Section 2 of the paper):
+// n unit-step jobs, m machines, failure probabilities q_ij, and a precedence
+// DAG. It also carries the log-failure view ℓ_ij = −log₂ q_ij that the
+// SUU* reformulation (Appendix A) and all of the algorithms work with.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+)
+
+// LogFailCap bounds the log failure ℓ_ij = −log₂ q_ij (equivalently,
+// q_ij is clamped to at least 2⁻⁶⁴). A job whose threshold −log₂ r_j
+// exceeds 64 occurs with probability below 2⁻⁶⁴ per job, so the clamp is
+// statistically unobservable; it keeps every quantity finite even when a
+// generator hands us q_ij = 0.
+const LogFailCap = 64.0
+
+// Instance is one SUU problem instance. All fields are read-only after
+// construction; instances are safe to share across goroutines.
+type Instance struct {
+	M int // number of machines
+	N int // number of jobs
+
+	// Q[i][j] is the probability that job j does NOT complete when run on
+	// machine i for one step. Values lie in [0, 1].
+	Q [][]float64
+
+	// L[i][j] = min(−log₂ Q[i][j], LogFailCap) is the log failure, the
+	// "work per step" of machine i on job j in the SUU* view.
+	L [][]float64
+
+	// Prec is the precedence DAG over jobs, or nil when jobs are
+	// independent.
+	Prec *dag.DAG
+}
+
+// New validates and builds an instance from failure probabilities.
+// prec may be nil for independent jobs. Requirements: every q_ij ∈ [0,1];
+// every job has at least one machine with q_ij < 1; prec (if present) is an
+// acyclic graph on exactly n vertices.
+func New(m, n int, q [][]float64, prec *dag.DAG) (*Instance, error) {
+	if m <= 0 || n <= 0 {
+		return nil, fmt.Errorf("model: need m>0 and n>0, got m=%d n=%d", m, n)
+	}
+	if len(q) != m {
+		return nil, fmt.Errorf("model: q has %d rows, want m=%d", len(q), m)
+	}
+	ell := make([][]float64, m)
+	for i := range q {
+		if len(q[i]) != n {
+			return nil, fmt.Errorf("model: q row %d has %d entries, want n=%d", i, len(q[i]), n)
+		}
+		ell[i] = make([]float64, n)
+		for j, qij := range q[i] {
+			if math.IsNaN(qij) || qij < 0 || qij > 1 {
+				return nil, fmt.Errorf("model: q[%d][%d] = %v outside [0,1]", i, j, qij)
+			}
+			ell[i][j] = LogFailure(qij)
+		}
+	}
+	for j := 0; j < n; j++ {
+		ok := false
+		for i := 0; i < m; i++ {
+			if q[i][j] < 1 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("model: job %d fails on every machine (all q=1)", j)
+		}
+	}
+	if prec != nil {
+		if prec.N() != n {
+			return nil, fmt.Errorf("model: precedence graph has %d vertices, want n=%d", prec.N(), n)
+		}
+		if err := prec.Validate(); err != nil {
+			return nil, fmt.Errorf("model: %w", err)
+		}
+	}
+	return &Instance{M: m, N: n, Q: q, L: ell, Prec: prec}, nil
+}
+
+// LogFailure converts a failure probability to a clamped log failure.
+func LogFailure(q float64) float64 {
+	if q <= 0 {
+		return LogFailCap
+	}
+	if q >= 1 {
+		return 0
+	}
+	l := -math.Log2(q)
+	if l > LogFailCap {
+		return LogFailCap
+	}
+	return l
+}
+
+// Class returns the precedence class of the instance.
+func (ins *Instance) Class() dag.Class {
+	if ins.Prec == nil {
+		return dag.ClassIndependent
+	}
+	return ins.Prec.Classify()
+}
+
+// BestMachine returns the machine with the largest log failure for job j
+// (the single most effective machine).
+func (ins *Instance) BestMachine(j int) int {
+	best, bestL := 0, -1.0
+	for i := 0; i < ins.M; i++ {
+		if ins.L[i][j] > bestL {
+			best, bestL = i, ins.L[i][j]
+		}
+	}
+	return best
+}
+
+// TotalRate returns Σ_i ℓ_ij, the log mass all machines together give job j
+// in one step. It is positive for every valid instance.
+func (ins *Instance) TotalRate(j int) float64 {
+	s := 0.0
+	for i := 0; i < ins.M; i++ {
+		s += ins.L[i][j]
+	}
+	return s
+}
+
+// MinMN returns min(m, n), the quantity inside the paper's
+// O(log log min{m,n}) bound.
+func (ins *Instance) MinMN() int {
+	if ins.M < ins.N {
+		return ins.M
+	}
+	return ins.N
+}
+
+// Chains returns the chain decomposition of the precedence graph
+// (length-1 chains for independent jobs).
+func (ins *Instance) Chains() ([]dag.Chain, error) {
+	if ins.Prec == nil {
+		chains := make([]dag.Chain, ins.N)
+		for j := 0; j < ins.N; j++ {
+			chains[j] = dag.Chain{j}
+		}
+		return chains, nil
+	}
+	return ins.Prec.Chains()
+}
+
+// SubsetView helps algorithms work on a subset of jobs: it maps subset
+// positions to original job ids.
+type SubsetView struct {
+	Jobs []int // original job ids, in subset order
+}
+
+// NewSubsetView validates the job ids and returns a view.
+func NewSubsetView(ins *Instance, jobs []int) (*SubsetView, error) {
+	seen := make(map[int]bool, len(jobs))
+	for _, j := range jobs {
+		if j < 0 || j >= ins.N {
+			return nil, fmt.Errorf("model: job %d out of range [0,%d)", j, ins.N)
+		}
+		if seen[j] {
+			return nil, fmt.Errorf("model: job %d repeated in subset", j)
+		}
+		seen[j] = true
+	}
+	return &SubsetView{Jobs: append([]int(nil), jobs...)}, nil
+}

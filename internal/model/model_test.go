@@ -1,0 +1,174 @@
+package model
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func TestNewValid(t *testing.T) {
+	q := [][]float64{
+		{0.5, 0.25},
+		{1.0, 0.0},
+	}
+	ins, err := New(2, 2, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.L[0][0] != 1 || ins.L[0][1] != 2 {
+		t.Fatalf("L row 0 = %v", ins.L[0])
+	}
+	if ins.L[1][0] != 0 {
+		t.Fatalf("q=1 should give l=0, got %v", ins.L[1][0])
+	}
+	if ins.L[1][1] != LogFailCap {
+		t.Fatalf("q=0 should clamp to cap, got %v", ins.L[1][1])
+	}
+	if ins.Class() != dag.ClassIndependent {
+		t.Fatalf("class %v", ins.Class())
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	good := [][]float64{{0.5}}
+	cases := []struct {
+		name string
+		m, n int
+		q    [][]float64
+		prec *dag.DAG
+	}{
+		{"zero m", 0, 1, nil, nil},
+		{"row count", 2, 1, good, nil},
+		{"col count", 1, 2, good, nil},
+		{"q out of range", 1, 1, [][]float64{{1.5}}, nil},
+		{"q NaN", 1, 1, [][]float64{{math.NaN()}}, nil},
+		{"hopeless job", 1, 1, [][]float64{{1.0}}, nil},
+		{"prec size", 1, 1, good, dag.New(2)},
+	}
+	for _, c := range cases {
+		if _, err := New(c.m, c.n, c.q, c.prec); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	cyc := dag.New(2)
+	cyc.MustEdge(0, 1)
+	cyc.MustEdge(1, 0)
+	if _, err := New(1, 2, [][]float64{{0.5, 0.5}}, cyc); err == nil {
+		t.Error("cyclic prec: want error")
+	}
+}
+
+func TestLogFailure(t *testing.T) {
+	cases := []struct{ q, want float64 }{
+		{1, 0},
+		{0.5, 1},
+		{0.25, 2},
+		{0, LogFailCap},
+		{1e-30, LogFailCap}, // would be ~99.6, clamped
+	}
+	for _, c := range cases {
+		if got := LogFailure(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("LogFailure(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestBestMachineAndTotalRate(t *testing.T) {
+	q := [][]float64{
+		{0.5, 0.9},
+		{0.25, 0.99},
+	}
+	ins, err := New(2, 2, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.BestMachine(0) != 1 {
+		t.Fatalf("best machine for job 0 = %d", ins.BestMachine(0))
+	}
+	want := ins.L[0][0] + ins.L[1][0]
+	if math.Abs(ins.TotalRate(0)-want) > 1e-12 {
+		t.Fatalf("TotalRate = %g, want %g", ins.TotalRate(0), want)
+	}
+	if ins.MinMN() != 2 {
+		t.Fatalf("MinMN = %d", ins.MinMN())
+	}
+}
+
+func TestChainsIndependent(t *testing.T) {
+	ins, err := New(1, 3, [][]float64{{0.5, 0.5, 0.5}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains, err := ins.Chains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 3 {
+		t.Fatalf("got %d chains", len(chains))
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := dag.New(3)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	ins, err := New(2, 3, [][]float64{{0.5, 0.6, 0.7}, {0.1, 0.2, 0.3}}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.M != 2 || back.N != 3 {
+		t.Fatalf("dims %dx%d", back.M, back.N)
+	}
+	for i := range ins.Q {
+		for j := range ins.Q[i] {
+			if ins.Q[i][j] != back.Q[i][j] {
+				t.Fatalf("Q[%d][%d] mismatch", i, j)
+			}
+		}
+	}
+	if back.Prec == nil || back.Prec.Edges() != 2 {
+		t.Fatal("precedence lost in round trip")
+	}
+	if back.Class() != dag.ClassChains {
+		t.Fatalf("class %v", back.Class())
+	}
+}
+
+func TestJSONInvalid(t *testing.T) {
+	var ins Instance
+	if err := json.Unmarshal([]byte(`{"m":1,"n":1,"q":[[2.0]]}`), &ins); err == nil {
+		t.Fatal("want validation error")
+	}
+	if err := json.Unmarshal([]byte(`{bad`), &ins); err == nil {
+		t.Fatal("want syntax error")
+	}
+	if err := json.Unmarshal([]byte(`{"m":1,"n":2,"q":[[0.5,0.5]],"edges":[[0,5]]}`), &ins); err == nil {
+		t.Fatal("want edge range error")
+	}
+}
+
+func TestSubsetView(t *testing.T) {
+	ins, err := New(1, 4, [][]float64{{0.5, 0.5, 0.5, 0.5}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSubsetView(ins, []int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSubsetView(ins, []int{0, 0}); err == nil {
+		t.Fatal("duplicate should error")
+	}
+	if _, err := NewSubsetView(ins, []int{4}); err == nil {
+		t.Fatal("out of range should error")
+	}
+}

@@ -1,0 +1,188 @@
+// Package openshop converts a fractional machine-time matrix into a
+// preemptive timetable in which no job runs on two machines at once — the
+// Lawler–Labetoulle construction the paper's Appendix C relies on for
+// R|pmtn|C_max. The matrix is padded to a doubly balanced square matrix
+// and decomposed Birkhoff–von-Neumann-style: each extraction finds a
+// perfect matching on the positive entries (it exists by Hall's theorem
+// for doubly balanced matrices) and runs it for the minimum matched value.
+// The resulting schedule has makespan exactly the horizon
+// max(max row sum, max column sum).
+package openshop
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matching"
+)
+
+// Segment is one piece of the preemptive timetable: for Duration time
+// units, machine i processes JobOf[i] (or idles when JobOf[i] < 0).
+type Segment struct {
+	Duration float64
+	JobOf    []int
+}
+
+// tolerance below which residual entries count as zero.
+const eps = 1e-9
+
+// Decompose builds a preemptive timetable for the m×n machine-time matrix
+// u: machine i must spend u[i][j] time on job j, no machine working two
+// jobs at once (by construction) and no job on two machines at once (the
+// matching property). horizon must be at least every row and column sum;
+// the schedule finishes exactly at the horizon (trailing idle time is
+// represented in the segments).
+func Decompose(u [][]float64, horizon float64) ([]Segment, error) {
+	m := len(u)
+	if m == 0 {
+		return nil, fmt.Errorf("openshop: empty matrix")
+	}
+	n := len(u[0])
+	rowSum := make([]float64, m)
+	colSum := make([]float64, n)
+	for i := range u {
+		if len(u[i]) != n {
+			return nil, fmt.Errorf("openshop: ragged matrix row %d", i)
+		}
+		for j, v := range u[i] {
+			if v < 0 || math.IsNaN(v) {
+				return nil, fmt.Errorf("openshop: u[%d][%d] = %v", i, j, v)
+			}
+			rowSum[i] += v
+			colSum[j] += v
+		}
+	}
+	for i, rs := range rowSum {
+		if rs > horizon+1e-6 {
+			return nil, fmt.Errorf("openshop: machine %d load %g exceeds horizon %g", i, rs, horizon)
+		}
+	}
+	for j, cs := range colSum {
+		if cs > horizon+1e-6 {
+			return nil, fmt.Errorf("openshop: job %d time %g exceeds horizon %g", j, cs, horizon)
+		}
+	}
+
+	// Pad to an s×s doubly balanced matrix with all row/col sums = horizon:
+	//
+	//	[ u           diag(rowSlack) ]
+	//	[ diag(colSlack)    B        ]
+	//
+	// where B has row sums colSum and column sums rowSum (northwest-corner
+	// filling). Rows ≥ m are dummy machines; columns ≥ n are dummy jobs.
+	s := m + n
+	d := make([][]float64, s)
+	for i := range d {
+		d[i] = make([]float64, s)
+	}
+	for i := 0; i < m; i++ {
+		copy(d[i][:n], u[i])
+		d[i][n+i] = math.Max(horizon-rowSum[i], 0)
+	}
+	for j := 0; j < n; j++ {
+		d[m+j][j] = math.Max(horizon-colSum[j], 0)
+	}
+	rowNeed := append([]float64(nil), colSum...) // bottom rows need colSum
+	colNeed := append([]float64(nil), rowSum...) // right cols need rowSum
+	ci := 0
+	for rj := 0; rj < n; rj++ {
+		for rowNeed[rj] > eps && ci < m {
+			b := math.Min(rowNeed[rj], colNeed[ci])
+			d[m+rj][n+ci] += b
+			rowNeed[rj] -= b
+			colNeed[ci] -= b
+			if colNeed[ci] <= eps {
+				ci++
+			}
+		}
+	}
+
+	var segments []Segment
+	maxIter := s*s + 2*s + 16
+	remaining := horizon
+	for iter := 0; remaining > eps; iter++ {
+		if iter > maxIter {
+			return nil, fmt.Errorf("openshop: decomposition did not converge (%g left of %g)", remaining, horizon)
+		}
+		bg := matching.NewBipartite(s, s)
+		for i := 0; i < s; i++ {
+			for j := 0; j < s; j++ {
+				if d[i][j] > eps {
+					bg.AddEdge(i, j)
+				}
+			}
+		}
+		match, size := bg.MaxMatching()
+		if size < s {
+			return nil, fmt.Errorf("openshop: no perfect matching (%d/%d) — numeric imbalance", size, s)
+		}
+		delta := remaining
+		for i := 0; i < s; i++ {
+			if d[i][match[i]] < delta {
+				delta = d[i][match[i]]
+			}
+		}
+		if delta <= eps {
+			return nil, fmt.Errorf("openshop: degenerate extraction δ=%g", delta)
+		}
+		seg := Segment{Duration: delta, JobOf: make([]int, m)}
+		for i := 0; i < m; i++ {
+			if j := match[i]; j < n {
+				seg.JobOf[i] = j
+			} else {
+				seg.JobOf[i] = -1
+			}
+		}
+		for i := 0; i < s; i++ {
+			d[i][match[i]] -= delta
+			if d[i][match[i]] < eps {
+				d[i][match[i]] = 0
+			}
+		}
+		segments = append(segments, seg)
+		remaining -= delta
+	}
+	return segments, nil
+}
+
+// Validate checks a timetable against its source matrix: per-pair totals
+// match u within tol, and no job appears twice in a segment. Used by tests
+// and defensive callers.
+func Validate(u [][]float64, segments []Segment, tol float64) error {
+	m := len(u)
+	if m == 0 {
+		return fmt.Errorf("openshop: empty matrix")
+	}
+	n := len(u[0])
+	got := make([][]float64, m)
+	for i := range got {
+		got[i] = make([]float64, n)
+	}
+	for si, seg := range segments {
+		if seg.Duration <= 0 {
+			return fmt.Errorf("openshop: segment %d has duration %g", si, seg.Duration)
+		}
+		seen := make(map[int]bool)
+		for i, j := range seg.JobOf {
+			if j < 0 {
+				continue
+			}
+			if j >= n {
+				return fmt.Errorf("openshop: segment %d schedules job %d (have %d)", si, j, n)
+			}
+			if seen[j] {
+				return fmt.Errorf("openshop: segment %d runs job %d on two machines", si, j)
+			}
+			seen[j] = true
+			got[i][j] += seg.Duration
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(got[i][j]-u[i][j]) > tol {
+				return fmt.Errorf("openshop: pair (%d,%d) got %g, want %g", i, j, got[i][j], u[i][j])
+			}
+		}
+	}
+	return nil
+}

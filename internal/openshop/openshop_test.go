@@ -1,0 +1,122 @@
+package openshop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecomposeTiny(t *testing.T) {
+	// 2 machines, 2 jobs; machine 0 must split between both jobs.
+	u := [][]float64{
+		{1, 1},
+		{0, 1},
+	}
+	segs, err := Decompose(u, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(u, segs, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, s := range segs {
+		total += s.Duration
+	}
+	if math.Abs(total-2) > 1e-6 {
+		t.Fatalf("total duration %g, want horizon 2", total)
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := Decompose(nil, 1); err == nil {
+		t.Fatal("empty matrix must error")
+	}
+	if _, err := Decompose([][]float64{{1, 2}, {3}}, 10); err == nil {
+		t.Fatal("ragged matrix must error")
+	}
+	if _, err := Decompose([][]float64{{-1}}, 1); err == nil {
+		t.Fatal("negative entry must error")
+	}
+	if _, err := Decompose([][]float64{{5}}, 1); err == nil {
+		t.Fatal("row sum above horizon must error")
+	}
+	if _, err := Decompose([][]float64{{3}, {3}}, 4); err == nil {
+		t.Fatal("column sum above horizon must error")
+	}
+}
+
+func TestDecomposeZeroMatrix(t *testing.T) {
+	u := [][]float64{{0, 0}, {0, 0}}
+	segs, err := Decompose(u, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(u, segs, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeRandomized(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(5), 1+rng.Intn(6)
+		u := make([][]float64, m)
+		for i := range u {
+			u[i] = make([]float64, n)
+			for j := range u[i] {
+				if rng.Float64() < 0.7 {
+					u[i][j] = rng.Float64() * 4
+				}
+			}
+		}
+		// Horizon: max of row/col sums (the LL makespan), plus slack
+		// sometimes.
+		horizon := 0.0
+		colSum := make([]float64, n)
+		for i := range u {
+			rs := 0.0
+			for j, v := range u[i] {
+				rs += v
+				colSum[j] += v
+			}
+			horizon = math.Max(horizon, rs)
+		}
+		for _, cs := range colSum {
+			horizon = math.Max(horizon, cs)
+		}
+		if horizon == 0 {
+			horizon = 1
+		}
+		if rng.Intn(2) == 0 {
+			horizon *= 1.3
+		}
+		segs, err := Decompose(u, horizon)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := Validate(u, segs, 1e-6); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		total := 0.0
+		for _, s := range segs {
+			total += s.Duration
+		}
+		if math.Abs(total-horizon) > 1e-6 {
+			t.Logf("seed %d: total %g != horizon %g", seed, total, horizon)
+			return false
+		}
+		// Segment count is bounded by the padded matrix's support.
+		if len(segs) > (m+n)*(m+n)+2*(m+n)+16 {
+			t.Logf("seed %d: %d segments", seed, len(segs))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package rcmax implements the Lenstra–Shmoys–Tardos 2-approximation for
+// scheduling on unrelated parallel machines without preemption (R||C_max,
+// the paper's reference [10]). Appendix C uses it in place of the
+// Lawler–Labetoulle preemptive schedule to handle the restart model
+// R|restart, p~exp|E[C_max], where a job must execute entirely on one
+// machine.
+//
+// The algorithm binary-searches the makespan T. For each T it solves the
+// deadline LP — assign each job fractionally to machines that can finish
+// it within T, with machine loads ≤ T — and rounds a vertex solution: the
+// fractionally split jobs form a forest in the job–machine bipartite
+// support graph, so they can be matched to distinct machines, adding at
+// most one extra job (≤ T) per machine. Total makespan ≤ 2T.
+package rcmax
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/matching"
+)
+
+// Approx returns an assignment job→machine with makespan at most
+// 2·(1+eps)·OPT, along with its actual makespan. p[i][j] is the processing
+// time of job j on machine i; +Inf marks an impossible pair. Every job
+// needs at least one finite entry.
+func Approx(p [][]float64, eps float64) ([]int, float64, error) {
+	m := len(p)
+	if m == 0 {
+		return nil, 0, fmt.Errorf("rcmax: no machines")
+	}
+	n := len(p[0])
+	if n == 0 {
+		return nil, 0, fmt.Errorf("rcmax: no jobs")
+	}
+	if eps <= 0 {
+		eps = 0.01
+	}
+	// Bracket T: lo = max over jobs of the fastest machine's time (and the
+	// average-load bound); hi = greedy assignment to fastest machines.
+	lo, hi := 0.0, 0.0
+	loads := make([]float64, m)
+	for j := 0; j < n; j++ {
+		best, bestT := -1, math.Inf(1)
+		for i := 0; i < m; i++ {
+			if len(p[i]) != n {
+				return nil, 0, fmt.Errorf("rcmax: ragged matrix")
+			}
+			if p[i][j] < bestT {
+				best, bestT = i, p[i][j]
+			}
+		}
+		if best < 0 || math.IsInf(bestT, 1) {
+			return nil, 0, fmt.Errorf("rcmax: job %d unprocessable", j)
+		}
+		if bestT > lo {
+			lo = bestT
+		}
+		loads[best] += bestT
+	}
+	for _, l := range loads {
+		if l > hi {
+			hi = l
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+	if hi == 0 {
+		return make([]int, n), 0, nil
+	}
+
+	var bestAssign []int
+	bestSpan := math.Inf(1)
+	for iter := 0; iter < 60 && hi > lo*(1+eps); iter++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection behaves on wide brackets
+		assign, ok, err := tryDeadline(p, mid)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ok {
+			if span := makespanOf(p, assign); span < bestSpan {
+				bestAssign, bestSpan = assign, span
+			}
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if bestAssign == nil {
+		assign, ok, err := tryDeadline(p, hi)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			return nil, 0, fmt.Errorf("rcmax: deadline %g infeasible at bracket top", hi)
+		}
+		bestAssign, bestSpan = assign, makespanOf(p, assign)
+	}
+	return bestAssign, bestSpan, nil
+}
+
+// makespanOf computes the makespan of an integral assignment.
+func makespanOf(p [][]float64, assign []int) float64 {
+	loads := make([]float64, len(p))
+	for j, i := range assign {
+		loads[i] += p[i][j]
+	}
+	span := 0.0
+	for _, l := range loads {
+		if l > span {
+			span = l
+		}
+	}
+	return span
+}
+
+// tryDeadline solves the deadline-T LP and rounds it; ok=false means the
+// LP is infeasible (T below the fractional optimum).
+func tryDeadline(p [][]float64, T float64) ([]int, bool, error) {
+	m, n := len(p), len(p[0])
+	// Variables x_ij for allowed pairs only.
+	type pair struct{ i, j int }
+	var vars []pair
+	idx := make(map[pair]int)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if p[i][j] <= T {
+				idx[pair{i, j}] = len(vars)
+				vars = append(vars, pair{i, j})
+			}
+		}
+	}
+	prob := lp.NewProblem(len(vars))
+	perJob := make([][]lp.Term, n)
+	perMachine := make([][]lp.Term, m)
+	for v, pr := range vars {
+		perJob[pr.j] = append(perJob[pr.j], lp.Term{Var: v, Coef: 1})
+		perMachine[pr.i] = append(perMachine[pr.i], lp.Term{Var: v, Coef: p[pr.i][pr.j]})
+	}
+	for j := 0; j < n; j++ {
+		if len(perJob[j]) == 0 {
+			return nil, false, nil // no machine can meet the deadline
+		}
+		prob.AddConstraint(perJob[j], lp.EQ, 1)
+	}
+	for i := 0; i < m; i++ {
+		if len(perMachine[i]) > 0 {
+			prob.AddConstraint(perMachine[i], lp.LE, T)
+		}
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, false, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, false, nil
+	}
+	// Round: integral part stays; fractional jobs are matched to distinct
+	// machines among their fractional supports (possible for vertex
+	// solutions by the LST forest argument).
+	const tol = 1e-7
+	assign := make([]int, n)
+	for j := range assign {
+		assign[j] = -1
+	}
+	var fractional []int
+	fracIndex := make(map[int]int)
+	for v, x := range sol.X {
+		if x > 1-tol {
+			assign[vars[v].j] = vars[v].i
+		}
+	}
+	for j := 0; j < n; j++ {
+		if assign[j] < 0 {
+			fracIndex[j] = len(fractional)
+			fractional = append(fractional, j)
+		}
+	}
+	if len(fractional) == 0 {
+		return assign, true, nil
+	}
+	bg := matching.NewBipartite(len(fractional), m)
+	for v, x := range sol.X {
+		if x > tol && x < 1-tol {
+			if fi, ok := fracIndex[vars[v].j]; ok {
+				bg.AddEdge(fi, vars[v].i)
+			}
+		}
+	}
+	match, size := bg.MaxMatching()
+	if size < len(fractional) {
+		// Vertex-solution degeneracy can in principle leave an unmatched
+		// job; fall back to each unmatched job's fastest allowed machine.
+		for fi, j := range fractional {
+			if match[fi] >= 0 {
+				continue
+			}
+			best, bestT := -1, math.Inf(1)
+			for i := 0; i < m; i++ {
+				if p[i][j] <= T && p[i][j] < bestT {
+					best, bestT = i, p[i][j]
+				}
+			}
+			if best < 0 {
+				return nil, false, fmt.Errorf("rcmax: job %d lost all machines", j)
+			}
+			match[fi] = best
+		}
+	}
+	for fi, j := range fractional {
+		assign[j] = match[fi]
+	}
+	return assign, true, nil
+}

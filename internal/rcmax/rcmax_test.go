@@ -1,0 +1,157 @@
+package rcmax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestApproxSingleMachine(t *testing.T) {
+	p := [][]float64{{1, 2, 3}}
+	assign, span, err := Approx(p, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 6 {
+		t.Fatalf("span %g, want 6", span)
+	}
+	for j, i := range assign {
+		if i != 0 {
+			t.Fatalf("job %d on machine %d", j, i)
+		}
+	}
+}
+
+func TestApproxIdenticalMachines(t *testing.T) {
+	// 2 machines, 4 unit jobs: optimum 2, LST guarantees ≤ 4.
+	p := [][]float64{{1, 1, 1, 1}, {1, 1, 1, 1}}
+	_, span, err := Approx(p, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span > 4+1e-9 {
+		t.Fatalf("span %g exceeds 2·OPT = 4", span)
+	}
+	if span < 2-1e-9 {
+		t.Fatalf("span %g below OPT = 2", span)
+	}
+}
+
+func TestApproxSpecialists(t *testing.T) {
+	// Each job only runnable (finite) on its own machine.
+	inf := math.Inf(1)
+	p := [][]float64{
+		{2, inf, inf},
+		{inf, 3, inf},
+		{inf, inf, 4},
+	}
+	assign, span, err := Approx(p, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2}
+	for j := range want {
+		if assign[j] != want[j] {
+			t.Fatalf("assign %v", assign)
+		}
+	}
+	if span != 4 {
+		t.Fatalf("span %g, want 4", span)
+	}
+}
+
+func TestApproxErrors(t *testing.T) {
+	if _, _, err := Approx(nil, 0.01); err == nil {
+		t.Fatal("no machines must error")
+	}
+	if _, _, err := Approx([][]float64{{}}, 0.01); err == nil {
+		t.Fatal("no jobs must error")
+	}
+	inf := math.Inf(1)
+	if _, _, err := Approx([][]float64{{inf}}, 0.01); err == nil {
+		t.Fatal("unprocessable job must error")
+	}
+	if _, _, err := Approx([][]float64{{1, 2}, {1}}, 0.01); err == nil {
+		t.Fatal("ragged matrix must error")
+	}
+}
+
+// bruteOPT computes the true R||Cmax optimum for tiny instances.
+func bruteOPT(p [][]float64, n int) float64 {
+	m := len(p)
+	best := math.Inf(1)
+	assign := make([]int, n)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			loads := make([]float64, m)
+			for jj, i := range assign {
+				loads[i] += p[i][jj]
+			}
+			span := 0.0
+			for _, l := range loads {
+				if l > span {
+					span = l
+				}
+			}
+			if span < best {
+				best = span
+			}
+			return
+		}
+		for i := 0; i < m; i++ {
+			if !math.IsInf(p[i][j], 1) {
+				assign[j] = i
+				rec(j + 1)
+			}
+		}
+	}
+	rec(0)
+	return best
+}
+
+// TestApproxWithinTwiceOPT is the LST guarantee on random instances.
+func TestApproxWithinTwiceOPT(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 2+rng.Intn(2), 2+rng.Intn(5)
+		p := make([][]float64, m)
+		for i := range p {
+			p[i] = make([]float64, n)
+			for j := range p[i] {
+				p[i][j] = 0.5 + 4*rng.Float64()
+			}
+		}
+		assign, span, err := Approx(p, 0.01)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// The assignment must be valid and span consistent.
+		if got := makespanOf(p, assign); math.Abs(got-span) > 1e-9 {
+			t.Logf("seed %d: span mismatch %g vs %g", seed, got, span)
+			return false
+		}
+		opt := bruteOPT(p, n)
+		if span > 2*opt*(1+0.02)+1e-9 {
+			t.Logf("seed %d: span %g > 2·OPT = %g", seed, span, 2*opt)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxZeroTimes(t *testing.T) {
+	p := [][]float64{{0, 0}, {0, 0}}
+	_, span, err := Approx(p, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 0 {
+		t.Fatalf("span %g, want 0", span)
+	}
+}

@@ -1,0 +1,304 @@
+// Package rounding implements the paper's LP relaxations and their
+// roundings: (LP1) with Lemma 2 for independent jobs, and (LP2) with
+// Lemma 6 for disjoint chains. Both roundings share the same skeleton —
+// cap log failures at the target, group machines by powers of two,
+// inflate-and-floor the group assignments, and extract an integral
+// assignment as an integral maximum flow — and both come with defensive
+// post-condition checks (mass and load) that repair any floating-point
+// slop greedily, counting how often that was needed (never, in practice).
+package rounding
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/lp"
+	"repro/internal/maxflow"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// capEps guards floor/ceil of LP values against floating-point slop:
+// floor(6·2.9999999996) must be 18, not 17.
+const capEps = 1e-7
+
+// LP1Result is a rounded solution of LP1(jobs, L).
+type LP1Result struct {
+	// Assignment gives x̂_ij over the full instance (zero outside jobs).
+	Assignment *sched.Assignment
+	// TFrac is the optimal value t* of the LP relaxation, a lower bound
+	// on tLP1 and hence (for L=1/2, all jobs) within O(1) of E[T_OPT]
+	// by Lemma 1.
+	TFrac float64
+	// Length is the serialized schedule length, max machine load of the
+	// rounded assignment (≤ ⌈6t*⌉ + repairs).
+	Length int64
+	// Repairs counts greedy post-rounding fix-up steps (0 in practice).
+	Repairs int
+}
+
+// SolveLP1 solves the LP relaxation of LP1(jobs, L) from Section 3:
+//
+//	min t  s.t.  Σ_i ℓ′_ij·x_ij ≥ L (j ∈ jobs),  Σ_j x_ij ≤ t (i),  x ≥ 0,
+//
+// with ℓ′ = min(ℓ, L). It returns the fractional assignment x*[i][pos]
+// (pos indexes the jobs slice) and t*.
+func SolveLP1(ins *model.Instance, jobs []int, L float64) ([][]float64, float64, error) {
+	if L <= 0 {
+		return nil, 0, fmt.Errorf("rounding: target L = %g must be positive", L)
+	}
+	k := len(jobs)
+	if k == 0 {
+		return make([][]float64, ins.M), 0, nil
+	}
+	m := ins.M
+	// Variables: x_{i,pos} at i*k+pos, t at m*k.
+	p := lp.NewProblem(m*k + 1)
+	p.C[m*k] = 1
+	for pos, j := range jobs {
+		if j < 0 || j >= ins.N {
+			return nil, 0, fmt.Errorf("rounding: job %d out of range", j)
+		}
+		var terms []lp.Term
+		for i := 0; i < m; i++ {
+			if l := math.Min(ins.L[i][j], L); l > 0 {
+				terms = append(terms, lp.Term{Var: i*k + pos, Coef: l})
+			}
+		}
+		if len(terms) == 0 {
+			return nil, 0, fmt.Errorf("rounding: job %d has zero log failure on every machine", j)
+		}
+		p.AddConstraint(terms, lp.GE, L)
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]lp.Term, 0, k+1)
+		for pos := 0; pos < k; pos++ {
+			terms = append(terms, lp.Term{Var: i*k + pos, Coef: 1})
+		}
+		terms = append(terms, lp.Term{Var: m * k, Coef: -1})
+		p.AddConstraint(terms, lp.LE, 0)
+	}
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rounding: LP1 solve: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, 0, fmt.Errorf("rounding: LP1 status %v", sol.Status)
+	}
+	x := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		x[i] = sol.X[i*k : (i+1)*k]
+	}
+	return x, sol.Obj, nil
+}
+
+// RoundLP1 implements Lemma 2: it solves the relaxation and rounds it to an
+// integral assignment giving every job in jobs log mass at least L (under
+// the capped ℓ′) with machine loads at most ⌈6t*⌉.
+func RoundLP1(ins *model.Instance, jobs []int, L float64) (*LP1Result, error) {
+	if len(jobs) == 0 {
+		return &LP1Result{Assignment: sched.NewAssignment(ins.M, ins.N)}, nil
+	}
+	xfrac, tstar, err := SolveLP1(ins, jobs, L)
+	if err != nil {
+		return nil, err
+	}
+	return RoundFractional(ins, jobs, L, xfrac, tstar)
+}
+
+// RoundFractional applies the Lemma 2 rounding to an externally-computed
+// fractional solution (x indexed [machine][position in jobs]) whose machine
+// loads are at most tfrac. It is how approximate solvers (the MWU engine)
+// plug into the same rounding pipeline as the exact simplex.
+func RoundFractional(ins *model.Instance, jobs []int, L float64, xfrac [][]float64, tfrac float64) (*LP1Result, error) {
+	if len(jobs) == 0 {
+		return &LP1Result{Assignment: sched.NewAssignment(ins.M, ins.N)}, nil
+	}
+	asn, repairs, err := roundByFlow(ins, jobs, L, xfrac, tfrac, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &LP1Result{
+		Assignment: asn,
+		TFrac:      tfrac,
+		Length:     asn.MaxLoad(),
+		Repairs:    repairs,
+	}, nil
+}
+
+// RoundFractionalNaive rounds an externally-computed fractional solution by
+// independent per-entry ceilings (x̂ = ⌈6x⌉ where x > 0) — the ablation
+// baseline for Lemma 2. Spread-out solutions (like the MWU engine's)
+// inflate machine loads by up to one step per positive entry.
+func RoundFractionalNaive(ins *model.Instance, jobs []int, L float64, xfrac [][]float64, tfrac float64) (*LP1Result, error) {
+	asn := sched.NewAssignment(ins.M, ins.N)
+	for i := 0; i < ins.M; i++ {
+		for pos, j := range jobs {
+			if xfrac[i][pos] > 1e-12 {
+				asn.X[i][j] = int64(math.Ceil(6*xfrac[i][pos] - capEps))
+			}
+		}
+	}
+	repairs, err := repairMass(ins, jobs, L, asn)
+	if err != nil {
+		return nil, err
+	}
+	return &LP1Result{Assignment: asn, TFrac: tfrac, Length: asn.MaxLoad(), Repairs: repairs}, nil
+}
+
+// repairMass greedily tops up any job whose capped mass fell below L,
+// returning the number of added steps (0 in practice for valid inputs).
+func repairMass(ins *model.Instance, jobs []int, L float64, asn *sched.Assignment) (int, error) {
+	repairs := 0
+	for _, j := range jobs {
+		mass, best, bestL := 0.0, -1, 0.0
+		for i := 0; i < ins.M; i++ {
+			l := math.Min(ins.L[i][j], L)
+			mass += l * float64(asn.X[i][j])
+			if l > bestL {
+				best, bestL = i, l
+			}
+		}
+		if mass+1e-9 >= L {
+			continue
+		}
+		if best < 0 {
+			return repairs, fmt.Errorf("rounding: job %d unroundable", j)
+		}
+		steps := int64(math.Ceil((L - mass) / bestL))
+		asn.X[best][j] += steps
+		repairs += int(steps)
+	}
+	return repairs, nil
+}
+
+// groupOf buckets a capped log failure by ⌊log₂ ℓ′⌋.
+func groupOf(l float64) int {
+	return int(math.Floor(math.Log2(l) + 1e-12))
+}
+
+// roundByFlow performs the shared grouping + flow rounding of Lemmas 2
+// and 6. edgeCap, if non-nil, bounds the per-(job,machine) assignment (the
+// ⌈6d*_j⌉ caps of Lemma 6); nil means uncapacitated (Lemma 2).
+func roundByFlow(ins *model.Instance, jobs []int, L float64, xfrac [][]float64, tstar float64, edgeCap func(pos, i int) int64) (*sched.Assignment, int, error) {
+	m := ins.M
+
+	// Group the fractional assignment: D[pos][g] = Σ over machines i with
+	// ⌊log₂ ℓ′_ij⌋ = g of x*_{i,pos}.
+	type groupKey struct{ pos, g int }
+	d := make(map[groupKey]float64)
+	for i := 0; i < m; i++ {
+		for pos, j := range jobs {
+			if xfrac[i][pos] <= 0 {
+				continue
+			}
+			l := math.Min(ins.L[i][j], L)
+			if l <= 0 {
+				continue
+			}
+			d[groupKey{pos, groupOf(l)}] += xfrac[i][pos]
+		}
+	}
+
+	// Build the flow network: s → u_{j,g} → v_i → w.
+	// Node ids: s=0, w=1, machines 2..m+1, groups m+2...
+	g := maxflow.New(2 + m + len(d))
+	const s, w = 0, 1
+	machineNode := func(i int) int { return 2 + i }
+	loadCap := int64(math.Ceil(6*tstar - capEps))
+	if loadCap < 0 {
+		loadCap = 0
+	}
+	for i := 0; i < m; i++ {
+		if _, err := g.AddEdge(machineNode(i), w, loadCap); err != nil {
+			return nil, 0, err
+		}
+	}
+	type flowEdge struct {
+		id  int
+		i   int
+		pos int
+	}
+	var edges []flowEdge
+	// Build group nodes in a deterministic order: map iteration order
+	// varies between runs, and while every integral max flow satisfies
+	// the lemma, reproducibility demands the same one every time.
+	keys := make([]groupKey, 0, len(d))
+	for key := range d {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].pos != keys[b].pos {
+			return keys[a].pos < keys[b].pos
+		}
+		return keys[a].g < keys[b].g
+	})
+	next := 2 + m
+	var want int64 // total source capacity; the lemma guarantees it routes
+	for _, key := range keys {
+		dv := d[key]
+		capV := int64(math.Floor(6*dv + capEps))
+		if capV <= 0 {
+			continue
+		}
+		node := next
+		next++
+		if _, err := g.AddEdge(s, node, capV); err != nil {
+			return nil, 0, err
+		}
+		want += capV
+		j := jobs[key.pos]
+		for i := 0; i < m; i++ {
+			l := math.Min(ins.L[i][j], L)
+			if l <= 0 || groupOf(l) != key.g {
+				continue
+			}
+			c := maxflow.Inf
+			if edgeCap != nil {
+				c = edgeCap(key.pos, i)
+			}
+			if c <= 0 {
+				continue
+			}
+			id, err := g.AddEdge(node, machineNode(i), c)
+			if err != nil {
+				return nil, 0, err
+			}
+			edges = append(edges, flowEdge{id, i, key.pos})
+		}
+	}
+	got := g.MaxFlow(s, w)
+	_ = want // got may fall short only through float slop; repairs below cover it.
+
+	asn := sched.NewAssignment(m, ins.N)
+	for _, e := range edges {
+		asn.X[e.i][jobs[e.pos]] += g.Flow(e.id)
+	}
+
+	// Post-conditions (Lemma 2): every job has capped mass ≥ L. Repair any
+	// shortfall greedily on the job's most effective machine.
+	repairs := 0
+	for _, j := range jobs {
+		mass := 0.0
+		best, bestL := -1, 0.0
+		for i := 0; i < m; i++ {
+			l := math.Min(ins.L[i][j], L)
+			mass += l * float64(asn.X[i][j])
+			if l > bestL {
+				best, bestL = i, l
+			}
+		}
+		if mass+1e-9 >= L {
+			continue
+		}
+		if best < 0 {
+			return nil, repairs, fmt.Errorf("rounding: job %d unroundable (no positive rate)", j)
+		}
+		steps := int64(math.Ceil((L - mass) / bestL))
+		asn.X[best][j] += steps
+		repairs += int(steps)
+	}
+	_ = got
+	return asn, repairs, nil
+}

@@ -1,0 +1,157 @@
+package rounding
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/lp"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// LP2Result is a rounded solution of (LP2) for disjoint chains (Section 4).
+// The chains may cover only a subset of the instance's jobs (SUU-T solves
+// one (LP2) per decomposition block); uncovered jobs get no assignment.
+type LP2Result struct {
+	// Assignment gives every covered job log mass ≥ 1 (capped ℓ′=min(ℓ,1)).
+	Assignment *sched.Assignment
+	// JobLength is d̂_j = max(1, max_i x̂_ij) for covered jobs, 0 otherwise.
+	JobLength []int64
+	// TFrac is the LP optimum t*, which Lemma 5 lower-bounds against
+	// O(E[T_OPT]).
+	TFrac float64
+	// Load is the max machine load of the rounded assignment.
+	Load int64
+	// Repairs counts post-rounding fix-up steps (0 in practice).
+	Repairs int
+}
+
+// SolveLP2 solves the relaxation of (LP2):
+//
+//	min t  s.t.  Σ_i ℓ′_ij x_ij ≥ 1 (j covered),  Σ_j x_ij ≤ t (i),
+//	             Σ_{j∈C_k} d_j ≤ t (C_k),  x_ij ≤ d_j,  d_j ≥ 1,  x ≥ 0,
+//
+// with ℓ′ = min(ℓ, 1). The d_j ≥ 1 bound is folded in by the substitution
+// d_j = 1 + e_j, e_j ≥ 0, which spares n artificial variables. It returns
+// the fractional x*[i][pos] and d*[pos] indexed by position in the
+// flattened chain order, the flattened job list, and t*.
+func SolveLP2(ins *model.Instance, chains []dag.Chain) ([][]float64, []float64, []int, float64, error) {
+	m := ins.M
+	var jobs []int
+	seen := make(map[int]bool)
+	for _, c := range chains {
+		for _, j := range c {
+			if j < 0 || j >= ins.N {
+				return nil, nil, nil, 0, fmt.Errorf("rounding: chain job %d out of range", j)
+			}
+			if seen[j] {
+				return nil, nil, nil, 0, fmt.Errorf("rounding: job %d appears in two chains", j)
+			}
+			seen[j] = true
+			jobs = append(jobs, j)
+		}
+	}
+	k := len(jobs)
+	if k == 0 {
+		return make([][]float64, m), nil, nil, 0, nil
+	}
+	posOf := make(map[int]int, k)
+	for pos, j := range jobs {
+		posOf[j] = pos
+	}
+	// Variables: x_{i,pos} at i*k+pos, e_pos at m*k+pos (d = 1+e), t last.
+	xv := func(i, pos int) int { return i*k + pos }
+	ev := func(pos int) int { return m*k + pos }
+	tv := m*k + k
+	p := lp.NewProblem(m*k + k + 1)
+	p.C[tv] = 1
+	for pos, j := range jobs {
+		var terms []lp.Term
+		for i := 0; i < m; i++ {
+			if l := math.Min(ins.L[i][j], 1); l > 0 {
+				terms = append(terms, lp.Term{Var: xv(i, pos), Coef: l})
+			}
+		}
+		if len(terms) == 0 {
+			return nil, nil, nil, 0, fmt.Errorf("rounding: job %d has zero log failure on every machine", j)
+		}
+		p.AddConstraint(terms, lp.GE, 1)
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]lp.Term, 0, k+1)
+		for pos := 0; pos < k; pos++ {
+			terms = append(terms, lp.Term{Var: xv(i, pos), Coef: 1})
+		}
+		terms = append(terms, lp.Term{Var: tv, Coef: -1})
+		p.AddConstraint(terms, lp.LE, 0)
+	}
+	for _, c := range chains {
+		terms := make([]lp.Term, 0, len(c)+1)
+		for _, j := range c {
+			terms = append(terms, lp.Term{Var: ev(posOf[j]), Coef: 1})
+		}
+		terms = append(terms, lp.Term{Var: tv, Coef: -1})
+		// Σ (1+e_j) ≤ t  ⇔  Σ e_j − t ≤ −|C_k|.
+		p.AddConstraint(terms, lp.LE, -float64(len(c)))
+	}
+	for i := 0; i < m; i++ {
+		for pos := 0; pos < k; pos++ {
+			// x_ij ≤ d_j = 1 + e_j.
+			p.AddConstraint([]lp.Term{{Var: xv(i, pos), Coef: 1}, {Var: ev(pos), Coef: -1}}, lp.LE, 1)
+		}
+	}
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, nil, nil, 0, fmt.Errorf("rounding: LP2 solve: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, nil, nil, 0, fmt.Errorf("rounding: LP2 status %v", sol.Status)
+	}
+	x := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		x[i] = sol.X[i*k : (i+1)*k]
+	}
+	dstar := make([]float64, k)
+	for pos := 0; pos < k; pos++ {
+		dstar[pos] = 1 + sol.X[ev(pos)]
+	}
+	return x, dstar, jobs, sol.Obj, nil
+}
+
+// RoundLP2 implements Lemma 6: the Lemma 2 rounding with per-job edge
+// capacities ⌈6d*_j⌉ in the flow network, which keeps every chain's total
+// length within a constant factor of t*.
+func RoundLP2(ins *model.Instance, chains []dag.Chain) (*LP2Result, error) {
+	xfrac, dstar, jobs, tstar, err := SolveLP2(ins, chains)
+	if err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return &LP2Result{
+			Assignment: sched.NewAssignment(ins.M, ins.N),
+			JobLength:  make([]int64, ins.N),
+		}, nil
+	}
+	edgeCap := func(pos, i int) int64 {
+		return int64(math.Ceil(6*dstar[pos] - capEps))
+	}
+	asn, repairs, err := roundByFlow(ins, jobs, 1, xfrac, tstar, edgeCap)
+	if err != nil {
+		return nil, err
+	}
+	dl := make([]int64, ins.N)
+	for _, j := range jobs {
+		dl[j] = asn.JobLength(j)
+		if dl[j] < 1 {
+			dl[j] = 1
+		}
+	}
+	return &LP2Result{
+		Assignment: asn,
+		JobLength:  dl,
+		TFrac:      tstar,
+		Load:       asn.MaxLoad(),
+		Repairs:    repairs,
+	}, nil
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// Policy is a scheduling algorithm: given a fresh world, it must drive every
+// job to completion. Implementations must be safe for concurrent use by
+// multiple goroutines (configuration only — per-trial state lives in local
+// variables and in the World, including its Rng).
+type Policy interface {
+	Name() string
+	Run(w *World) error
+}
+
+// MCResult is the outcome of a Monte Carlo estimate.
+type MCResult struct {
+	Makespans []float64
+	Summary   stats.Summary
+}
+
+// MonteCarlo estimates the expected makespan of policy p on ins over the
+// given number of independent trials. Trials are distributed over a fixed
+// worker pool; trial i uses its own RNG seeded with seed+i, so results are
+// identical regardless of worker count or interleaving.
+func MonteCarlo(ins *model.Instance, p Policy, trials int, seed int64, workers int) (*MCResult, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: trials = %d", trials)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	makespans := make([]float64, trials)
+	idx := make(chan int, trials)
+	for i := 0; i < trials; i++ {
+		idx <- i
+	}
+	close(idx)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					return
+				}
+				ms, err := oneTrial(ins, p, seed+int64(i))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sim: trial %d of %s: %w", i, p.Name(), err)
+					}
+					mu.Unlock()
+					return
+				}
+				makespans[i] = float64(ms)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &MCResult{Makespans: makespans, Summary: stats.Summarize(makespans)}, nil
+}
+
+func oneTrial(ins *model.Instance, p Policy, seed int64) (int64, error) {
+	w := NewWorld(ins, rand.New(rand.NewSource(seed)))
+	if err := p.Run(w); err != nil {
+		return 0, err
+	}
+	return w.Makespan()
+}
+
+// MonteCarloCoin is MonteCarlo on the per-step Bernoulli simulator. It is
+// slower (no fast-forwarding) and exists to validate the SUU ≡ SUU*
+// equivalence of Theorem 10 on small instances.
+func MonteCarloCoin(ins *model.Instance, p Policy, trials int, seed int64, workers int) (*MCResult, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: trials = %d", trials)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	makespans := make([]float64, trials)
+	idx := make(chan int, trials)
+	for i := 0; i < trials; i++ {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				w := NewCoinWorld(ins, rand.New(rand.NewSource(seed+int64(i))))
+				err := p.Run(w)
+				var ms int64
+				if err == nil {
+					ms, err = w.Makespan()
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sim: coin trial %d of %s: %w", i, p.Name(), err)
+					}
+					mu.Unlock()
+					return
+				}
+				makespans[i] = float64(ms)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &MCResult{Makespans: makespans, Summary: stats.Summarize(makespans)}, nil
+}

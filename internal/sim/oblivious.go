@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sched"
+)
+
+// interval is one machine-run's contribution to a job: rate ℓ_ij over
+// schedule-relative steps [start, end).
+type interval struct {
+	start, end int64
+	rate       float64
+}
+
+// RunOblivious executes one pass of a finite oblivious schedule. In
+// threshold mode it fast-forwards analytically (no step loop): each job's
+// mass-accrual curve is a piecewise-linear function of time, and the
+// completion step is the first integer crossing of the hidden threshold.
+// In coin mode it expands to steps.
+//
+// Every uncompleted job appearing in the schedule must be eligible when the
+// pass starts (true for all the paper's uses: independent-job rounds and
+// per-job chain blocks). If all jobs in the world complete during the pass
+// the clock stops at the last completion; otherwise it advances by the full
+// schedule length, matching a scheduler that only reacts at round ends.
+func (w *World) RunOblivious(o *sched.Oblivious) error {
+	if o.M != w.ins.M {
+		return fmt.Errorf("sim: schedule has %d machines, instance has %d", o.M, w.ins.M)
+	}
+	if w.mode == Coin || w.expandForTrace() {
+		return w.runObliviousSteps(o)
+	}
+	ivs, err := w.collectIntervals(o)
+	if err != nil {
+		return err
+	}
+	start := w.clock
+	var maxDone int64 = -1
+	type completion struct {
+		job int
+		at  int64
+	}
+	var completions []completion
+	for j, list := range ivs {
+		off, crossed, mass := crossingTime(list, w.thr[j]-w.acc[j])
+		if crossed {
+			w.acc[j] = w.thr[j]
+			completions = append(completions, completion{j, start + off})
+			if start+off > maxDone {
+				maxDone = start + off
+			}
+		} else {
+			w.acc[j] += mass
+		}
+	}
+	for _, c := range completions {
+		w.markDone(c.job, c.at)
+	}
+	if w.AllDone() && maxDone >= 0 {
+		w.clock = maxDone
+	} else {
+		w.clock = start + o.Length
+	}
+	return nil
+}
+
+// collectIntervals gathers, per uncompleted job, the (start, end, rate)
+// contributions of every machine run, checking eligibility.
+func (w *World) collectIntervals(o *sched.Oblivious) (map[int][]interval, error) {
+	ivs := make(map[int][]interval)
+	for i, runs := range o.Runs {
+		var t int64
+		for _, r := range runs {
+			if err := w.checkRunnable(r.Job); err != nil {
+				return nil, err
+			}
+			if !w.done[r.Job] && w.ins.L[i][r.Job] > 0 && r.Steps > 0 {
+				ivs[r.Job] = append(ivs[r.Job], interval{t, t + r.Steps, w.ins.L[i][r.Job]})
+			}
+			t += r.Steps
+		}
+	}
+	return ivs, nil
+}
+
+// crossingTime finds the first integer step at which the total mass of the
+// (possibly overlapping) intervals reaches need. It returns the crossing
+// step, whether it crossed, and the total mass of all intervals (used to
+// update accrual when the job does not finish).
+func crossingTime(ivs []interval, need float64) (int64, bool, float64) {
+	total := 0.0
+	for _, iv := range ivs {
+		total += iv.rate * float64(iv.end-iv.start)
+	}
+	if need <= massEps {
+		// Already at threshold; completes at the end of the first step
+		// that touches it (step boundary 1 at the earliest interval).
+		first := ivs[0].start
+		for _, iv := range ivs[1:] {
+			if iv.start < first {
+				first = iv.start
+			}
+		}
+		return first + 1, true, total
+	}
+	if total+massEps < need {
+		return 0, false, total
+	}
+	// Event sweep over piecewise-constant total rate.
+	events := make([]rateEvent, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		events = append(events, rateEvent{iv.start, iv.rate}, rateEvent{iv.end, -iv.rate})
+	}
+	sortEvents(events)
+	acc := 0.0
+	rate := 0.0
+	var prev int64
+	for k := 0; k < len(events); {
+		t := events[k].t
+		if t > prev && rate > 0 {
+			segMass := rate * float64(t-prev)
+			if acc+segMass+massEps >= need {
+				steps := int64(math.Ceil((need - acc - massEps) / rate))
+				if steps < 1 {
+					steps = 1
+				}
+				if steps > t-prev {
+					steps = t - prev
+				}
+				return prev + steps, true, total
+			}
+			acc += segMass
+		}
+		if t > prev {
+			prev = t
+		}
+		for k < len(events) && events[k].t == t {
+			rate += events[k].dr
+			k++
+		}
+	}
+	// Numerically we said total ≥ need but the sweep missed; complete at
+	// the final event (defensive against float drift).
+	return prev, true, total
+}
+
+// rateEvent is a change of total accrual rate at schedule-relative time t.
+type rateEvent struct {
+	t  int64
+	dr float64
+}
+
+// sortEvents orders rate events by time. Lists are short (two per machine
+// run touching the job), so insertion sort wins over sort.Slice here.
+func sortEvents(events []rateEvent) {
+	for i := 1; i < len(events); i++ {
+		for k := i; k > 0 && events[k].t < events[k-1].t; k-- {
+			events[k], events[k-1] = events[k-1], events[k]
+		}
+	}
+}
+
+// runObliviousSteps expands the schedule into unit steps (coin mode).
+func (w *World) runObliviousSteps(o *sched.Oblivious) error {
+	steps := o.StepAssignments()
+	for _, assign := range steps {
+		if _, err := w.Step(assign); err != nil {
+			return err
+		}
+		if w.AllDone() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// RepeatOblivious repeats a finite oblivious schedule until every
+// uncompleted job appearing in it completes, as SUU-I-OBL, the m<n endgame
+// of SUU-I-SEM, and SUU-C's long-job batches do. Jobs not in the schedule
+// are untouched. Threshold mode computes the number of passes analytically
+// per job: each pass adds a fixed mass, so the completing pass is
+// ⌈need/massPerPass⌉ and the within-pass offset is a crossing search.
+// Returns the number of passes the longest-running job needed.
+func (w *World) RepeatOblivious(o *sched.Oblivious, maxPasses int64) (int64, error) {
+	if maxPasses <= 0 {
+		return 0, fmt.Errorf("sim: maxPasses = %d", maxPasses)
+	}
+	scheduled := func() []int {
+		var out []int
+		for _, j := range o.Jobs() {
+			if !w.done[j] {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	if w.mode == Coin || w.expandForTrace() {
+		var p int64
+		for {
+			left := false
+			for _, j := range scheduled() {
+				if !w.done[j] {
+					left = true
+					break
+				}
+			}
+			if !left {
+				return p, nil
+			}
+			if p >= maxPasses {
+				return p, fmt.Errorf("sim: %d passes without completing scheduled jobs", p)
+			}
+			if err := w.runObliviousSteps(o); err != nil {
+				return p, err
+			}
+			p++
+		}
+	}
+	ivs, err := w.collectIntervals(o)
+	if err != nil {
+		return 0, err
+	}
+	// Every uncompleted scheduled job must receive positive mass per pass,
+	// or the repetition would never terminate.
+	for _, j := range scheduled() {
+		if len(ivs[j]) == 0 {
+			return 0, fmt.Errorf("sim: schedule gives no mass to uncompleted job %d", j)
+		}
+	}
+	start := w.clock
+	var maxOffset, passes int64
+	for j, list := range ivs {
+		perPass := 0.0
+		for _, iv := range list {
+			perPass += iv.rate * float64(iv.end-iv.start)
+		}
+		need := w.thr[j] - w.acc[j]
+		if need <= massEps {
+			need = massEps // completes in the first touching step
+		}
+		p := int64(math.Ceil((need - massEps) / perPass))
+		if p < 1 {
+			p = 1
+		}
+		if p > maxPasses {
+			return p, fmt.Errorf("sim: job %d needs %d passes, cap %d", j, p, maxPasses)
+		}
+		residual := need - float64(p-1)*perPass
+		off, crossed, _ := crossingTime(list, residual)
+		if !crossed {
+			// Float drift at the pass boundary: finish at pass end.
+			off = o.Length
+		}
+		at := start + (p-1)*o.Length + off
+		w.acc[j] = w.thr[j]
+		w.markDone(j, at)
+		if at-start > maxOffset {
+			maxOffset = at - start
+		}
+		if p > passes {
+			passes = p
+		}
+	}
+	w.clock = start + maxOffset
+	return passes, nil
+}

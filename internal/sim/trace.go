@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Trace records a step-resolution timeline of one execution: which job
+// each machine worked at every timestep. Attaching a tracer switches the
+// world's fast-forwarding off (oblivious schedules are expanded step by
+// step so the timeline is complete), so tracing is meant for small
+// instances, debugging, and the suusim -trace view — not for Monte Carlo.
+type Trace struct {
+	// MaxSteps caps recording; once exceeded the trace marks itself
+	// truncated and stops growing (execution continues). 0 means 100000.
+	MaxSteps int64
+
+	steps     [][]int32 // per timestep, per machine: job or -1
+	truncated bool
+}
+
+// Steps returns the number of recorded timesteps.
+func (tr *Trace) Steps() int { return len(tr.steps) }
+
+// Truncated reports whether the execution outran MaxSteps.
+func (tr *Trace) Truncated() bool { return tr.truncated }
+
+// At returns the job machine i worked at recorded step t, or -1.
+func (tr *Trace) At(t int64, i int) int {
+	return int(tr.steps[t][i])
+}
+
+func (tr *Trace) record(assign []int32) {
+	limit := tr.MaxSteps
+	if limit <= 0 {
+		limit = 100000
+	}
+	if int64(len(tr.steps)) >= limit {
+		tr.truncated = true
+		return
+	}
+	tr.steps = append(tr.steps, assign)
+}
+
+// jobGlyph maps job ids to a compact display alphabet.
+func jobGlyph(j int) byte {
+	const alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if j < 0 {
+		return '.'
+	}
+	return alphabet[j%len(alphabet)]
+}
+
+// Gantt renders the trace as an ASCII chart: one row per machine, one
+// column per timestep (up to width columns; longer traces are sampled).
+// Idle steps print '.', and jobs print as base-62 glyphs (job mod 62).
+func (tr *Trace) Gantt(width int) string {
+	if len(tr.steps) == 0 {
+		return "(empty trace)\n"
+	}
+	if width <= 0 {
+		width = 120
+	}
+	total := len(tr.steps)
+	cols := total
+	if cols > width {
+		cols = width
+	}
+	m := len(tr.steps[0])
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0..%d (%d steps", total-1, total)
+	if cols < total {
+		fmt.Fprintf(&b, ", sampled to %d columns", cols)
+	}
+	if tr.truncated {
+		b.WriteString(", TRUNCATED")
+	}
+	b.WriteString(")\n")
+	for i := 0; i < m; i++ {
+		fmt.Fprintf(&b, "m%-3d |", i)
+		for c := 0; c < cols; c++ {
+			t := c * total / cols
+			b.WriteByte(jobGlyph(int(tr.steps[t][i])))
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// SetTracer attaches a trace recorder to the world. Must be called before
+// execution starts.
+func (w *World) SetTracer(tr *Trace) { w.tracer = tr }
+
+// traceStep records one executed timestep (assign indexed by machine).
+func (w *World) traceStep(assign []int) {
+	if w.tracer == nil {
+		return
+	}
+	row := make([]int32, len(assign))
+	for i, j := range assign {
+		// Record idling for completed jobs, matching what the machine
+		// actually did.
+		if j >= 0 && w.done[j] {
+			j = -1
+		}
+		row[i] = int32(j)
+	}
+	w.tracer.record(row)
+}
+
+// traceMulti records a flattened superstep: machine i works its k-th
+// assigned (uncompleted) job during expanded step k, idling afterwards.
+func (w *World) traceMulti(assign [][]int, cost int64) {
+	if w.tracer == nil {
+		return
+	}
+	for s := int64(0); s < cost; s++ {
+		row := make([]int32, len(assign))
+		for i := range assign {
+			row[i] = -1
+			// The s-th uncompleted job of machine i's list, if any.
+			var seen int64
+			for _, j := range assign[i] {
+				if w.done[j] {
+					continue
+				}
+				if seen == s {
+					row[i] = int32(j)
+					break
+				}
+				seen++
+			}
+		}
+		w.tracer.record(row)
+	}
+}
+
+// expandForTrace reports whether oblivious fast-forwarding must be
+// disabled so the tracer sees every step.
+func (w *World) expandForTrace() bool { return w.tracer != nil }

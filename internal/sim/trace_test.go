@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestTraceRecordsSteps(t *testing.T) {
+	ins := mustInstance(t, 2, 2, [][]float64{{0.5, 0.5}, {0.5, 0.5}}, nil)
+	w, err := NewWorldWithThresholds(ins, []float64{1.5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{}
+	w.SetTracer(tr)
+	if _, err := w.Step([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Step([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Steps() != 2 {
+		t.Fatalf("recorded %d steps, want 2", tr.Steps())
+	}
+	if tr.At(0, 0) != 0 || tr.At(0, 1) != 1 {
+		t.Fatalf("step 0 = (%d,%d)", tr.At(0, 0), tr.At(0, 1))
+	}
+	// Job 0 completed at step 2 (mass 2 ≥ 1.5): further assignment to it
+	// records as idle.
+	if !w.Done(0) {
+		t.Fatal("job 0 should be done")
+	}
+	if _, err := w.Step([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.At(2, 0) != -1 {
+		t.Fatalf("completed job should trace as idle, got %d", tr.At(2, 0))
+	}
+}
+
+// TestTracedExecutionMatchesFastForward: the same thresholds must produce
+// the same makespan whether fast-forwarded or traced step by step.
+func TestTracedExecutionMatchesFastForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ins := randomInstance(rng, 3, 6)
+	a := sched.NewAssignment(3, 6)
+	for j := 0; j < 6; j++ {
+		a.X[rng.Intn(3)][j] = 1 + int64(rng.Intn(3))
+	}
+	o := a.Serialize()
+	thr := make([]float64, 6)
+	for j := range thr {
+		thr[j] = 0.2 + 4*rng.Float64()
+	}
+	fast, _ := NewWorldWithThresholds(ins, thr)
+	if _, err := fast.RepeatOblivious(o, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	traced, _ := NewWorldWithThresholds(ins, thr)
+	tr := &Trace{}
+	traced.SetTracer(tr)
+	if _, err := traced.RepeatOblivious(o, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	mf, _ := fast.Makespan()
+	mt, _ := traced.Makespan()
+	if mf != mt {
+		t.Fatalf("fast-forward makespan %d != traced %d", mf, mt)
+	}
+	if int64(tr.Steps()) < mt {
+		t.Fatalf("trace has %d steps for makespan %d", tr.Steps(), mt)
+	}
+}
+
+func TestTraceGantt(t *testing.T) {
+	ins := mustInstance(t, 2, 2, [][]float64{{0.5, 0.5}, {0.5, 0.5}}, nil)
+	w, _ := NewWorldWithThresholds(ins, []float64{2.5, 2.5})
+	tr := &Trace{}
+	w.SetTracer(tr)
+	for s := 0; s < 3; s++ {
+		if _, err := w.Step([]int{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := tr.Gantt(80)
+	if !strings.Contains(out, "m0") || !strings.Contains(out, "m1") {
+		t.Fatalf("gantt missing machine rows:\n%s", out)
+	}
+	if !strings.Contains(out, "000") || !strings.Contains(out, "111") {
+		t.Fatalf("gantt missing job glyphs:\n%s", out)
+	}
+	if (&Trace{}).Gantt(10) == "" {
+		t.Fatal("empty trace should render a placeholder")
+	}
+}
+
+func TestTraceTruncation(t *testing.T) {
+	ins := mustInstance(t, 1, 1, [][]float64{{0.9}}, nil)
+	w, _ := NewWorldWithThresholds(ins, []float64{60})
+	tr := &Trace{MaxSteps: 5}
+	w.SetTracer(tr)
+	if _, err := w.SoloAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Truncated() {
+		t.Fatal("trace should be truncated")
+	}
+	if tr.Steps() != 5 {
+		t.Fatalf("recorded %d steps, want cap 5", tr.Steps())
+	}
+	if !strings.Contains(tr.Gantt(40), "TRUNCATED") {
+		t.Fatal("gantt should flag truncation")
+	}
+}
+
+func TestTraceMultiExpansion(t *testing.T) {
+	ins := mustInstance(t, 2, 3, [][]float64{{0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}}, nil)
+	w, _ := NewWorldWithThresholds(ins, []float64{50, 50, 50})
+	tr := &Trace{}
+	w.SetTracer(tr)
+	// Machine 0 runs jobs 0,1; machine 1 runs job 2. Congestion 2 ⇒ two
+	// recorded steps: m0 works 0 then 1; m1 works 2 then idles.
+	if _, err := w.StepMulti([][]int{{0, 1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Steps() != 2 {
+		t.Fatalf("recorded %d steps, want 2", tr.Steps())
+	}
+	if tr.At(0, 0) != 0 || tr.At(1, 0) != 1 {
+		t.Fatalf("machine 0 timeline: %d,%d", tr.At(0, 0), tr.At(1, 0))
+	}
+	if tr.At(0, 1) != 2 || tr.At(1, 1) != -1 {
+		t.Fatalf("machine 1 timeline: %d,%d", tr.At(0, 1), tr.At(1, 1))
+	}
+}

@@ -1,0 +1,350 @@
+// Package sim is the SUU execution engine. It implements the SUU*
+// reformulation of Appendix A: each job j owns a hidden threshold
+// −log₂ r_j with r_j ~ U(0,1), and completes at the first step where its
+// accrued log mass reaches the threshold. Theorem 10 proves this induces
+// exactly the same distribution over execution histories as per-step
+// Bernoulli failures, so policies simulated here have exactly the expected
+// makespan of the original SUU process. A per-step coin-flip mode is also
+// provided as an independent reference for equivalence tests.
+//
+// The engine exposes step-level execution (Step, StepMulti for flattened
+// supersteps) plus analytic fast-forwarding of oblivious schedules
+// (RunOblivious, RepeatOblivious), which lets Monte Carlo runs skip the
+// step loops entirely in threshold mode.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Mode selects how job completions are decided.
+type Mode int
+
+const (
+	// Threshold is the SUU* view: hidden thresholds, deterministic
+	// completion once accrued mass crosses them.
+	Threshold Mode = iota
+	// Coin is the original SUU view: an independent Bernoulli failure per
+	// job per step. Slower (no fast-forward); used for cross-validation.
+	Coin
+)
+
+// completion tolerance: accrued mass within this of the threshold counts as
+// crossed. Thresholds are ≤ 64 and rates ≤ 64, so absolute tolerance is safe.
+const massEps = 1e-9
+
+// World is one execution of an SUU instance. It tracks hidden completion
+// state, the clock, precedence eligibility, and the makespan (time of the
+// last completion). A World is not safe for concurrent use; Monte Carlo
+// runs use one World per goroutine.
+type World struct {
+	ins  *model.Instance
+	mode Mode
+	rng  *rand.Rand
+
+	thr       []float64 // threshold mode: −log₂ r_j (clamped to LogFailCap)
+	acc       []float64 // accrued log mass
+	done      []bool
+	remaining int
+	predsLeft []int
+
+	clock    int64
+	lastDone int64
+
+	tracer *Trace // optional step-resolution recorder (disables fast-forward)
+}
+
+// NewWorld returns a threshold-mode world with thresholds drawn from rng.
+func NewWorld(ins *model.Instance, rng *rand.Rand) *World {
+	thr := make([]float64, ins.N)
+	for j := range thr {
+		thr[j] = drawThreshold(rng)
+	}
+	w := newWorld(ins, Threshold, rng)
+	w.thr = thr
+	return w
+}
+
+// NewCoinWorld returns a coin-flip-mode world (per-step Bernoulli failures).
+func NewCoinWorld(ins *model.Instance, rng *rand.Rand) *World {
+	return newWorld(ins, Coin, rng)
+}
+
+// NewWorldWithThresholds returns a threshold-mode world with the given
+// −log₂ r_j values; it makes executions fully deterministic for tests.
+func NewWorldWithThresholds(ins *model.Instance, thr []float64) (*World, error) {
+	if len(thr) != ins.N {
+		return nil, fmt.Errorf("sim: %d thresholds for %d jobs", len(thr), ins.N)
+	}
+	for j, v := range thr {
+		if v <= 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("sim: threshold[%d] = %v must be positive", j, v)
+		}
+	}
+	w := newWorld(ins, Threshold, rand.New(rand.NewSource(0)))
+	w.thr = append([]float64(nil), thr...)
+	return w, nil
+}
+
+func newWorld(ins *model.Instance, mode Mode, rng *rand.Rand) *World {
+	w := &World{
+		ins:       ins,
+		mode:      mode,
+		rng:       rng,
+		acc:       make([]float64, ins.N),
+		done:      make([]bool, ins.N),
+		remaining: ins.N,
+		predsLeft: make([]int, ins.N),
+	}
+	if ins.Prec != nil {
+		for j := 0; j < ins.N; j++ {
+			w.predsLeft[j] = ins.Prec.InDegree(j)
+		}
+	}
+	return w
+}
+
+// drawThreshold samples −log₂ U clamped to the model cap. The clamp fires
+// with probability 2^−64 and keeps the simulation finite.
+func drawThreshold(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	if u == 0 {
+		return model.LogFailCap
+	}
+	t := -math.Log2(u)
+	if t > model.LogFailCap {
+		return model.LogFailCap
+	}
+	return t
+}
+
+// Instance returns the instance being executed.
+func (w *World) Instance() *model.Instance { return w.ins }
+
+// Rng returns the world's random source; policies use it for their own
+// random choices (e.g. SUU-C's chain delays) so trials stay reproducible.
+func (w *World) Rng() *rand.Rand { return w.rng }
+
+// Clock returns the current time (steps executed so far).
+func (w *World) Clock() int64 { return w.clock }
+
+// AllDone reports whether every job has completed.
+func (w *World) AllDone() bool { return w.remaining == 0 }
+
+// NumRemaining returns the number of uncompleted jobs.
+func (w *World) NumRemaining() int { return w.remaining }
+
+// Done reports whether job j has completed.
+func (w *World) Done(j int) bool { return w.done[j] }
+
+// Eligible reports whether job j may be executed now: uncompleted with all
+// predecessors complete.
+func (w *World) Eligible(j int) bool { return !w.done[j] && w.predsLeft[j] == 0 }
+
+// Remaining returns the uncompleted job ids in ascending order.
+func (w *World) Remaining() []int {
+	out := make([]int, 0, w.remaining)
+	for j := 0; j < w.ins.N; j++ {
+		if !w.done[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// EligibleJobs returns the uncompleted jobs whose predecessors are all
+// complete.
+func (w *World) EligibleJobs() []int {
+	var out []int
+	for j := 0; j < w.ins.N; j++ {
+		if w.Eligible(j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// LastCompletion returns the time of the most recent completion so far
+// (0 if nothing has completed). Diagnostic; the makespan of a finished
+// execution comes from Makespan.
+func (w *World) LastCompletion() int64 { return w.lastDone }
+
+// Makespan returns the completion time of the last job. It errors if jobs
+// remain, since the makespan is then undefined.
+func (w *World) Makespan() (int64, error) {
+	if !w.AllDone() {
+		return 0, fmt.Errorf("sim: makespan requested with %d jobs remaining", w.remaining)
+	}
+	return w.lastDone, nil
+}
+
+// markDone records job j completing at time t.
+func (w *World) markDone(j int, t int64) {
+	if w.done[j] {
+		return
+	}
+	w.done[j] = true
+	w.remaining--
+	if t > w.lastDone {
+		w.lastDone = t
+	}
+	if w.ins.Prec != nil {
+		for _, s := range w.ins.Prec.Succs(j) {
+			w.predsLeft[s]--
+		}
+	}
+}
+
+// checkRunnable errors unless job j may legally receive work now.
+// Machines assigned to completed jobs idle (allowed by the schedule
+// definition in Section 2); uncompleted jobs must be eligible.
+func (w *World) checkRunnable(j int) error {
+	if j < 0 || j >= w.ins.N {
+		return fmt.Errorf("sim: job %d out of range [0,%d)", j, w.ins.N)
+	}
+	if !w.done[j] && w.predsLeft[j] > 0 {
+		return fmt.Errorf("sim: job %d scheduled before its %d predecessors completed", j, w.predsLeft[j])
+	}
+	return nil
+}
+
+// Step executes one timestep: assign[i] is the job machine i works on, or
+// -1 to idle. It returns the jobs that completed during the step.
+func (w *World) Step(assign []int) ([]int, error) {
+	if len(assign) != w.ins.M {
+		return nil, fmt.Errorf("sim: assignment for %d machines, want %d", len(assign), w.ins.M)
+	}
+	touched := make(map[int]float64) // job -> survival probability (coin mode)
+	for i, j := range assign {
+		if j < 0 {
+			continue
+		}
+		if err := w.checkRunnable(j); err != nil {
+			return nil, err
+		}
+		if w.done[j] {
+			continue
+		}
+		switch w.mode {
+		case Threshold:
+			w.acc[j] += w.ins.L[i][j]
+			touched[j] = 0
+		case Coin:
+			q, ok := touched[j]
+			if !ok {
+				q = 1
+			}
+			touched[j] = q * w.ins.Q[i][j]
+		}
+	}
+	w.traceStep(assign)
+	w.clock++
+	return w.settle(touched), nil
+}
+
+// StepMulti executes one flattened superstep of a pseudoschedule
+// (Section 4): assign[i] lists the jobs machine i works on, one unit step
+// each; the superstep costs max(1, max_i len(assign[i])) timesteps — its
+// congestion. Completions are recorded at the end of the superstep.
+func (w *World) StepMulti(assign [][]int) ([]int, error) {
+	if len(assign) != w.ins.M {
+		return nil, fmt.Errorf("sim: assignment for %d machines, want %d", len(assign), w.ins.M)
+	}
+	cost := int64(1)
+	touched := make(map[int]float64)
+	for i, jobs := range assign {
+		active := int64(0)
+		for _, j := range jobs {
+			if err := w.checkRunnable(j); err != nil {
+				return nil, err
+			}
+			if w.done[j] {
+				continue
+			}
+			active++
+			switch w.mode {
+			case Threshold:
+				w.acc[j] += w.ins.L[i][j]
+				touched[j] = 0
+			case Coin:
+				q, ok := touched[j]
+				if !ok {
+					q = 1
+				}
+				touched[j] = q * w.ins.Q[i][j]
+			}
+		}
+		if active > cost {
+			cost = active
+		}
+	}
+	w.traceMulti(assign, cost)
+	w.clock += cost
+	return w.settle(touched), nil
+}
+
+// settle resolves completions among the touched jobs at the current clock.
+func (w *World) settle(touched map[int]float64) []int {
+	var completed []int
+	for j, q := range touched {
+		switch w.mode {
+		case Threshold:
+			if w.acc[j]+massEps >= w.thr[j] {
+				completed = append(completed, j)
+			}
+		case Coin:
+			if w.rng.Float64() >= q {
+				completed = append(completed, j)
+			}
+		}
+	}
+	sort.Ints(completed)
+	for _, j := range completed {
+		w.markDone(j, w.clock)
+	}
+	return completed
+}
+
+// SoloAll runs every machine on job j until it completes and returns the
+// number of steps used. It is the endgame of SUU-I-SEM when n ≤ m and the
+// Sequential baseline's primitive.
+func (w *World) SoloAll(j int) (int64, error) {
+	if err := w.checkRunnable(j); err != nil {
+		return 0, err
+	}
+	if w.done[j] {
+		return 0, nil
+	}
+	rate := w.ins.TotalRate(j)
+	if rate <= 0 {
+		return 0, fmt.Errorf("sim: job %d has zero total rate", j)
+	}
+	if w.mode == Threshold && !w.expandForTrace() {
+		need := w.thr[j] - w.acc[j]
+		k := int64(math.Ceil((need - massEps) / rate))
+		if k < 1 {
+			k = 1
+		}
+		w.acc[j] = w.thr[j]
+		w.clock += k
+		w.markDone(j, w.clock)
+		return k, nil
+	}
+	assign := make([]int, w.ins.M)
+	for i := range assign {
+		assign[i] = j
+	}
+	var steps int64
+	for !w.done[j] {
+		if _, err := w.Step(assign); err != nil {
+			return steps, err
+		}
+		steps++
+	}
+	return steps, nil
+}

@@ -1,0 +1,458 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func mustInstance(t testing.TB, m, n int, q [][]float64, g *dag.DAG) *model.Instance {
+	t.Helper()
+	ins, err := model.New(m, n, q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func TestStepCompletesAtThreshold(t *testing.T) {
+	// One machine, one job, q = 0.5 so ℓ = 1. Threshold 2.5 ⇒ completes
+	// at the end of step 3.
+	ins := mustInstance(t, 1, 1, [][]float64{{0.5}}, nil)
+	w, err := NewWorldWithThresholds(ins, []float64{2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= 3; s++ {
+		completed, err := w.Step([]int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < 3 && len(completed) != 0 {
+			t.Fatalf("completed early at step %d", s)
+		}
+		if s == 3 && (len(completed) != 1 || completed[0] != 0) {
+			t.Fatalf("step 3 completions = %v", completed)
+		}
+	}
+	ms, err := w.Makespan()
+	if err != nil || ms != 3 {
+		t.Fatalf("makespan = %d, %v", ms, err)
+	}
+}
+
+func TestMakespanBeforeDone(t *testing.T) {
+	ins := mustInstance(t, 1, 1, [][]float64{{0.5}}, nil)
+	w := NewWorld(ins, rand.New(rand.NewSource(1)))
+	if _, err := w.Makespan(); err == nil {
+		t.Fatal("want error before completion")
+	}
+}
+
+func TestEligibilityEnforced(t *testing.T) {
+	g := dag.New(2)
+	g.MustEdge(0, 1)
+	ins := mustInstance(t, 1, 2, [][]float64{{0.5, 0.5}}, g)
+	w, err := NewWorldWithThresholds(ins, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Eligible(1) {
+		t.Fatal("job 1 should be ineligible")
+	}
+	if _, err := w.Step([]int{1}); err == nil {
+		t.Fatal("scheduling ineligible job must error")
+	}
+	if _, err := w.Step([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Done(0) || !w.Eligible(1) {
+		t.Fatal("job 0 done should unlock job 1")
+	}
+	if _, err := w.Step([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := w.Makespan()
+	if err != nil || ms != 2 {
+		t.Fatalf("makespan = %d, %v", ms, err)
+	}
+}
+
+func TestIdleAndCompletedAssignments(t *testing.T) {
+	ins := mustInstance(t, 2, 2, [][]float64{{0.5, 0.5}, {0.5, 0.5}}, nil)
+	w, err := NewWorldWithThresholds(ins, []float64{0.5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Step([]int{0, -1}); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Done(0) {
+		t.Fatal("job 0 should be done")
+	}
+	// Assigning a machine to a completed job is legal idling.
+	if _, err := w.Step([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumRemaining() != 1 || w.Remaining()[0] != 1 {
+		t.Fatalf("remaining = %v", w.Remaining())
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	ins := mustInstance(t, 1, 1, [][]float64{{0.5}}, nil)
+	w := NewWorld(ins, rand.New(rand.NewSource(1)))
+	if _, err := w.Step([]int{0, 1}); err == nil {
+		t.Fatal("wrong assignment width must error")
+	}
+	if _, err := w.Step([]int{7}); err == nil {
+		t.Fatal("out-of-range job must error")
+	}
+}
+
+func TestSoloAllAnalytic(t *testing.T) {
+	ins := mustInstance(t, 2, 1, [][]float64{{0.5}, {0.25}}, nil)
+	// Total rate = 1 + 2 = 3; threshold 7 ⇒ ceil(7/3) = 3 steps.
+	w, err := NewWorldWithThresholds(ins, []float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := w.SoloAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 3 {
+		t.Fatalf("steps = %d, want 3", steps)
+	}
+	ms, _ := w.Makespan()
+	if ms != 3 {
+		t.Fatalf("makespan = %d", ms)
+	}
+	// SoloAll on a done job is free.
+	steps, err = w.SoloAll(0)
+	if err != nil || steps != 0 {
+		t.Fatalf("solo on done job: %d, %v", steps, err)
+	}
+}
+
+func TestStepMultiCongestionCost(t *testing.T) {
+	ins := mustInstance(t, 2, 3, [][]float64{{0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}}, nil)
+	w, err := NewWorldWithThresholds(ins, []float64{50, 50, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Machine 0 runs jobs 0,1,2 (congestion 3); machine 1 runs job 0.
+	if _, err := w.StepMulti([][]int{{0, 1, 2}, {0}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Clock() != 3 {
+		t.Fatalf("clock = %d, want congestion cost 3", w.Clock())
+	}
+	// Empty superstep still costs 1.
+	if _, err := w.StepMulti([][]int{nil, nil}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Clock() != 4 {
+		t.Fatalf("clock = %d, want 4", w.Clock())
+	}
+}
+
+func randomInstance(rng *rand.Rand, m, n int) *model.Instance {
+	q := make([][]float64, m)
+	for i := range q {
+		q[i] = make([]float64, n)
+		for j := range q[i] {
+			q[i][j] = 0.05 + 0.9*rng.Float64()
+		}
+	}
+	ins, err := model.New(m, n, q, nil)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+func randomOblivious(rng *rand.Rand, m, n int) *sched.Oblivious {
+	a := sched.NewAssignment(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				a.X[i][j] = int64(rng.Intn(4))
+			}
+		}
+	}
+	return a.Serialize()
+}
+
+// TestRunObliviousMatchesSteps is the core fast-forward property: analytic
+// execution of an oblivious pass must agree exactly with step-by-step
+// execution for the same thresholds.
+func TestRunObliviousMatchesSteps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(4), 1+rng.Intn(6)
+		ins := randomInstance(rng, m, n)
+		o := randomOblivious(rng, m, n)
+		thr := make([]float64, n)
+		for j := range thr {
+			thr[j] = drawThreshold(rng) * (0.2 + 2*rng.Float64())
+		}
+		wa, err := NewWorldWithThresholds(ins, thr)
+		if err != nil {
+			return false
+		}
+		wb, err := NewWorldWithThresholds(ins, thr)
+		if err != nil {
+			return false
+		}
+		if err := wa.RunOblivious(o); err != nil {
+			t.Logf("seed %d: RunOblivious: %v", seed, err)
+			return false
+		}
+		for _, assign := range o.StepAssignments() {
+			if _, err := wb.Step(assign); err != nil {
+				t.Logf("seed %d: Step: %v", seed, err)
+				return false
+			}
+			if wb.AllDone() {
+				break
+			}
+		}
+		for j := 0; j < n; j++ {
+			if wa.Done(j) != wb.Done(j) {
+				t.Logf("seed %d: job %d done mismatch (%v vs %v)", seed, j, wa.Done(j), wb.Done(j))
+				return false
+			}
+			if !wa.Done(j) && math.Abs(wa.acc[j]-wb.acc[j]) > 1e-6 {
+				t.Logf("seed %d: job %d acc %g vs %g", seed, j, wa.acc[j], wb.acc[j])
+				return false
+			}
+		}
+		if wa.LastCompletion() != wb.LastCompletion() {
+			t.Logf("seed %d: last completion %d vs %d", seed, wa.LastCompletion(), wb.LastCompletion())
+			return false
+		}
+		if wa.AllDone() {
+			ma, _ := wa.Makespan()
+			mb, _ := wb.Makespan()
+			if ma != mb {
+				t.Logf("seed %d: makespan %d vs %d", seed, ma, mb)
+				return false
+			}
+		} else if wa.Clock() != o.Length {
+			t.Logf("seed %d: clock %d, want full length %d", seed, wa.Clock(), o.Length)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepeatObliviousMatchesManualRepeat checks analytic repetition against
+// repeated single passes.
+func TestRepeatObliviousMatchesManualRepeat(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(3), 1+rng.Intn(4)
+		ins := randomInstance(rng, m, n)
+		// Ensure every job is covered: give each job one step on a
+		// random machine plus the random extras.
+		a := sched.NewAssignment(m, n)
+		for j := 0; j < n; j++ {
+			a.X[rng.Intn(m)][j] = 1 + int64(rng.Intn(3))
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					a.X[i][j] += int64(rng.Intn(3))
+				}
+			}
+		}
+		o := a.Serialize()
+		thr := make([]float64, n)
+		for j := range thr {
+			thr[j] = 0.1 + 8*rng.Float64()
+		}
+		wa, _ := NewWorldWithThresholds(ins, thr)
+		wb, _ := NewWorldWithThresholds(ins, thr)
+		if _, err := wa.RepeatOblivious(o, 1<<40); err != nil {
+			t.Logf("seed %d: RepeatOblivious: %v", seed, err)
+			return false
+		}
+		for !wb.AllDone() {
+			if err := wb.RunOblivious(o); err != nil {
+				t.Logf("seed %d: RunOblivious: %v", seed, err)
+				return false
+			}
+		}
+		ma, _ := wa.Makespan()
+		mb, _ := wb.Makespan()
+		if ma != mb {
+			t.Logf("seed %d: makespan %d vs %d", seed, ma, mb)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatObliviousSubsetSemantics(t *testing.T) {
+	// Job 1 is not in the schedule: RepeatOblivious completes job 0 only.
+	ins := mustInstance(t, 1, 2, [][]float64{{0.5, 0.5}}, nil)
+	a := sched.NewAssignment(1, 2)
+	a.X[0][0] = 1
+	w, _ := NewWorldWithThresholds(ins, []float64{1.5, 1})
+	passes, err := w.RepeatOblivious(a.Serialize(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes != 2 || !w.Done(0) || w.Done(1) {
+		t.Fatalf("passes=%d done=(%v,%v)", passes, w.Done(0), w.Done(1))
+	}
+	if w.Clock() != 2 {
+		t.Fatalf("clock = %d, want 2", w.Clock())
+	}
+}
+
+func TestRepeatObliviousZeroMassScheduledJob(t *testing.T) {
+	// Job scheduled on a machine that gives it no mass (q=1): must error
+	// rather than loop forever.
+	ins := mustInstance(t, 2, 1, [][]float64{{1.0}, {0.5}}, nil)
+	a := sched.NewAssignment(2, 1)
+	a.X[0][0] = 3 // only the useless machine
+	w, _ := NewWorldWithThresholds(ins, []float64{1})
+	if _, err := w.RepeatOblivious(a.Serialize(), 100); err == nil {
+		t.Fatal("zero-mass scheduled job must error")
+	}
+}
+
+// seqPolicy completes jobs one at a time in topological order; it is the
+// trivial test policy.
+type seqPolicy struct{}
+
+func (seqPolicy) Name() string { return "seq-test" }
+func (seqPolicy) Run(w *World) error {
+	for !w.AllDone() {
+		for _, j := range w.EligibleJobs() {
+			if _, err := w.SoloAll(j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func TestGeometricClosedForm(t *testing.T) {
+	// Single job, single machine with q: E[T] = 1/(1-q) in both modes.
+	const q = 0.5
+	ins := mustInstance(t, 1, 1, [][]float64{{q}}, nil)
+	const trials = 40000
+	res, err := MonteCarlo(ins, seqPolicy{}, trials, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCoin, err := MonteCarloCoin(ins, seqPolicy{}, trials, 1042, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (1 - q)
+	if math.Abs(res.Summary.Mean-want) > 0.05 {
+		t.Fatalf("threshold mean = %g, want %g", res.Summary.Mean, want)
+	}
+	if math.Abs(resCoin.Summary.Mean-want) > 0.05 {
+		t.Fatalf("coin mean = %g, want %g", resCoin.Summary.Mean, want)
+	}
+	// Theorem 10: the two modes agree in distribution.
+	if math.Abs(res.Summary.Mean-resCoin.Summary.Mean) > 0.08 {
+		t.Fatalf("modes disagree: %g vs %g", res.Summary.Mean, resCoin.Summary.Mean)
+	}
+}
+
+func TestParallelMachinesClosedForm(t *testing.T) {
+	// One job on two machines with q1, q2 every step:
+	// E[T] = 1/(1-q1·q2).
+	ins := mustInstance(t, 2, 1, [][]float64{{0.6}, {0.5}}, nil)
+	res, err := MonteCarlo(ins, seqPolicy{}, 40000, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (1 - 0.3)
+	if math.Abs(res.Summary.Mean-want) > 0.05 {
+		t.Fatalf("mean = %g, want %g", res.Summary.Mean, want)
+	}
+}
+
+func TestChainAdditivity(t *testing.T) {
+	// Chain of two jobs, one machine, q = 0.5 each: E[T] = 2 + 2 = 4.
+	g := dag.New(2)
+	g.MustEdge(0, 1)
+	ins := mustInstance(t, 1, 2, [][]float64{{0.5, 0.5}}, g)
+	res, err := MonteCarlo(ins, seqPolicy{}, 40000, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Summary.Mean-4) > 0.1 {
+		t.Fatalf("mean = %g, want 4", res.Summary.Mean)
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	ins := randomInstance(rand.New(rand.NewSource(3)), 3, 5)
+	a, err := MonteCarlo(ins, seqPolicy{}, 50, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(ins, seqPolicy{}, 50, 99, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Makespans {
+		if a.Makespans[i] != b.Makespans[i] {
+			t.Fatalf("trial %d differs across worker counts: %g vs %g",
+				i, a.Makespans[i], b.Makespans[i])
+		}
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	ins := randomInstance(rand.New(rand.NewSource(3)), 2, 2)
+	if _, err := MonteCarlo(ins, seqPolicy{}, 0, 1, 1); err == nil {
+		t.Fatal("zero trials must error")
+	}
+	if _, err := MonteCarloCoin(ins, seqPolicy{}, 0, 1, 1); err == nil {
+		t.Fatal("zero trials must error")
+	}
+}
+
+func TestNewWorldWithThresholdErrors(t *testing.T) {
+	ins := randomInstance(rand.New(rand.NewSource(3)), 1, 2)
+	if _, err := NewWorldWithThresholds(ins, []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := NewWorldWithThresholds(ins, []float64{1, -2}); err == nil {
+		t.Fatal("negative threshold must error")
+	}
+}
+
+func TestDrawThresholdDistribution(t *testing.T) {
+	// P(thr > x) = 2^-x; check the empirical mean 1/ln2 ≈ 1.4427.
+	rng := rand.New(rand.NewSource(5))
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += drawThreshold(rng)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/math.Ln2) > 0.02 {
+		t.Fatalf("threshold mean = %g, want %g", mean, 1/math.Ln2)
+	}
+}

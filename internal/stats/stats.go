@@ -1,0 +1,183 @@
+// Package stats provides the small statistical toolkit the benchmark
+// harness uses to summarize Monte Carlo makespan samples and to compare
+// growth rates (the log n vs log log n separation in Table 1 of the paper).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual moments and quantiles of a sample.
+type Summary struct {
+	N              int
+	Mean, Std, Sem float64 // Sem is the standard error of the mean
+	Min, Max       float64
+	Median, P90    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sum := 0.0
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+		s.Sem = s.Std / math.Sqrt(float64(s.N))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted sample
+// using linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= n {
+		hi = n - 1
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func (s Summary) CI95() float64 { return 1.96 * s.Sem }
+
+// String formats the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.3f ±%.3f (n=%d, med=%.3f, p90=%.3f)",
+		s.Mean, s.CI95(), s.N, s.Median, s.P90)
+}
+
+// Mean is a convenience over Summarize for code that needs only the mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive samples (NaN otherwise).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Fit holds a least-squares line y = A + B*x with its residual error.
+type Fit struct {
+	A, B float64
+	RMSE float64
+}
+
+// LinearFit fits y ≈ A + B·x by ordinary least squares.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return Fit{}, fmt.Errorf("stats: need at least 2 points, have %d", len(xs))
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return Fit{}, fmt.Errorf("stats: degenerate x values")
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	var ss float64
+	for i := range xs {
+		r := ys[i] - (a + b*xs[i])
+		ss += r * r
+	}
+	return Fit{A: a, B: b, RMSE: math.Sqrt(ss / n)}, nil
+}
+
+// GrowthComparison fits a measured ratio curve against log₂(n) and
+// log₂(log₂(n)) predictors and reports which explains it better.
+// It is the quantitative form of "our curve grows like loglog, the
+// baseline like log" used in EXPERIMENTS.md.
+type GrowthComparison struct {
+	LogFit    Fit // ratio ≈ A + B·log₂ n
+	LogLogFit Fit // ratio ≈ A + B·log₂ log₂ n
+}
+
+// CompareGrowth fits both predictors to (n, ratio) points.
+func CompareGrowth(ns []int, ratios []float64) (GrowthComparison, error) {
+	if len(ns) != len(ratios) {
+		return GrowthComparison{}, fmt.Errorf("stats: length mismatch")
+	}
+	logs := make([]float64, len(ns))
+	loglogs := make([]float64, len(ns))
+	for i, n := range ns {
+		if n < 4 {
+			return GrowthComparison{}, fmt.Errorf("stats: n=%d too small for loglog fit", n)
+		}
+		logs[i] = math.Log2(float64(n))
+		loglogs[i] = math.Log2(math.Log2(float64(n)))
+	}
+	lf, err := LinearFit(logs, ratios)
+	if err != nil {
+		return GrowthComparison{}, err
+	}
+	llf, err := LinearFit(loglogs, ratios)
+	if err != nil {
+		return GrowthComparison{}, err
+	}
+	return GrowthComparison{LogFit: lf, LogLogFit: llf}, nil
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %g", s.Std)
+	}
+	if math.Abs(s.Sem-s.Std/math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("sem = %g", s.Sem)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty summary should have N=0")
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {0.25, 1}, {0.5, 2}, {0.75, 3}, {1, 4}, {0.125, 0.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("mean")
+	}
+	if math.Abs(GeoMean([]float64{1, 4})-2) > 1e-12 {
+		t.Fatal("geomean")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("geomean of negative should be NaN")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("mean of empty should be NaN")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	f, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.A-1) > 1e-9 || math.Abs(f.B-2) > 1e-9 || f.RMSE > 1e-9 {
+		t.Fatalf("fit %+v", f)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point should error")
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate xs should error")
+	}
+}
+
+func TestLinearFitRecoversNoisyLine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64()*10 - 5
+		b := rng.Float64()*4 - 2
+		var xs, ys []float64
+		for i := 0; i < 50; i++ {
+			x := float64(i)
+			xs = append(xs, x)
+			ys = append(ys, a+b*x+rng.NormFloat64()*0.01)
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.A-a) < 0.05 && math.Abs(fit.B-b) < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareGrowthSeparatesLogFromLogLog(t *testing.T) {
+	ns := []int{8, 16, 32, 64, 128, 256, 512, 1024}
+	logCurve := make([]float64, len(ns))
+	loglogCurve := make([]float64, len(ns))
+	for i, n := range ns {
+		logCurve[i] = 2 * math.Log2(float64(n))
+		loglogCurve[i] = 2 * math.Log2(math.Log2(float64(n)))
+	}
+	gc1, err := CompareGrowth(ns, logCurve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc1.LogFit.RMSE > gc1.LogLogFit.RMSE {
+		t.Fatalf("log curve should fit log predictor better: %g vs %g",
+			gc1.LogFit.RMSE, gc1.LogLogFit.RMSE)
+	}
+	gc2, err := CompareGrowth(ns, loglogCurve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc2.LogLogFit.RMSE > gc2.LogFit.RMSE {
+		t.Fatalf("loglog curve should fit loglog predictor better: %g vs %g",
+			gc2.LogLogFit.RMSE, gc2.LogFit.RMSE)
+	}
+}
+
+func TestCompareGrowthErrors(t *testing.T) {
+	if _, err := CompareGrowth([]int{2, 8}, []float64{1, 2}); err == nil {
+		t.Fatal("n<4 should error")
+	}
+	if _, err := CompareGrowth([]int{8}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,131 @@
+package stoch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rcmax"
+)
+
+// STCRestart is the paper's R|restart, p~exp|E[C_max] algorithm: identical
+// to STC-I, but a job must run to completion on a single machine — partial
+// work does not carry across machines or attempts. Each round therefore
+// substitutes the Lenstra–Shmoys–Tardos R||C_max approximation for the
+// Lawler–Labetoulle preemptive schedule (Appendix C, "the only necessary
+// change"): round k gives every remaining job a contiguous slot of
+// 2^(k−2)/(λ_j·v_ij) on its assigned machine, which completes the job
+// exactly when its hidden length is at most 2^(k−2)/λ_j.
+type STCRestart struct{}
+
+// Name implements Policy.
+func (STCRestart) Name() string { return "stc-r" }
+
+// Run completes all jobs under restart semantics. It uses the same World
+// as STC-I; because each slot is a fresh contiguous run on one machine,
+// completion within a slot depends only on the hidden length, which
+// RunRestartRound implements directly.
+func (STCRestart) Run(w *World) error {
+	ins := w.Instance()
+	k := 3
+	if ins.N >= 4 {
+		k += int(math.Ceil(math.Log2(math.Log2(float64(ins.N))) - 1e-12))
+	}
+	for round := 1; round <= k; round++ {
+		rem := w.Remaining()
+		if len(rem) == 0 {
+			return nil
+		}
+		target := math.Pow(2, float64(round-2))
+		// Processing time of job j on machine i for this round's slot.
+		p := make([][]float64, ins.M)
+		for i := range p {
+			p[i] = make([]float64, len(rem))
+			for pos, j := range rem {
+				if ins.V[i][j] > 0 {
+					p[i][pos] = target / (ins.Lambda[j] * ins.V[i][j])
+				} else {
+					p[i][pos] = math.Inf(1)
+				}
+			}
+		}
+		assign, _, err := rcmax.Approx(p, 0.02)
+		if err != nil {
+			return fmt.Errorf("stoch: stc-r round %d: %w", round, err)
+		}
+		if err := w.RunRestartRound(rem, assign, target); err != nil {
+			return err
+		}
+	}
+	for _, j := range w.Remaining() {
+		if err := w.SoloRestart(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunRestartRound executes one STC-R round: each remaining job rem[pos]
+// runs contiguously on machine assign[pos] for a slot sized to complete it
+// iff p_j ≤ target/λ_j. Machines process their assigned jobs back to back;
+// the round ends when the longest machine finishes (its makespan is the
+// max machine load). Partial work is discarded (restart semantics).
+func (w *World) RunRestartRound(rem []int, assign []int, target float64) error {
+	if len(assign) != len(rem) {
+		return fmt.Errorf("stoch: %d assignments for %d jobs", len(assign), len(rem))
+	}
+	m := w.ins.M
+	machineClock := make([]float64, m)
+	for pos, j := range rem {
+		i := assign[pos]
+		if i < 0 || i >= m {
+			return fmt.Errorf("stoch: job %d assigned to machine %d", j, i)
+		}
+		v := w.ins.V[i][j]
+		if v <= 0 {
+			return fmt.Errorf("stoch: job %d assigned to zero-speed machine %d", j, i)
+		}
+		if w.done[j] {
+			continue
+		}
+		slot := target / (w.ins.Lambda[j] * v)
+		// The job completes within the slot iff its hidden length fits;
+		// it then occupies only p_j/v of the slot.
+		if w.p[j] <= target/w.ins.Lambda[j]+tinyWork {
+			machineClock[i] += w.p[j] / v
+			w.markDone(j, w.clock+machineClock[i])
+		} else {
+			machineClock[i] += slot
+			// Restart semantics: no carried progress.
+		}
+	}
+	span := 0.0
+	for _, c := range machineClock {
+		if c > span {
+			span = c
+		}
+	}
+	w.clock += span
+	if w.AllDone() {
+		w.clock = w.lastDone
+	}
+	return nil
+}
+
+// SoloRestart finishes job j with a single contiguous run on its fastest
+// machine (no partial credit from earlier attempts).
+func (w *World) SoloRestart(j int) error {
+	if j < 0 || j >= w.ins.N {
+		return fmt.Errorf("stoch: job %d out of range", j)
+	}
+	if w.done[j] {
+		return nil
+	}
+	i := w.ins.FastestMachine(j)
+	v := w.ins.V[i][j]
+	if v <= 0 {
+		return fmt.Errorf("stoch: job %d unprocessable", j)
+	}
+	w.clock += w.p[j] / v
+	w.markDone(j, w.clock)
+	return nil
+}

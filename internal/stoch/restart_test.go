@@ -1,0 +1,132 @@
+package stoch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSTCRestartCompletes(t *testing.T) {
+	ins := uniformStoch(t, 21, 4, 12)
+	sum, err := MonteCarlo(ins, STCRestart{}, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mean <= 0 || math.IsNaN(sum.Mean) {
+		t.Fatalf("mean %g", sum.Mean)
+	}
+}
+
+func TestSTCRestartRoundSemantics(t *testing.T) {
+	// Two jobs, one machine, speeds 1. Lengths 0.4 and 10. Round 1 target
+	// 1/2 with λ=1: slots of 1/2 each. Job 0 (length 0.4 ≤ 0.5) completes
+	// at its own length 0.4... measured on the machine timeline.
+	ins, err := NewInstance([]float64{1, 1}, [][]float64{{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorldWithLengths(ins, []float64{0.4, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunRestartRound([]int{0, 1}, []int{0, 0}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Done(0) || w.Done(1) {
+		t.Fatalf("done = (%v,%v), want (true,false)", w.Done(0), w.Done(1))
+	}
+	// Machine timeline: job 0 finishes at 0.4, then job 1's failed slot of
+	// 0.5 ⇒ round span 0.9.
+	if math.Abs(w.Clock()-0.9) > 1e-12 {
+		t.Fatalf("clock %g, want 0.9", w.Clock())
+	}
+	// Restart semantics: job 1 retains no progress.
+	if w.acc[1] != 0 {
+		t.Fatalf("job 1 accrued %g, want 0 (restart)", w.acc[1])
+	}
+}
+
+func TestSTCRestartNoPartialCredit(t *testing.T) {
+	// A job of length 3 with λ=1 fails rounds with targets 1/2, 1, 2 and
+	// completes in the round with target 4 — or the endgame. Either way
+	// the policy must finish it with a full contiguous run.
+	ins, err := NewInstance([]float64{1}, [][]float64{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorldWithLengths(ins, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (STCRestart{}).Run(w); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := w.Makespan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failed slots: 0.5 + 1 + 2 = 3.5 (n=1 ⇒ K=3 rounds), then the
+	// endgame's contiguous run of 3 ⇒ makespan 6.5.
+	if math.Abs(ms-6.5) > 1e-9 {
+		t.Fatalf("makespan %g, want 6.5", ms)
+	}
+}
+
+func TestSTCRestartVsSTCPreemptive(t *testing.T) {
+	// Restart is a strictly weaker model; on the same instances STC-R's
+	// expected makespan should be within a small constant of STC-I's and
+	// both must beat sequential at scale.
+	ins := uniformStoch(t, 22, 6, 24)
+	r, err := MonteCarlo(ins, STCRestart{}, 25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := MonteCarlo(ins, STC{}, 25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mean > 6*i.Mean {
+		t.Fatalf("restart %.2f implausibly worse than preemptive %.2f", r.Mean, i.Mean)
+	}
+	seq, err := MonteCarlo(ins, SequentialFastest{}, 25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mean >= seq.Mean {
+		t.Fatalf("stc-r %.2f should beat sequential %.2f with 6 machines", r.Mean, seq.Mean)
+	}
+}
+
+func TestSoloRestart(t *testing.T) {
+	ins, err := NewInstance([]float64{1}, [][]float64{{2}, {4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorldWithLengths(ins, []float64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SoloRestart(0); err != nil {
+		t.Fatal(err)
+	}
+	ms, _ := w.Makespan()
+	if ms != 2 {
+		t.Fatalf("makespan %g, want 2 (8 work at speed 4)", ms)
+	}
+	if err := w.SoloRestart(0); err != nil {
+		t.Fatal("solo on done job should be a no-op")
+	}
+}
+
+func TestRunRestartRoundErrors(t *testing.T) {
+	ins, err := NewInstance([]float64{1}, [][]float64{{1}}) // 1 machine
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := NewWorldWithLengths(ins, []float64{1})
+	if err := w2.RunRestartRound([]int{0}, []int{0, 1}, 1); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if err := w2.RunRestartRound([]int{0}, []int{5}, 1); err == nil {
+		t.Fatal("bad machine must error")
+	}
+}

@@ -1,0 +1,410 @@
+// Package stoch implements the paper's Appendix C: stochastic scheduling
+// R|pmtn, p_j~exp(λ_j)|E[C_max] on unrelated machines. Job j's length p_j
+// is exponential with known rate λ_j and is revealed only by completion;
+// machine i processes job j at speed v_ij; a job may not run on two
+// machines at the same moment (the binding constraint that distinguishes
+// this setting from SUU). STC-I mirrors SUU-I-SEM: K = ⌈log₂log₂ n⌉ + 3
+// rounds, round k solving the deterministic R|pmtn|C_max relaxation with
+// lengths 2^(k−2)/λ_j via the Lawler–Labetoulle LP and executing its
+// open-shop timetable; stragglers finish on their fastest machines.
+package stoch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/lp"
+	"repro/internal/openshop"
+	"repro/internal/stats"
+)
+
+// Instance is one stochastic scheduling instance.
+type Instance struct {
+	M, N   int
+	Lambda []float64   // job rates: E[p_j] = 1/λ_j
+	V      [][]float64 // V[i][j] ≥ 0: speed of machine i on job j
+}
+
+// NewInstance validates and builds an instance.
+func NewInstance(lambda []float64, v [][]float64) (*Instance, error) {
+	n := len(lambda)
+	m := len(v)
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("stoch: need jobs and machines (n=%d m=%d)", n, m)
+	}
+	for j, l := range lambda {
+		if l <= 0 || math.IsNaN(l) {
+			return nil, fmt.Errorf("stoch: lambda[%d] = %v", j, l)
+		}
+	}
+	for i := range v {
+		if len(v[i]) != n {
+			return nil, fmt.Errorf("stoch: v row %d has %d entries, want %d", i, len(v[i]), n)
+		}
+		for j, s := range v[i] {
+			if s < 0 || math.IsNaN(s) {
+				return nil, fmt.Errorf("stoch: v[%d][%d] = %v", i, j, s)
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		ok := false
+		for i := 0; i < m; i++ {
+			if v[i][j] > 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("stoch: job %d has zero speed on every machine", j)
+		}
+	}
+	return &Instance{M: m, N: n, Lambda: lambda, V: v}, nil
+}
+
+// FastestMachine returns the machine with the highest speed for job j.
+func (ins *Instance) FastestMachine(j int) int {
+	best, bestV := 0, -1.0
+	for i := 0; i < ins.M; i++ {
+		if ins.V[i][j] > bestV {
+			best, bestV = i, ins.V[i][j]
+		}
+	}
+	return best
+}
+
+// World is one continuous-time execution with hidden exponential lengths.
+type World struct {
+	ins      *Instance
+	p        []float64 // hidden lengths
+	acc      []float64 // work done so far
+	done     []bool
+	left     int
+	clock    float64
+	lastDone float64
+}
+
+// NewWorld draws hidden job lengths from rng.
+func NewWorld(ins *Instance, rng *rand.Rand) *World {
+	p := make([]float64, ins.N)
+	for j := range p {
+		p[j] = rng.ExpFloat64() / ins.Lambda[j]
+	}
+	w, _ := NewWorldWithLengths(ins, p)
+	return w
+}
+
+// NewWorldWithLengths builds a world with explicit lengths (tests).
+func NewWorldWithLengths(ins *Instance, p []float64) (*World, error) {
+	if len(p) != ins.N {
+		return nil, fmt.Errorf("stoch: %d lengths for %d jobs", len(p), ins.N)
+	}
+	return &World{
+		ins:  ins,
+		p:    append([]float64(nil), p...),
+		acc:  make([]float64, ins.N),
+		done: make([]bool, ins.N),
+		left: ins.N,
+	}, nil
+}
+
+// Instance returns the instance being executed.
+func (w *World) Instance() *Instance { return w.ins }
+
+// AllDone reports whether every job has completed.
+func (w *World) AllDone() bool { return w.left == 0 }
+
+// Done reports whether job j has completed.
+func (w *World) Done(j int) bool { return w.done[j] }
+
+// Remaining returns uncompleted job ids in ascending order.
+func (w *World) Remaining() []int {
+	out := make([]int, 0, w.left)
+	for j, d := range w.done {
+		if !d {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Clock returns the current time.
+func (w *World) Clock() float64 { return w.clock }
+
+// Makespan returns the last completion time; it errors when jobs remain.
+func (w *World) Makespan() (float64, error) {
+	if !w.AllDone() {
+		return 0, fmt.Errorf("stoch: %d jobs remaining", w.left)
+	}
+	return w.lastDone, nil
+}
+
+const tinyWork = 1e-12
+
+// RunSegments executes an open-shop timetable. Completions are detected
+// mid-segment (the moment accrued work crosses the hidden length); the
+// machine idles for the rest of its segment share, as a preemptive
+// schedule built ahead of completions would. If everything finishes
+// mid-timetable the clock stops at the last completion.
+func (w *World) RunSegments(segments []openshop.Segment) error {
+	for _, seg := range segments {
+		if len(seg.JobOf) != w.ins.M {
+			return fmt.Errorf("stoch: segment has %d machines, want %d", len(seg.JobOf), w.ins.M)
+		}
+		for i, j := range seg.JobOf {
+			if j < 0 {
+				continue
+			}
+			if j >= w.ins.N {
+				return fmt.Errorf("stoch: segment schedules job %d", j)
+			}
+			if w.done[j] {
+				continue
+			}
+			v := w.ins.V[i][j]
+			if v <= 0 {
+				continue
+			}
+			need := w.p[j] - w.acc[j]
+			gain := v * seg.Duration
+			if gain+tinyWork >= need {
+				w.markDone(j, w.clock+need/v)
+			} else {
+				w.acc[j] += gain
+			}
+		}
+		w.clock += seg.Duration
+		if w.AllDone() {
+			w.clock = w.lastDone
+			return nil
+		}
+	}
+	return nil
+}
+
+func (w *World) markDone(j int, at float64) {
+	if w.done[j] {
+		return
+	}
+	w.done[j] = true
+	w.acc[j] = w.p[j]
+	w.left--
+	if at > w.lastDone {
+		w.lastDone = at
+	}
+}
+
+// SoloFastest finishes job j on its fastest machine (the endgame and the
+// Sequential baseline's primitive).
+func (w *World) SoloFastest(j int) error {
+	if j < 0 || j >= w.ins.N {
+		return fmt.Errorf("stoch: job %d out of range", j)
+	}
+	if w.done[j] {
+		return nil
+	}
+	i := w.ins.FastestMachine(j)
+	v := w.ins.V[i][j]
+	if v <= 0 {
+		return fmt.Errorf("stoch: job %d unprocessable", j)
+	}
+	dt := (w.p[j] - w.acc[j]) / v
+	if dt < 0 {
+		dt = 0
+	}
+	w.clock += dt
+	w.markDone(j, w.clock)
+	return nil
+}
+
+// Policy is a stochastic-scheduling algorithm.
+type Policy interface {
+	Name() string
+	Run(w *World) error
+}
+
+// SolveLL solves the Lawler–Labetoulle LP for R|pmtn|C_max with
+// deterministic processing requirements req over the given jobs:
+//
+//	min t  s.t.  Σ_i v_ij·x_ij ≥ req_j,  Σ_j x_ij ≤ t,  Σ_i x_ij ≤ t,
+//
+// returning the machine-time matrix x (m × len(jobs)) and the makespan t.
+// LL prove the fractional optimum is achievable by a preemptive schedule;
+// openshop.Decompose constructs it.
+func SolveLL(ins *Instance, jobs []int, req []float64) ([][]float64, float64, error) {
+	k := len(jobs)
+	if k == 0 {
+		return make([][]float64, ins.M), 0, nil
+	}
+	if len(req) != k {
+		return nil, 0, fmt.Errorf("stoch: %d requirements for %d jobs", len(req), k)
+	}
+	m := ins.M
+	p := lp.NewProblem(m*k + 1)
+	tv := m * k
+	p.C[tv] = 1
+	for pos, j := range jobs {
+		var terms []lp.Term
+		for i := 0; i < m; i++ {
+			if ins.V[i][j] > 0 {
+				terms = append(terms, lp.Term{Var: i*k + pos, Coef: ins.V[i][j]})
+			}
+		}
+		if len(terms) == 0 {
+			return nil, 0, fmt.Errorf("stoch: job %d unprocessable", j)
+		}
+		p.AddConstraint(terms, lp.GE, req[pos])
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]lp.Term, 0, k+1)
+		for pos := 0; pos < k; pos++ {
+			terms = append(terms, lp.Term{Var: i*k + pos, Coef: 1})
+		}
+		terms = append(terms, lp.Term{Var: tv, Coef: -1})
+		p.AddConstraint(terms, lp.LE, 0)
+	}
+	for pos := 0; pos < k; pos++ {
+		terms := make([]lp.Term, 0, m+1)
+		for i := 0; i < m; i++ {
+			terms = append(terms, lp.Term{Var: i*k + pos, Coef: 1})
+		}
+		terms = append(terms, lp.Term{Var: tv, Coef: -1})
+		p.AddConstraint(terms, lp.LE, 0)
+	}
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, 0, fmt.Errorf("stoch: LL solve: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, 0, fmt.Errorf("stoch: LL status %v", sol.Status)
+	}
+	x := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		x[i] = sol.X[i*k : (i+1)*k]
+	}
+	return x, sol.Obj, nil
+}
+
+// STC is STC-I: the semioblivious doubling-rounds algorithm for
+// exponential job lengths (Theorem 13): expected makespan
+// O(E[T_OPT]·log log n).
+type STC struct{}
+
+// Name implements Policy.
+func (STC) Name() string { return "stc-i" }
+
+// Run completes all jobs.
+func (STC) Run(w *World) error {
+	ins := w.Instance()
+	k := 3
+	if ins.N >= 4 {
+		k += int(math.Ceil(math.Log2(math.Log2(float64(ins.N))) - 1e-12))
+	}
+	for round := 1; round <= k; round++ {
+		rem := w.Remaining()
+		if len(rem) == 0 {
+			return nil
+		}
+		req := make([]float64, len(rem))
+		for pos, j := range rem {
+			req[pos] = math.Pow(2, float64(round-2)) / ins.Lambda[j]
+		}
+		x, t, err := SolveLL(ins, rem, req)
+		if err != nil {
+			return err
+		}
+		if t <= 0 {
+			return fmt.Errorf("stoch: degenerate round %d makespan %g", round, t)
+		}
+		// Expand x (indexed by position) to the full job space for the
+		// timetable.
+		u := make([][]float64, ins.M)
+		for i := range u {
+			u[i] = make([]float64, ins.N)
+			for pos, j := range rem {
+				u[i][j] = x[i][pos]
+			}
+		}
+		segs, err := openshop.Decompose(u, t)
+		if err != nil {
+			return err
+		}
+		if err := w.RunSegments(segs); err != nil {
+			return err
+		}
+	}
+	for _, j := range w.Remaining() {
+		if err := w.SoloFastest(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SequentialFastest is the trivial baseline: jobs one at a time, each on
+// its fastest machine.
+type SequentialFastest struct{}
+
+// Name implements Policy.
+func (SequentialFastest) Name() string { return "sequential-fastest" }
+
+// Run completes all jobs.
+func (SequentialFastest) Run(w *World) error {
+	for _, j := range w.Remaining() {
+		if err := w.SoloFastest(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MonteCarlo estimates a policy's expected makespan over independent
+// trials (sequential; stochastic runs are cheap and the LP dominates).
+func MonteCarlo(ins *Instance, p Policy, trials int, seed int64) (stats.Summary, error) {
+	if trials <= 0 {
+		return stats.Summary{}, fmt.Errorf("stoch: trials = %d", trials)
+	}
+	makespans := make([]float64, trials)
+	for i := range makespans {
+		w := NewWorld(ins, rand.New(rand.NewSource(seed+int64(i))))
+		if err := p.Run(w); err != nil {
+			return stats.Summary{}, fmt.Errorf("stoch: trial %d of %s: %w", i, p.Name(), err)
+		}
+		ms, err := w.Makespan()
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		makespans[i] = ms
+	}
+	return stats.Summarize(makespans), nil
+}
+
+// LowerBound bounds E[T_OPT] from below by the max of two terms:
+//
+//   - the stochastic analog of Lemma 1 — half the LL optimum with per-job
+//     requirements median/2 = ln2/(2λ_j) (each job independently needs
+//     that much work with probability ≥ 2^(−1/2), the same uniform-subset
+//     argument as the SUU case), and
+//   - the solo-job term: job j alone takes expected time
+//     1/(λ_j · max_i v_ij) even on its best machine, and no job may use
+//     two machines at once.
+//
+// Used to normalize measured ratios.
+func LowerBound(ins *Instance) (float64, error) {
+	jobs := make([]int, ins.N)
+	req := make([]float64, ins.N)
+	solo := 0.0
+	for j := range jobs {
+		jobs[j] = j
+		req[j] = math.Ln2 / (2 * ins.Lambda[j])
+		if s := 1 / (ins.Lambda[j] * ins.V[ins.FastestMachine(j)][j]); s > solo {
+			solo = s
+		}
+	}
+	_, t, err := SolveLL(ins, jobs, req)
+	if err != nil {
+		return 0, err
+	}
+	return math.Max(t/2, solo), nil
+}

@@ -1,0 +1,191 @@
+package stoch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/openshop"
+)
+
+func uniformStoch(t testing.TB, seed int64, m, n int) *Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	lambda := make([]float64, n)
+	for j := range lambda {
+		lambda[j] = 0.5 + 2*rng.Float64()
+	}
+	v := make([][]float64, m)
+	for i := range v {
+		v[i] = make([]float64, n)
+		for j := range v[i] {
+			v[i][j] = 0.2 + 2*rng.Float64()
+		}
+	}
+	ins, err := NewInstance(lambda, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func TestNewInstanceErrors(t *testing.T) {
+	if _, err := NewInstance(nil, nil); err == nil {
+		t.Fatal("empty must error")
+	}
+	if _, err := NewInstance([]float64{0}, [][]float64{{1}}); err == nil {
+		t.Fatal("zero rate must error")
+	}
+	if _, err := NewInstance([]float64{1}, [][]float64{{-1}}); err == nil {
+		t.Fatal("negative speed must error")
+	}
+	if _, err := NewInstance([]float64{1, 1}, [][]float64{{1}}); err == nil {
+		t.Fatal("ragged must error")
+	}
+	if _, err := NewInstance([]float64{1, 1}, [][]float64{{1, 0}}); err == nil {
+		t.Fatal("unprocessable job must error")
+	}
+}
+
+func TestSoloFastestClosedForm(t *testing.T) {
+	// One job, length 3, fastest machine speed 2: completes at t=1.5.
+	ins, err := NewInstance([]float64{1}, [][]float64{{1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorldWithLengths(ins, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SoloFastest(0); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := w.Makespan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ms-1.5) > 1e-12 {
+		t.Fatalf("makespan %g, want 1.5", ms)
+	}
+}
+
+func TestSolveLLTwoMachines(t *testing.T) {
+	// Two machines speed 1, two jobs needing 1 unit each: t* = 1.
+	ins, err := NewInstance([]float64{1, 1}, [][]float64{{1, 1}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tstar, err := SolveLL(ins, []int{0, 1}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tstar-1) > 1e-6 {
+		t.Fatalf("t* = %g, want 1", tstar)
+	}
+	// One job needing 2 units: no-parallelism forces t* = 2 even with two
+	// machines (Σ_i x_ij ≤ t binds).
+	_, tstar, err = SolveLL(ins, []int{0}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tstar-2) > 1e-6 {
+		t.Fatalf("t* = %g, want 2 (single-machine-at-a-time constraint)", tstar)
+	}
+}
+
+func TestRunSegmentsDetectsMidSegmentCompletion(t *testing.T) {
+	ins, err := NewInstance([]float64{1}, [][]float64{{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorldWithLengths(ins, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := []openshop.Segment{{Duration: 5, JobOf: []int{0}}}
+	if err := w.RunSegments(segs); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := w.Makespan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ms-0.5) > 1e-12 {
+		t.Fatalf("makespan %g, want 0.5", ms)
+	}
+}
+
+func TestSTCCompletes(t *testing.T) {
+	ins := uniformStoch(t, 1, 3, 10)
+	sum, err := MonteCarlo(ins, STC{}, 25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mean <= 0 || math.IsNaN(sum.Mean) {
+		t.Fatalf("mean %g", sum.Mean)
+	}
+}
+
+func TestSTCBeatsSequentialAtScale(t *testing.T) {
+	ins := uniformStoch(t, 2, 6, 24)
+	stc, err := MonteCarlo(ins, STC{}, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := MonteCarlo(ins, SequentialFastest{}, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stc.Mean >= seq.Mean {
+		t.Fatalf("STC mean %.2f should beat sequential %.2f with 6 machines", stc.Mean, seq.Mean)
+	}
+}
+
+func TestLowerBoundBelowMeasured(t *testing.T) {
+	ins := uniformStoch(t, 4, 3, 9)
+	lb, err := LowerBound(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb <= 0 {
+		t.Fatalf("lower bound %g", lb)
+	}
+	stc, err := MonteCarlo(ins, STC{}, 30, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stc.Mean < lb/4 {
+		t.Fatalf("measured %.3f suspiciously below lower bound %.3f", stc.Mean, lb)
+	}
+}
+
+func TestExponentialSampling(t *testing.T) {
+	ins := uniformStoch(t, 5, 2, 1)
+	rng := rand.New(rand.NewSource(9))
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		w := NewWorld(ins, rng)
+		sum += w.p[0]
+	}
+	mean := sum / trials
+	want := 1 / ins.Lambda[0]
+	if math.Abs(mean-want) > 0.03*want {
+		t.Fatalf("sampled mean %g, want %g", mean, want)
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	ins := uniformStoch(t, 6, 2, 2)
+	if _, err := MonteCarlo(ins, STC{}, 0, 1); err == nil {
+		t.Fatal("zero trials must error")
+	}
+}
+
+func TestMakespanBeforeDone(t *testing.T) {
+	ins := uniformStoch(t, 7, 2, 2)
+	w := NewWorld(ins, rand.New(rand.NewSource(1)))
+	if _, err := w.Makespan(); err == nil {
+		t.Fatal("makespan before completion must error")
+	}
+}

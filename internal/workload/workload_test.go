@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+)
+
+func TestGenerateAllFamilies(t *testing.T) {
+	families := []struct {
+		spec workload
+		cls  []dag.Class
+	}{
+		{workload{Family: "uniform", M: 3, N: 10}, []dag.Class{dag.ClassIndependent}},
+		{workload{Family: "skill", M: 3, N: 10}, []dag.Class{dag.ClassIndependent}},
+		{workload{Family: "specialist", M: 4, N: 12, Groups: 2}, []dag.Class{dag.ClassIndependent}},
+		{workload{Family: "volunteer", M: 5, N: 10}, []dag.Class{dag.ClassIndependent}},
+		{workload{Family: "chains", M: 3, N: 12, Z: 3}, []dag.Class{dag.ClassChains}},
+		{workload{Family: "chains-skewed", M: 3, N: 12}, []dag.Class{dag.ClassChains, dag.ClassIndependent}},
+		{workload{Family: "forest", M: 3, N: 12}, []dag.Class{dag.ClassOutForest, dag.ClassChains, dag.ClassIndependent, dag.ClassMixedForest}},
+		{workload{Family: "in-forest", M: 3, N: 12}, []dag.Class{dag.ClassInForest, dag.ClassChains, dag.ClassIndependent, dag.ClassMixedForest}},
+		{workload{Family: "mapreduce", M: 3, N: 10, NMap: 6}, []dag.Class{dag.ClassGeneral, dag.ClassOutForest, dag.ClassInForest}},
+	}
+	for _, f := range families {
+		for seed := int64(0); seed < 5; seed++ {
+			f.spec.Seed = seed
+			ins, err := Generate(Spec(f.spec))
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", f.spec.Family, seed, err)
+			}
+			if ins.M != f.spec.M || ins.N != f.spec.N {
+				t.Fatalf("%s: got %dx%d", f.spec.Family, ins.M, ins.N)
+			}
+			got := ins.Class()
+			ok := false
+			for _, c := range f.cls {
+				if got == c {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("%s seed %d: class %v not in %v", f.spec.Family, seed, got, f.cls)
+			}
+		}
+	}
+}
+
+// workload mirrors Spec for readable table literals.
+type workload = Spec
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Spec{Family: "volunteer", M: 4, N: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Spec{Family: "volunteer", M: 4, N: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Q {
+		for j := range a.Q[i] {
+			if a.Q[i][j] != b.Q[i][j] {
+				t.Fatal("same seed must give identical instances")
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := []Spec{
+		{Family: "nope", M: 2, N: 2},
+		{Family: "mapreduce", M: 2, N: 4, NMap: 4},
+		{Family: "chains", M: 2, N: 4, Z: 9},
+		{Family: "specialist", M: 2, N: 4, Groups: -1},
+	}
+	for _, s := range cases {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("%+v: want error", s)
+		}
+	}
+}
+
+func TestMapReduceStructure(t *testing.T) {
+	ins, err := MapReduce(rand.New(rand.NewSource(1)), 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, err := ins.Prec.Layers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layers) != 2 || len(layers[0]) != 3 || len(layers[1]) != 2 {
+		t.Fatalf("layers %v", layers)
+	}
+	if ins.Prec.Edges() != 6 {
+		t.Fatalf("edges %d, want 6 (complete bipartite)", ins.Prec.Edges())
+	}
+}
+
+func TestForestRespectsbranching(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ins, err := Forest(rng, 2, 20, 2, true, 0.2, 0.8)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < ins.N; v++ {
+			if ins.Prec.OutDegree(v) > 2 {
+				// The generator retries but may rarely exceed; it must
+				// still be a forest.
+				if ins.Prec.InDegree(v) > 1 {
+					return false
+				}
+			}
+			if ins.Prec.InDegree(v) > 1 {
+				t.Logf("seed %d: vertex %d has indegree %d", seed, v, ins.Prec.InDegree(v))
+				return false
+			}
+		}
+		return ins.Class().IsForest()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampQ(t *testing.T) {
+	if clampQ(-1) < 1e-7 || clampQ(2) > 0.9991 {
+		t.Fatal("clamp out of range")
+	}
+	if clampQ(0.5) != 0.5 {
+		t.Fatal("clamp should pass through interior values")
+	}
+}
+
+func TestChainsSkewedCoversAllJobs(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		ins, err := ChainsSkewed(rand.New(rand.NewSource(seed)), 3, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chains, err := ins.Chains()
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for _, c := range chains {
+			count += len(c)
+		}
+		if count != 17 {
+			t.Fatalf("chains cover %d of 17 jobs", count)
+		}
+	}
+}

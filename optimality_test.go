@@ -1,0 +1,129 @@
+package suu_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	suu "repro"
+	"repro/internal/exact"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestNoPolicyBeatsExactOptimum is the repository's global soundness
+// check: on random small instances, every policy's Monte Carlo mean must
+// be at least the DP-exact optimal expected makespan (within sampling
+// slack). A policy beating the optimum would mean either the DP or the
+// simulator is wrong.
+func TestNoPolicyBeatsExactOptimum(t *testing.T) {
+	policies := []struct {
+		name string
+		mk   func() sim.Policy
+	}{
+		{"sem", func() sim.Policy { return suu.NewSEM() }},
+		{"obl", func() sim.Policy { return suu.NewOBL() }},
+		{"greedy", func() sim.Policy { return suu.NewGreedy() }},
+		{"greedy-prec", func() sim.Policy { return suu.NewGreedyPrec() }},
+		{"sequential", func() sim.Policy { return suu.NewSequential() }},
+		{"split", func() sim.Policy { return suu.NewEligibleSplit() }},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(3)
+		ins, err := workload.IndependentUniform(rng, m, n, 0.15, 0.85)
+		if err != nil {
+			return false
+		}
+		opt, err := exact.Optimal(ins)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		const trials = 800
+		for _, p := range policies {
+			res, err := sim.MonteCarlo(ins, p.mk(), trials, seed, 0)
+			if err != nil {
+				t.Logf("seed %d: %s: %v", seed, p.name, err)
+				return false
+			}
+			if res.Summary.Mean < opt-4*res.Summary.Sem-0.02 {
+				t.Logf("seed %d: %s mean %.4f beats exact optimum %.4f",
+					seed, p.name, res.Summary.Mean, opt)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChainsPoliciesRespectOptimum does the same for chain instances and
+// the chain-capable policies, exercising the DP's precedence handling.
+func TestChainsPoliciesRespectOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		z := 1 + rng.Intn(2)
+		n := z * (2 + rng.Intn(3))
+		m := 1 + rng.Intn(2)
+		ins, err := workload.Chains(rng, m, n, z, 0.2, 0.8)
+		if err != nil {
+			return false
+		}
+		opt, err := exact.Optimal(ins)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		const trials = 600
+		for _, p := range []sim.Policy{suu.NewChains(), suu.NewForest(), suu.NewSequential()} {
+			res, err := sim.MonteCarlo(ins, p, trials, seed, 0)
+			if err != nil {
+				t.Logf("seed %d: %s: %v", seed, p.Name(), err)
+				return false
+			}
+			if res.Summary.Mean < opt-4*res.Summary.Sem-0.02 {
+				t.Logf("seed %d: %s mean %.4f beats exact optimum %.4f",
+					seed, p.Name(), res.Summary.Mean, opt)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLowerBoundBelowExactOptimum: the LP lower bound used throughout the
+// experiments must actually sit below the true optimum.
+func TestLowerBoundBelowExactOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(3)
+		ins, err := workload.IndependentUniform(rng, m, n, 0.15, 0.9)
+		if err != nil {
+			return false
+		}
+		opt, err := exact.Optimal(ins)
+		if err != nil {
+			return false
+		}
+		lb, err := suu.LowerBound(ins)
+		if err != nil {
+			return false
+		}
+		if lb > opt+1e-9 {
+			t.Logf("seed %d: LB %.4f above exact optimum %.4f", seed, lb, opt)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

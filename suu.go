@@ -1,0 +1,154 @@
+package suu
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/exact"
+	"repro/internal/model"
+	"repro/internal/rounding"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Core problem types.
+type (
+	// Instance is one SUU problem: n jobs, m machines, failure
+	// probabilities q_ij, and an optional precedence DAG.
+	Instance = model.Instance
+	// DAG is a precedence graph over jobs.
+	DAG = dag.DAG
+	// World is one execution of an instance under the SUU* simulator.
+	World = sim.World
+	// Policy is a scheduling algorithm driving a World to completion.
+	Policy = sim.Policy
+	// MCResult is a Monte Carlo makespan estimate.
+	MCResult = sim.MCResult
+	// Summary holds sample statistics of the makespan distribution.
+	Summary = stats.Summary
+	// Spec declares a generated problem instance.
+	Spec = workload.Spec
+	// Experiment is one registered reproduction experiment.
+	Experiment = bench.Experiment
+	// ExperimentConfig controls experiment runs.
+	ExperimentConfig = bench.Config
+	// ResultTable is a formatted experiment result.
+	ResultTable = bench.Table
+)
+
+// NewInstance validates and builds an instance from failure probabilities
+// q (indexed q[machine][job]) and an optional precedence DAG (nil for
+// independent jobs).
+func NewInstance(m, n int, q [][]float64, prec *DAG) (*Instance, error) {
+	return model.New(m, n, q, prec)
+}
+
+// NewDAG returns an empty precedence graph on n jobs; add edges with
+// AddEdge(before, after).
+func NewDAG(n int) *DAG { return dag.New(n) }
+
+// Generate builds an instance from a declarative Spec. Families: uniform,
+// skill, specialist, volunteer, chains, chains-skewed, chains-hard,
+// forest, in-forest, mapreduce.
+func Generate(spec Spec) (*Instance, error) { return workload.Generate(spec) }
+
+// NewSEM returns the paper's semioblivious O(log log min{m,n})-
+// approximation for independent jobs (SUU-I-SEM, Section 3), with LP
+// caching enabled.
+func NewSEM() Policy { return &core.SEM{Cache: rounding.NewCache()} }
+
+// NewOBL returns the oblivious O(log n)-approximation for independent jobs
+// (SUU-I-OBL, Section 3), with LP caching enabled.
+func NewOBL() Policy { return &core.OBL{Cache: rounding.NewCache()} }
+
+// NewChains returns the O(log(n+m)·log log min{m,n})-approximation for
+// precedence constraints forming disjoint chains (SUU-C, Section 4).
+func NewChains() Policy {
+	return &core.Chains{LP1Cache: rounding.NewCache(), LP2Cache: rounding.NewLP2Cache()}
+}
+
+// NewForest returns the approximation for directed-forest precedence
+// (SUU-T, Appendix B): heavy-path decomposition into chain blocks, SUU-C
+// per block.
+func NewForest() Policy {
+	return &core.Forest{Engine: &core.Chains{
+		LP1Cache: rounding.NewCache(),
+		LP2Cache: rounding.NewLP2Cache(),
+	}}
+}
+
+// NewLayered returns the layer-by-layer scheduler for general layered DAGs
+// (MapReduce-style phases), running SEM per layer.
+func NewLayered() Policy {
+	return &core.Layered{Inner: &core.SEM{Cache: rounding.NewCache()}}
+}
+
+// NewGreedy returns the Lin–Rajaraman-style greedy baseline for
+// independent jobs.
+func NewGreedy() Policy { return baseline.Greedy{} }
+
+// NewGreedyPrec returns the precedence-aware greedy heuristic (the
+// conclusion's open-question subject): mass-leveling over eligible jobs,
+// valid for any DAG, no proven guarantee.
+func NewGreedyPrec() Policy { return baseline.GreedyPrec{} }
+
+// NewSequential returns the one-job-at-a-time O(n)-approximation baseline.
+func NewSequential() Policy { return baseline.Sequential{} }
+
+// NewEligibleSplit returns the machines-split-evenly heuristic baseline.
+func NewEligibleSplit() Policy { return baseline.EligibleSplit{} }
+
+// Estimate runs trials independent executions of the policy and returns
+// the makespan sample and summary. Trials run on a goroutine pool; results
+// are deterministic in (instance, policy, trials, seed).
+func Estimate(ins *Instance, p Policy, trials int, seed int64) (*MCResult, error) {
+	return sim.MonteCarlo(ins, p, trials, seed, 0)
+}
+
+// Run executes a single trial with the given seed and returns the
+// makespan.
+func Run(ins *Instance, p Policy, seed int64) (int64, error) {
+	w := sim.NewWorld(ins, newRand(seed))
+	if err := p.Run(w); err != nil {
+		return 0, err
+	}
+	return w.Makespan()
+}
+
+// LowerBound returns the Lemma 1 lower bound on the optimal expected
+// makespan: max(t*_LP1(J,1/2)/2, 1). Measured-makespan / LowerBound upper
+// bounds the true approximation ratio.
+func LowerBound(ins *Instance) (float64, error) {
+	jobs := make([]int, ins.N)
+	for j := range jobs {
+		jobs[j] = j
+	}
+	_, tstar, err := rounding.SolveLP1(ins, jobs, 0.5)
+	if err != nil {
+		return 0, err
+	}
+	if tstar < 2 {
+		return 1, nil
+	}
+	return tstar / 2, nil
+}
+
+// ExactOptimal computes the true optimal expected makespan by dynamic
+// programming. Exponential in n; intended for small instances (n ≤ ~12,
+// small machine counts or narrow DAGs).
+func ExactOptimal(ins *Instance) (float64, error) { return exact.Optimal(ins) }
+
+// Experiments lists the registered reproduction experiments (Table 1 rows
+// and validation figures).
+func Experiments() []Experiment { return bench.All() }
+
+// RunExperiment runs one experiment by id (see Experiments).
+func RunExperiment(id string, cfg ExperimentConfig) (*ResultTable, error) {
+	e, ok := bench.Lookup(id)
+	if !ok {
+		return nil, errUnknownExperiment(id)
+	}
+	return e.Run(cfg)
+}

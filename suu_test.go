@@ -1,0 +1,113 @@
+package suu_test
+
+import (
+	"math"
+	"testing"
+
+	suu "repro"
+)
+
+// TestQuickstart is the README's quickstart, verified.
+func TestQuickstart(t *testing.T) {
+	ins, err := suu.Generate(suu.Spec{Family: "uniform", M: 8, N: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := suu.Estimate(ins, suu.NewSEM(), 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := suu.LowerBound(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Mean < lb {
+		t.Fatalf("mean %.2f below lower bound %.2f", res.Summary.Mean, lb)
+	}
+}
+
+// TestAllConstructorsOnMatchingClasses runs every public policy on an
+// instance of its precedence class.
+func TestAllConstructorsOnMatchingClasses(t *testing.T) {
+	cases := []struct {
+		name string
+		p    suu.Policy
+		spec suu.Spec
+	}{
+		{"sem", suu.NewSEM(), suu.Spec{Family: "uniform", M: 4, N: 10, Seed: 2}},
+		{"obl", suu.NewOBL(), suu.Spec{Family: "skill", M: 4, N: 10, Seed: 3}},
+		{"greedy", suu.NewGreedy(), suu.Spec{Family: "uniform", M: 4, N: 10, Seed: 4}},
+		{"chains", suu.NewChains(), suu.Spec{Family: "chains", M: 4, N: 12, Z: 3, Seed: 5}},
+		{"forest", suu.NewForest(), suu.Spec{Family: "forest", M: 4, N: 12, Seed: 6}},
+		{"layered", suu.NewLayered(), suu.Spec{Family: "mapreduce", M: 4, N: 10, NMap: 6, Seed: 7}},
+		{"sequential", suu.NewSequential(), suu.Spec{Family: "in-forest", M: 4, N: 10, Seed: 8}},
+		{"split", suu.NewEligibleSplit(), suu.Spec{Family: "chains", M: 4, N: 10, Z: 2, Seed: 9}},
+		{"greedy-prec", suu.NewGreedyPrec(), suu.Spec{Family: "forest", M: 4, N: 10, Seed: 10}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ins, err := suu.Generate(c.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, err := suu.Run(ins, c.p, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ms <= 0 {
+				t.Fatalf("makespan %d", ms)
+			}
+		})
+	}
+}
+
+func TestManualInstanceAndDAG(t *testing.T) {
+	g := suu.NewDAG(3)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	ins, err := suu.NewInstance(2, 3, [][]float64{
+		{0.5, 0.3, 0.4},
+		{0.2, 0.6, 0.5},
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := suu.Run(ins, suu.NewChains(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms < 3 {
+		t.Fatalf("3-chain needs ≥ 3 steps, got %d", ms)
+	}
+}
+
+func TestExactOptimalFacade(t *testing.T) {
+	ins, err := suu.NewInstance(1, 1, [][]float64{{0.5}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := suu.ExactOptimal(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-2) > 1e-9 {
+		t.Fatalf("optimal %g, want 2", opt)
+	}
+}
+
+func TestExperimentRegistryFacade(t *testing.T) {
+	exps := suu.Experiments()
+	if len(exps) < 9 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	if _, err := suu.RunExperiment("definitely-not-real", suu.ExperimentConfig{}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	tb, err := suu.RunExperiment("f-batch", suu.ExperimentConfig{Scale: 0.2, Trials: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+}
