@@ -1,8 +1,8 @@
 // Benchmarks regenerating the paper's evaluation, one per table row and
-// validation figure (see DESIGN.md §5 for the experiment index). Each
+// validation figure (run `suubench -list` for the experiment index). Each
 // benchmark iteration runs the corresponding experiment at reduced scale;
-// cmd/suubench runs the full sweeps and prints the tables recorded in
-// EXPERIMENTS.md.
+// cmd/suubench runs the full sweeps, and its -json flag records measured
+// results in the committed BENCH_*.json files.
 package suu_test
 
 import (

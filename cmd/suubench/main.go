@@ -1,12 +1,18 @@
 // Suubench runs the experiment suite that regenerates the paper's Table 1
-// and the validation figures. See DESIGN.md §5 for the experiment index and
-// EXPERIMENTS.md for recorded results.
+// and the validation figures. `suubench -list` prints the experiment
+// index; bench_test.go at the repo root wires the same experiments to
+// `go test -bench` benchmarks at reduced scale.
 //
 // Usage:
 //
 //	suubench -list
 //	suubench -run t1-indep [-trials 40] [-seed 1] [-scale 1.0] [-csv]
 //	suubench -run all
+//	suubench -run t1-indep -json [-note "..."] > BENCH_pr1.json
+//
+// The -json flag wraps each run in a wall-time + allocation measurement
+// and emits a bench.Report document; committing its output as
+// BENCH_<tag>.json records the performance trajectory PR over PR.
 package main
 
 import (
@@ -27,6 +33,8 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "sweep scale in (0,1]")
 		workers = flag.Int("workers", 0, "Monte Carlo workers (0 = GOMAXPROCS)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut = flag.Bool("json", false, "emit a measured bench.Report JSON document")
+		note    = flag.String("note", "", "free-form note embedded in the -json report (e.g. the baseline compared against)")
 	)
 	flag.Parse()
 
@@ -53,6 +61,27 @@ func main() {
 		}
 		exps = []bench.Experiment{e}
 	}
+
+	if *jsonOut {
+		report := bench.NewReport(cfg)
+		if *note != "" {
+			report.Notes = append(report.Notes, *note)
+		}
+		for _, e := range exps {
+			rec, err := bench.Measure(e, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "suubench: %v\n", err)
+				os.Exit(1)
+			}
+			report.Records = append(report.Records, *rec)
+		}
+		if err := report.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "suubench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	for _, e := range exps {
 		start := time.Now()
 		t, err := e.Run(cfg)

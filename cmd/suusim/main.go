@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	exactpkg "repro/internal/exact"
 	"repro/internal/model"
+	"repro/internal/rng"
 	"repro/internal/rounding"
 	"repro/internal/sim"
 )
@@ -95,7 +96,9 @@ func main() {
 	}
 
 	if *trace {
-		w := sim.NewWorld(&ins, rand.New(rand.NewSource(*seed)))
+		// Same per-seed stream as MonteCarlo trial 0 with this seed, so a
+		// traced run replays what the estimator simulated.
+		w := sim.NewWorld(&ins, rand.New(rng.New(*seed)))
 		tr := &sim.Trace{}
 		w.SetTracer(tr)
 		if err := p.Run(w); err != nil {

@@ -27,6 +27,28 @@
 //	res, _ := suu.Estimate(ins, suu.NewSEM(), 100, 1)
 //	fmt.Println(res.Summary) // estimated expected makespan
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
-// reproductions of the paper's results.
+// # Performance
+//
+// The Monte Carlo engine runs an allocation-free hot path: each estimator
+// worker owns one simulation World and one SplitMix64 random stream
+// (internal/rng), both recycled across trials. Rewinding for trial i is a
+// single-word reseed plus a buffer-reusing World.Reset — no per-trial
+// world, RNG table, or per-step map allocations. Trial i always runs on
+// the stream seeded with seed+i, so estimates are identical for any
+// worker count.
+//
+// The pooling contract for Policy implementations: the World passed to
+// Run may be recycled for another trial as soon as Run returns. Policies
+// must not retain the World, its Rng, or any slice obtained from it
+// (completion lists from Step/StepMulti are additionally invalidated by
+// the next step). Policies that loop over steps should use the
+// World.AppendRemaining/AppendEligible variants with a caller-owned
+// buffer to stay allocation-free themselves.
+//
+// Benchmarks: `go test -bench . -benchmem` runs reduced-scale experiment
+// benchmarks (bench_test.go) plus engine micro-benchmarks in
+// internal/sim and internal/lp. The committed BENCH_*.json records track
+// measured performance PR over PR; regenerate with
+//
+//	go run ./cmd/suubench -run t1-indep -json -note "..." > BENCH_<tag>.json
 package suu

@@ -60,6 +60,6 @@ func main() {
 	fmt.Println("\nEach phase is an independent-jobs SUU-I instance, so SEM's")
 	fmt.Println("O(log log min{m,n}) guarantee applies phase by phase — including on")
 	fmt.Println("adversarial pools where the heuristics degrade (see the specialist")
-	fmt.Println("rows of t1-indep in EXPERIMENTS.md). The constants SEM pays here")
+	fmt.Println("rows of the t1-indep experiment). The constants SEM pays here")
 	fmt.Println("are the LP-rounding factor 6 of Lemma 2.")
 }

@@ -59,7 +59,7 @@ func main() {
 
 	fmt.Println("\nSUU-C pays constant-factor overheads (LP rounding, chain delays)")
 	fmt.Println("for a guarantee that holds on adversarial instances; the heuristics")
-	fmt.Println("are faster here but have no bound — see EXPERIMENTS.md (t1-chains)")
+	fmt.Println("are faster here but have no bound — see suubench -run t1-chains")
 	fmt.Println("for the scaling comparison and f-batch for where the paper's")
 	fmt.Println("long-job machinery overtakes the alternatives.")
 }

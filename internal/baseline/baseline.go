@@ -42,11 +42,12 @@ func (g Greedy) Run(w *sim.World) error {
 	}
 	deficit := make([]float64, ins.N)
 	assign := make([]int, ins.M)
+	rem := make([]int, 0, ins.N)
 	for steps := 0; !w.AllDone(); steps++ {
 		if steps >= maxSteps {
 			return fmt.Errorf("baseline: %s stalled after %d steps", g.Name(), steps)
 		}
-		rem := w.Remaining()
+		rem = w.AppendRemaining(rem[:0])
 		for i := 0; i < ins.M; i++ {
 			best, bestDeficit := -1, 0.0
 			for _, j := range rem {
@@ -78,11 +79,12 @@ func (Sequential) Name() string { return "sequential" }
 
 // Run completes all jobs one at a time in eligibility order.
 func (s Sequential) Run(w *sim.World) error {
+	elig := make([]int, 0, w.Instance().N)
 	for steps := 0; !w.AllDone(); steps++ {
 		if steps >= maxSteps {
 			return fmt.Errorf("baseline: %s stalled", s.Name())
 		}
-		elig := w.EligibleJobs()
+		elig = w.AppendEligible(elig[:0])
 		if len(elig) == 0 {
 			return fmt.Errorf("baseline: %s: no eligible jobs with %d remaining",
 				s.Name(), w.NumRemaining())
@@ -112,11 +114,12 @@ func (g GreedyPrec) Run(w *sim.World) error {
 	ins := w.Instance()
 	deficit := make([]float64, ins.N)
 	assign := make([]int, ins.M)
+	elig := make([]int, 0, ins.N)
 	for steps := 0; !w.AllDone(); steps++ {
 		if steps >= maxSteps {
 			return fmt.Errorf("baseline: %s stalled after %d steps", g.Name(), steps)
 		}
-		elig := w.EligibleJobs()
+		elig = w.AppendEligible(elig[:0])
 		if len(elig) == 0 {
 			return fmt.Errorf("baseline: %s: no eligible jobs with %d remaining",
 				g.Name(), w.NumRemaining())
@@ -157,11 +160,12 @@ func (EligibleSplit) Name() string { return "eligible-split" }
 func (e EligibleSplit) Run(w *sim.World) error {
 	ins := w.Instance()
 	assign := make([]int, ins.M)
+	elig := make([]int, 0, ins.N)
 	for steps := 0; !w.AllDone(); steps++ {
 		if steps >= maxSteps {
 			return fmt.Errorf("baseline: %s stalled", e.Name())
 		}
-		elig := w.EligibleJobs()
+		elig = w.AppendEligible(elig[:0])
 		if len(elig) == 0 {
 			return fmt.Errorf("baseline: %s: no eligible jobs with %d remaining",
 				e.Name(), w.NumRemaining())

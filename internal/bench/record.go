@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Record is one measured experiment run: the experiment's result table
+// plus wall-time and allocation cost, in the shape cmd/suubench's -json
+// flag emits. Committed BENCH_*.json files hold these records so the
+// repo's performance trajectory is tracked PR over PR.
+type Record struct {
+	Experiment  string     `json:"experiment"`
+	NsPerOp     int64      `json:"ns_per_op"`
+	AllocsPerOp uint64     `json:"allocs_per_op"`
+	BytesPerOp  uint64     `json:"bytes_per_op"`
+	Header      []string   `json:"header"`
+	Rows        [][]string `json:"rows"`
+	Notes       []string   `json:"notes,omitempty"`
+}
+
+// Report is the top-level JSON document: environment stamp, run
+// configuration, free-form notes (e.g. the baseline being compared
+// against), and one record per experiment run.
+type Report struct {
+	Schema  string   `json:"schema"`
+	Go      string   `json:"go"`
+	Arch    string   `json:"arch"`
+	Config  Config   `json:"config"`
+	Notes   []string `json:"notes,omitempty"`
+	Records []Record `json:"records"`
+}
+
+// NewReport returns an empty report stamped with the toolchain and cfg.
+func NewReport(cfg Config) *Report {
+	return &Report{
+		Schema: "suu-bench/v1",
+		Go:     runtime.Version(),
+		Arch:   runtime.GOOS + "/" + runtime.GOARCH,
+		Config: cfg,
+	}
+}
+
+// Write emits the report as indented JSON.
+func (r *Report) Write(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Measure runs experiment e once under cfg and records its wall time and
+// allocation deltas (runtime.MemStats before/after, so the numbers are
+// comparable to `go test -benchmem` at -benchtime 1x). The measured run
+// is the one whose table lands in the record.
+func Measure(e Experiment, cfg Config) (*Record, error) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	t, err := e.Run(cfg)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", e.ID, err)
+	}
+	return &Record{
+		Experiment:  e.ID,
+		NsPerOp:     elapsed.Nanoseconds(),
+		AllocsPerOp: m1.Mallocs - m0.Mallocs,
+		BytesPerOp:  m1.TotalAlloc - m0.TotalAlloc,
+		Header:      t.Header,
+		Rows:        t.Rows,
+		Notes:       t.Notes,
+	}, nil
+}

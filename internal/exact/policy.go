@@ -121,8 +121,10 @@ func (p *Policy) Run(w *sim.World) error {
 	}
 	for !w.AllDone() {
 		var state uint32
-		for _, j := range w.Remaining() {
-			state |= 1 << uint(j)
+		for j := 0; j < p.ins.N; j++ {
+			if !w.Done(j) {
+				state |= 1 << uint(j)
+			}
 		}
 		assign, ok := p.action[state]
 		if !ok {

@@ -72,13 +72,14 @@ func SolveCoverMWU(ins *CoverInstance, eps float64) ([][]float64, float64, error
 	if hi == 0 {
 		return zeroMatrix(ins.M, ins.N), 0, nil
 	}
+	st := newMWUSolver(ins)
 	var bestX [][]float64
 	bestT := hi
 	// feasible(t) uses the penalty oracle; it is monotone in t up to the
 	// approximation slack, so a plain bisection suffices.
 	for iter := 0; iter < 40 && hi-lo > eps*lo/4; iter++ {
 		mid := (lo + hi) / 2
-		if x, ok := mwuFeasible(ins, mid, eps); ok {
+		if x, ok := st.feasible(mid, eps); ok {
 			bestX, bestT = x, mid
 			hi = mid
 		} else {
@@ -86,7 +87,7 @@ func SolveCoverMWU(ins *CoverInstance, eps float64) ([][]float64, float64, error
 		}
 	}
 	if bestX == nil {
-		x, ok := mwuFeasible(ins, hi, eps)
+		x, ok := st.feasible(hi, eps)
 		if !ok {
 			return nil, 0, fmt.Errorf("lp: mwu failed to certify t = %g", hi)
 		}
@@ -95,21 +96,120 @@ func SolveCoverMWU(ins *CoverInstance, eps float64) ([][]float64, float64, error
 	return bestX, bestT, nil
 }
 
-// mwuFeasible tries to route all demands with machine loads ≤ (1+eps)·t.
+// mwuSolver holds the oracle's reusable state across the bisection's
+// feasibility probes: per-job candidate machine lists (machines with
+// a_ij > 0, computed once, with −ln a_ij stored contiguously so the
+// selection scan walks one small array instead of striding across Rates
+// rows) and a lazy best-machine cache, plus the load and solution buffers.
+//
+// The oracle compares penalized costs exp(α·load_i)/a_ij in log space,
+// α·load_i − ln a_ij — a strictly monotone transform that preserves every
+// argmin while eliminating the per-increment math.Exp (which dominated
+// the profile of the multiplicative form).
+type mwuSolver struct {
+	ins   *CoverInstance
+	cand  [][]int32   // per job: machines with a_ij > 0
+	nlogA [][]float64 // per job: −ln a_ij, aligned with cand
+
+	load  []float64
+	alpha float64 // penalty sharpness of the current feasibility probe
+	// Lazy best-machine cache. Machine loads only grow, so log costs
+	// α·load_i − ln a_ij are monotone nondecreasing; second[j], the
+	// runner-up cost at the last full scan of job j's candidates, is
+	// therefore a permanent lower bound on every non-best candidate's
+	// current cost within one probe.
+	best     []int32   // cached best candidate position per job (-1 = none)
+	second   []float64 // runner-up log cost at cache time
+	x, xKeep [][]float64
+}
+
+func newMWUSolver(ins *CoverInstance) *mwuSolver {
+	st := &mwuSolver{
+		ins:    ins,
+		cand:   make([][]int32, ins.N),
+		nlogA:  make([][]float64, ins.N),
+		load:   make([]float64, ins.M),
+		best:   make([]int32, ins.N),
+		second: make([]float64, ins.N),
+		x:      zeroMatrix(ins.M, ins.N),
+		xKeep:  zeroMatrix(ins.M, ins.N),
+	}
+	for j := 0; j < ins.N; j++ {
+		k := 0
+		for i := 0; i < ins.M; i++ {
+			if ins.Rates[i][j] > 0 {
+				k++
+			}
+		}
+		st.cand[j] = make([]int32, 0, k)
+		st.nlogA[j] = make([]float64, 0, k)
+		for i := 0; i < ins.M; i++ {
+			if ins.Rates[i][j] > 0 {
+				st.cand[j] = append(st.cand[j], int32(i))
+				st.nlogA[j] = append(st.nlogA[j], -math.Log(ins.Rates[i][j]))
+			}
+		}
+	}
+	return st
+}
+
+// pick returns the candidate position (index into cand[j]/nlogA[j]) of
+// the machine minimizing the penalized log cost α·load_i − ln a_ij over
+// job j's candidates, or -1 if the job has none. The cached best is
+// revalidated with one multiply-add: if its current cost is still
+// strictly below the cached runner-up bound it must still be the unique
+// minimum (all other costs only grew), so the O(|candidates|) rescan
+// happens only when the best machine's load has drifted up to the bound.
+// Ties on the rescan break toward the lowest machine index, like a plain
+// full scan.
+func (st *mwuSolver) pick(j int) int {
+	cand, nlogA := st.cand[j], st.nlogA[j]
+	load, alpha := st.load, st.alpha
+	if b := st.best[j]; b >= 0 {
+		if c := alpha*load[cand[b]] + nlogA[b]; c < st.second[j] {
+			return int(b)
+		}
+	}
+	best := int32(-1)
+	bestCost, second := math.Inf(1), math.Inf(1)
+	for k, i := range cand {
+		c := alpha*load[i] + nlogA[k]
+		if c < bestCost {
+			best, bestCost, second = int32(k), c, bestCost
+		} else if c < second {
+			second = c
+		}
+	}
+	st.best[j], st.second[j] = best, second
+	return int(best)
+}
+
+// feasible tries to route all demands with machine loads ≤ (1+eps)·t.
 // Demands are split into small increments; each increment of job j goes to
 // the machine minimizing the smoothed (soft-max) load increase per unit of
-// coverage, the classic potential argument of multiplicative weights.
-func mwuFeasible(ins *CoverInstance, t, eps float64) ([][]float64, bool) {
+// coverage, the classic potential argument of multiplicative weights. The
+// returned matrix stays valid across later feasible calls (double
+// buffering); only the most recent two results exist at a time, which is
+// exactly what the bisection needs.
+func (st *mwuSolver) feasible(t, eps float64) ([][]float64, bool) {
 	if t <= 0 {
 		return nil, false
 	}
+	ins := st.ins
 	m, n := ins.M, ins.N
-	x := zeroMatrix(m, n)
-	load := make([]float64, m)
-	alpha := math.Log(float64(m)+1) / (eps * t) // penalty sharpness
-	weight := make([]float64, m)
-	for i := range weight {
-		weight[i] = 1
+	x := st.x
+	for i := range x {
+		row := x[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	st.alpha = math.Log(float64(m)+1) / (eps * t) // penalty sharpness
+	for i := 0; i < m; i++ {
+		st.load[i] = 0
+	}
+	for j := 0; j < n; j++ {
+		st.best[j] = -1
 	}
 	// Route all jobs in interleaved increments so no job commits its whole
 	// demand before seeing the load the others create — the round-robin
@@ -118,30 +218,22 @@ func mwuFeasible(ins *CoverInstance, t, eps float64) ([][]float64, bool) {
 	for s := 0; s < steps; s++ {
 		for j := 0; j < n; j++ {
 			inc := ins.Demands[j] / float64(steps)
-			// Pick the machine with the lowest penalized cost per unit
-			// coverage: weight_i / a_ij.
-			best, bestCost := -1, math.Inf(1)
-			for i := 0; i < m; i++ {
-				a := ins.Rates[i][j]
-				if a <= 0 {
-					continue
-				}
-				if c := weight[i] / a; c < bestCost {
-					best, bestCost = i, c
-				}
-			}
-			if best < 0 {
+			k := st.pick(j)
+			if k < 0 {
 				return nil, false
 			}
+			best := int(st.cand[j][k])
 			d := inc / ins.Rates[best][j] // machine time for this increment
 			x[best][j] += d
-			load[best] += d
-			weight[best] = math.Exp(alpha * load[best])
-			if load[best] > (1+eps)*t {
+			st.load[best] += d
+			if st.load[best] > (1+eps)*t {
 				return nil, false
 			}
 		}
 	}
+	// Hand out x and rotate buffers so the caller's kept solution is not
+	// overwritten by the next probe.
+	st.x, st.xKeep = st.xKeep, x
 	return x, true
 }
 

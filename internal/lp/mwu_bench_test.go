@@ -1,0 +1,44 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchCover builds a dense covering instance big enough that the oracle's
+// inner loop (machine selection per increment) dominates.
+func benchCover(m, n int) *CoverInstance {
+	rng := rand.New(rand.NewSource(7))
+	rates := make([][]float64, m)
+	for i := range rates {
+		rates[i] = make([]float64, n)
+		for j := range rates[i] {
+			if rng.Float64() < 0.7 {
+				rates[i][j] = 0.1 + rng.Float64()
+			}
+		}
+	}
+	demands := make([]float64, n)
+	for j := range demands {
+		demands[j] = 1 + 4*rng.Float64()
+		// Guarantee coverability regardless of the sparsity draw.
+		if rates[j%m][j] == 0 {
+			rates[j%m][j] = 0.5
+		}
+	}
+	return &CoverInstance{M: m, N: n, Rates: rates, Demands: demands}
+}
+
+// BenchmarkMWU pins the multiplicative-weights solver: the lazy
+// best-machine cache means each increment is O(1) until the cached
+// machine's weight moves, instead of an O(m) rescan per increment.
+func BenchmarkMWU(b *testing.B) {
+	ins := benchCover(32, 96)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SolveCoverMWU(ins, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -13,26 +13,59 @@ import (
 // Inf is the capacity used for uncapacitated edges.
 const Inf = int64(math.MaxInt64 / 4)
 
-// Graph is a flow network on vertices 0..n-1. The zero value is unusable;
+// Graph is a flow network on vertices 0..n-1. Adjacency is stored as
+// per-vertex linked lists threaded through flat edge arrays (head/tail/
+// next), so AddEdge never allocates per vertex — graph construction is
+// three amortized slice appends total, which matters because the Lemma 2
+// rounding builds a fresh network per Monte Carlo trial. Lists preserve
+// insertion order, so traversal (and hence the integral flow found) is
+// identical to a slice-of-slices adjacency. The zero value is unusable;
 // construct with New.
 type Graph struct {
 	n    int
-	head [][]int32 // adjacency: indices into the edge arrays
+	head []int32 // first edge id per vertex, -1 if none
+	tail []int32 // last edge id per vertex (for ordered append)
+	next []int32 // next edge id within the same vertex's list, -1 ends
 	to   []int32
 	cap  []int64 // residual capacity
-	// level and iter are scratch for Dinic.
+	// level and iter are scratch for Dinic; iter holds each vertex's
+	// current-arc edge id.
 	level []int32
 	iter  []int32
 }
 
 // New returns an empty flow network on n vertices.
 func New(n int) *Graph {
-	return &Graph{
+	g := &Graph{
 		n:     n,
-		head:  make([][]int32, n),
+		head:  make([]int32, n),
+		tail:  make([]int32, n),
 		level: make([]int32, n),
 		iter:  make([]int32, n),
 	}
+	for i := range g.head {
+		g.head[i] = -1
+		g.tail[i] = -1
+	}
+	return g
+}
+
+// Reserve pre-sizes the edge arrays for the given number of AddEdge calls,
+// eliminating growth reallocations when the caller knows the edge count.
+func (g *Graph) Reserve(edges int) {
+	if cap(g.to)-len(g.to) >= 2*edges {
+		return
+	}
+	grow := func(a []int32) []int32 {
+		b := make([]int32, len(a), len(a)+2*edges)
+		copy(b, a)
+		return b
+	}
+	g.to = grow(g.to)
+	g.next = grow(g.next)
+	c := make([]int64, len(g.cap), len(g.cap)+2*edges)
+	copy(c, g.cap)
+	g.cap = c
 }
 
 // N returns the number of vertices.
@@ -51,9 +84,21 @@ func (g *Graph) AddEdge(u, v int, capacity int64) (int, error) {
 	id := len(g.to)
 	g.to = append(g.to, int32(v), int32(u))
 	g.cap = append(g.cap, capacity, 0)
-	g.head[u] = append(g.head[u], int32(id))
-	g.head[v] = append(g.head[v], int32(id+1))
+	g.next = append(g.next, -1, -1)
+	g.link(u, int32(id))
+	g.link(v, int32(id+1))
 	return id, nil
+}
+
+// link appends edge id to vertex u's adjacency list, keeping insertion
+// order.
+func (g *Graph) link(u int, id int32) {
+	if g.tail[u] < 0 {
+		g.head[u] = id
+	} else {
+		g.next[g.tail[u]] = id
+	}
+	g.tail[u] = id
 }
 
 // Flow returns the amount of flow routed through edge id by the last MaxFlow
@@ -71,9 +116,7 @@ func (g *Graph) MaxFlow(s, t int) int64 {
 	}
 	var total int64
 	for g.bfs(s, t) {
-		for i := range g.iter {
-			g.iter[i] = 0
-		}
+		copy(g.iter, g.head)
 		for {
 			f := g.dfs(s, t, Inf)
 			if f == 0 {
@@ -96,7 +139,7 @@ func (g *Graph) bfs(s, t int) bool {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, id := range g.head[v] {
+		for id := g.head[v]; id >= 0; id = g.next[id] {
 			if g.cap[id] > 0 && g.level[g.to[id]] < 0 {
 				g.level[g.to[id]] = g.level[v] + 1
 				queue = append(queue, g.to[id])
@@ -106,13 +149,14 @@ func (g *Graph) bfs(s, t int) bool {
 	return g.level[t] >= 0
 }
 
-// dfs sends a blocking-flow augmentation of at most up units from v to t.
+// dfs sends a blocking-flow augmentation of at most up units from v to t,
+// resuming each vertex at its current arc (iter).
 func (g *Graph) dfs(v, t int, up int64) int64 {
 	if v == t {
 		return up
 	}
-	for ; g.iter[v] < int32(len(g.head[v])); g.iter[v]++ {
-		id := g.head[v][g.iter[v]]
+	for id := g.iter[v]; id >= 0; id = g.next[id] {
+		g.iter[v] = id
 		w := int(g.to[id])
 		if g.cap[id] <= 0 || g.level[w] != g.level[v]+1 {
 			continue
@@ -124,6 +168,7 @@ func (g *Graph) dfs(v, t int, up int64) int64 {
 			return d
 		}
 	}
+	g.iter[v] = -1
 	g.level[v] = -1
 	return 0
 }
@@ -137,7 +182,7 @@ func (g *Graph) MinCut(s int) []bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, id := range g.head[v] {
+		for id := g.head[v]; id >= 0; id = g.next[id] {
 			w := int(g.to[id])
 			if g.cap[id] > 0 && !side[w] {
 				side[w] = true

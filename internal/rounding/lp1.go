@@ -203,7 +203,10 @@ func roundByFlow(ins *model.Instance, jobs []int, L float64, xfrac [][]float64, 
 
 	// Build the flow network: s → u_{j,g} → v_i → w.
 	// Node ids: s=0, w=1, machines 2..m+1, groups m+2...
+	// Edge count upper bound: one per machine to the sink, plus per group
+	// node one source edge and at most m machine edges.
 	g := maxflow.New(2 + m + len(d))
+	g.Reserve(m + len(d)*(1+m))
 	const s, w = 0, 1
 	machineNode := func(i int) int { return 2 + i }
 	loadCap := int64(math.Ceil(6*tstar - capEps))

@@ -95,26 +95,50 @@ type Run struct {
 // Oblivious is a finite oblivious schedule (Section 2): for each machine, a
 // fixed sequence of runs executed regardless of which jobs have completed
 // (machines assigned to completed jobs simply idle). Length is the number
-// of timesteps; machines whose runs end earlier idle until Length.
+// of timesteps; machines whose runs end earlier idle until Length. An
+// Oblivious is immutable once built and safe to share across goroutines;
+// Serialize precomputes the job set so Jobs is allocation-free on the
+// simulator's repeated-pass hot path.
 type Oblivious struct {
 	M      int
 	Runs   [][]Run
 	Length int64
+
+	jobs []int // job set in first-appearance order; nil if built by hand
 }
 
 // Serialize turns an assignment into an oblivious schedule: machine i runs
 // its assigned jobs back to back in ascending job order (the order is
-// immaterial to the guarantees; Section 3 says "in arbitrary order").
+// immaterial to the guarantees; Section 3 says "in arbitrary order"). All
+// runs share one flat backing array, so serialization costs a constant
+// number of allocations regardless of assignment density.
 func (a *Assignment) Serialize() *Oblivious {
 	o := &Oblivious{M: a.M, Runs: make([][]Run, a.M)}
+	total := 0
 	for i := 0; i < a.M; i++ {
-		var t int64
 		for j := 0; j < a.N; j++ {
 			if a.X[i][j] > 0 {
-				o.Runs[i] = append(o.Runs[i], Run{Job: j, Steps: a.X[i][j]})
-				t += a.X[i][j]
+				total++
 			}
 		}
+	}
+	flat := make([]Run, 0, total)
+	seen := make([]bool, a.N)
+	o.jobs = make([]int, 0, a.N)
+	for i := 0; i < a.M; i++ {
+		var t int64
+		start := len(flat)
+		for j := 0; j < a.N; j++ {
+			if a.X[i][j] > 0 {
+				flat = append(flat, Run{Job: j, Steps: a.X[i][j]})
+				t += a.X[i][j]
+				if !seen[j] {
+					seen[j] = true
+					o.jobs = append(o.jobs, j)
+				}
+			}
+		}
+		o.Runs[i] = flat[start:len(flat):len(flat)]
 		if t > o.Length {
 			o.Length = t
 		}
@@ -122,8 +146,13 @@ func (a *Assignment) Serialize() *Oblivious {
 	return o
 }
 
-// Jobs returns the set of jobs that appear in the schedule.
+// Jobs returns the jobs that appear in the schedule, in first-appearance
+// order. For serialized schedules the list is precomputed and shared —
+// callers must not mutate it.
 func (o *Oblivious) Jobs() []int {
+	if o.jobs != nil {
+		return o.jobs
+	}
 	seen := make(map[int]bool)
 	var jobs []int
 	for _, runs := range o.Runs {

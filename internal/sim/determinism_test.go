@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// randomEligible is a deliberately RNG-hungry test policy: every step each
+// machine picks a uniformly random eligible job. It exercises both the
+// policy-visible Rng() stream and (in coin mode) the settle draws, so any
+// cross-worker RNG sharing or ordering bug shows up as diverging makespans.
+type randomEligible struct{}
+
+func (randomEligible) Name() string { return "random-eligible" }
+
+func (randomEligible) Run(w *World) error {
+	ins := w.Instance()
+	assign := make([]int, ins.M)
+	elig := make([]int, 0, ins.N)
+	for !w.AllDone() {
+		elig = w.AppendEligible(elig[:0])
+		for i := range assign {
+			assign[i] = elig[w.Rng().Intn(len(elig))]
+		}
+		if _, err := w.Step(assign); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestMonteCarloDeterministicAcrossWorkers: for a fixed seed, the makespan
+// vector must be byte-identical no matter how trials are spread over
+// workers — trial i always runs on the stream seeded with seed+i. Checked
+// in both threshold and coin mode.
+func TestMonteCarloDeterministicAcrossWorkers(t *testing.T) {
+	ins := randomInstance(rand.New(rand.NewSource(17)), 4, 12)
+	const trials, seed = 64, 99
+
+	runs := []struct {
+		name string
+		fn   func(workers int) (*MCResult, error)
+	}{
+		{"threshold", func(workers int) (*MCResult, error) {
+			return MonteCarlo(ins, randomEligible{}, trials, seed, workers)
+		}},
+		{"coin", func(workers int) (*MCResult, error) {
+			return MonteCarloCoin(ins, randomEligible{}, trials, seed, workers)
+		}},
+	}
+	workerCounts := []int{1, 8, runtime.GOMAXPROCS(0)}
+	for _, mode := range runs {
+		var ref *MCResult
+		for _, workers := range workerCounts {
+			res, err := mode.fn(workers)
+			if err != nil {
+				t.Fatalf("%s mode, %d workers: %v", mode.name, workers, err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			for i := range ref.Makespans {
+				if res.Makespans[i] != ref.Makespans[i] {
+					t.Fatalf("%s mode: trial %d makespan %v with %d workers, %v with %d",
+						mode.name, i, res.Makespans[i], workers, ref.Makespans[i], workerCounts[0])
+				}
+			}
+		}
+	}
+}
+
+// TestMonteCarloRepeatable: running the same estimate twice must reproduce
+// the same vector exactly (coin mode used to consume settle draws in
+// randomized map order, which broke this).
+func TestMonteCarloRepeatable(t *testing.T) {
+	ins := randomInstance(rand.New(rand.NewSource(23)), 3, 9)
+	for name, fn := range map[string]func() (*MCResult, error){
+		"threshold": func() (*MCResult, error) { return MonteCarlo(ins, randomEligible{}, 32, 5, 4) },
+		"coin":      func() (*MCResult, error) { return MonteCarloCoin(ins, randomEligible{}, 32, 5, 4) },
+	} {
+		a, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range a.Makespans {
+			if a.Makespans[i] != b.Makespans[i] {
+				t.Fatalf("%s: trial %d differs between identical runs: %v vs %v",
+					name, i, a.Makespans[i], b.Makespans[i])
+			}
+		}
+	}
+}
+
+// TestResetMatchesFresh: a recycled world must behave exactly like a newly
+// constructed one — the pooling contract MonteCarlo relies on.
+func TestResetMatchesFresh(t *testing.T) {
+	ins := randomInstance(rand.New(rand.NewSource(31)), 3, 8)
+	for _, mode := range []Mode{Threshold, Coin} {
+		// Dirty a pooled world with one full run, then Reset and compare
+		// against a fresh world driven by an identically seeded RNG.
+		pooled := newWorld(ins, mode)
+		pooled.Reset(rand.New(rand.NewSource(1)))
+		if err := (randomEligible{}).Run(pooled); err != nil {
+			t.Fatal(err)
+		}
+		pooled.Reset(rand.New(rand.NewSource(2)))
+
+		fresh := newWorld(ins, mode)
+		fresh.Reset(rand.New(rand.NewSource(2)))
+
+		if err := (randomEligible{}).Run(pooled); err != nil {
+			t.Fatal(err)
+		}
+		if err := (randomEligible{}).Run(fresh); err != nil {
+			t.Fatal(err)
+		}
+		mp, err := pooled.Makespan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mf, err := fresh.Makespan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mp != mf {
+			t.Fatalf("mode %v: recycled world makespan %d, fresh world %d", mode, mp, mf)
+		}
+	}
+}

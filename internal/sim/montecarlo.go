@@ -5,15 +5,19 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
+	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
 // Policy is a scheduling algorithm: given a fresh world, it must drive every
 // job to completion. Implementations must be safe for concurrent use by
 // multiple goroutines (configuration only — per-trial state lives in local
-// variables and in the World, including its Rng).
+// variables and in the World, including its Rng). A Policy must not retain
+// the World, its Rng, or slices returned by World methods after Run
+// returns: Monte Carlo workers recycle the same World for the next trial.
 type Policy interface {
 	Name() string
 	Run(w *World) error
@@ -27,71 +31,25 @@ type MCResult struct {
 
 // MonteCarlo estimates the expected makespan of policy p on ins over the
 // given number of independent trials. Trials are distributed over a fixed
-// worker pool; trial i uses its own RNG seeded with seed+i, so results are
-// identical regardless of worker count or interleaving.
+// worker pool; trial i always runs with a SplitMix64 stream seeded with
+// seed+i, so results are identical regardless of worker count or
+// interleaving. Each worker owns one World and one RNG, recycled across
+// trials via Reset/Seed — the steady-state trial loop does not allocate.
 func MonteCarlo(ins *model.Instance, p Policy, trials int, seed int64, workers int) (*MCResult, error) {
-	if trials <= 0 {
-		return nil, fmt.Errorf("sim: trials = %d", trials)
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > trials {
-		workers = trials
-	}
-	makespans := make([]float64, trials)
-	idx := make(chan int, trials)
-	for i := 0; i < trials; i++ {
-		idx <- i
-	}
-	close(idx)
-
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				mu.Lock()
-				failed := firstErr != nil
-				mu.Unlock()
-				if failed {
-					return
-				}
-				ms, err := oneTrial(ins, p, seed+int64(i))
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("sim: trial %d of %s: %w", i, p.Name(), err)
-					}
-					mu.Unlock()
-					return
-				}
-				makespans[i] = float64(ms)
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return &MCResult{Makespans: makespans, Summary: stats.Summarize(makespans)}, nil
-}
-
-func oneTrial(ins *model.Instance, p Policy, seed int64) (int64, error) {
-	w := NewWorld(ins, rand.New(rand.NewSource(seed)))
-	if err := p.Run(w); err != nil {
-		return 0, err
-	}
-	return w.Makespan()
+	return monteCarlo(ins, p, trials, seed, workers, Threshold)
 }
 
 // MonteCarloCoin is MonteCarlo on the per-step Bernoulli simulator. It is
 // slower (no fast-forwarding) and exists to validate the SUU ≡ SUU*
 // equivalence of Theorem 10 on small instances.
 func MonteCarloCoin(ins *model.Instance, p Policy, trials int, seed int64, workers int) (*MCResult, error) {
+	return monteCarlo(ins, p, trials, seed, workers, Coin)
+}
+
+// monteCarlo is the shared worker-pool body behind both estimators. Error
+// propagation is allocation- and lock-free on the happy path: workers poll
+// an atomic.Bool and the first failure is recorded under a sync.Once.
+func monteCarlo(ins *model.Instance, p Policy, trials int, seed int64, workers int, mode Mode) (*MCResult, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("sim: trials = %d", trials)
 	}
@@ -101,32 +59,40 @@ func MonteCarloCoin(ins *model.Instance, p Policy, trials int, seed int64, worke
 	if workers > trials {
 		workers = trials
 	}
-	makespans := make([]float64, trials)
-	idx := make(chan int, trials)
-	for i := 0; i < trials; i++ {
-		idx <- i
+	label := ""
+	if mode == Coin {
+		label = "coin "
 	}
-	close(idx)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
+	makespans := make([]float64, trials)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var errOnce sync.Once
 	var firstErr error
+	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				w := NewCoinWorld(ins, rand.New(rand.NewSource(seed+int64(i))))
+			src := rng.New(0)
+			r := rand.New(src)
+			w := newWorld(ins, mode)
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= trials {
+					return
+				}
+				src.Seed(seed + int64(i))
+				w.Reset(r)
 				err := p.Run(w)
 				var ms int64
 				if err == nil {
 					ms, err = w.Makespan()
 				}
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("sim: coin trial %d of %s: %w", i, p.Name(), err)
-					}
-					mu.Unlock()
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("sim: %strial %d of %s: %w", label, i, p.Name(), err)
+					})
+					failed.Store(true)
 					return
 				}
 				makespans[i] = float64(ms)

@@ -32,31 +32,25 @@ func (w *World) RunOblivious(o *sched.Oblivious) error {
 	if w.mode == Coin || w.expandForTrace() {
 		return w.runObliviousSteps(o)
 	}
-	ivs, err := w.collectIntervals(o)
-	if err != nil {
+	if err := w.collectIntervals(o); err != nil {
 		return err
 	}
 	start := w.clock
 	var maxDone int64 = -1
-	type completion struct {
-		job int
-		at  int64
-	}
-	var completions []completion
-	for j, list := range ivs {
-		off, crossed, mass := crossingTime(list, w.thr[j]-w.acc[j])
+	// Jobs in one pass are mutually precedence-independent (all were
+	// eligible at the pass start), so completions can be marked inline.
+	for _, j := range w.ivJobs {
+		list := w.jobIvs[j]
+		off, crossed, mass := w.crossingTime(list, w.thr[j]-w.acc[j])
 		if crossed {
 			w.acc[j] = w.thr[j]
-			completions = append(completions, completion{j, start + off})
+			w.markDone(j, start+off)
 			if start+off > maxDone {
 				maxDone = start + off
 			}
 		} else {
 			w.acc[j] += mass
 		}
-	}
-	for _, c := range completions {
-		w.markDone(c.job, c.at)
 	}
 	if w.AllDone() && maxDone >= 0 {
 		w.clock = maxDone
@@ -67,29 +61,41 @@ func (w *World) RunOblivious(o *sched.Oblivious) error {
 }
 
 // collectIntervals gathers, per uncompleted job, the (start, end, rate)
-// contributions of every machine run, checking eligibility.
-func (w *World) collectIntervals(o *sched.Oblivious) (map[int][]interval, error) {
-	ivs := make(map[int][]interval)
+// contributions of every machine run, checking eligibility. Results land
+// in w.jobIvs (per-job buffers reused across passes); w.ivJobs lists the
+// jobs that received intervals, in machine-major discovery order.
+func (w *World) collectIntervals(o *sched.Oblivious) error {
+	if w.jobIvs == nil {
+		w.jobIvs = make([][]interval, w.ins.N)
+	}
+	for _, j := range w.ivJobs {
+		w.jobIvs[j] = w.jobIvs[j][:0]
+	}
+	w.ivJobs = w.ivJobs[:0]
 	for i, runs := range o.Runs {
 		var t int64
 		for _, r := range runs {
 			if err := w.checkRunnable(r.Job); err != nil {
-				return nil, err
+				return err
 			}
 			if !w.done[r.Job] && w.ins.L[i][r.Job] > 0 && r.Steps > 0 {
-				ivs[r.Job] = append(ivs[r.Job], interval{t, t + r.Steps, w.ins.L[i][r.Job]})
+				if len(w.jobIvs[r.Job]) == 0 {
+					w.ivJobs = append(w.ivJobs, r.Job)
+				}
+				w.jobIvs[r.Job] = append(w.jobIvs[r.Job], interval{t, t + r.Steps, w.ins.L[i][r.Job]})
 			}
 			t += r.Steps
 		}
 	}
-	return ivs, nil
+	return nil
 }
 
 // crossingTime finds the first integer step at which the total mass of the
 // (possibly overlapping) intervals reaches need. It returns the crossing
 // step, whether it crossed, and the total mass of all intervals (used to
-// update accrual when the job does not finish).
-func crossingTime(ivs []interval, need float64) (int64, bool, float64) {
+// update accrual when the job does not finish). The event sweep runs on
+// w.events, reused across calls.
+func (w *World) crossingTime(ivs []interval, need float64) (int64, bool, float64) {
 	total := 0.0
 	for _, iv := range ivs {
 		total += iv.rate * float64(iv.end-iv.start)
@@ -109,10 +115,11 @@ func crossingTime(ivs []interval, need float64) (int64, bool, float64) {
 		return 0, false, total
 	}
 	// Event sweep over piecewise-constant total rate.
-	events := make([]rateEvent, 0, 2*len(ivs))
+	events := w.events[:0]
 	for _, iv := range ivs {
 		events = append(events, rateEvent{iv.start, iv.rate}, rateEvent{iv.end, -iv.rate})
 	}
+	w.events = events
 	sortEvents(events)
 	acc := 0.0
 	rate := 0.0
@@ -187,20 +194,11 @@ func (w *World) RepeatOblivious(o *sched.Oblivious, maxPasses int64) (int64, err
 	if maxPasses <= 0 {
 		return 0, fmt.Errorf("sim: maxPasses = %d", maxPasses)
 	}
-	scheduled := func() []int {
-		var out []int
-		for _, j := range o.Jobs() {
-			if !w.done[j] {
-				out = append(out, j)
-			}
-		}
-		return out
-	}
 	if w.mode == Coin || w.expandForTrace() {
 		var p int64
 		for {
 			left := false
-			for _, j := range scheduled() {
+			for _, j := range o.Jobs() {
 				if !w.done[j] {
 					left = true
 					break
@@ -218,20 +216,20 @@ func (w *World) RepeatOblivious(o *sched.Oblivious, maxPasses int64) (int64, err
 			p++
 		}
 	}
-	ivs, err := w.collectIntervals(o)
-	if err != nil {
+	if err := w.collectIntervals(o); err != nil {
 		return 0, err
 	}
 	// Every uncompleted scheduled job must receive positive mass per pass,
 	// or the repetition would never terminate.
-	for _, j := range scheduled() {
-		if len(ivs[j]) == 0 {
+	for _, j := range o.Jobs() {
+		if !w.done[j] && len(w.jobIvs[j]) == 0 {
 			return 0, fmt.Errorf("sim: schedule gives no mass to uncompleted job %d", j)
 		}
 	}
 	start := w.clock
 	var maxOffset, passes int64
-	for j, list := range ivs {
+	for _, j := range w.ivJobs {
+		list := w.jobIvs[j]
 		perPass := 0.0
 		for _, iv := range list {
 			perPass += iv.rate * float64(iv.end-iv.start)
@@ -248,7 +246,7 @@ func (w *World) RepeatOblivious(o *sched.Oblivious, maxPasses int64) (int64, err
 			return p, fmt.Errorf("sim: job %d needs %d passes, cap %d", j, p, maxPasses)
 		}
 		residual := need - float64(p-1)*perPass
-		off, crossed, _ := crossingTime(list, residual)
+		off, crossed, _ := w.crossingTime(list, residual)
 		if !crossed {
 			// Float drift at the pass boundary: finish at pass end.
 			off = o.Length

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The micro-benchmarks below pin the zero-allocation engine: Step, the
+// oblivious fast-forward, and the Monte Carlo trial loop must not allocate
+// in steady state (run with -benchmem; allocs/op should be ~0 for
+// BenchmarkStep/BenchmarkRunOblivious and O(workers) per call for
+// BenchmarkMonteCarlo).
+
+// BenchmarkStep measures the unit-step hot path in threshold mode: 16
+// machines spread over 64 jobs, world recycled via Reset when it drains.
+func BenchmarkStep(b *testing.B) {
+	benchmarkStep(b, Threshold)
+}
+
+// BenchmarkStepCoin is BenchmarkStep on the Bernoulli simulator, which
+// additionally consumes one RNG draw per touched job per step.
+func BenchmarkStepCoin(b *testing.B) {
+	benchmarkStep(b, Coin)
+}
+
+func benchmarkStep(b *testing.B, mode Mode) {
+	ins := randomInstance(rand.New(rand.NewSource(1)), 16, 64)
+	assign := make([]int, ins.M)
+	for i := range assign {
+		assign[i] = i % ins.N
+	}
+	src := rng.New(1)
+	r := rand.New(src)
+	w := newWorld(ins, mode)
+	w.Reset(r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Step(assign); err != nil {
+			b.Fatal(err)
+		}
+		if w.AllDone() {
+			src.Seed(int64(i))
+			w.Reset(r)
+		}
+	}
+}
+
+// BenchmarkRunOblivious measures one analytic fast-forward pass of a
+// random oblivious schedule, the primitive behind OBL rounds and SEM's
+// endgame, including the per-pass interval collection.
+func BenchmarkRunOblivious(b *testing.B) {
+	setup := rand.New(rand.NewSource(2))
+	ins := randomInstance(setup, 16, 64)
+	o := randomOblivious(setup, 16, 64)
+	src := rng.New(1)
+	r := rand.New(src)
+	w := newWorld(ins, Threshold)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Seed(int64(i))
+		w.Reset(r)
+		if err := w.RunOblivious(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonteCarlo measures the full estimator loop — pooled worlds,
+// per-trial reseeding, result collection — with a cheap sequential policy
+// so the harness itself dominates.
+func BenchmarkMonteCarlo(b *testing.B) {
+	ins := randomInstance(rand.New(rand.NewSource(3)), 8, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MonteCarlo(ins, soloPolicy{}, 64, int64(i), 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// soloPolicy completes jobs one at a time via SoloAll — the cheapest legal
+// policy, so Monte Carlo harness overhead dominates the benchmark.
+type soloPolicy struct{}
+
+func (soloPolicy) Name() string { return "bench-solo" }
+
+func (soloPolicy) Run(w *World) error {
+	for j := 0; j < w.Instance().N; j++ {
+		if _, err := w.SoloAll(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -11,13 +11,37 @@
 // supersteps) plus analytic fast-forwarding of oblivious schedules
 // (RunOblivious, RepeatOblivious), which lets Monte Carlo runs skip the
 // step loops entirely in threshold mode.
+//
+// # Performance
+//
+// The step loop is the hot path of every number the repo produces, so the
+// World is built to execute with zero steady-state allocations:
+//
+//   - All per-execution state (thresholds, accruals, completion flags,
+//     indegree counters) and all per-step scratch (the touched-job list,
+//     coin-mode survival products, interval buffers for oblivious passes)
+//     are buffers owned by the World and reused across steps.
+//   - Reset rewinds a World to the start of a fresh execution without
+//     reallocating anything, so Monte Carlo workers keep one World each
+//     and recycle it across trials (see MonteCarlo).
+//   - The Monte Carlo RNG is internal/rng's SplitMix64: reseeding it for
+//     trial i is a single word write, replacing the per-trial
+//     rand.NewSource (~4.9 KB each) the engine used to allocate.
+//
+// The pooling contract: a World handed to Policy.Run may be recycled for
+// a later trial the moment Run returns. Policies must not retain the World,
+// its Rng, or any slice returned by its methods (Step/StepMulti completion
+// lists, Remaining, EligibleJobs) beyond the Run call; slices returned by
+// Step and StepMulti are additionally invalidated by the next step. The
+// allocation-free variants AppendRemaining/AppendEligible let step-loop
+// policies reuse their own buffers too.
 package sim
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/model"
 )
@@ -41,7 +65,7 @@ const massEps = 1e-9
 // World is one execution of an SUU instance. It tracks hidden completion
 // state, the clock, precedence eligibility, and the makespan (time of the
 // last completion). A World is not safe for concurrent use; Monte Carlo
-// runs use one World per goroutine.
+// runs use one World per goroutine, recycled across trials via Reset.
 type World struct {
 	ins  *model.Instance
 	mode Mode
@@ -56,23 +80,39 @@ type World struct {
 	clock    int64
 	lastDone int64
 
+	// Per-step scratch, reused across steps. touched lists the jobs worked
+	// this step; touchEpoch[j] == epoch marks membership without clearing
+	// an array per step. survival[j] is the coin-mode product of q_ij over
+	// the machines working j this step.
+	touched    []int
+	touchEpoch []uint32
+	epoch      uint32
+	survival   []float64
+	completed  []int
+
+	// Oblivious fast-forward scratch: per-job interval buffers plus the
+	// list of jobs holding intervals this pass, and the event-sweep buffer.
+	jobIvs [][]interval
+	ivJobs []int
+	events []rateEvent
+
+	soloAssign []int // SoloAll's expanded-step assignment buffer
+
 	tracer *Trace // optional step-resolution recorder (disables fast-forward)
 }
 
 // NewWorld returns a threshold-mode world with thresholds drawn from rng.
 func NewWorld(ins *model.Instance, rng *rand.Rand) *World {
-	thr := make([]float64, ins.N)
-	for j := range thr {
-		thr[j] = drawThreshold(rng)
-	}
-	w := newWorld(ins, Threshold, rng)
-	w.thr = thr
+	w := newWorld(ins, Threshold)
+	w.Reset(rng)
 	return w
 }
 
 // NewCoinWorld returns a coin-flip-mode world (per-step Bernoulli failures).
 func NewCoinWorld(ins *model.Instance, rng *rand.Rand) *World {
-	return newWorld(ins, Coin, rng)
+	w := newWorld(ins, Coin)
+	w.Reset(rng)
+	return w
 }
 
 // NewWorldWithThresholds returns a threshold-mode world with the given
@@ -86,27 +126,64 @@ func NewWorldWithThresholds(ins *model.Instance, thr []float64) (*World, error) 
 			return nil, fmt.Errorf("sim: threshold[%d] = %v must be positive", j, v)
 		}
 	}
-	w := newWorld(ins, Threshold, rand.New(rand.NewSource(0)))
-	w.thr = append([]float64(nil), thr...)
+	w := newWorld(ins, Threshold)
+	w.Reset(rand.New(rand.NewSource(0)))
+	copy(w.thr, thr)
 	return w, nil
 }
 
-func newWorld(ins *model.Instance, mode Mode, rng *rand.Rand) *World {
+// newWorld allocates a world shell with every buffer sized for ins. The
+// shell is not runnable until Reset draws its thresholds and zeroes state.
+func newWorld(ins *model.Instance, mode Mode) *World {
 	w := &World{
-		ins:       ins,
-		mode:      mode,
-		rng:       rng,
-		acc:       make([]float64, ins.N),
-		done:      make([]bool, ins.N),
-		remaining: ins.N,
-		predsLeft: make([]int, ins.N),
+		ins:        ins,
+		mode:       mode,
+		acc:        make([]float64, ins.N),
+		done:       make([]bool, ins.N),
+		remaining:  ins.N,
+		predsLeft:  make([]int, ins.N),
+		touched:    make([]int, 0, ins.N),
+		touchEpoch: make([]uint32, ins.N),
+		completed:  make([]int, 0, ins.N),
 	}
-	if ins.Prec != nil {
-		for j := 0; j < ins.N; j++ {
-			w.predsLeft[j] = ins.Prec.InDegree(j)
-		}
+	switch mode {
+	case Threshold:
+		w.thr = make([]float64, ins.N)
+	case Coin:
+		w.survival = make([]float64, ins.N)
 	}
 	return w
+}
+
+// Reset rewinds w to the start of a fresh execution driven by rng, reusing
+// every internal buffer: it zeroes the clock, accruals, and completion
+// state, restores precedence indegrees, redraws thresholds from rng
+// (threshold mode), and detaches any tracer. A Reset world is
+// indistinguishable from a newly constructed one, which is what lets
+// Monte Carlo workers recycle a single World across trials.
+func (w *World) Reset(rng *rand.Rand) {
+	w.rng = rng
+	for j := range w.acc {
+		w.acc[j] = 0
+		w.done[j] = false
+	}
+	w.remaining = w.ins.N
+	if w.ins.Prec != nil {
+		for j := 0; j < w.ins.N; j++ {
+			w.predsLeft[j] = w.ins.Prec.InDegree(j)
+		}
+	} else {
+		for j := range w.predsLeft {
+			w.predsLeft[j] = 0
+		}
+	}
+	w.clock, w.lastDone = 0, 0
+	if w.mode == Threshold {
+		for j := range w.thr {
+			w.thr[j] = drawThreshold(rng)
+		}
+	}
+	w.tracer = nil
 }
 
 // drawThreshold samples −log₂ U clamped to the model cap. The clamp fires
@@ -148,25 +225,36 @@ func (w *World) Eligible(j int) bool { return !w.done[j] && w.predsLeft[j] == 0 
 
 // Remaining returns the uncompleted job ids in ascending order.
 func (w *World) Remaining() []int {
-	out := make([]int, 0, w.remaining)
+	return w.AppendRemaining(make([]int, 0, w.remaining))
+}
+
+// AppendRemaining appends the uncompleted job ids in ascending order to
+// buf and returns it; step-loop policies use it to avoid a per-step
+// allocation.
+func (w *World) AppendRemaining(buf []int) []int {
 	for j := 0; j < w.ins.N; j++ {
 		if !w.done[j] {
-			out = append(out, j)
+			buf = append(buf, j)
 		}
 	}
-	return out
+	return buf
 }
 
 // EligibleJobs returns the uncompleted jobs whose predecessors are all
 // complete.
 func (w *World) EligibleJobs() []int {
-	var out []int
+	return w.AppendEligible(nil)
+}
+
+// AppendEligible appends the eligible job ids in ascending order to buf
+// and returns it.
+func (w *World) AppendEligible(buf []int) []int {
 	for j := 0; j < w.ins.N; j++ {
 		if w.Eligible(j) {
-			out = append(out, j)
+			buf = append(buf, j)
 		}
 	}
-	return out
+	return buf
 }
 
 // LastCompletion returns the time of the most recent completion so far
@@ -213,13 +301,45 @@ func (w *World) checkRunnable(j int) error {
 	return nil
 }
 
+// beginStep starts a fresh touched-job set by bumping the epoch stamp;
+// membership tests are then one array compare, with no per-step clearing.
+func (w *World) beginStep() {
+	w.epoch++
+	if w.epoch == 0 { // stamp wrap after 2³²−1 steps: clear and restart
+		for k := range w.touchEpoch {
+			w.touchEpoch[k] = 0
+		}
+		w.epoch = 1
+	}
+	w.touched = w.touched[:0]
+}
+
+// touch records one machine-step of work on uncompleted job j: rate ell in
+// threshold mode, survival factor q in coin mode.
+func (w *World) touch(j int, ell, q float64) {
+	if w.touchEpoch[j] != w.epoch {
+		w.touchEpoch[j] = w.epoch
+		w.touched = append(w.touched, j)
+		if w.mode == Coin {
+			w.survival[j] = 1
+		}
+	}
+	switch w.mode {
+	case Threshold:
+		w.acc[j] += ell
+	case Coin:
+		w.survival[j] *= q
+	}
+}
+
 // Step executes one timestep: assign[i] is the job machine i works on, or
-// -1 to idle. It returns the jobs that completed during the step.
+// -1 to idle. It returns the jobs that completed during the step; the
+// returned slice is scratch, valid only until the next step or Reset.
 func (w *World) Step(assign []int) ([]int, error) {
 	if len(assign) != w.ins.M {
 		return nil, fmt.Errorf("sim: assignment for %d machines, want %d", len(assign), w.ins.M)
 	}
-	touched := make(map[int]float64) // job -> survival probability (coin mode)
+	w.beginStep()
 	for i, j := range assign {
 		if j < 0 {
 			continue
@@ -230,33 +350,24 @@ func (w *World) Step(assign []int) ([]int, error) {
 		if w.done[j] {
 			continue
 		}
-		switch w.mode {
-		case Threshold:
-			w.acc[j] += w.ins.L[i][j]
-			touched[j] = 0
-		case Coin:
-			q, ok := touched[j]
-			if !ok {
-				q = 1
-			}
-			touched[j] = q * w.ins.Q[i][j]
-		}
+		w.touch(j, w.ins.L[i][j], w.ins.Q[i][j])
 	}
 	w.traceStep(assign)
 	w.clock++
-	return w.settle(touched), nil
+	return w.settle(), nil
 }
 
 // StepMulti executes one flattened superstep of a pseudoschedule
 // (Section 4): assign[i] lists the jobs machine i works on, one unit step
 // each; the superstep costs max(1, max_i len(assign[i])) timesteps — its
-// congestion. Completions are recorded at the end of the superstep.
+// congestion. Completions are recorded at the end of the superstep. The
+// returned slice is scratch, valid only until the next step or Reset.
 func (w *World) StepMulti(assign [][]int) ([]int, error) {
 	if len(assign) != w.ins.M {
 		return nil, fmt.Errorf("sim: assignment for %d machines, want %d", len(assign), w.ins.M)
 	}
 	cost := int64(1)
-	touched := make(map[int]float64)
+	w.beginStep()
 	for i, jobs := range assign {
 		active := int64(0)
 		for _, j := range jobs {
@@ -267,17 +378,7 @@ func (w *World) StepMulti(assign [][]int) ([]int, error) {
 				continue
 			}
 			active++
-			switch w.mode {
-			case Threshold:
-				w.acc[j] += w.ins.L[i][j]
-				touched[j] = 0
-			case Coin:
-				q, ok := touched[j]
-				if !ok {
-					q = 1
-				}
-				touched[j] = q * w.ins.Q[i][j]
-			}
+			w.touch(j, w.ins.L[i][j], w.ins.Q[i][j])
 		}
 		if active > cost {
 			cost = active
@@ -285,28 +386,32 @@ func (w *World) StepMulti(assign [][]int) ([]int, error) {
 	}
 	w.traceMulti(assign, cost)
 	w.clock += cost
-	return w.settle(touched), nil
+	return w.settle(), nil
 }
 
 // settle resolves completions among the touched jobs at the current clock.
-func (w *World) settle(touched map[int]float64) []int {
-	var completed []int
-	for j, q := range touched {
+// Jobs are settled in ascending id order, so coin-mode executions consume
+// RNG draws in a canonical order and are reproducible for a fixed seed
+// (the previous map-based scratch iterated in randomized map order).
+func (w *World) settle() []int {
+	slices.Sort(w.touched) // allocation-free on every supported toolchain
+	completed := w.completed[:0]
+	for _, j := range w.touched {
 		switch w.mode {
 		case Threshold:
 			if w.acc[j]+massEps >= w.thr[j] {
 				completed = append(completed, j)
 			}
 		case Coin:
-			if w.rng.Float64() >= q {
+			if w.rng.Float64() >= w.survival[j] {
 				completed = append(completed, j)
 			}
 		}
 	}
-	sort.Ints(completed)
 	for _, j := range completed {
 		w.markDone(j, w.clock)
 	}
+	w.completed = completed
 	return completed
 }
 
@@ -335,7 +440,10 @@ func (w *World) SoloAll(j int) (int64, error) {
 		w.markDone(j, w.clock)
 		return k, nil
 	}
-	assign := make([]int, w.ins.M)
+	if w.soloAssign == nil {
+		w.soloAssign = make([]int, w.ins.M)
+	}
+	assign := w.soloAssign
 	for i := range assign {
 		assign[i] = j
 	}

@@ -151,7 +151,7 @@ func LinearFit(xs, ys []float64) (Fit, error) {
 // GrowthComparison fits a measured ratio curve against log₂(n) and
 // log₂(log₂(n)) predictors and reports which explains it better.
 // It is the quantitative form of "our curve grows like loglog, the
-// baseline like log" used in EXPERIMENTS.md.
+// baseline like log" reported by the t1-* experiments.
 type GrowthComparison struct {
 	LogFit    Fit // ratio ≈ A + B·log₂ n
 	LogLogFit Fit // ratio ≈ A + B·log₂ log₂ n

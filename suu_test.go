@@ -111,3 +111,28 @@ func TestExperimentRegistryFacade(t *testing.T) {
 		t.Fatal("empty table")
 	}
 }
+
+// TestRunReplaysEstimateTrial: Run(ins, p, seed+i) must reproduce trial i
+// of Estimate(ins, p, trials, seed) exactly — the standalone replay used
+// to debug individual Monte Carlo trials.
+func TestRunReplaysEstimateTrial(t *testing.T) {
+	ins, err := suu.Generate(suu.Spec{Family: "uniform", M: 4, N: 12, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := suu.NewSequential()
+	const trials, seed = 10, 42
+	res, err := suu.Estimate(ins, p, trials, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < trials; i++ {
+		ms, err := suu.Run(ins, p, seed+int64(i))
+		if err != nil {
+			t.Fatalf("replay of trial %d: %v", i, err)
+		}
+		if float64(ms) != res.Makespans[i] {
+			t.Fatalf("trial %d: Estimate saw makespan %v, Run replays %d", i, res.Makespans[i], ms)
+		}
+	}
+}

@@ -3,9 +3,14 @@ package suu
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/rng"
 )
 
-func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+// newRand builds the same per-seed stream the Monte Carlo estimator uses
+// (a SplitMix64 source behind *rand.Rand), so Run(ins, p, seed+i) replays
+// exactly trial i of Estimate(ins, p, trials, seed).
+func newRand(seed int64) *rand.Rand { return rand.New(rng.New(seed)) }
 
 func errUnknownExperiment(id string) error {
 	return fmt.Errorf("suu: unknown experiment %q; see Experiments()", id)
