@@ -70,6 +70,30 @@ func BenchmarkAblRounding(b *testing.B) { runExperiment(b, "a-rounding") }
 // threshold SUU* agree in distribution.
 func BenchmarkAblEquivalence(b *testing.B) { runExperiment(b, "a-equiv") }
 
+// BenchmarkTable1IndependentLarge regenerates the large-instance cells
+// (n=64/m=16, n=128/m=32) on the workspace + warm-start LP engine;
+// BENCH_pr2.json records the full-scale run of this and its cold-engine
+// baseline arm (t1-large-cold).
+func BenchmarkTable1IndependentLarge(b *testing.B) { runExperiment(b, "t1-large") }
+
+// BenchmarkSEMTrial measures one full SEM Monte Carlo trial on the
+// n=64/m=16 large cell: after the first iteration warms the round-1 cache,
+// steady-state cost is the warm-started round re-solves, rounding, and
+// fast-forward execution — the per-trial hot path of every large estimate.
+func BenchmarkSEMTrial(b *testing.B) {
+	ins, err := suu.Generate(suu.Spec{Family: "uniform", M: 16, N: 64, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := suu.NewSEM()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := suu.Run(ins, p, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulateSEM measures raw simulator throughput for the flagship
 // algorithm on a mid-size instance (LP solves cached after the first
 // iteration, so steady-state cost is rounding + fast-forward execution).

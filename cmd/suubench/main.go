@@ -9,10 +9,15 @@
 //	suubench -run t1-indep [-trials 40] [-seed 1] [-scale 1.0] [-csv]
 //	suubench -run all
 //	suubench -run t1-indep -json [-note "..."] > BENCH_pr1.json
+//	suubench -run t1-indep -scale-large -json > BENCH_pr2.json
 //
 // The -json flag wraps each run in a wall-time + allocation measurement
 // and emits a bench.Report document; committing its output as
 // BENCH_<tag>.json records the performance trajectory PR over PR.
+//
+// The -scale-large flag adds the large-instance cells (t1-large and its
+// cold-LP-engine baseline arm, n=64/m=16 and n=128/m=32) to the run set;
+// "-run all" skips these heavy experiments unless the flag is given.
 package main
 
 import (
@@ -35,6 +40,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut = flag.Bool("json", false, "emit a measured bench.Report JSON document")
 		note    = flag.String("note", "", "free-form note embedded in the -json report (e.g. the baseline compared against)")
+		large   = flag.Bool("scale-large", false, "also run the large-instance cells (t1-large + t1-large-cold)")
 	)
 	flag.Parse()
 
@@ -52,7 +58,12 @@ func main() {
 	cfg := bench.Config{Trials: *trials, Seed: *seed, Workers: *workers, Scale: *scale}
 	var exps []bench.Experiment
 	if *run == "all" {
-		exps = bench.All()
+		for _, e := range bench.All() {
+			if e.Heavy && !*large {
+				continue
+			}
+			exps = append(exps, e)
+		}
 	} else {
 		e, ok := bench.Lookup(*run)
 		if !ok {
@@ -60,6 +71,17 @@ func main() {
 			os.Exit(2)
 		}
 		exps = []bench.Experiment{e}
+	}
+	if *large && *run != "all" {
+		have := map[string]bool{}
+		for _, e := range exps {
+			have[e.ID] = true
+		}
+		for _, id := range []string{"t1-large", "t1-large-cold"} {
+			if e, ok := bench.Lookup(id); ok && !have[id] {
+				exps = append(exps, e)
+			}
+		}
 	}
 
 	if *jsonOut {

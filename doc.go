@@ -45,10 +45,16 @@
 // World.AppendRemaining/AppendEligible variants with a caller-owned
 // buffer to stay allocation-free themselves.
 //
+// The LP layer mirrors the simulator's pooling: each Monte Carlo worker's
+// trial stream runs on one rounding.Workspace — a reusable dense-simplex
+// tableau plus the warm-start chain that seeds SEM's round k+1 LP from
+// round k's optimal basis (see internal/lp and internal/rounding).
+//
 // Benchmarks: `go test -bench . -benchmem` runs reduced-scale experiment
 // benchmarks (bench_test.go) plus engine micro-benchmarks in
-// internal/sim and internal/lp. The committed BENCH_*.json records track
-// measured performance PR over PR; regenerate with
+// internal/sim, internal/lp, and internal/rounding. The committed
+// BENCH_*.json records track measured performance PR over PR; regenerate
+// with
 //
-//	go run ./cmd/suubench -run t1-indep -json -note "..." > BENCH_<tag>.json
+//	go run ./cmd/suubench -run t1-indep -scale-large -json -note "..." > BENCH_<tag>.json
 package suu

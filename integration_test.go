@@ -189,6 +189,55 @@ func TestMonteCarloAgreesAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestSEMDeterministicWarmStarts: SEM's warm-started round re-solves must
+// keep trial i byte-identical across worker counts, across cache reuse
+// (the same policy value run twice), and against a fresh policy — the
+// warm-start chain is deterministic per trial and its cache keys include
+// the chain history, so no scheduling or cache state may leak into results.
+func TestSEMDeterministicWarmStarts(t *testing.T) {
+	ins, err := suu.Generate(suu.Spec{Family: "uniform", M: 8, N: 24, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials, seed = 32, 7
+	shared := suu.NewSEM()
+	ref, err := sim.MonteCarlo(ins, shared, trials, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := map[string]func() (*sim.MCResult, error){
+		"shared policy, 8 workers": func() (*sim.MCResult, error) {
+			return sim.MonteCarlo(ins, shared, trials, seed, 8)
+		},
+		"fresh policy, 8 workers": func() (*sim.MCResult, error) {
+			return sim.MonteCarlo(ins, suu.NewSEM(), trials, seed, 8)
+		},
+	}
+	for name, fn := range runs {
+		res, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range ref.Makespans {
+			if res.Makespans[i] != ref.Makespans[i] {
+				t.Fatalf("%s: trial %d makespan %v, want %v", name, i, res.Makespans[i], ref.Makespans[i])
+			}
+		}
+	}
+	// Standalone replay: Run(ins, fresh policy, seed+i) recomputes trial
+	// i's whole warm chain from an empty cache and must land on the same
+	// makespan.
+	for i := 0; i < 5; i++ {
+		ms, err := suu.Run(ins, suu.NewSEM(), seed+int64(i))
+		if err != nil {
+			t.Fatalf("replay trial %d: %v", i, err)
+		}
+		if float64(ms) != ref.Makespans[i] {
+			t.Fatalf("replay trial %d: makespan %d, estimator saw %v", i, ms, ref.Makespans[i])
+		}
+	}
+}
+
 // TestRatioSanityAcrossFamilies bounds measured ratios loosely on every
 // family: the algorithms carry constants (≈6 from Lemma 2, delays up to H)
 // but ratios beyond ~60x the LP bound would indicate a real regression.

@@ -131,6 +131,9 @@ type Experiment struct {
 	ID   string
 	What string
 	Run  func(Config) (*Table, error)
+	// Heavy marks large-instance experiments that "run all" sweeps skip
+	// unless explicitly requested (suubench -scale-large).
+	Heavy bool
 }
 
 var registry = map[string]Experiment{}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rounding"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "t1-large",
+		What:  "large independent cells (n=64/m=16, n=128/m=32): SEM on the workspace + warm-start LP engine; ratio to LP lower bound",
+		Heavy: true,
+		Run:   func(cfg Config) (*Table, error) { return tableLarge(cfg, false) },
+	})
+	register(Experiment{
+		ID:    "t1-large-cold",
+		What:  "baseline arm of t1-large: identical cells and trials on the cold dense LP stack — fresh tableau per solve, no warm starts, no workspaces, no cross-trial memoization",
+		Heavy: true,
+		Run:   func(cfg Config) (*Table, error) { return tableLarge(cfg, true) },
+	})
+}
+
+// tableLarge runs SEM over the large Table-1 cells. The cold arm strips
+// the whole structure-aware LP engine back to what a naive pipeline does:
+// every LP1 is solved cold on a freshly allocated dense tableau, every
+// trial re-solves its round 1 from scratch (Cache nil), and nothing is
+// warm-started. Comparing the arms' measured records (suubench -json)
+// prices the engine — workspace reuse + memoized round 1 + warm-started
+// round re-solves — on the cells where the LP dominates.
+func tableLarge(cfg Config, cold bool) (*Table, error) {
+	engine := "workspace+warm"
+	if cold {
+		engine = "cold dense"
+	}
+	t := &Table{
+		ID:     "t1-large",
+		Title:  fmt.Sprintf("large independent cells, %s LP engine: E[T]/LB, lower is better", engine),
+		Header: []string{"family", "n", "m", "LB", "sem(ours)"},
+	}
+	if cold {
+		t.ID = "t1-large-cold"
+	}
+	trials := cfg.trials(20)
+	cells := workload.Table1LargeCells()
+	cellIdx := make([]int, len(cells))
+	for i := range cellIdx {
+		cellIdx[i] = i
+	}
+	for _, ci := range cfg.sizes(cellIdx) {
+		spec := cells[ci]
+		spec.Seed = cfg.Seed + int64(spec.N)
+		ins, err := workload.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := lowerBoundIndep(ins)
+		if err != nil {
+			return nil, err
+		}
+		sem := &core.SEM{ColdLP: cold}
+		if !cold {
+			sem.Cache = rounding.NewCache()
+		}
+		res, err := sim.MonteCarlo(ins, sem, trials, cfg.Seed, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("sem (%s) on n=%d: %w", engine, spec.N, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			spec.Family, fmt.Sprint(spec.N), fmt.Sprint(spec.M), f1(lb),
+			ratioCell(res.Summary.Mean, res.Summary.CI95(), lb),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("LP engine: %s; %d trials per cell", engine, trials),
+		"both arms run identical trials — compare the records' ns/allocs to isolate the LP engine")
+	return t, nil
+}

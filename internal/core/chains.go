@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dag"
 	"repro/internal/model"
@@ -54,6 +55,14 @@ type Chains struct {
 	// RunChains call. It must be safe for concurrent use (Monte Carlo
 	// trials share the policy value).
 	OnStats func(ChainsStats)
+
+	// pool hands each concurrent RunChains a solver workspace for the
+	// (cached, once-per-instance) LP2 rounding.
+	pool rounding.WorkspacePool
+	// defLong is the lazily-built default long-job runner; sharing one SEM
+	// across trials keeps its cache and solver workspaces warm.
+	defOnce sync.Once
+	defLong *SEM
 }
 
 // ChainsStats describes one RunChains execution; the congestion figures
@@ -119,13 +128,16 @@ func (c *Chains) RunChains(w *sim.World, chains []dag.Chain) error {
 		return nil
 	}
 	ins := w.Instance()
-	r, err := c.LP2Cache.RoundLP2(ins, chains)
+	ws := c.pool.Get()
+	r, err := c.LP2Cache.RoundLP2Ws(ws, ins, chains)
+	c.pool.Put(ws)
 	if err != nil {
 		return err
 	}
 	longRunner := c.LongJobs
 	if longRunner == nil {
-		longRunner = &SEM{Cache: c.LP1Cache}
+		c.defOnce.Do(func() { c.defLong = &SEM{Cache: c.LP1Cache} })
+		longRunner = c.defLong
 	}
 
 	// γ = t̂/log₂(n+m) (at least 1); jobs with rounded length d̂_j > γ are

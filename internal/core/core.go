@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/rounding"
 	"repro/internal/sim"
@@ -69,6 +70,9 @@ func requireIndependent(w *sim.World, name string) error {
 type OBL struct {
 	// Cache, if set, memoizes the LP rounding across Monte Carlo trials.
 	Cache *rounding.Cache
+	// pool hands each concurrent Run a reusable LP solver workspace, so
+	// cache-miss solves reuse one tableau per worker.
+	pool rounding.WorkspacePool
 }
 
 // Name implements sim.Policy.
@@ -89,7 +93,9 @@ func (o *OBL) RunOnSubset(w *sim.World, jobs []int) error {
 	if len(jobs) == 0 {
 		return nil
 	}
-	r, err := o.Cache.RoundLP1(w.Instance(), jobs, 0.5)
+	ws := o.pool.Get()
+	r, err := o.Cache.RoundLP1Ws(ws, w.Instance(), jobs, 0.5)
+	o.pool.Put(ws)
 	if err != nil {
 		return err
 	}
@@ -106,10 +112,18 @@ type SEM struct {
 	// Cache, if set, memoizes LP roundings across Monte Carlo trials
 	// (round 1 is identical in every trial).
 	Cache *rounding.Cache
+	// ColdLP disables the per-worker solver workspace and warm-started
+	// round re-solves, solving every round's LP1 cold on a fresh dense
+	// tableau. It exists as the baseline arm of the LP-engine benchmarks
+	// (t1-large-cold); leave it false everywhere else.
+	ColdLP bool
 	// OnRound, if set, observes (round, jobs still uncompleted) at the
 	// start of every round, and (K+1, stragglers) when the endgame fires.
 	// It must be safe for concurrent use.
 	OnRound func(round, remaining int)
+	// pool hands each concurrent Run a workspace that carries one solver
+	// tableau plus the round-over-round warm-start chain.
+	pool rounding.WorkspacePool
 }
 
 // Name implements sim.Policy.
@@ -140,11 +154,25 @@ func (s *SEM) Run(w *sim.World) error {
 
 // RunOnSubset completes the given eligible jobs; it is the long-job
 // subroutine of SUU-C and the per-layer engine of Layered.
+//
+// Rounds re-solve LP1 on the warm-start chain: round k+1's job set is a
+// subset of round k's with a doubled target, so the previous basis seeds
+// the solve (see rounding.Workspace). The chain is reset per call and the
+// cache key of each link includes the chain history, so every trial's
+// makespan stays a deterministic function of its seed — byte-identical
+// across worker counts — even though warm and cold solves may land on
+// different (equally optimal) vertices.
 func (s *SEM) RunOnSubset(w *sim.World, jobs []int) error {
 	ins := w.Instance()
 	jobs = remainingOf(w, jobs)
 	if len(jobs) == 0 {
 		return nil
+	}
+	var ws *rounding.Workspace
+	if !s.ColdLP {
+		ws = s.pool.Get()
+		defer s.pool.Put(ws)
+		ws.Begin()
 	}
 	k := Rounds(ins.M, len(jobs))
 	var lastRound *rounding.LP1Result
@@ -162,7 +190,13 @@ func (s *SEM) RunOnSubset(w *sim.World, jobs []int) error {
 			s.OnRound(round, len(rem))
 		}
 		target := math.Pow(2, float64(round-2)) // L_k = 2^(k−2), L_1 = 1/2
-		r, err := s.Cache.RoundLP1(ins, rem, target)
+		var r *rounding.LP1Result
+		var err error
+		if ws != nil {
+			r, err = s.Cache.RoundLP1Chained(ws, ins, rem, target)
+		} else {
+			r, err = s.Cache.RoundLP1(ins, rem, target)
+		}
 		if err != nil {
 			return err
 		}
@@ -205,6 +239,9 @@ func (s *SEM) RunOnSubset(w *sim.World, jobs []int) error {
 type Layered struct {
 	// Inner completes each layer; defaults to SEM with a fresh cache.
 	Inner SubsetRunner
+
+	defOnce  sync.Once
+	defInner *SEM
 }
 
 // Name implements sim.Policy.
@@ -219,7 +256,10 @@ func (l *Layered) Name() string {
 func (l *Layered) Run(w *sim.World) error {
 	inner := l.Inner
 	if inner == nil {
-		inner = &SEM{Cache: rounding.NewCache()}
+		// Built once, not per trial, so the default SEM's cache and solver
+		// workspaces are shared across the whole Monte Carlo run.
+		l.defOnce.Do(func() { l.defInner = &SEM{Cache: rounding.NewCache()} })
+		inner = l.defInner
 	}
 	ins := w.Instance()
 	if ins.Prec == nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dag"
 	"repro/internal/sim"
@@ -18,6 +19,9 @@ type Forest struct {
 	// Engine is the chain scheduler run per block; nil means a default
 	// Chains (the paper's algorithm).
 	Engine *Chains
+
+	defOnce   sync.Once
+	defEngine *Chains
 }
 
 // Name implements sim.Policy.
@@ -34,7 +38,10 @@ func (f *Forest) Run(w *sim.World) error {
 	ins := w.Instance()
 	engine := f.Engine
 	if engine == nil {
-		engine = &Chains{}
+		// Built once, not per trial, so the default engine's caches and
+		// solver workspaces are shared across the whole Monte Carlo run.
+		f.defOnce.Do(func() { f.defEngine = &Chains{} })
+		engine = f.defEngine
 	}
 	if ins.Prec == nil {
 		chains, err := ins.Chains()

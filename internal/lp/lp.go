@@ -10,13 +10,41 @@
 // dense implementation. The solver uses Dantzig pricing with a ratio-test
 // tie-break on basis index, and falls back to Bland's rule when it detects
 // stalling, which guarantees termination.
+//
+// # Solver workspaces
+//
+// All simplex state lives in a reusable Solver: the tableau is one flat
+// row-major backing array, allocated once and grown monotonically, so a
+// Monte Carlo worker that re-solves LPs all trial long performs no
+// steady-state tableau allocations. The package-level Solve is a
+// convenience wrapper over a throwaway Solver; hot paths should hold one
+// Solver per goroutine (a Solver is not safe for concurrent use) and call
+// its Solve/SolveWarm methods.
+//
+// # Warm starts
+//
+// Solution records the optimal basis in a problem-independent encoding
+// (Basis). SolveWarm accepts a per-row basis hint in the same encoding and
+// tries to skip phase 1 entirely: it installs the hinted basis by direct
+// pivoting, repairs any lost primal feasibility with dual simplex steps
+// (the textbook response to a changed right-hand side), and then runs
+// ordinary phase-2 pivots to optimality. Any numerical trouble — a hinted
+// column that cannot be pivoted in, an artificial stuck basic at a positive
+// value, loss of both primal and dual feasibility — abandons the warm path
+// and falls back to a cold two-phase solve, so SolveWarm is exactly as
+// robust as Solve and differs only in speed. This is the engine behind the
+// shrinking-subset/doubling-target re-solves of SUU-I-SEM (see
+// internal/rounding), where round k+1's LP1 is a small perturbation of
+// round k's and the previous basis is almost always a few pivots from
+// optimal.
 package lp
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
+
+	"repro/internal/rng"
 )
 
 // Op is a constraint relation.
@@ -95,12 +123,27 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(%d)", int(s))
 }
 
+// Basis encoding (Solution.Basis and SolveWarm hints): entry i describes
+// the basic column of constraint row i. A value v ≥ 0 names original
+// variable v; a value v < 0 (other than NoHint) names the slack or surplus
+// column owned by row −1−v. The encoding carries across problems with the
+// same row meaning, which is what makes a previous solve's basis usable as
+// a hint for a perturbed re-solve.
+const NoHint = math.MinInt
+
 // Solution is the result of solving a Problem.
 type Solution struct {
 	Status Status
 	X      []float64 // values of the original variables (Optimal only)
 	Obj    float64   // objective value (Optimal only)
 	Iters  int       // simplex pivots across both phases (diagnostics)
+	// Basis is the optimal basis, one entry per constraint row, in the
+	// encoding documented at NoHint (Optimal only). Feed it back to
+	// SolveWarm to warm-start a related re-solve.
+	Basis []int
+	// Warm reports that the warm-start path produced this solution
+	// without falling back to a cold solve.
+	Warm bool
 }
 
 // ErrIterationLimit is returned if the simplex exceeds its iteration budget,
@@ -111,49 +154,129 @@ const (
 	eps      = 1e-9 // pivot / feasibility tolerance
 	costEps  = 1e-9 // reduced-cost optimality tolerance
 	cleanEps = 1e-9 // solution cleanup threshold
+	pivotTol = 1e-7 // minimum magnitude for install / drive-out pivots
 )
 
-// tableau is the dense simplex state.
-type tableau struct {
-	rows  int
-	cols  int // total columns excluding RHS
-	a     [][]float64
-	b     []float64
-	basis []int
-	// cost row (reduced costs) and its RHS (negated objective value)
-	cost    []float64
-	costRHS float64
-	banned  []bool // columns barred from entering (artificials in phase 2)
-	iters   int    // pivots performed
+// Solver is a reusable simplex workspace: the dense tableau lives in one
+// flat row-major array that is allocated once and grown monotonically, so
+// repeated solves of similar-size problems allocate nothing beyond the
+// returned Solution. A Solver is not safe for concurrent use; hot paths
+// hold one per goroutine (see rounding.Workspace).
+type Solver struct {
+	rows, cols int
+	n          int // original variable count of the current problem
+	artStart   int // first artificial column
+	a          []float64
+	b          []float64
+	basis      []int
+	cost       []float64
+	costRHS    float64
+	banned     []bool
+	iters      int
+	prng       rng.SplitMix64
+
+	auxOf  []int // per column: -1 for original vars, else owning row
+	rowAux []int // per row: its slack/surplus column, -1 for EQ rows
+	rowArt []int // per row: its artificial column, -1 if none
+
+	// warm-install scratch
+	inBasis []bool
+	wantCol []bool
+	claimed []bool
+	desired []int
+
+	negArena []Term // normalization scratch for b < 0 rows
+	rowsBuf  []rowInfo
+
+	// Diagnostics: solve counts by path, readable between solves.
+	ColdSolves    int // cold two-phase solves (including warm fallbacks)
+	WarmSolves    int // solves completed on the warm path
+	WarmFallbacks int // warm attempts abandoned to a cold solve
 }
 
-// Solve solves the problem. The error is non-nil only for internal failures
-// (iteration limit); infeasible/unbounded outcomes are reported via Status.
+type rowInfo struct {
+	terms []Term
+	op    Op
+	b     float64
+}
+
+// NewSolver returns an empty workspace. The zero value is also ready to use.
+func NewSolver() *Solver { return &Solver{} }
+
+// Solve solves the problem from a cold (all-slack) start. The error is
+// non-nil only for internal failures (iteration limit) and malformed
+// problems; infeasible/unbounded outcomes are reported via Status.
+func (s *Solver) Solve(p *Problem) (*Solution, error) {
+	if err := s.setup(p); err != nil {
+		return nil, err
+	}
+	s.ColdSolves++
+	if infeasible, err := s.phase1(); err != nil {
+		return nil, err
+	} else if infeasible {
+		return &Solution{Status: Infeasible, Iters: s.iters}, nil
+	}
+	s.phase2Prep(p)
+	switch err := s.iterate(); {
+	case err == errUnbounded:
+		return &Solution{Status: Unbounded, Iters: s.iters}, nil
+	case err != nil:
+		return nil, err
+	}
+	return s.extract(p), nil
+}
+
+// SolveWarm solves the problem starting from the hinted basis (one entry
+// per constraint row, Basis encoding; NoHint entries default to the row's
+// own slack). It skips phase 1 when the hint installs cleanly, repairing
+// primal feasibility with dual simplex pivots, and falls back to a cold
+// Solve on any trouble — the result is always exactly as trustworthy as
+// Solve's, warm starting only changes the pivot count.
+func (s *Solver) SolveWarm(p *Problem, hint []int) (*Solution, error) {
+	if len(hint) != len(p.Cons) {
+		return s.Solve(p)
+	}
+	sol, ok, err := s.tryWarm(p, hint)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		s.WarmSolves++
+		sol.Warm = true
+		return sol, nil
+	}
+	s.WarmFallbacks++
+	return s.Solve(p)
+}
+
+// Solve solves the problem on a throwaway Solver. Callers in hot loops
+// should hold a Solver and use its methods instead.
 func Solve(p *Problem) (*Solution, error) {
+	return NewSolver().Solve(p)
+}
+
+// setup normalizes the constraints and (re)builds the initial all-slack
+// tableau in the workspace's flat backing arrays.
+func (s *Solver) setup(p *Problem) error {
 	if len(p.C) != p.NumVars {
-		return nil, fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.C), p.NumVars)
+		return fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.C), p.NumVars)
 	}
 	m := len(p.Cons)
 	n := p.NumVars
 
-	// Count auxiliary columns. Rows are normalized to b ≥ 0 first, which
-	// flips LE<->GE, so count after normalization.
-	type rowInfo struct {
-		terms []Term
-		op    Op
-		b     float64
-	}
-	rows := make([]rowInfo, m)
+	// Normalize rows to b ≥ 0 (negating flips LE<->GE), then count
+	// auxiliary columns.
+	rows := growRowInfos(s.rowsBuf, m)
+	neg := s.negArena[:0]
 	slacks, artificials := 0, 0
 	for i, c := range p.Cons {
 		ri := rowInfo{terms: c.Terms, op: c.Op, b: c.B}
 		if ri.b < 0 {
-			// Negate the row.
-			neg := make([]Term, len(ri.terms))
-			for k, t := range ri.terms {
-				neg[k] = Term{t.Var, -t.Coef}
+			start := len(neg)
+			for _, t := range ri.terms {
+				neg = append(neg, Term{t.Var, -t.Coef})
 			}
-			ri.terms = neg
+			ri.terms = neg[start:len(neg):len(neg)]
 			ri.b = -ri.b
 			switch ri.op {
 			case LE:
@@ -173,117 +296,149 @@ func Solve(p *Problem) (*Solution, error) {
 		}
 		rows[i] = ri
 	}
+	s.rowsBuf, s.negArena = rows, neg
 
 	cols := n + slacks + artificials
-	t := &tableau{
-		rows:   m,
-		cols:   cols,
-		a:      make([][]float64, m),
-		b:      make([]float64, m),
-		basis:  make([]int, m),
-		cost:   make([]float64, cols),
-		banned: make([]bool, cols),
+	s.rows, s.cols, s.n = m, cols, n
+	s.artStart = n + slacks
+	s.a = growFloats(s.a, m*cols)
+	s.b = growFloats(s.b, m)
+	s.cost = growFloats(s.cost, cols)
+	s.basis = growInts(s.basis, m)
+	s.banned = growBools(s.banned, cols)
+	s.auxOf = growInts(s.auxOf, cols)
+	s.rowAux = growInts(s.rowAux, m)
+	s.rowArt = growInts(s.rowArt, m)
+	for j := 0; j < n; j++ {
+		s.auxOf[j] = -1
 	}
-	for i := range t.a {
-		t.a[i] = make([]float64, cols)
-	}
-	artStart := n + slacks
-	slackIdx, artIdx := n, artStart
+	s.costRHS = 0
+	s.iters = 0
+	// Deterministic per-shape stream for the randomized anti-stall pricing;
+	// SplitMix64 reseeds by a single word write, unlike the ~4.9 KB
+	// rand.NewSource this replaced.
+	s.prng.Seed(int64(m)*1e6 + int64(cols))
+
+	slackIdx, artIdx := n, s.artStart
 	for i, ri := range rows {
-		row := t.a[i]
+		row := s.row(i)
 		for _, term := range ri.terms {
 			if term.Var < 0 || term.Var >= n {
-				return nil, fmt.Errorf("lp: constraint %d references variable %d (have %d)", i, term.Var, n)
+				return fmt.Errorf("lp: constraint %d references variable %d (have %d)", i, term.Var, n)
 			}
 			row[term.Var] += term.Coef
 		}
-		t.b[i] = ri.b
+		s.b[i] = ri.b
+		s.rowAux[i], s.rowArt[i] = -1, -1
 		switch ri.op {
 		case LE:
 			row[slackIdx] = 1
-			t.basis[i] = slackIdx
+			s.auxOf[slackIdx] = i
+			s.rowAux[i] = slackIdx
+			s.basis[i] = slackIdx
 			slackIdx++
 		case GE:
 			row[slackIdx] = -1
+			s.auxOf[slackIdx] = i
+			s.rowAux[i] = slackIdx
 			slackIdx++
 			row[artIdx] = 1
-			t.basis[i] = artIdx
+			s.auxOf[artIdx] = i
+			s.rowArt[i] = artIdx
+			s.basis[i] = artIdx
 			artIdx++
 		case EQ:
 			row[artIdx] = 1
-			t.basis[i] = artIdx
+			s.auxOf[artIdx] = i
+			s.rowArt[i] = artIdx
+			s.basis[i] = artIdx
 			artIdx++
 		}
 	}
+	return nil
+}
 
-	// Phase 1: minimize the sum of artificials.
-	if artificials > 0 {
-		for j := artStart; j < cols; j++ {
-			t.cost[j] = 1
-		}
-		t.costRHS = 0
-		for i := range t.a {
-			if t.basis[i] >= artStart {
-				subRow(t.cost, t.a[i], 1)
-				t.costRHS -= t.b[i]
-			}
-		}
-		if err := t.iterate(); err != nil {
-			return nil, err
-		}
-		if -t.costRHS > 1e-7*(1+math.Abs(t.costRHS)) && -t.costRHS > 1e-7 {
-			return &Solution{Status: Infeasible, Iters: t.iters}, nil
-		}
-		// Drive any remaining artificials out of the basis.
-		for i := 0; i < t.rows; i++ {
-			if t.basis[i] < artStart {
-				continue
-			}
-			pivoted := false
-			for j := 0; j < artStart; j++ {
-				if math.Abs(t.a[i][j]) > 1e-7 {
-					t.pivot(i, j)
-					pivoted = true
-					break
-				}
-			}
-			if !pivoted {
-				// Redundant row: the artificial stays basic at value 0.
-				t.b[i] = 0
-			}
-		}
-		for j := artStart; j < cols; j++ {
-			t.banned[j] = true
+// row returns the tableau row as a slice of the flat backing array. The
+// three-index form pins cap so subRow's bounds-check elimination holds.
+func (s *Solver) row(i int) []float64 {
+	off := i * s.cols
+	return s.a[off : off+s.cols : off+s.cols]
+}
+
+// phase1 minimizes the sum of artificials and drives them out of the
+// basis. It reports infeasibility; on success artificial columns are
+// banned and the tableau holds a basic feasible solution.
+func (s *Solver) phase1() (infeasible bool, err error) {
+	if s.artStart == s.cols {
+		return false, nil
+	}
+	for j := s.artStart; j < s.cols; j++ {
+		s.cost[j] = 1
+	}
+	s.costRHS = 0
+	for i := 0; i < s.rows; i++ {
+		if s.basis[i] >= s.artStart {
+			subRow(s.cost, s.row(i), 1)
+			s.costRHS -= s.b[i]
 		}
 	}
-
-	// Phase 2: original objective.
-	for j := range t.cost {
-		t.cost[j] = 0
+	if err := s.iterate(); err != nil {
+		return false, err
 	}
-	copy(t.cost, p.C)
-	t.costRHS = 0
-	for i := range t.a {
+	if -s.costRHS > 1e-7*(1+math.Abs(s.costRHS)) && -s.costRHS > 1e-7 {
+		return true, nil
+	}
+	// Drive any remaining artificials out of the basis.
+	for i := 0; i < s.rows; i++ {
+		if s.basis[i] < s.artStart {
+			continue
+		}
+		pivoted := false
+		row := s.row(i)
+		for j := 0; j < s.artStart; j++ {
+			if math.Abs(row[j]) > pivotTol {
+				s.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: the artificial stays basic at value 0.
+			s.b[i] = 0
+		}
+	}
+	for j := s.artStart; j < s.cols; j++ {
+		s.banned[j] = true
+	}
+	return false, nil
+}
+
+// phase2Prep installs the original objective's reduced costs for the
+// current basis.
+func (s *Solver) phase2Prep(p *Problem) {
+	for j := range s.cost {
+		s.cost[j] = 0
+	}
+	copy(s.cost, p.C)
+	s.costRHS = 0
+	for i := 0; i < s.rows; i++ {
 		cb := 0.0
-		if t.basis[i] < n {
-			cb = p.C[t.basis[i]]
+		if s.basis[i] < s.n {
+			cb = p.C[s.basis[i]]
 		}
 		if cb != 0 {
-			subRow(t.cost, t.a[i], cb)
-			t.costRHS -= cb * t.b[i]
+			subRow(s.cost, s.row(i), cb)
+			s.costRHS -= cb * s.b[i]
 		}
 	}
-	switch err := t.iterate(); {
-	case err == errUnbounded:
-		return &Solution{Status: Unbounded, Iters: t.iters}, nil
-	case err != nil:
-		return nil, err
-	}
+}
 
-	x := make([]float64, n)
-	for i, bi := range t.basis {
-		if bi < n {
-			v := t.b[i]
+// extract reads the optimal solution and basis out of the tableau.
+func (s *Solver) extract(p *Problem) *Solution {
+	x := make([]float64, s.n)
+	for i, bi := range s.basis {
+		if bi < s.n {
+			v := s.b[i]
 			if v < 0 && v > -cleanEps {
 				v = 0
 			}
@@ -294,7 +449,181 @@ func Solve(p *Problem) (*Solution, error) {
 	for j, cj := range p.C {
 		obj += cj * x[j]
 	}
-	return &Solution{Status: Optimal, X: x, Obj: obj, Iters: t.iters}, nil
+	basis := make([]int, s.rows)
+	for i, bi := range s.basis {
+		if bi < s.n {
+			basis[i] = bi
+		} else {
+			basis[i] = -1 - s.auxOf[bi]
+		}
+	}
+	return &Solution{Status: Optimal, X: x, Obj: obj, Iters: s.iters, Basis: basis}
+}
+
+// tryWarm attempts the warm-start path: install the hinted basis, repair
+// primal feasibility with dual pivots, finish with primal phase 2. A false
+// ok means the caller should fall back to a cold solve.
+func (s *Solver) tryWarm(p *Problem, hint []int) (sol *Solution, ok bool, err error) {
+	if err := s.setup(p); err != nil {
+		return nil, false, err
+	}
+	s.installBasis(hint)
+	// Artificials may never (re-)enter; a hinted basis replaces phase 1.
+	for j := s.artStart; j < s.cols; j++ {
+		s.banned[j] = true
+	}
+	// An artificial stuck basic at a meaningfully positive value means the
+	// install did not reach a feasible basis of the original rows.
+	for i := 0; i < s.rows; i++ {
+		if s.basis[i] >= s.artStart && s.b[i] > pivotTol {
+			return nil, false, nil
+		}
+	}
+	s.phase2Prep(p)
+	if !s.dualRepair() {
+		return nil, false, nil
+	}
+	if err := s.iterate(); err != nil {
+		// Unbounded or stalled on the warm path: let the cold solve decide.
+		return nil, false, nil
+	}
+	// Re-check stuck artificials at the final basis: repair and phase-2
+	// pivots can have grown a basic artificial's b since the pre-repair
+	// check, and a positive artificial means the point violates its
+	// original row even though the reduced costs look optimal.
+	for i := 0; i < s.rows; i++ {
+		if s.basis[i] >= s.artStart && s.b[i] > pivotTol {
+			return nil, false, nil
+		}
+	}
+	return s.extract(p), true, nil
+}
+
+// installBasis pivots the hinted columns into the basis. The hint names a
+// column per row, but a basis is really a column *set*: in the previous
+// final tableau a column can be basic in a row where the fresh tableau has
+// a zero coefficient, so row-by-row pivoting breaks down. Instead this is
+// Gaussian elimination with row partial pivoting — for each desired column,
+// pivot in the unclaimed row where its current coefficient is largest —
+// which cannot break down when the desired set is a genuine basis of the
+// new matrix. Columns that cannot be pivoted in (departed-structure
+// leftovers, near-singular coefficients) are skipped; their rows keep the
+// initial slack/artificial and the caller's feasibility checks decide.
+func (s *Solver) installBasis(hint []int) {
+	inB := growBools(s.inBasis, s.cols)
+	s.inBasis = inB
+	for _, bi := range s.basis {
+		inB[bi] = true
+	}
+	want := growBools(s.wantCol, s.cols)
+	s.wantCol = want
+	des := growInts(s.desired, s.rows)[:0]
+	s.desired = des
+	for _, h := range hint {
+		c := -1
+		switch {
+		case h >= 0 && h < s.n:
+			c = h
+		case h != NoHint && h < 0:
+			if rr := -1 - h; rr >= 0 && rr < s.rows {
+				c = s.rowAux[rr]
+			}
+		}
+		if c >= 0 && !want[c] {
+			want[c] = true
+			des = append(des, c)
+		}
+	}
+	s.desired = des
+	// Rows whose initial basic column is already desired are settled.
+	claimed := growBools(s.claimed, s.rows)
+	s.claimed = claimed
+	for r := 0; r < s.rows; r++ {
+		if want[s.basis[r]] {
+			claimed[r] = true
+		}
+	}
+	for _, c := range des {
+		if inB[c] {
+			continue
+		}
+		best, bestV := -1, pivotTol
+		for r := 0; r < s.rows; r++ {
+			if claimed[r] {
+				continue
+			}
+			if v := math.Abs(s.a[r*s.cols+c]); v > bestV {
+				best, bestV = r, v
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		inB[s.basis[best]] = false
+		s.pivot(best, c)
+		inB[c] = true
+		claimed[best] = true
+	}
+	// Rows still holding their artificial — hints lost to departed
+	// structure — swap it for the row's own slack/surplus when possible.
+	// For a surplus (GE) row this turns a would-be rejection (artificial
+	// basic at b > 0) into a plain negative-b row that dualRepair fixes.
+	for r := 0; r < s.rows; r++ {
+		if s.basis[r] < s.artStart {
+			continue
+		}
+		c := s.rowAux[r]
+		if c < 0 || inB[c] {
+			continue
+		}
+		if v := math.Abs(s.a[r*s.cols+c]); v > pivotTol {
+			inB[s.basis[r]] = false
+			s.pivot(r, c)
+			inB[c] = true
+		}
+	}
+}
+
+// dualRepair restores primal feasibility (b ≥ 0) with dual simplex pivots,
+// the standard warm-start repair for a changed right-hand side. When the
+// installed basis is also dual infeasible (doubling L perturbs the capped
+// cover coefficients, so reduced costs drift), the same loop still runs as
+// a plain feasibility heuristic — its termination guarantee is then only
+// the iteration cap, but any basis it reaches with b ≥ 0 is a legitimate
+// phase-2 start, and the subsequent primal iterate restores optimality
+// regardless of the pivot path. Returns false when the warm path should be
+// abandoned.
+func (s *Solver) dualRepair() bool {
+	maxIter := s.rows + s.cols + 200
+	for iter := 0; iter < maxIter; iter++ {
+		r, worst := -1, -eps
+		for i := 0; i < s.rows; i++ {
+			if s.b[i] < worst {
+				worst, r = s.b[i], i
+			}
+		}
+		if r < 0 {
+			return true
+		}
+		row := s.row(r)
+		c, bestRatio := -1, math.Inf(1)
+		for j := 0; j < s.cols; j++ {
+			if s.banned[j] || row[j] >= -eps {
+				continue
+			}
+			ratio := s.cost[j] / -row[j]
+			if ratio < bestRatio-eps || (ratio < bestRatio+eps && (c < 0 || j < c)) {
+				c, bestRatio = j, ratio
+			}
+		}
+		if c < 0 {
+			// No entering column: primal infeasible from this basis (or
+			// numerics); the cold solve will give the definitive answer.
+			return false
+		}
+		s.pivot(r, c)
+	}
+	return false
 }
 
 var errUnbounded = errors.New("lp: unbounded")
@@ -314,23 +643,22 @@ const (
 // high probability; if even that stalls, Bland's rule is the guaranteed
 // backstop. Any strict improvement resets to Dantzig, so no basis can
 // repeat across resets.
-func (t *tableau) iterate() error {
-	maxIter := 5000 + 60*(t.rows+t.cols)
+func (s *Solver) iterate() error {
+	maxIter := 5000 + 60*(s.rows+s.cols)
 	mode := priceDantzig
 	stall := 0
-	rng := rand.New(rand.NewSource(int64(t.rows)*1e6 + int64(t.cols)))
 	lastObj := math.Inf(1)
 	for iter := 0; iter < maxIter; iter++ {
-		col := t.chooseColumn(mode, rng)
+		col := s.chooseColumn(mode)
 		if col < 0 {
 			return nil // optimal
 		}
-		row := t.chooseRow(col)
+		row := s.chooseRow(col)
 		if row < 0 {
 			return errUnbounded
 		}
-		t.pivot(row, col)
-		obj := -t.costRHS
+		s.pivot(row, col)
+		obj := -s.costRHS
 		switch {
 		case obj < lastObj-1e-12*(1+math.Abs(lastObj)):
 			lastObj = obj
@@ -339,9 +667,9 @@ func (t *tableau) iterate() error {
 		default:
 			stall++
 			switch {
-			case stall > 4*t.rows+1000:
+			case stall > 4*s.rows+1000:
 				mode = priceBland
-			case stall > t.rows/2+40:
+			case stall > s.rows/2+40:
 				mode = priceRandom
 			}
 		}
@@ -351,14 +679,14 @@ func (t *tableau) iterate() error {
 
 // chooseColumn picks the entering column under the given pricing rule.
 // Returns -1 at optimality.
-func (t *tableau) chooseColumn(mode int, rng *rand.Rand) int {
+func (s *Solver) chooseColumn(mode int) int {
 	best, bestVal := -1, -costEps
-	seen := 0
-	for j := 0; j < t.cols; j++ {
-		if t.banned[j] {
+	seen := uint64(0)
+	for j := 0; j < s.cols; j++ {
+		if s.banned[j] {
 			continue
 		}
-		c := t.cost[j]
+		c := s.cost[j]
 		if c >= -costEps {
 			continue
 		}
@@ -368,7 +696,7 @@ func (t *tableau) chooseColumn(mode int, rng *rand.Rand) int {
 		case priceRandom:
 			// Reservoir-sample one negative column uniformly.
 			seen++
-			if rng.Intn(seen) == 0 {
+			if s.prng.Uint64()%seen == 0 {
 				best = j
 			}
 		default:
@@ -383,16 +711,16 @@ func (t *tableau) chooseColumn(mode int, rng *rand.Rand) int {
 // chooseRow performs the ratio test for entering column c, breaking ties by
 // the smallest basis index (a cheap anti-cycling heuristic). Returns -1 if
 // the column is unbounded.
-func (t *tableau) chooseRow(c int) int {
+func (s *Solver) chooseRow(c int) int {
 	best := -1
 	bestRatio := math.Inf(1)
-	for i := 0; i < t.rows; i++ {
-		aic := t.a[i][c]
+	for i := 0; i < s.rows; i++ {
+		aic := s.a[i*s.cols+c]
 		if aic <= eps {
 			continue
 		}
-		r := t.b[i] / aic
-		if r < bestRatio-eps || (r < bestRatio+eps && (best < 0 || t.basis[i] < t.basis[best])) {
+		r := s.b[i] / aic
+		if r < bestRatio-eps || (r < bestRatio+eps && (best < 0 || s.basis[i] < s.basis[best])) {
 			best, bestRatio = i, r
 		}
 	}
@@ -400,36 +728,37 @@ func (t *tableau) chooseRow(c int) int {
 }
 
 // pivot makes column c basic in row r.
-func (t *tableau) pivot(r, c int) {
-	pr := t.a[r]
+func (s *Solver) pivot(r, c int) {
+	pr := s.row(r)
 	inv := 1 / pr[c]
 	for j := range pr {
 		pr[j] *= inv
 	}
 	pr[c] = 1 // kill roundoff
-	t.b[r] *= inv
-	for i := 0; i < t.rows; i++ {
+	s.b[r] *= inv
+	for i := 0; i < s.rows; i++ {
 		if i == r {
 			continue
 		}
-		f := t.a[i][c]
+		row := s.row(i)
+		f := row[c]
 		if f == 0 {
 			continue
 		}
-		subRow(t.a[i], pr, f)
-		t.a[i][c] = 0
-		t.b[i] -= f * t.b[r]
-		if t.b[i] < 0 && t.b[i] > -cleanEps {
-			t.b[i] = 0
+		subRow(row, pr, f)
+		row[c] = 0
+		s.b[i] -= f * s.b[r]
+		if s.b[i] < 0 && s.b[i] > -cleanEps {
+			s.b[i] = 0
 		}
 	}
-	if f := t.cost[c]; f != 0 {
-		subRow(t.cost, pr, f)
-		t.cost[c] = 0
-		t.costRHS -= f * t.b[r]
+	if f := s.cost[c]; f != 0 {
+		subRow(s.cost, pr, f)
+		s.cost[c] = 0
+		s.costRHS -= f * s.b[r]
 	}
-	t.basis[r] = c
-	t.iters++
+	s.basis[r] = c
+	s.iters++
 }
 
 // subRow computes dst -= f*src over the full row. It is the hot loop of the
@@ -439,6 +768,48 @@ func subRow(dst, src []float64, f float64) {
 	for j := range src {
 		dst[j] -= f * src[j]
 	}
+}
+
+// growFloats returns buf resized to n, zeroed, reusing its backing array
+// when capacity allows (the zeroing loop compiles to memclr).
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+func growRowInfos(buf []rowInfo, n int) []rowInfo {
+	if cap(buf) < n {
+		return make([]rowInfo, n)
+	}
+	return buf[:n]
 }
 
 // Residual reports the worst constraint violation of x (positive means

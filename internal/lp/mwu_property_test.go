@@ -1,0 +1,66 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomCoverLarge draws LP1-realistically-shaped covering instances:
+// more machines and jobs than randomCover, rates in the capped-log-failure
+// range (0, 0.5], sparse availability, uniform demands L — the shape every
+// SolveCoverMWU call in the repo actually has.
+func randomCoverLarge(rng *rand.Rand) *CoverInstance {
+	m, n := 4+rng.Intn(9), 8+rng.Intn(33)
+	ins := &CoverInstance{M: m, N: n, Rates: make([][]float64, m), Demands: make([]float64, n)}
+	for i := range ins.Rates {
+		ins.Rates[i] = make([]float64, n)
+		for j := range ins.Rates[i] {
+			if rng.Float64() < 0.7 {
+				ins.Rates[i][j] = 0.01 + 0.49*rng.Float64()
+			}
+		}
+	}
+	L := 0.5
+	for j := range ins.Demands {
+		ins.Demands[j] = L
+		if allZeroCol(ins.Rates, j) {
+			ins.Rates[rng.Intn(m)][j] = 0.25
+		}
+	}
+	return ins
+}
+
+// TestMWUNearOptimalLarge is the (1+eps) property test at realistic LP1
+// scale, swept over eps: for random CoverInstances the MWU t* must bracket
+// the exact simplex t* within the approximation slack, at every eps the
+// repo uses. (TestMWUNearOptimal covers tiny shapes more densely.)
+func TestMWUNearOptimalLarge(t *testing.T) {
+	for _, eps := range []float64{0.05, 0.1, 0.25} {
+		eps := eps
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			ins := randomCoverLarge(rng)
+			_, got, err := SolveCoverMWU(ins, eps)
+			if err != nil {
+				t.Logf("eps %g seed %d: %v", eps, seed, err)
+				return false
+			}
+			want := coverViaSimplex(t, ins)
+			if got < want/(1+eps)-1e-9 {
+				t.Logf("eps %g seed %d (m=%d n=%d): mwu t* %g below simplex t* %g beyond (1+eps)",
+					eps, seed, ins.M, ins.N, got, want)
+				return false
+			}
+			if got > want*(1+4*eps)+1e-9 {
+				t.Logf("eps %g seed %d (m=%d n=%d): mwu t* %g above simplex t* %g beyond slack",
+					eps, seed, ins.M, ins.N, got, want)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("eps %g: %v", eps, err)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildLP1Shaped constructs an LP1-shaped covering/packing program:
+// cover rows Σ_i ℓ_ij x_ij ≥ L over the given jobs, machine rows
+// Σ_j x_ij ≤ t. Variables x_{i,pos} at i*k+pos, t at m*k.
+func buildLP1Shaped(ell [][]float64, jobs []int, L float64) *Problem {
+	m := len(ell)
+	k := len(jobs)
+	p := NewProblem(m*k + 1)
+	p.C[m*k] = 1
+	for pos, j := range jobs {
+		var terms []Term
+		for i := 0; i < m; i++ {
+			if l := math.Min(ell[i][j], L); l > 0 {
+				terms = append(terms, Term{i*k + pos, l})
+			}
+		}
+		p.AddConstraint(terms, GE, L)
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]Term, 0, k+1)
+		for pos := 0; pos < k; pos++ {
+			terms = append(terms, Term{i*k + pos, 1})
+		}
+		terms = append(terms, Term{m * k, -1})
+		p.AddConstraint(terms, LE, 0)
+	}
+	return p
+}
+
+func randomRates(rng *rand.Rand, m, n int) [][]float64 {
+	ell := make([][]float64, m)
+	for i := range ell {
+		ell[i] = make([]float64, n)
+		for j := range ell[i] {
+			ell[i][j] = 0.05 + rng.Float64()
+		}
+	}
+	return ell
+}
+
+// TestWarmIdenticalProblem: re-solving the same problem from its own
+// optimal basis must stay on the warm path, reach the same objective, and
+// need (near) zero pivots.
+func TestWarmIdenticalProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ell := randomRates(rng, 6, 20)
+	jobs := make([]int, 20)
+	for j := range jobs {
+		jobs[j] = j
+	}
+	p := buildLP1Shaped(ell, jobs, 0.5)
+	s := NewSolver()
+	cold, err := s.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Status != Optimal {
+		t.Fatalf("cold status %v", cold.Status)
+	}
+	warm, err := s.SolveWarm(p, cold.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Warm {
+		t.Fatalf("identical re-solve fell back to cold (fallbacks=%d)", s.WarmFallbacks)
+	}
+	if math.Abs(warm.Obj-cold.Obj) > 1e-9*(1+math.Abs(cold.Obj)) {
+		t.Fatalf("warm obj %g, cold %g", warm.Obj, cold.Obj)
+	}
+	if warm.Iters > cold.Iters/2 {
+		t.Fatalf("warm re-solve took %d pivots, cold took %d — basis not reused", warm.Iters, cold.Iters)
+	}
+}
+
+// TestWarmShrinkAndDouble drives the solver through SEM's exact re-solve
+// pattern: drop a random subset of jobs, double the target, warm-start
+// from the previous basis after remapping columns. The warm objective must
+// match a cold solve of the same problem to 1e-6, and the warm path must
+// actually be taken most of the time (else the test is vacuous).
+func TestWarmShrinkAndDouble(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const m, n = 8, 32
+	warmTaken := 0
+	for trial := 0; trial < 10; trial++ {
+		ell := randomRates(rng, m, n)
+		jobs := make([]int, n)
+		for j := range jobs {
+			jobs[j] = j
+		}
+		L := 0.5
+		s := NewSolver()
+		prev, err := s.Solve(buildLP1Shaped(ell, jobs, L))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevJobs := jobs
+		for round := 2; round <= 4 && len(prevJobs) > 2; round++ {
+			// Survivors: each job independently kept with probability 0.4.
+			var surv []int
+			for _, j := range prevJobs {
+				if rng.Float64() < 0.4 {
+					surv = append(surv, j)
+				}
+			}
+			if len(surv) == 0 {
+				surv = prevJobs[:1]
+			}
+			L *= 2
+			p := buildLP1Shaped(ell, surv, L)
+			// Remap the previous basis into the new problem's encoding.
+			posOf := make(map[int]int, len(prevJobs))
+			for pos, j := range prevJobs {
+				posOf[j] = pos
+			}
+			newPos := make(map[int]int, len(surv))
+			for pos, j := range surv {
+				newPos[j] = pos
+			}
+			prevK, k := len(prevJobs), len(surv)
+			hint := make([]int, k+m)
+			for r := range hint {
+				var prevRow int
+				if r < k {
+					prevRow = posOf[surv[r]]
+				} else {
+					prevRow = prevK + (r - k)
+				}
+				hint[r] = remapBasisEntry(prev.Basis[prevRow], prevK, k, m, prevJobs, newPos)
+			}
+			warm, err := s.SolveWarm(p, hint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := NewSolver().Solve(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Status != Optimal || cold.Status != Optimal {
+				t.Fatalf("trial %d round %d: warm %v cold %v", trial, round, warm.Status, cold.Status)
+			}
+			if diff := math.Abs(warm.Obj - cold.Obj); diff > 1e-6*(1+math.Abs(cold.Obj)) {
+				t.Fatalf("trial %d round %d: warm obj %g, cold obj %g (diff %g)",
+					trial, round, warm.Obj, cold.Obj, diff)
+			}
+			if r := p.Residual(warm.X); r > 1e-6 {
+				t.Fatalf("trial %d round %d: warm residual %g", trial, round, r)
+			}
+			if warm.Warm {
+				warmTaken++
+			}
+			prev, prevJobs = warm, surv
+		}
+	}
+	if warmTaken == 0 {
+		t.Fatal("warm path never taken across 10 shrink/double chains")
+	}
+}
+
+// remapBasisEntry translates one Basis entry from the previous problem's
+// encoding (prevK jobs) to the new problem's (k jobs), mirroring what
+// rounding.Workspace does for LP1.
+func remapBasisEntry(e, prevK, k, m int, prevJobs []int, newPos map[int]int) int {
+	switch {
+	case e == prevK*m: // t variable
+		return k * m
+	case e >= 0:
+		i, pos := e/prevK, e%prevK
+		if np, ok := newPos[prevJobs[pos]]; ok {
+			return i*k + np
+		}
+		return NoHint
+	default:
+		rr := -1 - e
+		if rr < prevK {
+			if np, ok := newPos[prevJobs[rr]]; ok {
+				return -1 - np
+			}
+			return NoHint
+		}
+		return -1 - (k + (rr - prevK))
+	}
+}
+
+// TestWarmGarbageHint: a nonsense hint must not corrupt the answer — the
+// solver either recovers or falls back to a cold solve.
+func TestWarmGarbageHint(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	ell := randomRates(rng, 5, 12)
+	jobs := make([]int, 12)
+	for j := range jobs {
+		jobs[j] = j
+	}
+	p := buildLP1Shaped(ell, jobs, 0.5)
+	want, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSolver()
+	hints := [][]int{
+		make([]int, len(p.Cons)), // all-zero: every row wants variable 0
+		nil,                      // wrong length: must go straight to cold
+	}
+	scrambled := make([]int, len(p.Cons))
+	for i := range scrambled {
+		scrambled[i] = rng.Intn(p.NumVars+2*len(p.Cons)) - len(p.Cons)
+	}
+	hints = append(hints, scrambled)
+	for hi, hint := range hints {
+		got, err := s.SolveWarm(p, hint)
+		if err != nil {
+			t.Fatalf("hint %d: %v", hi, err)
+		}
+		if got.Status != Optimal || math.Abs(got.Obj-want.Obj) > 1e-6*(1+math.Abs(want.Obj)) {
+			t.Fatalf("hint %d: got %v obj %g, want optimal %g", hi, got.Status, got.Obj, want.Obj)
+		}
+	}
+}
+
+// TestWarmInfeasible: warm starting an infeasible program must still
+// report Infeasible (via the cold fallback), never a bogus optimum.
+func TestWarmInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.C = []float64{1}
+	p.AddConstraint([]Term{{0, 1}}, LE, 1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 2)
+	s := NewSolver()
+	hint := []int{0, 0}
+	got, err := s.SolveWarm(p, hint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", got.Status)
+	}
+}
+
+// TestSolverReuse: interleaving solves of different shapes and sizes on
+// one workspace must give the same answers as fresh solvers.
+func TestSolverReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := NewSolver()
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.Intn(6)
+		n := 2 + rng.Intn(24)
+		ell := randomRates(rng, m, n)
+		jobs := make([]int, n)
+		for j := range jobs {
+			jobs[j] = j
+		}
+		p := buildLP1Shaped(ell, jobs, 0.5)
+		got, err := s.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != want.Status || math.Abs(got.Obj-want.Obj) > 1e-9*(1+math.Abs(want.Obj)) {
+			t.Fatalf("trial %d: reused solver gave %v obj %g, fresh %v obj %g",
+				trial, got.Status, got.Obj, want.Status, want.Obj)
+		}
+	}
+}

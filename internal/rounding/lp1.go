@@ -6,6 +6,12 @@
 // assignment as an integral maximum flow — and both come with defensive
 // post-condition checks (mass and load) that repair any floating-point
 // slop greedily, counting how often that was needed (never, in practice).
+//
+// Solving happens on per-goroutine Workspaces (one reusable lp.Solver
+// tableau plus problem-build arenas); SEM's shrinking-subset/doubling-
+// target round re-solves warm-start from the previous round's basis via
+// the workspace's chain (see Workspace), and Cache memoizes rounded
+// results under bounded, fixed-size keys.
 package rounding
 
 import (
@@ -13,7 +19,6 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/lp"
 	"repro/internal/maxflow"
 	"repro/internal/model"
 	"repro/internal/sched"
@@ -36,6 +41,10 @@ type LP1Result struct {
 	Length int64
 	// Repairs counts greedy post-rounding fix-up steps (0 in practice).
 	Repairs int
+	// Basis is the LP solver's optimal basis for the relaxation (see
+	// lp.Solution.Basis), recorded so SEM can warm-start the next round's
+	// re-solve. Nil when produced by a path that does not record it.
+	Basis []int
 }
 
 // SolveLP1 solves the LP relaxation of LP1(jobs, L) from Section 3:
@@ -43,54 +52,11 @@ type LP1Result struct {
 //	min t  s.t.  Σ_i ℓ′_ij·x_ij ≥ L (j ∈ jobs),  Σ_j x_ij ≤ t (i),  x ≥ 0,
 //
 // with ℓ′ = min(ℓ, L). It returns the fractional assignment x*[i][pos]
-// (pos indexes the jobs slice) and t*.
+// (pos indexes the jobs slice) and t*. One-shot callers only; hot paths
+// hold a Workspace (see workspace.go) so the tableau is reused.
 func SolveLP1(ins *model.Instance, jobs []int, L float64) ([][]float64, float64, error) {
-	if L <= 0 {
-		return nil, 0, fmt.Errorf("rounding: target L = %g must be positive", L)
-	}
-	k := len(jobs)
-	if k == 0 {
-		return make([][]float64, ins.M), 0, nil
-	}
-	m := ins.M
-	// Variables: x_{i,pos} at i*k+pos, t at m*k.
-	p := lp.NewProblem(m*k + 1)
-	p.C[m*k] = 1
-	for pos, j := range jobs {
-		if j < 0 || j >= ins.N {
-			return nil, 0, fmt.Errorf("rounding: job %d out of range", j)
-		}
-		var terms []lp.Term
-		for i := 0; i < m; i++ {
-			if l := math.Min(ins.L[i][j], L); l > 0 {
-				terms = append(terms, lp.Term{Var: i*k + pos, Coef: l})
-			}
-		}
-		if len(terms) == 0 {
-			return nil, 0, fmt.Errorf("rounding: job %d has zero log failure on every machine", j)
-		}
-		p.AddConstraint(terms, lp.GE, L)
-	}
-	for i := 0; i < m; i++ {
-		terms := make([]lp.Term, 0, k+1)
-		for pos := 0; pos < k; pos++ {
-			terms = append(terms, lp.Term{Var: i*k + pos, Coef: 1})
-		}
-		terms = append(terms, lp.Term{Var: m * k, Coef: -1})
-		p.AddConstraint(terms, lp.LE, 0)
-	}
-	sol, err := lp.Solve(p)
-	if err != nil {
-		return nil, 0, fmt.Errorf("rounding: LP1 solve: %w", err)
-	}
-	if sol.Status != lp.Optimal {
-		return nil, 0, fmt.Errorf("rounding: LP1 status %v", sol.Status)
-	}
-	x := make([][]float64, m)
-	for i := 0; i < m; i++ {
-		x[i] = sol.X[i*k : (i+1)*k]
-	}
-	return x, sol.Obj, nil
+	x, tstar, _, err := NewWorkspace().solveLP1(ins, jobs, L, false)
+	return x, tstar, err
 }
 
 // RoundLP1 implements Lemma 2: it solves the relaxation and rounds it to an

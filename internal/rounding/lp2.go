@@ -37,6 +37,12 @@ type LP2Result struct {
 // the fractional x*[i][pos] and d*[pos] indexed by position in the
 // flattened chain order, the flattened job list, and t*.
 func SolveLP2(ins *model.Instance, chains []dag.Chain) ([][]float64, []float64, []int, float64, error) {
+	return solveLP2(ins, chains, lp.NewSolver())
+}
+
+// solveLP2 is SolveLP2 on the given solver workspace, so cache-miss
+// computes inside a Monte Carlo worker reuse the worker's tableau.
+func solveLP2(ins *model.Instance, chains []dag.Chain, sv *lp.Solver) ([][]float64, []float64, []int, float64, error) {
 	m := ins.M
 	var jobs []int
 	seen := make(map[int]bool)
@@ -101,7 +107,7 @@ func SolveLP2(ins *model.Instance, chains []dag.Chain) ([][]float64, []float64, 
 			p.AddConstraint([]lp.Term{{Var: xv(i, pos), Coef: 1}, {Var: ev(pos), Coef: -1}}, lp.LE, 1)
 		}
 	}
-	sol, err := lp.Solve(p)
+	sol, err := sv.Solve(p)
 	if err != nil {
 		return nil, nil, nil, 0, fmt.Errorf("rounding: LP2 solve: %w", err)
 	}
@@ -123,7 +129,11 @@ func SolveLP2(ins *model.Instance, chains []dag.Chain) ([][]float64, []float64, 
 // capacities ⌈6d*_j⌉ in the flow network, which keeps every chain's total
 // length within a constant factor of t*.
 func RoundLP2(ins *model.Instance, chains []dag.Chain) (*LP2Result, error) {
-	xfrac, dstar, jobs, tstar, err := SolveLP2(ins, chains)
+	return roundLP2(ins, chains, lp.NewSolver())
+}
+
+func roundLP2(ins *model.Instance, chains []dag.Chain, sv *lp.Solver) (*LP2Result, error) {
+	xfrac, dstar, jobs, tstar, err := solveLP2(ins, chains, sv)
 	if err != nil {
 		return nil, err
 	}

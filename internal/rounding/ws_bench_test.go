@@ -1,0 +1,78 @@
+package rounding
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// chainSets builds a deterministic SEM-style re-solve chain: the full job
+// set, then survivor subsets with ~30% retention per round.
+func chainSets(ins *model.Instance, rounds int) [][]int {
+	rng := rand.New(rand.NewSource(99))
+	jobs := make([]int, ins.N)
+	for j := range jobs {
+		jobs[j] = j
+	}
+	sets := [][]int{jobs}
+	for r := 1; r < rounds; r++ {
+		var surv []int
+		for _, j := range sets[r-1] {
+			if rng.Float64() < 0.3 {
+				surv = append(surv, j)
+			}
+		}
+		if len(surv) == 0 {
+			break
+		}
+		sets = append(sets, surv)
+	}
+	return sets
+}
+
+// BenchmarkLP1Solve pins the LP engine itself on the large Table-1 cells:
+// one iteration solves a whole SEM re-solve chain (full set at L=1/2, then
+// shrinking survivor subsets at doubling targets). The cold arm rebuilds a
+// dense tableau from scratch per solve (the pre-workspace engine); the
+// warm arm reuses one workspace and warm-starts every link after the first.
+func BenchmarkLP1Solve(b *testing.B) {
+	for _, cell := range workload.Table1LargeCells() {
+		cell.Seed = 9
+		ins, err := workload.Generate(cell)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets := chainSets(ins, 4)
+		b.Run(fmt.Sprintf("cold/n=%d/m=%d", cell.N, cell.M), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l := 0.5
+				for _, jobs := range sets {
+					if _, _, err := SolveLP1(ins, jobs, l); err != nil {
+						b.Fatal(err)
+					}
+					l *= 2
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("warm/n=%d/m=%d", cell.N, cell.M), func(b *testing.B) {
+			b.ReportAllocs()
+			ws := NewWorkspace()
+			for i := 0; i < b.N; i++ {
+				ws.Begin()
+				l := 0.5
+				for _, jobs := range sets {
+					_, _, basis, err := ws.solveLP1(ins, jobs, l, true)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ws.advanceChain(ins, jobs, l, basis)
+					l *= 2
+				}
+			}
+		})
+	}
+}

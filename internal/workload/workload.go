@@ -284,6 +284,19 @@ func MapReduce(rng *rand.Rand, m, nMap, nReduce int) (*model.Instance, error) {
 	return model.New(m, n, vol.Q, g)
 }
 
+// Table1LargeCells returns the large-instance Table-1 cells — n=64/m=16
+// and n=128/m=32 — where the LP layer dominates the profile (the full-set
+// LP1 has m·n+1 ≈ 1k–4k variables). They extend the paper's n≤16-scale
+// evaluation to the sizes the reusable-workspace/warm-start LP engine is
+// built for; the t1-large experiments and the suubench -scale-large flag
+// run them. Callers fill in Seed.
+func Table1LargeCells() []Spec {
+	return []Spec{
+		{Family: "uniform", M: 16, N: 64},
+		{Family: "uniform", M: 32, N: 128},
+	}
+}
+
 // Spec is a declarative instance request, used by the CLI tools and the
 // benchmark harness.
 type Spec struct {
