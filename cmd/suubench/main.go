@@ -15,9 +15,11 @@
 // and emits a bench.Report document; committing its output as
 // BENCH_<tag>.json records the performance trajectory PR over PR.
 //
-// The -scale-large flag adds the large-instance cells (t1-large and its
-// cold-LP-engine baseline arm, n=64/m=16 and n=128/m=32) to the run set;
-// "-run all" skips these heavy experiments unless the flag is given.
+// The -scale-large flag adds the large-instance cells to the run set:
+// t1-large and its cold-LP-engine baseline arm (n=64/m=16, n=128/m=32)
+// plus t1-xlarge (n=256/m=64, sparse-engine only — the dense tableau
+// cannot turn those cells around). "-run all" skips these heavy
+// experiments unless the flag is given.
 package main
 
 import (
@@ -77,7 +79,7 @@ func main() {
 		for _, e := range exps {
 			have[e.ID] = true
 		}
-		for _, id := range []string{"t1-large", "t1-large-cold"} {
+		for _, id := range []string{"t1-large", "t1-large-cold", "t1-xlarge"} {
 			if e, ok := bench.Lookup(id); ok && !have[id] {
 				exps = append(exps, e)
 			}

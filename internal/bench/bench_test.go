@@ -8,7 +8,8 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"a-equiv", "a-quantize", "a-rounding", "a-solver", "f-batch", "f-delay", "f-exact", "f-rounds",
-		"f-stoch", "t1-chains", "t1-forest", "t1-indep", "t1-large", "t1-large-cold", "x-greedy",
+		"f-stoch", "t1-chains", "t1-forest", "t1-indep", "t1-large", "t1-large-cold", "t1-xlarge",
+		"x-greedy",
 	}
 	all := All()
 	if len(all) != len(want) {

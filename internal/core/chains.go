@@ -121,16 +121,28 @@ type chainState struct {
 }
 
 // RunChains runs the SUU-C machinery over an explicit set of disjoint
-// chains (SUU-T calls this once per decomposition block). All chain jobs
-// must be uncompleted and their outside-chain predecessors complete.
+// chains. All chain jobs must be uncompleted and their outside-chain
+// predecessors complete. The LP2 warm chain starts fresh: standalone SUU-C
+// solves one (LP2), so there is no previous block to seed from (SUU-T
+// instead threads one workspace through all its blocks via runChains).
 func (c *Chains) RunChains(w *sim.World, chains []dag.Chain) error {
+	ws := c.pool.Get()
+	defer c.pool.Put(ws)
+	ws.BeginLP2()
+	return c.runChains(w, chains, ws)
+}
+
+// runChains is RunChains on an explicit workspace, whose LP2 warm chain
+// seeds this block's solve from the blocks the caller already ran through
+// it (SUU-T calls this once per decomposition block with one per-trial
+// workspace, so block k+1's machine rows warm-start from block k the way
+// SEM's round re-solves warm-start from the previous round).
+func (c *Chains) runChains(w *sim.World, chains []dag.Chain, ws *rounding.Workspace) error {
 	if len(chains) == 0 {
 		return nil
 	}
 	ins := w.Instance()
-	ws := c.pool.Get()
 	r, err := c.LP2Cache.RoundLP2Ws(ws, ins, chains)
-	c.pool.Put(ws)
 	if err != nil {
 		return err
 	}

@@ -113,9 +113,9 @@ type SEM struct {
 	// (round 1 is identical in every trial).
 	Cache *rounding.Cache
 	// ColdLP disables the per-worker solver workspace and warm-started
-	// round re-solves, solving every round's LP1 cold on a fresh dense
-	// tableau. It exists as the baseline arm of the LP-engine benchmarks
-	// (t1-large-cold); leave it false everywhere else.
+	// round re-solves, solving every round's LP1 cold on a fresh
+	// workspace. It exists as the baseline arm of the LP-engine
+	// benchmarks (t1-large-cold); leave it false everywhere else.
 	ColdLP bool
 	// OnRound, if set, observes (round, jobs still uncompleted) at the
 	// start of every round, and (K+1, stragglers) when the endgame fires.

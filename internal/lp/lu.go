@@ -1,0 +1,328 @@
+package lp
+
+// Sparse LU factorization of the simplex basis, with a product-form eta
+// file for pivot-to-pivot updates. The revised simplex never forms B⁻¹:
+// it answers FTRAN (B x = v) and BTRAN (Bᵀ y = c) queries against
+//
+//	B = (L·U) · E₁ · E₂ · … · E_k
+//
+// where L·U factorizes the basis as of the last refactorization and each
+// E_i is an elementary (eta) matrix recording one pivot. The factorization
+// is left-looking with Markowitz-style threshold pivoting: each basis
+// column is forward-eliminated against the already-factored steps, and the
+// pivot is chosen among entries within luRelPivot of the column's largest
+// as the one in the structurally sparsest row — large enough for stability,
+// sparse enough to bound fill. The eta file is capped (luMaxEtas); when it
+// fills, or when a pivot looks numerically unsafe, the solver refactorizes
+// from scratch, which also recomputes the basic solution from the original
+// right-hand side and thereby discards all accumulated drift (the LU-update
+// property test bounds that drift at 1e-9 between refactorizations).
+//
+// Row/position bookkeeping: the basis is a set of m columns, one per basis
+// "position" (positions correspond 1:1 to constraint rows for the Basis
+// encoding). The factorization eliminates columns in an internal order;
+// step k records which original row it pivoted (pivRow) and which basis
+// position its column belongs to (stepPos). FTRAN results and eta vectors
+// live in position space; BTRAN inputs are position-space cost vectors and
+// its outputs are row-space duals.
+
+import "math"
+
+const (
+	luPivotTol = 1e-10 // absolute floor for an acceptable factorization pivot
+	luRelPivot = 0.1   // threshold pivoting: accept within 10% of the column max
+	luDropTol  = 1e-13 // drop tolerance for factor and eta entries
+	luMaxEtas  = 64    // eta-file length that triggers refactorization
+)
+
+// luFactors holds one basis factorization plus its eta file. All storage is
+// grown monotonically and reused across factorizations.
+type luFactors struct {
+	m      int // basis dimension (= constraint rows)
+	nsteps int // elimination steps completed (= m when the basis is full)
+
+	pivRow    []int32 // step -> original row claimed as pivot
+	stepPos   []int32 // step -> basis position of the eliminated column
+	stepOfRow []int32 // original row -> step, -1 while unpivoted
+
+	// L: unit lower triangular by elimination step; entries are original
+	// rows that were unpivoted when the step ran (they pivot later).
+	lPtr []int32
+	lRow []int32
+	lVal []float64
+
+	// U: upper triangular by elimination step; entries reference earlier
+	// steps, the diagonal is the pivot value.
+	uPtr  []int32
+	uStep []int32
+	uVal  []float64
+	uDiag []float64
+
+	// Product-form eta file, in position space: eta e replaces basis
+	// position etaPivPos[e] with a column whose FTRAN image had pivot
+	// value etaPivVal[e] and off-pivot entries (etaPos, etaVal).
+	nEtas     int
+	etaPtr    []int32
+	etaPos    []int32
+	etaVal    []float64
+	etaPivPos []int32
+	etaPivVal []float64
+
+	// scratch
+	work  []float64 // dense accumulator, row space
+	pat   []int32   // pattern of the column being eliminated
+	stamp []int32   // epoch stamps validating work entries
+	epoch int32
+	sweep []float64 // FTRAN/BTRAN dense working vector
+	stepv []float64 // step-space working vector for BTRAN
+}
+
+// begin resets the factorization for a basis of dimension m, keeping all
+// backing arrays.
+func (lu *luFactors) begin(m int) {
+	lu.m = m
+	lu.nsteps = 0
+	lu.pivRow = lu.pivRow[:0]
+	lu.stepPos = lu.stepPos[:0]
+	if cap(lu.stepOfRow) < m {
+		lu.stepOfRow = make([]int32, m)
+	}
+	lu.stepOfRow = lu.stepOfRow[:m]
+	for i := range lu.stepOfRow {
+		lu.stepOfRow[i] = -1
+	}
+	lu.lPtr = append(lu.lPtr[:0], 0)
+	lu.lRow = lu.lRow[:0]
+	lu.lVal = lu.lVal[:0]
+	lu.uPtr = append(lu.uPtr[:0], 0)
+	lu.uStep = lu.uStep[:0]
+	lu.uVal = lu.uVal[:0]
+	lu.uDiag = lu.uDiag[:0]
+	lu.resetEtas()
+	lu.work = growFloats(lu.work, m)
+	lu.sweep = growFloats(lu.sweep, m)
+	lu.stepv = growFloats(lu.stepv, m)
+	lu.stamp = growInt32s(lu.stamp, m)
+	lu.epoch = 0
+}
+
+// resetEtas empties the eta file (called by begin and after refactorizing).
+func (lu *luFactors) resetEtas() {
+	lu.nEtas = 0
+	lu.etaPtr = append(lu.etaPtr[:0], 0)
+	lu.etaPos = lu.etaPos[:0]
+	lu.etaVal = lu.etaVal[:0]
+	lu.etaPivPos = lu.etaPivPos[:0]
+	lu.etaPivVal = lu.etaPivVal[:0]
+}
+
+// addColumn eliminates one basis column (given as parallel CSC row/value
+// slices) against the factorization built so far and claims a pivot row
+// for it. rowCnt carries static per-row nonzero counts for the Markowitz
+// tie-break. It returns the elimination step and the claimed original row,
+// or (-1, -1) when no entry in an unpivoted row reaches luPivotTol — the
+// column is (near-)dependent on the steps already taken and the caller
+// must skip or replace it. The caller owns assigning the step's basis
+// position via setStepPos.
+func (lu *luFactors) addColumn(rows []int32, vals []float64, rowCnt []int32) (step, pivotRow int) {
+	lu.epoch++
+	pat := lu.pat[:0]
+	for t, r := range rows {
+		if lu.stamp[r] != lu.epoch {
+			lu.stamp[r] = lu.epoch
+			lu.work[r] = vals[t]
+			pat = append(pat, r)
+		} else {
+			lu.work[r] += vals[t]
+		}
+	}
+	// Forward elimination: steps only ever update rows that were unpivoted
+	// when they ran, so ascending step order is a correct lower solve.
+	for k := 0; k < lu.nsteps; k++ {
+		pr := lu.pivRow[k]
+		if lu.stamp[pr] != lu.epoch {
+			continue
+		}
+		v := lu.work[pr]
+		if v == 0 {
+			continue
+		}
+		for t := lu.lPtr[k]; t < lu.lPtr[k+1]; t++ {
+			r := lu.lRow[t]
+			if lu.stamp[r] != lu.epoch {
+				lu.stamp[r] = lu.epoch
+				lu.work[r] = 0
+				pat = append(pat, r)
+			}
+			lu.work[r] -= lu.lVal[t] * v
+		}
+	}
+	lu.pat = pat
+
+	// Pivot choice: the largest eligible magnitude sets the stability bar;
+	// among entries within luRelPivot of it, prefer the structurally
+	// sparsest row (Markowitz-style fill control).
+	pick, bestAbs := int32(-1), 0.0
+	for _, r := range pat {
+		if lu.stepOfRow[r] >= 0 {
+			continue
+		}
+		if a := math.Abs(lu.work[r]); a > bestAbs {
+			bestAbs, pick = a, r
+		}
+	}
+	if bestAbs < luPivotTol {
+		return -1, -1
+	}
+	bestCnt := rowCnt[pick]
+	for _, r := range pat {
+		if lu.stepOfRow[r] >= 0 || r == pick {
+			continue
+		}
+		if math.Abs(lu.work[r]) >= luRelPivot*bestAbs && rowCnt[r] < bestCnt {
+			pick, bestCnt = r, rowCnt[r]
+		}
+	}
+
+	piv := lu.work[pick]
+	k := lu.nsteps
+	for _, r := range pat {
+		if st := lu.stepOfRow[r]; st >= 0 {
+			if v := lu.work[r]; v > luDropTol || v < -luDropTol {
+				lu.uStep = append(lu.uStep, st)
+				lu.uVal = append(lu.uVal, v)
+			}
+		}
+	}
+	lu.uPtr = append(lu.uPtr, int32(len(lu.uStep)))
+	lu.uDiag = append(lu.uDiag, piv)
+	inv := 1 / piv
+	for _, r := range pat {
+		if lu.stepOfRow[r] < 0 && r != pick {
+			if v := lu.work[r] * inv; v > luDropTol || v < -luDropTol {
+				lu.lRow = append(lu.lRow, r)
+				lu.lVal = append(lu.lVal, v)
+			}
+		}
+	}
+	lu.lPtr = append(lu.lPtr, int32(len(lu.lRow)))
+	lu.pivRow = append(lu.pivRow, pick)
+	lu.stepPos = append(lu.stepPos, -1)
+	lu.stepOfRow[pick] = int32(k)
+	lu.nsteps++
+	return k, int(pick)
+}
+
+// setStepPos records which basis position step k's column occupies.
+func (lu *luFactors) setStepPos(step, pos int) { lu.stepPos[step] = int32(pos) }
+
+// full reports whether every row has been pivoted (the basis is complete).
+func (lu *luFactors) full() bool { return lu.nsteps == lu.m }
+
+// ftran solves B x = v for a sparse v given as CSC row/value slices,
+// writing x into out (position space, length m). out is fully overwritten.
+func (lu *luFactors) ftran(rows []int32, vals []float64, out []float64) {
+	w := lu.sweep
+	for i := range w {
+		w[i] = 0
+	}
+	for t, r := range rows {
+		w[r] += vals[t]
+	}
+	lu.ftranWork(w, out)
+}
+
+// ftranDense is ftran for a dense row-space right-hand side.
+func (lu *luFactors) ftranDense(v, out []float64) {
+	copy(lu.sweep, v)
+	lu.ftranWork(lu.sweep, out)
+}
+
+// ftranWork runs the L, U, and eta solves over the row-space vector w
+// (clobbered), leaving the position-space solution in out.
+func (lu *luFactors) ftranWork(w, out []float64) {
+	for k := 0; k < lu.nsteps; k++ {
+		v := w[lu.pivRow[k]]
+		if v == 0 {
+			continue
+		}
+		for t := lu.lPtr[k]; t < lu.lPtr[k+1]; t++ {
+			w[lu.lRow[t]] -= lu.lVal[t] * v
+		}
+	}
+	for k := lu.nsteps - 1; k >= 0; k-- {
+		z := w[lu.pivRow[k]] / lu.uDiag[k]
+		out[lu.stepPos[k]] = z
+		if z == 0 {
+			continue
+		}
+		for t := lu.uPtr[k]; t < lu.uPtr[k+1]; t++ {
+			w[lu.pivRow[lu.uStep[t]]] -= lu.uVal[t] * z
+		}
+	}
+	for e := 0; e < lu.nEtas; e++ {
+		r := lu.etaPivPos[e]
+		z := out[r] / lu.etaPivVal[e]
+		out[r] = z
+		if z == 0 {
+			continue
+		}
+		for t := lu.etaPtr[e]; t < lu.etaPtr[e+1]; t++ {
+			out[lu.etaPos[t]] -= lu.etaVal[t] * z
+		}
+	}
+}
+
+// btran solves Bᵀ y = c for a position-space c, writing the row-space dual
+// into out (length m). c is not modified; out is fully overwritten.
+func (lu *luFactors) btran(c, out []float64) {
+	p := lu.sweep
+	copy(p, c)
+	for e := lu.nEtas - 1; e >= 0; e-- {
+		r := lu.etaPivPos[e]
+		s := p[r]
+		for t := lu.etaPtr[e]; t < lu.etaPtr[e+1]; t++ {
+			s -= lu.etaVal[t] * p[lu.etaPos[t]]
+		}
+		p[r] = s / lu.etaPivVal[e]
+	}
+	st := lu.stepv
+	for k := 0; k < lu.nsteps; k++ {
+		st[k] = p[lu.stepPos[k]]
+	}
+	for k := 0; k < lu.nsteps; k++ {
+		s := st[k]
+		for t := lu.uPtr[k]; t < lu.uPtr[k+1]; t++ {
+			s -= lu.uVal[t] * st[lu.uStep[t]]
+		}
+		st[k] = s / lu.uDiag[k]
+	}
+	for k := lu.nsteps - 1; k >= 0; k-- {
+		s := st[k]
+		for t := lu.lPtr[k]; t < lu.lPtr[k+1]; t++ {
+			s -= lu.lVal[t] * st[lu.stepOfRow[lu.lRow[t]]]
+		}
+		st[k] = s
+	}
+	for k := 0; k < lu.nsteps; k++ {
+		out[lu.pivRow[k]] = st[k]
+	}
+}
+
+// appendEta records a pivot: basis position r is replaced by a column whose
+// FTRAN image is w (position space). w[r] must be the accepted pivot value.
+func (lu *luFactors) appendEta(r int, w []float64) {
+	for i, v := range w {
+		if i == r {
+			continue
+		}
+		if v > luDropTol || v < -luDropTol {
+			lu.etaPos = append(lu.etaPos, int32(i))
+			lu.etaVal = append(lu.etaVal, v)
+		}
+	}
+	lu.etaPtr = append(lu.etaPtr, int32(len(lu.etaPos)))
+	lu.etaPivPos = append(lu.etaPivPos, int32(r))
+	lu.etaPivVal = append(lu.etaPivVal, w[r])
+	lu.nEtas++
+}

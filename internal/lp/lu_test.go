@@ -1,0 +1,181 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// basisMul computes B·x for the current sparse basis (columns basisCols in
+// position order) straight from the CSC matrix, the ground truth the
+// factorization is checked against.
+func (s *Solver) basisMul(x []float64, out []float64) {
+	sp := &s.sp
+	for i := range out {
+		out[i] = 0
+	}
+	for pos := 0; pos < sp.rows; pos++ {
+		v := x[pos]
+		if v == 0 {
+			continue
+		}
+		rows, vals := s.col(sp.basisCols[pos])
+		for t, r := range rows {
+			out[r] += vals[t] * v
+		}
+	}
+}
+
+// luDrift measures ‖B·(B⁻¹e) − e‖∞ over a handful of unit vectors, i.e.
+// how far the factorization-plus-eta-file has drifted from the basis it
+// claims to represent.
+func (s *Solver) luDrift(rng *rand.Rand, probes int) float64 {
+	sp := &s.sp
+	e := make([]float64, sp.rows)
+	x := make([]float64, sp.rows)
+	back := make([]float64, sp.rows)
+	worst := 0.0
+	for p := 0; p < probes; p++ {
+		r := rng.Intn(sp.rows)
+		e[r] = 1
+		sp.lu.ftranDense(e, x)
+		s.basisMul(x, back)
+		for i := range back {
+			want := 0.0
+			if i == r {
+				want = 1
+			}
+			if d := math.Abs(back[i] - want); d > worst {
+				worst = d
+			}
+		}
+		e[r] = 0
+	}
+	return worst
+}
+
+// TestLUUpdateDrift is the LU-update property test: starting from a
+// factorized LP1-shaped basis, apply long runs of random pivots through
+// the product-form eta file and verify that B·B⁻¹ stays within 1e-9 of the
+// identity between refactorizations — i.e. eta accumulation does not rot
+// the factorization faster than the refactor cadence cleans it up.
+func TestLUUpdateDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 3; trial++ {
+		m := 6 + rng.Intn(6)
+		n := 16 + rng.Intn(24)
+		ell := randomRates(rng, m, n)
+		jobs := make([]int, n)
+		for j := range jobs {
+			jobs[j] = j
+		}
+		p := buildLP1Shaped(ell, jobs, 0.5)
+		s := NewSolver()
+		if err := s.setupSparse(p); err != nil {
+			t.Fatal(err)
+		}
+		if !s.factorizeSparse() {
+			t.Fatal("initial factorization failed")
+		}
+		sp := &s.sp
+		pivots := 3 * luMaxEtas // cross at least three refactorizations
+		applied := 0
+		for step := 0; applied < pivots && step < 50*pivots; step++ {
+			if err := s.ensureFreshSparse(); err != nil {
+				t.Fatalf("refactorization failed after %d pivots", applied)
+			}
+			q := rng.Intn(sp.cols)
+			if sp.inBasis[q] {
+				continue
+			}
+			s.ftranCol(q, sp.w)
+			// Pick a well-conditioned pivot row so the random walk stays
+			// numerically meaningful (the solver's ratio test does the
+			// analogous job in real solves).
+			best, bestAbs := -1, 0.0
+			for i := 0; i < sp.rows; i++ {
+				if a := math.Abs(sp.w[i]); a > bestAbs {
+					best, bestAbs = i, a
+				}
+			}
+			if best < 0 || bestAbs < 0.01 {
+				continue
+			}
+			s.pivotSparse(q, best, sp.w)
+			applied++
+			if applied%7 == 0 {
+				if drift := s.luDrift(rng, 4); drift > 1e-9 {
+					t.Fatalf("trial %d: drift %g after %d pivots (%d etas)",
+						trial, drift, applied, sp.lu.nEtas)
+				}
+			}
+		}
+		if applied < pivots {
+			t.Fatalf("trial %d: only applied %d of %d pivots", trial, applied, pivots)
+		}
+		if drift := s.luDrift(rng, 8); drift > 1e-9 {
+			t.Fatalf("trial %d: final drift %g", trial, drift)
+		}
+	}
+}
+
+// TestLUFtranBtranAdjoint checks that FTRAN and BTRAN answer queries
+// against the same operator: for random b and c, c·(B⁻¹b) must equal
+// (B⁻ᵀc)·b, including through a populated eta file.
+func TestLUFtranBtranAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m, n := 7, 20
+	ell := randomRates(rng, m, n)
+	jobs := make([]int, n)
+	for j := range jobs {
+		jobs[j] = j
+	}
+	p := buildLP1Shaped(ell, jobs, 0.5)
+	s := NewSolver()
+	if err := s.setupSparse(p); err != nil {
+		t.Fatal(err)
+	}
+	if !s.factorizeSparse() {
+		t.Fatal("factorization failed")
+	}
+	sp := &s.sp
+	// Walk some pivots in so the eta file participates.
+	for applied := 0; applied < luMaxEtas/2; {
+		q := rng.Intn(sp.cols)
+		if sp.inBasis[q] {
+			continue
+		}
+		s.ftranCol(q, sp.w)
+		best, bestAbs := -1, 0.0
+		for i := 0; i < sp.rows; i++ {
+			if a := math.Abs(sp.w[i]); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if best < 0 || bestAbs < 0.01 {
+			continue
+		}
+		s.pivotSparse(q, best, sp.w)
+		applied++
+	}
+	b := make([]float64, sp.rows)
+	c := make([]float64, sp.rows)
+	x := make([]float64, sp.rows)
+	y := make([]float64, sp.rows)
+	for probe := 0; probe < 20; probe++ {
+		for i := range b {
+			b[i] = rng.NormFloat64()
+			c[i] = rng.NormFloat64()
+		}
+		sp.lu.ftranDense(b, x)
+		sp.lu.btran(c, y)
+		cx, yb := 0.0, 0.0
+		for i := range x {
+			cx += c[i] * x[i]
+			yb += y[i] * b[i]
+		}
+		if diff := math.Abs(cx - yb); diff > 1e-8*(1+math.Abs(cx)) {
+			t.Fatalf("probe %d: c·(B⁻¹b) = %.12g but (B⁻ᵀc)·b = %.12g", probe, cx, yb)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package lp
+
+// Candidate-list partial pricing for the sparse revised simplex. A full
+// Dantzig sweep prices every column against the current duals — O(nnz(A))
+// per pivot, which at LP1 scale is thousands of sparse dot products. The
+// candidate list amortizes that: one full sweep collects the K most
+// negative reduced costs into a short list, and subsequent pivots re-price
+// only the list (K sparse dots) until it goes dry, at which point the next
+// full sweep rebuilds it. Optimality is only ever declared by a full sweep
+// that finds no negative column, so the rule is exact — partial pricing
+// changes the pivot sequence, never the answer. The stall-escape modes
+// (random, Bland) price the full column range directly; they are rare and
+// correctness-critical, not hot.
+
+// pricer is the candidate list. It stores column ids only; reduced costs
+// are recomputed against the current duals at every use, so staleness can
+// waste a list slot but never mislead the pivot choice.
+type pricer struct {
+	cand   []int32
+	k      int // target list length
+	cursor int // rebuild scan position (round-robin across rebuilds)
+	stride int // rebuild scan step, coprime with cols so one pass covers all
+}
+
+// reset empties the list and sizes it for a problem with cols columns. The
+// rebuild scan step is chosen near cols/k and coprime with cols: a strided
+// pass still visits every column exactly once (the optimality certificate
+// needs that), but consecutive candidates land in distant column ranges.
+// That matters for LP1's layout, where x_{i,pos} columns of one machine row
+// are contiguous: a unit-stride scan fills the list from a single machine
+// block, and the first pivot on that machine flips the whole list.
+func (pr *pricer) reset(cols int) {
+	pr.cand = pr.cand[:0]
+	pr.k = 16 + cols/64
+	pr.cursor = 0
+	st := cols / (pr.k + 1)
+	if st < 1 {
+		st = 1
+	}
+	for cols > 1 && gcd(st, cols) != 1 {
+		st++
+	}
+	pr.stride = st
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// reducedCost computes c_j − y·a_j against the current duals (row space).
+func (s *Solver) reducedCost(j int) float64 {
+	sp := &s.sp
+	d := sp.cost[j]
+	for t := sp.colPtr[j]; t < sp.colPtr[j+1]; t++ {
+		d -= sp.y[sp.colRow[t]] * sp.colVal[t]
+	}
+	return d
+}
+
+// priceSparse picks the entering column under the given pricing rule using
+// the duals in s.sp.y. Returns -1 at optimality (Dantzig/Bland modes) or
+// when no negative column exists (random mode).
+func (s *Solver) priceSparse(mode int) int {
+	sp := &s.sp
+	switch mode {
+	case priceBland:
+		for j := 0; j < sp.cols; j++ {
+			if sp.banned[j] || sp.inBasis[j] {
+				continue
+			}
+			if s.reducedCost(j) < -costEps {
+				return j
+			}
+		}
+		return -1
+	}
+	// Dantzig and random modes both work off the candidate list: re-price
+	// the surviving candidates, then either take the most negative
+	// (Dantzig) or sample one uniformly (the stall escape — randomizing
+	// among the K best candidates breaks degenerate ties without paying a
+	// full sweep per pivot). An empty list forces a full rebuild sweep,
+	// whose empty result is the optimality certificate for both modes.
+	pr := &sp.pr
+	best, bestD := -1, -costEps
+	seen := uint64(0)
+	out := pr.cand[:0]
+	for _, j32 := range pr.cand {
+		j := int(j32)
+		if sp.banned[j] || sp.inBasis[j] {
+			continue
+		}
+		if d := s.reducedCost(j); d < -costEps {
+			out = append(out, j32)
+			if mode == priceRandom {
+				seen++
+				if s.prng.Uint64()%seen == 0 {
+					best = j
+				}
+			} else if d < bestD {
+				best, bestD = j, d
+			}
+		}
+	}
+	pr.cand = out
+	if best >= 0 {
+		return best
+	}
+	best = s.rebuildCandidates()
+	if best < 0 || mode != priceRandom {
+		return best
+	}
+	return int(pr.cand[s.prng.Uint64()%uint64(len(pr.cand))])
+}
+
+// rebuildCandidates refills the list by sectional scan: starting at the
+// round-robin cursor (so consecutive rebuilds sample different column
+// ranges — on LP1 the most negative columns cluster on one machine row and
+// a single pivot can flip the whole cluster, which made most-negative-only
+// lists go dry every pivot), it collects the first k negative columns,
+// wrapping at most once. It returns the most negative column collected, or
+// -1: only a complete wrap that found no negative column declares
+// optimality, so the sectional rule stays exact.
+func (s *Solver) rebuildCandidates() int {
+	sp := &s.sp
+	pr := &sp.pr
+	cand := pr.cand[:0]
+	best, bestD := -1, -costEps
+	j := pr.cursor
+	if j >= sp.cols {
+		j = 0
+	}
+	for scanned := 0; scanned < sp.cols; scanned++ {
+		if !sp.banned[j] && !sp.inBasis[j] {
+			if d := s.reducedCost(j); d < -costEps {
+				cand = append(cand, int32(j))
+				if d < bestD {
+					best, bestD = j, d
+				}
+			}
+		}
+		j += pr.stride
+		if j >= sp.cols {
+			j -= sp.cols
+		}
+		if len(cand) >= pr.k {
+			break
+		}
+	}
+	pr.cursor = j
+	pr.cand = cand
+	return best
+}

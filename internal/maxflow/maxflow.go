@@ -29,25 +29,42 @@ type Graph struct {
 	to   []int32
 	cap  []int64 // residual capacity
 	// level and iter are scratch for Dinic; iter holds each vertex's
-	// current-arc edge id.
+	// current-arc edge id; queue is the BFS ring buffer.
 	level []int32
 	iter  []int32
+	queue []int32
 }
 
 // New returns an empty flow network on n vertices.
 func New(n int) *Graph {
-	g := &Graph{
-		n:     n,
-		head:  make([]int32, n),
-		tail:  make([]int32, n),
-		level: make([]int32, n),
-		iter:  make([]int32, n),
+	g := &Graph{}
+	g.Reset(n)
+	return g
+}
+
+// Reset reinitializes the graph to n vertices with no edges, keeping every
+// backing array for reuse. A hot loop that builds one network per trial
+// (the Lemma 2 rounding) holds a Graph in its workspace and Resets it
+// instead of allocating a fresh one.
+func (g *Graph) Reset(n int) {
+	g.n = n
+	if cap(g.head) < n {
+		g.head = make([]int32, n)
+		g.tail = make([]int32, n)
+		g.level = make([]int32, n)
+		g.iter = make([]int32, n)
 	}
+	g.head = g.head[:n]
+	g.tail = g.tail[:n]
+	g.level = g.level[:n]
+	g.iter = g.iter[:n]
 	for i := range g.head {
 		g.head[i] = -1
 		g.tail[i] = -1
 	}
-	return g
+	g.to = g.to[:0]
+	g.cap = g.cap[:0]
+	g.next = g.next[:0]
 }
 
 // Reserve pre-sizes the edge arrays for the given number of AddEdge calls,
@@ -133,7 +150,10 @@ func (g *Graph) bfs(s, t int) bool {
 	for i := range g.level {
 		g.level[i] = -1
 	}
-	queue := make([]int32, 0, g.n)
+	if cap(g.queue) < g.n {
+		g.queue = make([]int32, 0, g.n)
+	}
+	queue := g.queue[:0]
 	queue = append(queue, int32(s))
 	g.level[s] = 0
 	for len(queue) > 0 {

@@ -205,10 +205,15 @@ func chainMix(chain, jobsHash uint64, l float64) uint64 {
 }
 
 // LP2Cache memoizes RoundLP2 results. SUU-C's LP2 assignment depends only
-// on the instance and its chain structure — not on any random outcome — so
-// one solve serves every Monte Carlo trial, and the set of distinct chain
-// structures per instance is tiny (one per SUU-T decomposition block), so
-// no bound is needed. Safe for concurrent use.
+// on the instance, its chain structure, and (under SUU-T's cross-block
+// warm chain) the sequence of blocks solved before it — never on a random
+// outcome — so one solve serves every Monte Carlo trial, and the set of
+// distinct (block, history) pairs per instance is tiny (one per SUU-T
+// decomposition block), so no bound is needed. Keys mix in the workspace's
+// LP2 chain history the way LP1's chained keys do, which keeps every
+// trial's rounding a deterministic function of its block sequence even
+// though warm and cold solves may land on different optimal vertices.
+// Safe for concurrent use.
 type LP2Cache struct {
 	mu sync.Mutex
 	m  map[lp2Key]*LP2Result
@@ -253,27 +258,37 @@ func (c *LP2Cache) RoundLP2(ins *model.Instance, chains []dag.Chain) (*LP2Result
 	return c.RoundLP2Ws(NewWorkspace(), ins, chains)
 }
 
-// RoundLP2Ws is RoundLP2 computing misses on the caller's workspace, so a
-// Monte Carlo worker's LP2 miss reuses its trial stream's solver tableau.
+// RoundLP2Ws is RoundLP2 computing misses on the caller's workspace — a
+// Monte Carlo worker's LP2 miss reuses its trial stream's solver — solved
+// as the next block of the workspace's LP2 warm chain, which it advances
+// past the block (on hits too, from the cached basis, so a trial's chain
+// state is identical whether its blocks computed or hit).
 func (c *LP2Cache) RoundLP2Ws(ws *Workspace, ins *model.Instance, chains []dag.Chain) (*LP2Result, error) {
-	if c == nil {
-		return roundLP2(ins, chains, ws.solver)
-	}
 	h, n := hashChains(chains)
-	key := lp2Key{ins: ins, n: n, h: h}
+	if c == nil {
+		r, err := roundLP2(ins, chains, ws)
+		if err != nil {
+			return nil, err
+		}
+		ws.advanceLP2(ins, r.Basis, n, h)
+		return r, nil
+	}
+	key := lp2Key{ins: ins, n: n, h: ws.lp2KeyHash(h)}
 	c.mu.Lock()
 	if r, ok := c.m[key]; ok {
 		c.mu.Unlock()
+		ws.advanceLP2(ins, r.Basis, n, h)
 		return r, nil
 	}
 	c.mu.Unlock()
-	r, err := roundLP2(ins, chains, ws.solver)
+	r, err := roundLP2(ins, chains, ws)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
 	c.m[key] = r
 	c.mu.Unlock()
+	ws.advanceLP2(ins, r.Basis, n, h)
 	return r, nil
 }
 

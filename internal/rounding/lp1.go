@@ -17,7 +17,6 @@ package rounding
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/maxflow"
 	"repro/internal/model"
@@ -81,7 +80,7 @@ func RoundFractional(ins *model.Instance, jobs []int, L float64, xfrac [][]float
 	if len(jobs) == 0 {
 		return &LP1Result{Assignment: sched.NewAssignment(ins.M, ins.N)}, nil
 	}
-	asn, repairs, err := roundByFlow(ins, jobs, L, xfrac, tfrac, nil)
+	asn, repairs, err := roundByFlow(ins, jobs, L, xfrac, tfrac, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -144,18 +143,53 @@ func groupOf(l float64) int {
 	return int(math.Floor(math.Log2(l) + 1e-12))
 }
 
+// roundScratch is the reusable state of roundByFlow: the group-sum window
+// and entry list, the flow network, and the edge list. Threaded through
+// rounding.Workspace so the Monte Carlo trial loop's rounding path stops
+// allocating (the returned Assignment is the one allocation left — results
+// are cached and shared across trials, so their storage must escape).
+type roundScratch struct {
+	ent   []groupEntry
+	acc   []float64
+	graph maxflow.Graph
+	edges []flowEdge
+}
+
+// groupEntry is one (job position, power-of-two group) sum, emitted in
+// pos-major, group-ascending order — the same order the pre-workspace
+// implementation produced by sorting its map keys, so integral flows (and
+// hence assignments) are byte-identical.
+type groupEntry struct {
+	pos, g int32
+	sum    float64
+}
+
+type flowEdge struct {
+	id  int32
+	i   int32
+	pos int32
+}
+
 // roundByFlow performs the shared grouping + flow rounding of Lemmas 2
 // and 6. edgeCap, if non-nil, bounds the per-(job,machine) assignment (the
-// ⌈6d*_j⌉ caps of Lemma 6); nil means uncapacitated (Lemma 2).
-func roundByFlow(ins *model.Instance, jobs []int, L float64, xfrac [][]float64, tstar float64, edgeCap func(pos, i int) int64) (*sched.Assignment, int, error) {
+// ⌈6d*_j⌉ caps of Lemma 6); nil means uncapacitated (Lemma 2). scratch may
+// be nil (one-shot callers); hot paths pass their workspace's.
+func roundByFlow(ins *model.Instance, jobs []int, L float64, xfrac [][]float64, tstar float64, edgeCap func(pos, i int) int64, scratch *roundScratch) (*sched.Assignment, int, error) {
 	m := ins.M
+	if scratch == nil {
+		scratch = &roundScratch{}
+	}
 
 	// Group the fractional assignment: D[pos][g] = Σ over machines i with
-	// ⌊log₂ ℓ′_ij⌋ = g of x*_{i,pos}.
-	type groupKey struct{ pos, g int }
-	d := make(map[groupKey]float64)
-	for i := 0; i < m; i++ {
-		for pos, j := range jobs {
+	// ⌊log₂ ℓ′_ij⌋ = g of x*_{i,pos}. The group range is data-bounded
+	// (ℓ′ ∈ (0, L]), so a dense window indexed g−gmin replaces the old
+	// map: pass 1 finds the range, pass 2 accumulates one job at a time
+	// (machine-ascending, matching the map version's addition order) and
+	// emits nonzero sums in group order.
+	gmin, gmax := 0, 0
+	haveRange := false
+	for pos, j := range jobs {
+		for i := 0; i < m; i++ {
 			if xfrac[i][pos] <= 0 {
 				continue
 			}
@@ -163,16 +197,50 @@ func roundByFlow(ins *model.Instance, jobs []int, L float64, xfrac [][]float64, 
 			if l <= 0 {
 				continue
 			}
-			d[groupKey{pos, groupOf(l)}] += xfrac[i][pos]
+			g := groupOf(l)
+			if !haveRange {
+				gmin, gmax, haveRange = g, g, true
+			} else if g < gmin {
+				gmin = g
+			} else if g > gmax {
+				gmax = g
+			}
 		}
 	}
+	width := 0
+	if haveRange {
+		width = gmax - gmin + 1
+	}
+	acc := growFloats(scratch.acc, width)
+	scratch.acc = acc
+	ent := scratch.ent[:0]
+	for pos, j := range jobs {
+		for i := 0; i < m; i++ {
+			if xfrac[i][pos] <= 0 {
+				continue
+			}
+			l := math.Min(ins.L[i][j], L)
+			if l <= 0 {
+				continue
+			}
+			acc[groupOf(l)-gmin] += xfrac[i][pos]
+		}
+		for g := 0; g < width; g++ {
+			if acc[g] != 0 {
+				ent = append(ent, groupEntry{pos: int32(pos), g: int32(g + gmin), sum: acc[g]})
+				acc[g] = 0
+			}
+		}
+	}
+	scratch.ent = ent
 
 	// Build the flow network: s → u_{j,g} → v_i → w.
 	// Node ids: s=0, w=1, machines 2..m+1, groups m+2...
 	// Edge count upper bound: one per machine to the sink, plus per group
 	// node one source edge and at most m machine edges.
-	g := maxflow.New(2 + m + len(d))
-	g.Reserve(m + len(d)*(1+m))
+	g := &scratch.graph
+	g.Reset(2 + m + len(ent))
+	g.Reserve(m + len(ent)*(1+m))
 	const s, w = 0, 1
 	machineNode := func(i int) int { return 2 + i }
 	loadCap := int64(math.Ceil(6*tstar - capEps))
@@ -184,30 +252,11 @@ func roundByFlow(ins *model.Instance, jobs []int, L float64, xfrac [][]float64, 
 			return nil, 0, err
 		}
 	}
-	type flowEdge struct {
-		id  int
-		i   int
-		pos int
-	}
-	var edges []flowEdge
-	// Build group nodes in a deterministic order: map iteration order
-	// varies between runs, and while every integral max flow satisfies
-	// the lemma, reproducibility demands the same one every time.
-	keys := make([]groupKey, 0, len(d))
-	for key := range d {
-		keys = append(keys, key)
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].pos != keys[b].pos {
-			return keys[a].pos < keys[b].pos
-		}
-		return keys[a].g < keys[b].g
-	})
+	edges := scratch.edges[:0]
 	next := 2 + m
 	var want int64 // total source capacity; the lemma guarantees it routes
-	for _, key := range keys {
-		dv := d[key]
-		capV := int64(math.Floor(6*dv + capEps))
+	for _, key := range ent {
+		capV := int64(math.Floor(6*key.sum + capEps))
 		if capV <= 0 {
 			continue
 		}
@@ -220,12 +269,12 @@ func roundByFlow(ins *model.Instance, jobs []int, L float64, xfrac [][]float64, 
 		j := jobs[key.pos]
 		for i := 0; i < m; i++ {
 			l := math.Min(ins.L[i][j], L)
-			if l <= 0 || groupOf(l) != key.g {
+			if l <= 0 || groupOf(l) != int(key.g) {
 				continue
 			}
 			c := maxflow.Inf
 			if edgeCap != nil {
-				c = edgeCap(key.pos, i)
+				c = edgeCap(int(key.pos), i)
 			}
 			if c <= 0 {
 				continue
@@ -234,15 +283,16 @@ func roundByFlow(ins *model.Instance, jobs []int, L float64, xfrac [][]float64, 
 			if err != nil {
 				return nil, 0, err
 			}
-			edges = append(edges, flowEdge{id, i, key.pos})
+			edges = append(edges, flowEdge{int32(id), int32(i), key.pos})
 		}
 	}
+	scratch.edges = edges
 	got := g.MaxFlow(s, w)
 	_ = want // got may fall short only through float slop; repairs below cover it.
 
 	asn := sched.NewAssignment(m, ins.N)
 	for _, e := range edges {
-		asn.X[e.i][jobs[e.pos]] += g.Flow(e.id)
+		asn.X[e.i][jobs[e.pos]] += g.Flow(int(e.id))
 	}
 
 	// Post-conditions (Lemma 2): every job has capped mass ≥ L. Repair any

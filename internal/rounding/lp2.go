@@ -25,6 +25,11 @@ type LP2Result struct {
 	Load int64
 	// Repairs counts post-rounding fix-up steps (0 in practice).
 	Repairs int
+	// Basis is the LP solver's optimal basis for the relaxation (see
+	// lp.Solution.Basis), recorded so SUU-T's next decomposition block can
+	// seed its machine rows from this one (the LP2 cross-block warm chain;
+	// see Workspace).
+	Basis []int
 }
 
 // SolveLP2 solves the relaxation of (LP2):
@@ -35,79 +40,139 @@ type LP2Result struct {
 // with ℓ′ = min(ℓ, 1). The d_j ≥ 1 bound is folded in by the substitution
 // d_j = 1 + e_j, e_j ≥ 0, which spares n artificial variables. It returns
 // the fractional x*[i][pos] and d*[pos] indexed by position in the
-// flattened chain order, the flattened job list, and t*.
+// flattened chain order, the flattened job list, and t*. One-shot callers
+// only; hot paths hold a Workspace.
 func SolveLP2(ins *model.Instance, chains []dag.Chain) ([][]float64, []float64, []int, float64, error) {
-	return solveLP2(ins, chains, lp.NewSolver())
+	return NewWorkspace().solveLP2(ins, chains)
 }
 
-// solveLP2 is SolveLP2 on the given solver workspace, so cache-miss
-// computes inside a Monte Carlo worker reuse the worker's tableau.
-func solveLP2(ins *model.Instance, chains []dag.Chain, sv *lp.Solver) ([][]float64, []float64, []int, float64, error) {
+// buildLP2 assembles the (LP2) relaxation for the given chains into the
+// workspace's reusable Problem (sharing the LP1 build arenas — a workspace
+// builds one problem at a time). Row order: cover rows (one per job, in
+// flattened chain order), machine rows, chain rows, then the x ≤ d cap
+// rows. Variables: x_{i,pos} at i*k+pos, e_pos at m*k+pos (d = 1+e), t
+// last. It returns the flattened job list, which aliases a workspace arena
+// valid until the next build.
+func (ws *Workspace) buildLP2(ins *model.Instance, chains []dag.Chain) (*lp.Problem, []int, error) {
 	m := ins.M
-	var jobs []int
-	seen := make(map[int]bool)
+	jobs := ws.lp2Jobs[:0]
 	for _, c := range chains {
 		for _, j := range c {
 			if j < 0 || j >= ins.N {
-				return nil, nil, nil, 0, fmt.Errorf("rounding: chain job %d out of range", j)
+				return nil, nil, fmt.Errorf("rounding: chain job %d out of range", j)
 			}
-			if seen[j] {
-				return nil, nil, nil, 0, fmt.Errorf("rounding: job %d appears in two chains", j)
-			}
-			seen[j] = true
 			jobs = append(jobs, j)
 		}
 	}
+	ws.lp2Jobs = jobs
 	k := len(jobs)
 	if k == 0 {
-		return make([][]float64, m), nil, nil, 0, nil
+		return nil, nil, nil
 	}
-	posOf := make(map[int]int, k)
+	if cap(ws.newPos) < ins.N {
+		ws.newPos = make([]int32, ins.N)
+	}
+	posOf := ws.newPos[:ins.N]
+	for j := range posOf {
+		posOf[j] = -1
+	}
 	for pos, j := range jobs {
-		posOf[j] = pos
+		if posOf[j] >= 0 {
+			return nil, nil, fmt.Errorf("rounding: job %d appears in two chains", j)
+		}
+		posOf[j] = int32(pos)
 	}
-	// Variables: x_{i,pos} at i*k+pos, e_pos at m*k+pos (d = 1+e), t last.
 	xv := func(i, pos int) int { return i*k + pos }
 	ev := func(pos int) int { return m*k + pos }
 	tv := m*k + k
-	p := lp.NewProblem(m*k + k + 1)
+	nv := m*k + k + 1
+	// Exact term count so the arena never reallocates mid-build: cover
+	// rows (≤ m terms each), machine rows (k+1), chain rows (len+1), cap
+	// rows (2 each).
+	nt := m*(k+1) + 3*m*k + len(chains)
+	for _, c := range chains {
+		nt += len(c)
+	}
+	p := &ws.prob
+	p.NumVars = nv
+	ws.cbuf = growFloats(ws.cbuf, nv)
+	p.C = ws.cbuf
 	p.C[tv] = 1
+	p.Cons = p.Cons[:0]
+	if cap(ws.terms) < nt {
+		ws.terms = make([]lp.Term, 0, nt)
+	}
+	arena := ws.terms[:0]
 	for pos, j := range jobs {
-		var terms []lp.Term
+		start := len(arena)
 		for i := 0; i < m; i++ {
 			if l := math.Min(ins.L[i][j], 1); l > 0 {
-				terms = append(terms, lp.Term{Var: xv(i, pos), Coef: l})
+				arena = append(arena, lp.Term{Var: xv(i, pos), Coef: l})
 			}
 		}
-		if len(terms) == 0 {
-			return nil, nil, nil, 0, fmt.Errorf("rounding: job %d has zero log failure on every machine", j)
+		if len(arena) == start {
+			return nil, nil, fmt.Errorf("rounding: job %d has zero log failure on every machine", j)
 		}
-		p.AddConstraint(terms, lp.GE, 1)
+		p.AddConstraint(arena[start:len(arena):len(arena)], lp.GE, 1)
 	}
 	for i := 0; i < m; i++ {
-		terms := make([]lp.Term, 0, k+1)
+		start := len(arena)
 		for pos := 0; pos < k; pos++ {
-			terms = append(terms, lp.Term{Var: xv(i, pos), Coef: 1})
+			arena = append(arena, lp.Term{Var: xv(i, pos), Coef: 1})
 		}
-		terms = append(terms, lp.Term{Var: tv, Coef: -1})
-		p.AddConstraint(terms, lp.LE, 0)
+		arena = append(arena, lp.Term{Var: tv, Coef: -1})
+		p.AddConstraint(arena[start:len(arena):len(arena)], lp.LE, 0)
 	}
 	for _, c := range chains {
-		terms := make([]lp.Term, 0, len(c)+1)
+		start := len(arena)
 		for _, j := range c {
-			terms = append(terms, lp.Term{Var: ev(posOf[j]), Coef: 1})
+			arena = append(arena, lp.Term{Var: ev(int(posOf[j])), Coef: 1})
 		}
-		terms = append(terms, lp.Term{Var: tv, Coef: -1})
+		arena = append(arena, lp.Term{Var: tv, Coef: -1})
 		// Σ (1+e_j) ≤ t  ⇔  Σ e_j − t ≤ −|C_k|.
-		p.AddConstraint(terms, lp.LE, -float64(len(c)))
+		p.AddConstraint(arena[start:len(arena):len(arena)], lp.LE, -float64(len(c)))
 	}
 	for i := 0; i < m; i++ {
 		for pos := 0; pos < k; pos++ {
+			start := len(arena)
 			// x_ij ≤ d_j = 1 + e_j.
-			p.AddConstraint([]lp.Term{{Var: xv(i, pos), Coef: 1}, {Var: ev(pos), Coef: -1}}, lp.LE, 1)
+			arena = append(arena, lp.Term{Var: xv(i, pos), Coef: 1}, lp.Term{Var: ev(pos), Coef: -1})
+			p.AddConstraint(arena[start:len(arena):len(arena)], lp.LE, 1)
 		}
 	}
-	sol, err := sv.Solve(p)
+	ws.terms = arena[:0]
+	return p, jobs, nil
+}
+
+// solveLP2 solves the (LP2) relaxation on the workspace's solver,
+// warm-started from the LP2 cross-block chain when one is recorded. SUU-T
+// solves one (LP2) per forest-decomposition block on the same machine set;
+// the blocks' job sets are disjoint, so job columns carry nothing across,
+// but the machine rows do: the previous block's machine-row basics (slack
+// vs t) are remapped onto this block's machine rows and every other row
+// defaults to its own slack/artificial, exactly the Workspace treatment
+// SEM's LP1 rounds get. Correctness never depends on the hint — the solver
+// falls back to a cold solve on any trouble. Advancing the chain is the
+// caller's job (advanceLP2), so cache hits can advance it identically.
+func (ws *Workspace) solveLP2(ins *model.Instance, chains []dag.Chain) ([][]float64, []float64, []int, float64, error) {
+	m := ins.M
+	p, jobs, err := ws.buildLP2(ins, chains)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	k := len(jobs)
+	if k == 0 {
+		// No solve happened; clear the last-basis slot so an empty block
+		// can never publish a previous block's basis through LP2Result.
+		ws.lp2LastBasis = nil
+		return make([][]float64, m), nil, nil, 0, nil
+	}
+	var sol *lp.Solution
+	if ws.lp2Compatible(ins) {
+		sol, err = ws.solver.SolveWarm(p, ws.buildLP2Hint(ins, chains, k))
+	} else {
+		sol, err = ws.solver.Solve(p)
+	}
 	if err != nil {
 		return nil, nil, nil, 0, fmt.Errorf("rounding: LP2 solve: %w", err)
 	}
@@ -118,22 +183,95 @@ func solveLP2(ins *model.Instance, chains []dag.Chain, sv *lp.Solver) ([][]float
 	for i := 0; i < m; i++ {
 		x[i] = sol.X[i*k : (i+1)*k]
 	}
+	ev := func(pos int) int { return m*k + pos }
 	dstar := make([]float64, k)
 	for pos := 0; pos < k; pos++ {
 		dstar[pos] = 1 + sol.X[ev(pos)]
 	}
+	ws.lp2LastBasis = sol.Basis
 	return x, dstar, jobs, sol.Obj, nil
+}
+
+// lp2Compatible reports whether the LP2 chain can seed a solve on this
+// instance: same instance (hence same machine set) and a recorded basis.
+func (ws *Workspace) lp2Compatible(ins *model.Instance) bool {
+	return ws.lp2Ins == ins && len(ws.lp2Basis) > 0
+}
+
+// buildLP2Hint remaps the previous block's machine-row basis entries onto
+// the new block's rows: machine row i keeps its basic column when that was
+// its own slack or the t variable; every other row (cover, chain, cap —
+// all tied to departed jobs) gets NoHint and defaults to its initial
+// slack/artificial.
+func (ws *Workspace) buildLP2Hint(ins *model.Instance, chains []dag.Chain, k int) []int {
+	m := ins.M
+	prevK := ws.lp2K
+	prevTv := m*prevK + prevK
+	nRows := k + m + len(chains) + m*k
+	hint := resizeInts(ws.hint, nRows)
+	ws.hint = hint
+	for r := range hint {
+		hint[r] = lp.NoHint
+	}
+	tv := m*k + k
+	for i := 0; i < m; i++ {
+		e := ws.lp2Basis[prevK+i]
+		switch {
+		case e == prevTv:
+			hint[k+i] = tv
+		case e != lp.NoHint && e < 0:
+			if rr := -1 - e; rr >= prevK && rr < prevK+m {
+				hint[k+i] = -1 - (k + (rr - prevK))
+			}
+		}
+	}
+	return hint
+}
+
+// BeginLP2 resets the LP2 cross-block chain. Call it before the first
+// block of an independent block sequence (SUU-T does, once per trial) so
+// chain state never leaks between Monte Carlo trials.
+func (ws *Workspace) BeginLP2() {
+	ws.lp2Ins = nil
+	ws.lp2Basis = nil
+	ws.lp2K = 0
+	ws.lp2Hash = 0
+}
+
+// advanceLP2 records a solved block as the new chain tail so the next
+// block's machine rows can warm-start from it. An empty basis (empty
+// block) resets the chain instead.
+func (ws *Workspace) advanceLP2(ins *model.Instance, basis []int, k int, chainsHash uint64) {
+	if len(basis) == 0 || k == 0 {
+		ws.BeginLP2()
+		return
+	}
+	ws.lp2Ins = ins
+	ws.lp2Basis = basis
+	ws.lp2K = k
+	ws.lp2Hash = mix2(ws.lp2Hash, chainsHash)
+}
+
+// lp2KeyHash is the cache-key hash for solving this chain structure as the
+// next block of the workspace's LP2 chain. With no chain history it equals
+// the plain structure hash, so a sequence's first (cold, deterministic)
+// block shares its cache entry with standalone SUU-C callers.
+func (ws *Workspace) lp2KeyHash(chainsHash uint64) uint64 {
+	if ws.lp2Hash != 0 {
+		return mix2(ws.lp2Hash, chainsHash)
+	}
+	return chainsHash
 }
 
 // RoundLP2 implements Lemma 6: the Lemma 2 rounding with per-job edge
 // capacities ⌈6d*_j⌉ in the flow network, which keeps every chain's total
 // length within a constant factor of t*.
 func RoundLP2(ins *model.Instance, chains []dag.Chain) (*LP2Result, error) {
-	return roundLP2(ins, chains, lp.NewSolver())
+	return roundLP2(ins, chains, NewWorkspace())
 }
 
-func roundLP2(ins *model.Instance, chains []dag.Chain, sv *lp.Solver) (*LP2Result, error) {
-	xfrac, dstar, jobs, tstar, err := solveLP2(ins, chains, sv)
+func roundLP2(ins *model.Instance, chains []dag.Chain, ws *Workspace) (*LP2Result, error) {
+	xfrac, dstar, jobs, tstar, err := ws.solveLP2(ins, chains)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +284,7 @@ func roundLP2(ins *model.Instance, chains []dag.Chain, sv *lp.Solver) (*LP2Resul
 	edgeCap := func(pos, i int) int64 {
 		return int64(math.Ceil(6*dstar[pos] - capEps))
 	}
-	asn, repairs, err := roundByFlow(ins, jobs, 1, xfrac, tstar, edgeCap)
+	asn, repairs, err := roundByFlow(ins, jobs, 1, xfrac, tstar, edgeCap, &ws.flow)
 	if err != nil {
 		return nil, err
 	}
@@ -163,5 +301,6 @@ func roundLP2(ins *model.Instance, chains []dag.Chain, sv *lp.Solver) (*LP2Resul
 		TFrac:      tstar,
 		Load:       asn.MaxLoad(),
 		Repairs:    repairs,
+		Basis:      ws.lp2LastBasis,
 	}, nil
 }

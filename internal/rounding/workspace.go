@@ -46,6 +46,20 @@ type Workspace struct {
 	chainHash  uint64
 	chainPos   []int32 // job id -> position in chainJobs, -1 otherwise
 	newPos     []int32 // scratch: job id -> position in the current solve
+
+	// LP2 cross-block warm chain (see solveLP2): the previous forest-
+	// decomposition block this workspace solved, whose machine-row basis
+	// seeds the next block's solve.
+	lp2Ins       *model.Instance
+	lp2Basis     []int
+	lp2K         int    // previous block's flattened job count
+	lp2Hash      uint64 // block-sequence history, keys chained cache entries
+	lp2Jobs      []int  // flattened-job-list arena for buildLP2
+	lp2LastBasis []int  // basis recorded by the most recent solveLP2
+
+	// flow is the rounding scratch (group buffers, flow network, edge
+	// list) roundByFlow reuses across trials.
+	flow roundScratch
 }
 
 // NewWorkspace returns an empty workspace.
@@ -294,12 +308,17 @@ func (ws *Workspace) roundLP1(ins *model.Instance, jobs []int, L float64, warm b
 	if err != nil {
 		return nil, err
 	}
-	r, err := RoundFractional(ins, jobs, L, x, tstar)
+	asn, repairs, err := roundByFlow(ins, jobs, L, x, tstar, nil, &ws.flow)
 	if err != nil {
 		return nil, err
 	}
-	r.Basis = basis
-	return r, nil
+	return &LP1Result{
+		Assignment: asn,
+		TFrac:      tstar,
+		Length:     asn.MaxLoad(),
+		Repairs:    repairs,
+		Basis:      basis,
+	}, nil
 }
 
 // WorkspacePool hands out Workspaces to concurrent Monte Carlo workers.

@@ -57,13 +57,15 @@ func shrinkChain(t *testing.T, ins *model.Instance, rng *rand.Rand, rounds int) 
 }
 
 // TestWarmMatchesColdAcrossFamilies is the LP1 warm-start property test:
-// across shrinking-subset/doubling-target chains on every Table-1 family,
-// the warm-started solve's t* must match the cold solve's to 1e-6 — and
-// the warm path must actually engage, or the test proves nothing.
+// across shrinking-subset/doubling-target chains on every Table-1 family —
+// including the degenerate specialist family, whose exactly-tied rates
+// make every warm install land on a massively degenerate face — the
+// warm-started solve's t* must match the cold solve's to 1e-6, and the
+// warm path must actually engage, or the test proves nothing.
 func TestWarmMatchesColdAcrossFamilies(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	warm, total := 0, 0
-	for _, family := range []string{"uniform", "skill", "specialist", "volunteer"} {
+	for _, family := range []string{"uniform", "skill", "specialist", "specialist-degen", "volunteer"} {
 		for rep := 0; rep < 3; rep++ {
 			ins, err := workload.Generate(workload.Spec{
 				Family: family, M: 8, N: 24, Seed: int64(100*rep + 7), Groups: 4,

@@ -33,6 +33,58 @@ func chainSets(ins *model.Instance, rounds int) [][]int {
 	return sets
 }
 
+// BenchmarkLP1SolveSparse pins the flagship solve — the n=128/m=32
+// full-set LP1, solved cold on the default (sparse revised simplex)
+// engine. CI holds its ns/op against the committed baseline
+// (.github/bench-baseline.txt): this is the solve the LU-factorized basis
+// and candidate pricing turned from ~250 ms (dense tableau) into
+// single-digit milliseconds, and a regression here means the sparse engine
+// rotted.
+func BenchmarkLP1SolveSparse(b *testing.B) {
+	cell := workload.Spec{Family: "uniform", M: 32, N: 128, Seed: 9}
+	ins, err := workload.Generate(cell)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]int, ins.N)
+	for j := range jobs {
+		jobs[j] = j
+	}
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := ws.solveLP1(ins, jobs, 0.5, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundLP1 measures the full rounding path — LP solve plus the
+// grouping/flow rounding — on one workspace, extending the allocs/op
+// coverage to roundByFlow: with the group window, flow network, and edge
+// list threaded through the workspace, steady-state allocations are only
+// the escaping result (Solution + Assignment).
+func BenchmarkRoundLP1(b *testing.B) {
+	cell := workload.Spec{Family: "uniform", M: 16, N: 64, Seed: 9}
+	ins, err := workload.Generate(cell)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]int, ins.N)
+	for j := range jobs {
+		jobs[j] = j
+	}
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ws.roundLP1(ins, jobs, 0.5, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLP1Solve pins the LP engine itself on the large Table-1 cells:
 // one iteration solves a whole SEM re-solve chain (full set at L=1/2, then
 // shrinking survivor subsets at doubling targets). The cold arm rebuilds a

@@ -18,11 +18,14 @@ type Assignment struct {
 	X    [][]int64
 }
 
-// NewAssignment returns an all-zero assignment.
+// NewAssignment returns an all-zero assignment. The rows share one flat
+// backing array (three allocations total instead of m+2), which matters
+// because every cache-miss rounding in a Monte Carlo run builds one.
 func NewAssignment(m, n int) *Assignment {
+	flat := make([]int64, m*n)
 	x := make([][]int64, m)
 	for i := range x {
-		x[i] = make([]int64, n)
+		x[i] = flat[i*n : (i+1)*n : (i+1)*n]
 	}
 	return &Assignment{M: m, N: n, X: x}
 }

@@ -87,6 +87,32 @@ func IndependentSpecialist(rng *rand.Rand, m, n, groups int) (*model.Instance, e
 	return model.New(m, n, q, nil)
 }
 
+// IndependentSpecialistDegenerate is the specialist family with exactly
+// tied rates: a machine processes its own group's jobs at precisely ℓ = 1
+// (q = 1/2) and everything else at q = 0.98. Every efficient (machine, job)
+// pair is interchangeable, so LP1's optimal face is high-dimensional and
+// simplex bases are massively degenerate — the stress test for ratio-test
+// tie-breaking, candidate pricing, warm starts, and LU refactorization
+// (ties mean near-singular pivot choices are always one misstep away).
+func IndependentSpecialistDegenerate(m, n, groups int) (*model.Instance, error) {
+	if groups < 1 {
+		return nil, fmt.Errorf("workload: groups = %d", groups)
+	}
+	q := make([][]float64, m)
+	for i := range q {
+		q[i] = make([]float64, n)
+		gi := i % groups
+		for j := range q[i] {
+			if j%groups == gi {
+				q[i][j] = 0.5 // ℓ = exactly 1
+			} else {
+				q[i][j] = 0.98
+			}
+		}
+	}
+	return model.New(m, n, q, nil)
+}
+
 // Volunteer models a volunteer pool: machine powers are heavy-tailed (a few
 // fast hosts, many slow ones), job difficulties moderate; ℓ_ij = p_i/h_j.
 func Volunteer(rng *rand.Rand, m, n int) (*model.Instance, error) {
@@ -297,10 +323,24 @@ func Table1LargeCells() []Spec {
 	}
 }
 
+// Table1XLargeCells returns the n=256/m=64 frontier the sparse revised
+// simplex LP engine opened: the full-set LP1 has m·n+1 ≈ 16k variables,
+// far past what the dense tableau could turn around. The degenerate
+// specialist cell's exactly-tied rates produce the worst-case degenerate
+// bases, stress-testing warm starts and LU refactorization at scale. Run
+// by the t1-xlarge experiment (suubench -scale-large). Callers fill in
+// Seed.
+func Table1XLargeCells() []Spec {
+	return []Spec{
+		{Family: "uniform", M: 64, N: 256},
+		{Family: "specialist-degen", M: 64, N: 256, Groups: 8},
+	}
+}
+
 // Spec is a declarative instance request, used by the CLI tools and the
 // benchmark harness.
 type Spec struct {
-	Family string `json:"family"` // uniform | skill | specialist | volunteer | chains | chains-skewed | forest | in-forest | mapreduce
+	Family string `json:"family"` // uniform | skill | specialist | specialist-degen | volunteer | chains | chains-skewed | forest | in-forest | mapreduce
 	M      int    `json:"m"`
 	N      int    `json:"n"`
 	Seed   int64  `json:"seed"`
@@ -331,6 +371,12 @@ func Generate(spec Spec) (*model.Instance, error) {
 			groups = 4
 		}
 		return IndependentSpecialist(rng, spec.M, spec.N, groups)
+	case "specialist-degen":
+		groups := spec.Groups
+		if groups == 0 {
+			groups = 4
+		}
+		return IndependentSpecialistDegenerate(spec.M, spec.N, groups)
 	case "volunteer":
 		return Volunteer(rng, spec.M, spec.N)
 	case "chains":
