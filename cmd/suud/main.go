@@ -1,0 +1,78 @@
+// Command suud serves the SUU planner over HTTP/JSON: POST /v1/plan
+// (LP-rounded oblivious schedules), POST /v1/estimate (Monte Carlo
+// makespan estimates, NDJSON streaming with "stream": true), GET /healthz,
+// GET /metrics. Requests are admission-controlled, coalesced, and cached
+// content-addressed — see internal/service.
+//
+// Run it:
+//
+//	suud -addr 127.0.0.1:8650 -workers 8 -queue 64
+//
+// and drive it with cmd/suuload. SIGINT/SIGTERM shut down gracefully:
+// the listener closes immediately, in-flight requests drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8650", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent computations (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "queue depth before 429s (0 = 4x workers)")
+		cacheCap     = flag.Int("cache-cap", 4096, "cached responses across shards")
+		cacheShards  = flag.Int("cache-shards", 16, "cache shard count")
+		maxTrials    = flag.Int("max-trials", 10000, "per-request Monte Carlo budget")
+		trialWorkers = flag.Int("trial-workers", 2, "Monte Carlo workers per estimate")
+		drainWait    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	planner := service.NewPlanner(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheCap:     *cacheCap,
+		CacheShards:  *cacheShards,
+		MaxTrials:    *maxTrials,
+		TrialWorkers: *trialWorkers,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(planner),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	cfg := planner.Config()
+	log.Printf("suud: serving on %s (workers=%d queue=%d cache=%d/%d shards)",
+		*addr, cfg.Workers, cfg.QueueDepth, cfg.CacheCap, cfg.CacheShards)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("suud: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("suud: shutting down, draining up to %v", *drainWait)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("suud: shutdown: %v", err)
+	}
+	planner.Close()
+	log.Printf("suud: drained; final %v", planner.Metrics())
+}

@@ -1,0 +1,153 @@
+// Command suuload is the open-loop load harness for cmd/suud, in the
+// fabbench tradition: arrivals are paced by a Poisson or fixed-rate
+// process independent of completions (open mode), so queueing delay shows
+// up in the measured latencies instead of being hidden by client
+// self-throttling; a closed mode (N workers back-to-back) exists for
+// comparison. Per-op latencies land in a log-scale stats.Histogram and
+// the run emits a human summary on stderr plus, with -json, a
+// BENCH_*.json-compatible bench.Report on stdout.
+//
+// Example against a local suud:
+//
+//	suud &
+//	suuload -url http://127.0.0.1:8650 -rate 300 -duration 10s \
+//	        -family uniform -m 16 -n 64 -instances 4 -json > load.json
+//
+// With -smoke the process exits nonzero unless the run completed requests
+// with zero errors — the CI contract.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8650", "suud base URL")
+		mode        = flag.String("mode", "open", "open (paced arrivals) or closed (back-to-back workers)")
+		arrival     = flag.String("arrival", "poisson", "open-mode arrival process: poisson or fixed")
+		rate        = flag.Float64("rate", 100, "open-mode offered load, requests/second")
+		duration    = flag.Duration("duration", 10*time.Second, "issuing window")
+		concurrency = flag.Int("concurrency", 64, "closed-mode workers / open-mode in-flight cap")
+		op          = flag.String("op", "plan", "request type: plan or estimate")
+		family      = flag.String("family", "uniform", "instance family (see workload.Spec)")
+		m           = flag.Int("m", 16, "machines per instance")
+		n           = flag.Int("n", 64, "jobs per instance")
+		instances   = flag.Int("instances", 4, "distinct instances cycled round-robin (repeats exercise the plan cache)")
+		trials      = flag.Int("trials", 0, "estimate-op Monte Carlo trials (0 = server default)")
+		seed        = flag.Int64("seed", 1, "seed for instance generation and arrivals")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		jsonOut     = flag.Bool("json", false, "emit a bench.Report JSON document on stdout")
+		note        = flag.String("note", "", "free-form note recorded in the JSON report")
+		smoke       = flag.Bool("smoke", false, "exit nonzero unless done > 0 and errors == 0")
+	)
+	flag.Parse()
+
+	if *instances < 1 {
+		*instances = 1
+	}
+	specs := make([]workload.Spec, *instances)
+	for i := range specs {
+		specs[i] = workload.Spec{Family: *family, M: *m, N: *n, Seed: *seed + int64(i)}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := service.RunLoad(ctx, service.LoadConfig{
+		BaseURL:     *url,
+		Mode:        *mode,
+		Arrival:     *arrival,
+		Rate:        *rate,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		Op:          *op,
+		Specs:       specs,
+		Trials:      *trials,
+		Seed:        *seed,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		log.Fatalf("suuload: %v", err)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"suuload: %s %s %.1fs: issued=%d done=%d errors=%d rejected=%d dropped=%d\n"+
+			"suuload: throughput=%.1f req/s lat p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+		rep.Mode, rep.Op, rep.DurationS, rep.Issued, rep.Done, rep.Errors, rep.Rejected, rep.Dropped,
+		rep.Throughput, rep.LatP50*1e3, rep.LatP95*1e3, rep.LatP99*1e3, rep.LatMax*1e3)
+	if sm := rep.ServerMetrics; sm != nil {
+		fmt.Fprintf(os.Stderr, "suuload: server %v\n", *sm)
+	}
+
+	if *jsonOut {
+		report := bench.NewReport(bench.Config{Seed: *seed})
+		if *note != "" {
+			report.Notes = append(report.Notes, *note)
+		}
+		report.Notes = append(report.Notes,
+			fmt.Sprintf("suuload %s/%s against %s: %d×%s m=%d n=%d", *mode, *arrival, *url, *instances, *family, *m, *n))
+		rec := bench.Record{
+			Experiment: "suuload-" + *op,
+			NsPerOp:    int64(rep.LatMean * 1e9),
+			Header: []string{"mode", "offered_rps", "throughput_rps", "done", "errors",
+				"p50_ms", "p95_ms", "p99_ms", "hit_rate"},
+			Rows: [][]string{{
+				rep.Mode,
+				fmt.Sprintf("%.1f", rep.OfferedRate),
+				fmt.Sprintf("%.1f", rep.Throughput),
+				fmt.Sprintf("%d", rep.Done),
+				fmt.Sprintf("%d", rep.Errors),
+				fmt.Sprintf("%.3f", rep.LatP50*1e3),
+				fmt.Sprintf("%.3f", rep.LatP95*1e3),
+				fmt.Sprintf("%.3f", rep.LatP99*1e3),
+				hitRateCell(rep),
+			}},
+			Extra: map[string]float64{
+				"throughput_rps": rep.Throughput,
+				"lat_p50_s":      rep.LatP50,
+				"lat_p95_s":      rep.LatP95,
+				"lat_p99_s":      rep.LatP99,
+				"errors":         float64(rep.Errors),
+				"done":           float64(rep.Done),
+				"issued":         float64(rep.Issued),
+				// Arrivals shed at the client's in-flight cap: nonzero
+				// means the harness self-throttled and the offered rate
+				// was NOT what -rate claims — exactly the silent
+				// closed-loop degradation open-loop reports must expose.
+				"dropped": float64(rep.Dropped),
+			},
+		}
+		if sm := rep.ServerMetrics; sm != nil {
+			rec.Extra["cache_hit_rate"] = sm.CacheHitRate
+			rec.Extra["coalesced"] = float64(sm.Coalesced)
+			rec.Extra["rejected_429"] = float64(sm.Rejected)
+		}
+		report.Records = append(report.Records, rec)
+		if err := report.Write(os.Stdout); err != nil {
+			log.Fatalf("suuload: writing report: %v", err)
+		}
+	}
+
+	if *smoke && (rep.Done == 0 || rep.Errors != 0) {
+		log.Fatalf("suuload: smoke failed: done=%d errors=%d", rep.Done, rep.Errors)
+	}
+}
+
+func hitRateCell(rep *service.LoadReport) string {
+	if rep.ServerMetrics == nil {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", rep.ServerMetrics.CacheHitRate)
+}

@@ -59,6 +59,24 @@
 // the n=128/m=32 full-set LP1 from ~250 ms (dense) into single-digit
 // milliseconds and opened the n=256/m=64 Table-1 cells (t1-xlarge).
 //
+// # Service
+//
+// internal/service + cmd/suud turn the library into an online planning
+// service: POST /v1/plan returns the LP-rounded oblivious schedule for an
+// instance (LP1 for independent jobs, LP2 for chains), POST /v1/estimate
+// returns a Monte Carlo makespan estimate (NDJSON progress streaming with
+// "stream": true), /healthz and /metrics expose liveness and counters.
+// Requests are admission-controlled (bounded queue, fast 429s), coalesced
+// (duplicate in-flight requests share one computation via a singleflight
+// keyed on sched.Fingerprint, a canonical content hash of (m, n, q,
+// prec)), and cached in a sharded LRU under the same content-addressed
+// keys. Computations run on the same pooled rounding.Workspace / shared
+// policy machinery the Monte Carlo engine uses, audited and race-tested
+// for cross-request sharing. cmd/suuload is the fabbench-style open-loop
+// load harness (Poisson or fixed-rate arrivals, per-op latency in a
+// log-scale stats.Histogram, BENCH-compatible JSON reports);
+// examples/service runs the whole loop in one process.
+//
 // Benchmarks: `go test -bench . -benchmem` runs reduced-scale experiment
 // benchmarks (bench_test.go) plus engine micro-benchmarks in
 // internal/sim, internal/lp, and internal/rounding. The committed

@@ -1,0 +1,71 @@
+// Service: run the suud planner in-process, hit it over real HTTP with
+// the suuload open-loop harness, and print what the service measured —
+// the one-file version of:
+//
+//	go run ./cmd/suud &
+//	go run ./cmd/suuload -rate 200 -duration 3s -m 8 -n 32
+//
+// Run it:
+//
+//	go run ./examples/service
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+func main() {
+	// The planner is the service core: bounded workers, content-addressed
+	// response cache, request coalescing, admission control.
+	planner := service.NewPlanner(service.Config{Workers: 4, QueueDepth: 32})
+	srv := &http.Server{Handler: service.NewServer(planner)}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("suud serving on %s\n", base)
+
+	// Open-loop load: 200 plan requests/second, Poisson arrivals, cycling
+	// two n=32/m=8 instances so the second sight of each is a cache hit.
+	rep, err := service.RunLoad(context.Background(), service.LoadConfig{
+		BaseURL:  base,
+		Mode:     "open",
+		Arrival:  "poisson",
+		Rate:     200,
+		Duration: 3 * time.Second,
+		Op:       "plan",
+		Specs: []workload.Spec{
+			{Family: "uniform", M: 8, N: 32, Seed: 1},
+			{Family: "uniform", M: 8, N: 32, Seed: 2},
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nclient: %d done, %d errors, %.1f req/s\n", rep.Done, rep.Errors, rep.Throughput)
+	fmt.Printf("latency: p50=%.2fms p95=%.2fms p99=%.2fms\n",
+		rep.LatP50*1e3, rep.LatP95*1e3, rep.LatP99*1e3)
+	if sm := rep.ServerMetrics; sm != nil {
+		fmt.Printf("server: %v\n", *sm)
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight work.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Fatal(err)
+	}
+	planner.Close()
+	fmt.Println("\ndrained cleanly")
+}

@@ -20,6 +20,10 @@ type Record struct {
 	Header      []string   `json:"header"`
 	Rows        [][]string `json:"rows"`
 	Notes       []string   `json:"notes,omitempty"`
+	// Extra carries machine-readable scalar metrics that have no natural
+	// place in the formatted table — cmd/suuload records throughput and
+	// latency quantiles here so load reports diff numerically PR over PR.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the top-level JSON document: environment stamp, run

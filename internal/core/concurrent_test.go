@@ -1,0 +1,168 @@
+package core
+
+// Cross-request concurrency audit (PR 4). A planner service shares ONE
+// policy value — and through it one rounding.Cache / LP2Cache, one
+// WorkspacePool, and one lazily-built default subrunner — across many
+// concurrent Estimate calls, a sharing pattern the per-experiment harness
+// never produced (it ran one MonteCarlo at a time, sharing the policy
+// only among that run's workers). The audit findings these tests pin:
+//
+//   - rounding.Cache / LP2Cache: all state behind one mutex; misses
+//     compute outside the lock (duplicated work allowed, results are pure
+//     functions of keys) — safe.
+//   - rounding.WorkspacePool: sync.Pool of exclusively-held workspaces;
+//     SEM's Begin() and Forest's BeginLP2() reset chain state on
+//     acquisition, so no trial observes another's warm chain — safe.
+//   - SEM/OBL/Chains/Forest/Layered: configuration is read-only after
+//     construction; per-trial state lives in locals and the World; lazy
+//     defaults (defLong, defEngine, defInner) are built under sync.Once —
+//     safe.
+//
+// Each test runs several concurrent MonteCarlo estimates against one
+// shared policy value under -race and asserts the samples match a
+// serial reference run exactly (sharing must never change results).
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/rounding"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// concurrentEstimates runs rounds×Estimate concurrently on one shared
+// policy and compares every sample to the serial reference.
+func concurrentEstimates(t *testing.T, shared sim.Policy, fresh func() sim.Policy, ins *model.Instance) {
+	t.Helper()
+	const (
+		rounds = 4
+		trials = 10
+	)
+	ref, err := sim.MonteCarlo(ins, fresh(), trials, 1, 1)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, rounds)
+	results := make([]*sim.MCResult, rounds)
+	for r := 0; r < rounds; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			res, err := sim.MonteCarlo(ins, shared, trials, 1, 2)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			results[r] = res
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for r, res := range results {
+		for i, ms := range res.Makespans {
+			if ms != ref.Makespans[i] {
+				t.Fatalf("round %d trial %d: makespan %v, serial reference %v — sharing changed results",
+					r, i, ms, ref.Makespans[i])
+			}
+		}
+	}
+}
+
+func TestConcurrentEstimateSharedSEM(t *testing.T) {
+	ins := uniformInstance(t, 41, 4, 12)
+	shared := &SEM{Cache: rounding.NewCache()}
+	concurrentEstimates(t, shared, func() sim.Policy { return &SEM{Cache: rounding.NewCache()} }, ins)
+}
+
+func TestConcurrentEstimateSharedOBL(t *testing.T) {
+	ins := uniformInstance(t, 42, 4, 12)
+	shared := &OBL{Cache: rounding.NewCache()}
+	concurrentEstimates(t, shared, func() sim.Policy { return &OBL{Cache: rounding.NewCache()} }, ins)
+}
+
+func TestConcurrentEstimateSharedChains(t *testing.T) {
+	ins, err := workload.Chains(rand.New(rand.NewSource(43)), 4, 12, 4, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() sim.Policy {
+		return &Chains{LP1Cache: rounding.NewCache(), LP2Cache: rounding.NewLP2Cache()}
+	}
+	concurrentEstimates(t, mk(), mk, ins)
+}
+
+func TestConcurrentEstimateSharedForest(t *testing.T) {
+	ins, err := workload.Forest(rand.New(rand.NewSource(44)), 4, 14, 3, true, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engine nil: the default Chains engine is built lazily under
+	// sync.Once, with every concurrent trial racing to be first.
+	mk := func() sim.Policy { return &Forest{} }
+	concurrentEstimates(t, mk(), mk, ins)
+}
+
+func TestConcurrentEstimateSharedLayered(t *testing.T) {
+	ins, err := workload.MapReduce(rand.New(rand.NewSource(45)), 4, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inner nil: same lazy-default race as Forest.
+	mk := func() sim.Policy { return &Layered{} }
+	concurrentEstimates(t, mk(), mk, ins)
+}
+
+// TestConcurrentSharedCacheAcrossPolicies drives one rounding.Cache from
+// two policy values at once (the service shares caches per policy, but
+// nothing in the Cache contract forbids wider sharing) plus direct
+// concurrent RoundLP1 calls racing the same keys.
+func TestConcurrentSharedCacheAcrossPolicies(t *testing.T) {
+	ins := uniformInstance(t, 46, 4, 10)
+	cache := rounding.NewCache()
+	a := &SEM{Cache: cache}
+	b := &OBL{Cache: cache}
+	jobs := make([]int, ins.N)
+	for j := range jobs {
+		jobs[j] = j
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 12)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sim.MonteCarlo(ins, a, 8, 1, 2); err != nil {
+				errCh <- err
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sim.MonteCarlo(ins, b, 8, 1, 2); err != nil {
+				errCh <- err
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := cache.RoundLP1(ins, jobs, 0.5); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

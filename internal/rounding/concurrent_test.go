@@ -1,0 +1,116 @@
+package rounding
+
+// Cross-request concurrency audit (PR 4): the service layer drives one
+// Cache and one WorkspacePool from many concurrent requests. These tests
+// hammer that sharing directly — the package-level half of the audit
+// whose policy-level half lives in internal/core/concurrent_test.go.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestConcurrentCacheAndPool(t *testing.T) {
+	ins, err := workload.IndependentUniform(rand.New(rand.NewSource(9)), 4, 12, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	var pool WorkspacePool
+
+	fullSet := make([]int, ins.N)
+	for j := range fullSet {
+		fullSet[j] = j
+	}
+	// A handful of fixed subsets so goroutines collide on keys constantly.
+	subsets := [][]int{fullSet, {0, 1, 2}, {3, 4, 5, 6}, {0, 2, 4, 6, 8, 10}, {7, 8, 9, 10, 11}}
+
+	// Reference values computed serially first.
+	want := make([]float64, len(subsets))
+	for i, jobs := range subsets {
+		r, err := RoundLP1(ins, jobs, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r.TFrac
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				jobs := subsets[(g+i)%len(subsets)]
+				ws := pool.Get()
+				ws.Begin()
+				r, err := cache.RoundLP1Ws(ws, ins, jobs, 0.5)
+				pool.Put(ws)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if r.TFrac != want[(g+i)%len(subsets)] {
+					t.Errorf("goroutine %d iter %d: t* = %v, serial reference %v", g, i, r.TFrac, want[(g+i)%len(subsets)])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if cache.Len() == 0 || cache.Len() > cache.Cap() {
+		t.Fatalf("cache len %d outside (0, %d]", cache.Len(), cache.Cap())
+	}
+}
+
+func TestConcurrentLP2Cache(t *testing.T) {
+	ins, err := workload.Chains(rand.New(rand.NewSource(10)), 4, 12, 4, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains, err := ins.Chains()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RoundLP2(ins, chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewLP2Cache()
+	var pool WorkspacePool
+	var wg sync.WaitGroup
+	errCh := make(chan error, 6)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				ws := pool.Get()
+				ws.BeginLP2()
+				r, err := cache.RoundLP2Ws(ws, ins, chains)
+				pool.Put(ws)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if r.TFrac != ref.TFrac {
+					t.Errorf("t* = %v, serial reference %v", r.TFrac, ref.TFrac)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/model"
+)
+
+func mustInstance(t *testing.T, m, n int, q [][]float64, prec *dag.DAG) *model.Instance {
+	t.Helper()
+	ins, err := model.New(m, n, q, prec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func randQ(rng *rand.Rand, m, n int) [][]float64 {
+	q := make([][]float64, m)
+	for i := range q {
+		q[i] = make([]float64, n)
+		for j := range q[i] {
+			q[i][j] = 0.05 + 0.9*rng.Float64()
+		}
+	}
+	return q
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := randQ(rng, 4, 6)
+	prec := dag.New(6)
+	for _, e := range [][2]int{{0, 2}, {1, 2}, {2, 5}, {3, 4}} {
+		if err := prec.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := mustInstance(t, 4, 6, q, prec)
+	// Same content built independently (fresh slices, fresh DAG with edges
+	// inserted in a different order) must fingerprint identically.
+	q2 := randQ(rand.New(rand.NewSource(1)), 4, 6)
+	prec2 := dag.New(6)
+	for _, e := range [][2]int{{3, 4}, {2, 5}, {1, 2}, {0, 2}} {
+		if err := prec2.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := mustInstance(t, 4, 6, q2, prec2)
+	if FingerprintInstance(a) != FingerprintInstance(b) {
+		t.Fatal("same content, different fingerprints (edge order should not matter)")
+	}
+	if FingerprintInstance(a) != FingerprintInstance(a) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if FingerprintInstance(a).IsZero() {
+		t.Fatal("fingerprint is zero")
+	}
+
+	// nil Prec and a non-nil zero-edge Prec describe the same (independent)
+	// problem and must share a fingerprint.
+	q3 := randQ(rand.New(rand.NewSource(9)), 3, 5)
+	noPrec := mustInstance(t, 3, 5, q3, nil)
+	emptyPrec := mustInstance(t, 3, 5, q3, dag.New(5))
+	if FingerprintInstance(noPrec) != FingerprintInstance(emptyPrec) {
+		t.Fatal("nil Prec and empty Prec fingerprint differently")
+	}
+}
+
+func TestFingerprintSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	prec := dag.New(8)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {0, 6}} {
+		if err := prec.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ins := range []*model.Instance{
+		mustInstance(t, 3, 8, randQ(rng, 3, 8), nil),
+		mustInstance(t, 5, 8, randQ(rng, 5, 8), prec),
+	} {
+		want := FingerprintInstance(ins)
+		for round := 0; round < 3; round++ {
+			data, err := json.Marshal(ins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back model.Instance
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatal(err)
+			}
+			if got := FingerprintInstance(&back); got != want {
+				t.Fatalf("round %d: fingerprint changed across JSON round-trip: %v vs %v", round, got, want)
+			}
+			ins = &back
+		}
+	}
+}
+
+// TestFingerprintCollisionResistance perturbs an instance in every way a
+// request could differ — one q bit, shape, transposed shape, edge set —
+// and checks each perturbation lands on a distinct fingerprint, then
+// hashes a large random population and requires all-distinct.
+func TestFingerprintCollisionResistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 6, 9
+	q := randQ(rng, m, n)
+	base := mustInstance(t, m, n, q, nil)
+	seen := map[Fingerprint]string{FingerprintInstance(base): "base"}
+	record := func(name string, ins *model.Instance) {
+		fp := FingerprintInstance(ins)
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("fingerprint collision: %q vs %q (%v)", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+
+	// One-ULP change in one entry.
+	q2 := randQ(rand.New(rand.NewSource(3)), m, n)
+	q2[3][4] = math.Nextafter(q2[3][4], 1)
+	record("one-ulp", mustInstance(t, m, n, q2, nil))
+
+	// Two entries swapped (same multiset of values).
+	q3 := randQ(rand.New(rand.NewSource(3)), m, n)
+	q3[0][0], q3[0][1] = q3[0][1], q3[0][0]
+	record("swapped-pair", mustInstance(t, m, n, q3, nil))
+
+	// Same flat values, transposed shape.
+	flat := make([]float64, 0, m*n)
+	for i := range q {
+		flat = append(flat, q[i]...)
+	}
+	qt := make([][]float64, n)
+	for i := range qt {
+		qt[i] = flat[i*m : (i+1)*m]
+	}
+	record("transposed", mustInstance(t, n, m, qt, nil))
+
+	// Same q, one edge added; then a different edge with the same count.
+	p1 := dag.New(n)
+	if err := p1.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	record("edge-1-2", mustInstance(t, m, n, q, p1))
+	p2 := dag.New(n)
+	if err := p2.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	record("edge-1-3", mustInstance(t, m, n, q, p2))
+
+	// Random population: 2000 instances over varied shapes, all distinct.
+	for i := 0; i < 2000; i++ {
+		mm := 1 + rng.Intn(8)
+		nn := 1 + rng.Intn(12)
+		record("", mustInstance(t, mm, nn, randQ(rng, mm, nn), nil))
+	}
+	if len(seen) != 2006 {
+		t.Fatalf("population size %d, want 2006", len(seen))
+	}
+}
+
+func TestFingerprintString(t *testing.T) {
+	fp := Fingerprint{Hi: 0xdead, Lo: 0xbeef}
+	if got := fp.String(); got != "000000000000dead000000000000beef" {
+		t.Fatalf("String() = %q", got)
+	}
+	if !(Fingerprint{}).IsZero() {
+		t.Fatal("zero value not IsZero")
+	}
+}

@@ -1,0 +1,36 @@
+// Package service turns the SUU library into a concurrent planning
+// service: the request/response half of cmd/suud.
+//
+// The pieces, in request order:
+//
+//   - Planner accepts plan requests (LP-rounded oblivious schedules) and
+//     estimate requests (Monte Carlo makespan distributions) and runs them
+//     on a bounded worker pool. Each computation borrows a
+//     rounding.Workspace from a shared pool, so the LP engine's
+//     zero-allocation steady state — built for Monte Carlo workers —
+//     carries over to request serving unchanged.
+//   - Admission control sits in front of the pool: at most QueueDepth
+//     requests may be queued or running; request QueueDepth+1 is rejected
+//     immediately with ErrOverloaded (HTTP 429) instead of building an
+//     unbounded goroutine backlog. Load shedding this early keeps p99
+//     bounded when the offered load exceeds capacity — the property the
+//     suuload open-loop harness exists to measure.
+//   - Duplicate in-flight requests coalesce: requests are content-addressed
+//     by sched.Fingerprint (a canonical 128-bit hash of (m, n, q, prec)),
+//     and a singleflight group keyed by (fingerprint, kind, params) lets
+//     one computation serve every concurrent caller asking the same
+//     question.
+//   - Finished responses land in a sharded, bounded LRU cache under the
+//     same content-addressed keys, so repeated instances — the common case
+//     for a planner fronting a fleet of similar workloads — are served
+//     from memory. Shards each carry their own lock; the cache is exercised
+//     under -race by the package tests.
+//   - Metrics counts everything (hits, misses, coalesced, rejected,
+//     in-flight) and records per-endpoint latency in stats.Histogram;
+//     Server exposes it all as JSON on /metrics next to /healthz,
+//     /v1/plan, and /v1/estimate (which can stream NDJSON progress).
+//
+// Responses handed out by the Planner are shared (cached and coalesced
+// callers receive the same pointers); callers must treat them as
+// immutable. The HTTP layer only ever serializes them.
+package service

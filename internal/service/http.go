@@ -1,0 +1,194 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies. An n=1024, m=256 instance is ~5 MB
+// of JSON; 64 MB leaves generous headroom without letting one request
+// swallow the heap.
+const maxBodyBytes = 64 << 20
+
+// Server is the HTTP face of a Planner: /v1/plan, /v1/estimate, /healthz,
+// /metrics. It implements http.Handler; lifecycle (listening, TLS,
+// graceful shutdown) belongs to the caller's http.Server.
+type Server struct {
+	planner *Planner
+	mux     *http.ServeMux
+}
+
+// NewServer wraps a planner.
+func NewServer(p *Planner) *Server {
+	s := &Server{planner: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // nothing useful to do about a dead client
+}
+
+// writeError maps planner errors onto status codes. Context cancellations
+// mean the client is gone; the write is best-effort.
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusRequestTimeout, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// decodeRequest reads one JSON document into dst, rejecting trailing
+// garbage so malformed batches fail loudly instead of half-running.
+func decodeRequest(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(dst); err != nil {
+		return badRequestf("decoding request: %v", err)
+	}
+	if dec.More() {
+		return badRequestf("trailing data after request document")
+	}
+	return nil
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "use POST"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req PlanRequest
+	if err := decodeRequest(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.planner.Plan(r.Context(), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req EstimateRequest
+	if err := decodeRequest(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !req.Stream {
+		resp, err := s.planner.Estimate(r.Context(), &req, nil)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.streamEstimate(w, r, &req)
+}
+
+// estimateEvent is one NDJSON line of a streamed estimate: progress lines
+// carry only progress, the final line carries the result.
+type estimateEvent struct {
+	Progress *Progress         `json:"progress,omitempty"`
+	Result   *EstimateResponse `json:"result,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// streamEstimate runs the estimate with progress flushed as NDJSON.
+// Validation runs before the 200 status line goes out, so malformed
+// requests still get real 4xx codes; only errors that arise mid-compute
+// (overload, shutdown, engine failures) surface as a final
+// {"error": ...} line — the price of streaming over plain HTTP.
+func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, req *EstimateRequest) {
+	if err := s.planner.ValidateEstimate(req); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev estimateEvent) {
+		_ = enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	resp, err := s.planner.Estimate(r.Context(), req, func(pr Progress) {
+		p := pr
+		emit(estimateEvent{Progress: &p})
+	})
+	if err != nil {
+		emit(estimateEvent{Error: err.Error()})
+		return
+	}
+	emit(estimateEvent{Result: resp})
+}
+
+// healthBody is what /healthz serves.
+type healthBody struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.planner.Metrics()
+	status := "ok"
+	code := http.StatusOK
+	if s.planner.ShuttingDown() {
+		status = "shutting-down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthBody{Status: status, UptimeSeconds: snap.UptimeSeconds})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.planner.Metrics())
+}
+
+// String renders a snapshot compactly for operator logs.
+func (sn MetricsSnapshot) String() string {
+	return fmt.Sprintf("plans=%d estimates=%d hit_rate=%.2f coalesced=%d rejected=%d errors=%d inflight=%d plan_p99=%.2fms",
+		sn.Plans, sn.Estimates, sn.CacheHitRate, sn.Coalesced, sn.Rejected, sn.Errors, sn.InFlight, sn.PlanLatency.P99*1e3)
+}

@@ -1,0 +1,316 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// LoadConfig describes one suuload run against a running suud.
+type LoadConfig struct {
+	// BaseURL is the server root, e.g. http://127.0.0.1:8650.
+	BaseURL string
+	// Mode is "open" (arrivals at Rate regardless of completions — the
+	// honest way to measure a service, per the fabbench/open-vs-closed
+	// literature: closed loops hide queueing delay by self-throttling) or
+	// "closed" (Concurrency workers issue back-to-back).
+	Mode string
+	// Arrival is "poisson" (exponential inter-arrivals) or "fixed"
+	// (deterministic period); open mode only.
+	Arrival string
+	// Rate is the open-mode offered load in requests/second.
+	Rate float64
+	// Concurrency is the closed-mode worker count and the open-mode
+	// in-flight cap (beyond it arrivals are counted dropped, not issued —
+	// the harness refuses to turn into an unbounded goroutine pile).
+	Concurrency int
+	// Duration bounds the issuing phase; in-flight requests then drain.
+	Duration time.Duration
+	// Op is "plan" or "estimate".
+	Op string
+	// Specs are the instances to cycle through round-robin. Repeats are
+	// the point: they measure the server's content-addressed cache.
+	Specs []workload.Spec
+	// Trials for estimate ops (0 = server default).
+	Trials int
+	// Seed drives the arrival process.
+	Seed int64
+	// Timeout is the per-request client timeout (default 30s).
+	Timeout time.Duration
+}
+
+// LoadReport is the measured outcome. Latencies are seconds.
+type LoadReport struct {
+	Mode          string           `json:"mode"`
+	Op            string           `json:"op"`
+	Arrival       string           `json:"arrival,omitempty"`
+	OfferedRate   float64          `json:"offered_rate_rps,omitempty"`
+	DurationS     float64          `json:"duration_s"`
+	Issued        uint64           `json:"issued"`
+	Done          uint64           `json:"done"`
+	Errors        uint64           `json:"errors"`
+	Rejected      uint64           `json:"rejected"` // server 429s, a subset of Errors
+	Dropped       uint64           `json:"dropped"`  // open-mode arrivals over the in-flight cap
+	Throughput    float64          `json:"throughput_rps"`
+	LatMean       float64          `json:"lat_mean_s"`
+	LatP50        float64          `json:"lat_p50_s"`
+	LatP95        float64          `json:"lat_p95_s"`
+	LatP99        float64          `json:"lat_p99_s"`
+	LatMax        float64          `json:"lat_max_s"`
+	ServerMetrics *MetricsSnapshot `json:"server_metrics,omitempty"`
+
+	// Latencies is the merged histogram backing the quantiles above.
+	Latencies *stats.Histogram `json:"-"`
+}
+
+// loadWorkerState is one issuing goroutine's recorder; kept per-worker so
+// the hot path never contends, merged into the report at the end.
+type loadWorkerState struct {
+	hist *stats.Histogram
+}
+
+// RunLoad drives the configured load and reports. The context cancels the
+// run early (in-flight requests still drain).
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("service: load needs a base URL")
+	}
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("service: load needs at least one instance spec")
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = "open"
+	}
+	if cfg.Mode != "open" && cfg.Mode != "closed" {
+		return nil, fmt.Errorf("service: load mode %q (want open or closed)", cfg.Mode)
+	}
+	if cfg.Arrival == "" {
+		cfg.Arrival = "poisson"
+	}
+	if cfg.Arrival != "poisson" && cfg.Arrival != "fixed" {
+		return nil, fmt.Errorf("service: arrival %q (want poisson or fixed)", cfg.Arrival)
+	}
+	if cfg.Mode == "open" && cfg.Rate <= 0 {
+		return nil, fmt.Errorf("service: open mode needs rate > 0, got %g", cfg.Rate)
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 64
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Op == "" {
+		cfg.Op = "plan"
+	}
+	if cfg.Op != "plan" && cfg.Op != "estimate" {
+		return nil, fmt.Errorf("service: op %q (want plan or estimate)", cfg.Op)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+
+	// Pre-generate and pre-marshal every request body: the harness must
+	// not spend its issuing budget on instance generation or JSON
+	// encoding, or measured latency drifts with client cost.
+	bodies := make([][]byte, len(cfg.Specs))
+	var path string
+	for i, spec := range cfg.Specs {
+		ins, err := workload.Generate(spec)
+		if err != nil {
+			return nil, fmt.Errorf("service: generating spec %d: %w", i, err)
+		}
+		switch cfg.Op {
+		case "plan":
+			path = "/v1/plan"
+			bodies[i], err = json.Marshal(&PlanRequest{Instance: ins})
+		case "estimate":
+			path = "/v1/estimate"
+			bodies[i], err = json.Marshal(&EstimateRequest{Instance: ins, Trials: cfg.Trials, Seed: 1})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("service: marshaling spec %d: %w", i, err)
+		}
+	}
+	url := cfg.BaseURL + path
+
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency * 2,
+			MaxIdleConnsPerHost: cfg.Concurrency * 2,
+		},
+	}
+
+	var issued, done, errs, rejected, dropped atomic.Uint64
+	workers := make([]loadWorkerState, cfg.Concurrency)
+	for i := range workers {
+		workers[i].hist = stats.NewLatencyHistogram()
+	}
+
+	issue := func(ws *loadWorkerState, body []byte) {
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		lat := time.Since(start).Seconds()
+		if err != nil {
+			errs.Add(1)
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errs.Add(1)
+			if resp.StatusCode == http.StatusTooManyRequests {
+				rejected.Add(1)
+			}
+			return
+		}
+		ws.hist.Observe(lat)
+		done.Add(1)
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	start := time.Now()
+
+	if cfg.Mode == "closed" {
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ws := &workers[w]
+				for i := w; runCtx.Err() == nil; i += cfg.Concurrency {
+					issued.Add(1)
+					issue(ws, bodies[i%len(bodies)])
+				}
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		// Open loop: a dispatcher paces arrivals from the configured
+		// process; each arrival grabs a free worker slot or is dropped.
+		slots := make(chan int, cfg.Concurrency)
+		for w := 0; w < cfg.Concurrency; w++ {
+			slots <- w
+		}
+		src := rng.New(cfg.Seed + 0x10ad)
+		period := float64(time.Second) / cfg.Rate
+		interArrival := func() time.Duration {
+			if cfg.Arrival == "fixed" {
+				return time.Duration(period)
+			}
+			// Exponential inter-arrival via inverse CDF; the SplitMix
+			// draw is uniform in [0,1).
+			u := float64(src.Uint64()>>11) / (1 << 53)
+			return time.Duration(period * -math.Log(1-u))
+		}
+		// Arrivals follow an absolute-deadline schedule (fire i at
+		// start + Σ inter-arrivals), not timer-chaining: resetting a
+		// timer after each fire would add per-arrival dispatch latency to
+		// every gap and systematically under-offer the configured rate.
+		// A late wakeup fires immediately and catches up.
+		var wg sync.WaitGroup
+		deadline := time.Now()
+		timer := time.NewTimer(0)
+		if !timer.Stop() {
+			<-timer.C
+		}
+		defer timer.Stop()
+	dispatch:
+		for i := 0; ; i++ {
+			deadline = deadline.Add(interArrival())
+			wait := time.Until(deadline)
+			if wait < 0 {
+				wait = 0
+			}
+			timer.Reset(wait)
+			select {
+			case <-runCtx.Done():
+				break dispatch
+			case <-timer.C:
+				issued.Add(1)
+				select {
+				case w := <-slots:
+					wg.Add(1)
+					go func(w, i int) {
+						defer wg.Done()
+						issue(&workers[w], bodies[i%len(bodies)])
+						slots <- w
+					}(w, i)
+				default:
+					dropped.Add(1)
+				}
+			}
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start).Seconds()
+
+	merged := stats.NewLatencyHistogram()
+	for i := range workers {
+		if err := merged.Merge(workers[i].hist); err != nil {
+			return nil, err
+		}
+	}
+	rep := &LoadReport{
+		Mode:       cfg.Mode,
+		Op:         cfg.Op,
+		DurationS:  elapsed,
+		Issued:     issued.Load(),
+		Done:       done.Load(),
+		Errors:     errs.Load(),
+		Rejected:   rejected.Load(),
+		Dropped:    dropped.Load(),
+		Throughput: float64(done.Load()) / elapsed,
+		Latencies:  merged,
+	}
+	if cfg.Mode == "open" {
+		rep.Arrival = cfg.Arrival
+		rep.OfferedRate = cfg.Rate
+	}
+	if merged.N() > 0 {
+		rep.LatMean = merged.Mean()
+		rep.LatP50 = merged.Quantile(0.50)
+		rep.LatP95 = merged.Quantile(0.95)
+		rep.LatP99 = merged.Quantile(0.99)
+		rep.LatMax = merged.Max()
+	}
+	// Best-effort server-side view (hit rate, in-flight peaks) to pair
+	// with the client-side latencies.
+	if snap, err := FetchMetrics(ctx, client, cfg.BaseURL); err == nil {
+		rep.ServerMetrics = snap
+	}
+	return rep, nil
+}
+
+// FetchMetrics GETs and decodes /metrics.
+func FetchMetrics(ctx context.Context, client *http.Client, baseURL string) (*MetricsSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("service: /metrics status %d", resp.StatusCode)
+	}
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

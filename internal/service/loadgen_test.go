@@ -1,0 +1,92 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestRunLoadValidation(t *testing.T) {
+	ctx := context.Background()
+	specs := []workload.Spec{{Family: "uniform", M: 2, N: 4, Seed: 1}}
+	cases := []LoadConfig{
+		{},                    // no URL
+		{BaseURL: "http://x"}, // no specs
+		{BaseURL: "http://x", Specs: specs, Mode: "sideways"},
+		{BaseURL: "http://x", Specs: specs, Arrival: "bursty"},
+		{BaseURL: "http://x", Specs: specs, Mode: "open", Rate: 0},
+		{BaseURL: "http://x", Specs: specs, Mode: "closed", Op: "delete"},
+	}
+	for i, cfg := range cases {
+		if _, err := RunLoad(ctx, cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestRunLoadOpenLoop is the in-process end-to-end smoke: suud's handler
+// under a real HTTP listener, driven by the open-loop harness at a low
+// rate, must finish with zero errors, nonzero throughput, p99 recorded,
+// and a warm cache (the two specs repeat across arrivals).
+func TestRunLoadOpenLoop(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:     ts.URL,
+		Mode:        "open",
+		Arrival:     "poisson",
+		Rate:        150,
+		Duration:    700 * time.Millisecond,
+		Concurrency: 32,
+		Op:          "plan",
+		Specs: []workload.Spec{
+			{Family: "uniform", M: 4, N: 16, Seed: 1},
+			{Family: "uniform", M: 4, N: 16, Seed: 2},
+		},
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d of %d issued", rep.Errors, rep.Issued)
+	}
+	if rep.Done == 0 || rep.Throughput <= 0 {
+		t.Fatalf("no completed requests: %+v", rep)
+	}
+	if rep.LatP99 <= 0 || rep.LatP99 < rep.LatP50 {
+		t.Fatalf("latency quantiles broken: p50=%g p99=%g", rep.LatP50, rep.LatP99)
+	}
+	if rep.ServerMetrics == nil {
+		t.Fatal("server metrics not fetched")
+	}
+	if rep.ServerMetrics.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate %g on repeated instances", rep.ServerMetrics.CacheHitRate)
+	}
+	if rep.Latencies.N() != rep.Done {
+		t.Fatalf("histogram n=%d, done=%d", rep.Latencies.N(), rep.Done)
+	}
+}
+
+func TestRunLoadClosedLoop(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:     ts.URL,
+		Mode:        "closed",
+		Concurrency: 4,
+		Duration:    400 * time.Millisecond,
+		Op:          "estimate",
+		Trials:      10,
+		Specs:       []workload.Spec{{Family: "uniform", M: 3, N: 8, Seed: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Done == 0 {
+		t.Fatalf("closed loop: %+v", rep)
+	}
+	if rep.Mode != "closed" || rep.Op != "estimate" {
+		t.Fatalf("report labels: %+v", rep)
+	}
+}

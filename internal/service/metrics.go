@@ -1,0 +1,143 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Metrics is the planner's instrumentation: monotone counters on atomics
+// (hot path: one Add each) and per-endpoint latency histograms behind one
+// small mutex. Snapshot assembles the expvar-style view /metrics serves.
+type Metrics struct {
+	start     time.Time
+	plans     atomic.Uint64 // completed /v1/plan computations or cache hits
+	estimates atomic.Uint64 // same for /v1/estimate
+	errors    atomic.Uint64 // requests that failed server-side
+	canceled  atomic.Uint64 // callers that gave up waiting (client's doing, not ours)
+	rejected  atomic.Uint64 // admission-control rejections (429s)
+	coalesced atomic.Uint64 // requests served by another caller's flight
+	inflight  atomic.Int64  // admitted requests currently in the planner
+
+	mu      sync.Mutex
+	planLat *stats.Histogram
+	estLat  *stats.Histogram
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		start:   time.Now(),
+		planLat: stats.NewLatencyHistogram(),
+		estLat:  stats.NewLatencyHistogram(),
+	}
+}
+
+// observe records one finished request of the given kind. A caller
+// abandoning its wait is counted as canceled, not as a server error —
+// the detached computation usually completes fine and lands in the cache.
+func (m *Metrics) observe(kind uint8, d time.Duration, err error) {
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			m.canceled.Add(1)
+		case errors.Is(err, ErrOverloaded):
+			m.errors.Add(1)
+			m.rejected.Add(1)
+		default:
+			m.errors.Add(1)
+		}
+		return
+	}
+	var h *stats.Histogram
+	switch kind {
+	case kindPlan:
+		m.plans.Add(1)
+		h = m.planLat
+	case kindEstimate:
+		m.estimates.Add(1)
+		h = m.estLat
+	}
+	if h != nil {
+		m.mu.Lock()
+		h.Observe(d.Seconds())
+		m.mu.Unlock()
+	}
+}
+
+// LatencySnapshot is one endpoint's latency quantiles in seconds.
+type LatencySnapshot struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_s"`
+	P50   float64 `json:"p50_s"`
+	P95   float64 `json:"p95_s"`
+	P99   float64 `json:"p99_s"`
+	Max   float64 `json:"max_s"`
+}
+
+func latencySnapshot(h *stats.Histogram) LatencySnapshot {
+	if h.N() == 0 {
+		return LatencySnapshot{}
+	}
+	return LatencySnapshot{
+		Count: h.N(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// MetricsSnapshot is the JSON document /metrics serves.
+type MetricsSnapshot struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Plans         uint64          `json:"plans"`
+	Estimates     uint64          `json:"estimates"`
+	Errors        uint64          `json:"errors"`
+	Canceled      uint64          `json:"canceled"`
+	Rejected      uint64          `json:"rejected"`
+	Coalesced     uint64          `json:"coalesced"`
+	InFlight      int64           `json:"in_flight"`
+	CacheHits     uint64          `json:"cache_hits"`
+	CacheMisses   uint64          `json:"cache_misses"`
+	CacheHitRate  float64         `json:"cache_hit_rate"`
+	CacheEntries  int             `json:"cache_entries"`
+	PlanLatency   LatencySnapshot `json:"plan_latency"`
+	EstLatency    LatencySnapshot `json:"estimate_latency"`
+}
+
+// Snapshot assembles a consistent-enough view: counters are read
+// individually (each is internally consistent; cross-counter skew of a
+// few in-flight requests is fine for monitoring), histograms are cloned
+// under their lock and read outside it.
+func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
+	m.mu.Lock()
+	planLat := m.planLat.Clone()
+	estLat := m.estLat.Clone()
+	m.mu.Unlock()
+	hits, misses := cache.hits.Load(), cache.misses.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Plans:         m.plans.Load(),
+		Estimates:     m.estimates.Load(),
+		Errors:        m.errors.Load(),
+		Canceled:      m.canceled.Load(),
+		Rejected:      m.rejected.Load(),
+		Coalesced:     m.coalesced.Load(),
+		InFlight:      m.inflight.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheHitRate:  rate,
+		CacheEntries:  cache.Len(),
+		PlanLatency:   latencySnapshot(planLat),
+		EstLatency:    latencySnapshot(estLat),
+	}
+}

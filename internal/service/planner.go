@@ -1,0 +1,703 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/model"
+	"repro/internal/rounding"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Service errors. The HTTP layer maps ErrBadRequest-wrapped errors to 400,
+// ErrOverloaded to 429, and ErrShuttingDown to 503; everything else is a
+// 500.
+var (
+	ErrOverloaded      = errors.New("service: queue full")
+	ErrShuttingDown    = errors.New("service: shutting down")
+	ErrBadRequest      = errors.New("service: bad request")
+	errFlightAbandoned = errors.New("service: in-flight computation abandoned")
+)
+
+// badRequestf wraps ErrBadRequest with detail.
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// Config sizes the planner. Zero values take the documented defaults.
+type Config struct {
+	// Workers bounds concurrent plan/estimate computations (default
+	// GOMAXPROCS). Each computation borrows one rounding.Workspace.
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot; request
+	// QueueDepth+1 is rejected with ErrOverloaded (default 4×Workers).
+	QueueDepth int
+	// CacheCap bounds total cached responses across shards (default 4096).
+	CacheCap int
+	// CacheShards is the shard count, rounded up to a power of two
+	// (default 16).
+	CacheShards int
+	// MaxTrials is the per-request Monte Carlo trial budget; estimate
+	// requests above it are rejected as bad requests (default 10000).
+	MaxTrials int
+	// DefaultTrials is used when an estimate request omits trials
+	// (default 200).
+	DefaultTrials int
+	// TrialWorkers is the Monte Carlo worker count per estimate request
+	// (default 2: request-level parallelism comes from Workers, so
+	// per-request fan-out stays modest to avoid oversubscription).
+	TrialWorkers int
+	// ProgressChunk is the trial batch size between streamed progress
+	// callbacks (default 64).
+	ProgressChunk int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 4096
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.MaxTrials <= 0 {
+		c.MaxTrials = 10000
+	}
+	if c.DefaultTrials <= 0 {
+		c.DefaultTrials = 200
+	}
+	if c.DefaultTrials > c.MaxTrials {
+		// A tight -max-trials must not make trial-less requests
+		// unserveable against the larger default.
+		c.DefaultTrials = c.MaxTrials
+	}
+	if c.TrialWorkers <= 0 {
+		c.TrialWorkers = 2
+	}
+	if c.ProgressChunk <= 0 {
+		c.ProgressChunk = 64
+	}
+	return c
+}
+
+// Planner is the concurrent scheduling service core: it admits requests
+// up to a queue bound, coalesces duplicates in flight, serves repeats
+// from a sharded LRU cache, and computes misses on a bounded worker pool
+// of pooled LP workspaces and shared policy instances (whose internal LP
+// caches are themselves shared across requests — the cross-request
+// concurrency the policies were audited for).
+type Planner struct {
+	cfg      Config
+	metrics  *Metrics
+	cache    *planCache
+	flight   flightGroup
+	pool     rounding.WorkspacePool
+	policies map[string]sim.Policy
+
+	slots  chan struct{}
+	queued atomic.Int64
+
+	// lifecycle: a mutex-guarded unit count instead of a sync.WaitGroup,
+	// because begin() may Add while Close() waits — a combination
+	// WaitGroup documents as misuse when the counter can touch zero.
+	lmu       sync.Mutex
+	units     int // admitted requests + detached computations in flight
+	closing   bool
+	drained   chan struct{}
+	drainedup bool // drained already closed
+}
+
+// NewPlanner builds a planner. The policy instances — and through them the
+// LP roundings their caches hold — live as long as the planner and are
+// shared by every request.
+func NewPlanner(cfg Config) *Planner {
+	cfg = cfg.withDefaults()
+	return &Planner{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		cache:   newPlanCache(cfg.CacheCap, cfg.CacheShards),
+		slots:   make(chan struct{}, cfg.Workers),
+		drained: make(chan struct{}),
+		policies: map[string]sim.Policy{
+			"sem": &core.SEM{Cache: rounding.NewCache()},
+			"obl": &core.OBL{Cache: rounding.NewCache()},
+			"chains": &core.Chains{
+				LP1Cache: rounding.NewCache(),
+				LP2Cache: rounding.NewLP2Cache(),
+			},
+			"forest": &core.Forest{Engine: &core.Chains{
+				LP1Cache: rounding.NewCache(),
+				LP2Cache: rounding.NewLP2Cache(),
+			}},
+			"layered":        &core.Layered{Inner: &core.SEM{Cache: rounding.NewCache()}},
+			"greedy":         baseline.Greedy{},
+			"greedy-prec":    baseline.GreedyPrec{},
+			"sequential":     baseline.Sequential{},
+			"eligible-split": baseline.EligibleSplit{},
+		},
+	}
+}
+
+// Config returns the resolved configuration.
+func (p *Planner) Config() Config { return p.cfg }
+
+// Metrics returns the current metrics snapshot.
+func (p *Planner) Metrics() MetricsSnapshot { return p.metrics.snapshot(p.cache) }
+
+// Close stops admitting requests and waits for every in-flight unit —
+// admitted requests and detached computations — to drain. Safe to call
+// more than once.
+func (p *Planner) Close() {
+	p.lmu.Lock()
+	p.closing = true
+	if p.units == 0 && !p.drainedup {
+		p.drainedup = true
+		close(p.drained)
+	}
+	p.lmu.Unlock()
+	<-p.drained
+}
+
+// ShuttingDown reports whether Close has been called.
+func (p *Planner) ShuttingDown() bool {
+	p.lmu.Lock()
+	defer p.lmu.Unlock()
+	return p.closing
+}
+
+// begin admits a request into the planner's in-flight set.
+func (p *Planner) begin() error {
+	p.lmu.Lock()
+	if p.closing {
+		p.lmu.Unlock()
+		return ErrShuttingDown
+	}
+	p.units++
+	p.lmu.Unlock()
+	p.metrics.inflight.Add(1)
+	return nil
+}
+
+func (p *Planner) end() {
+	p.metrics.inflight.Add(-1)
+	p.untrack()
+}
+
+// track registers a detached computation with the drain count. Only call
+// it while already holding a unit (the caller's begin) — that ordering is
+// what lets the count rise during Close without a zero crossing.
+func (p *Planner) track() {
+	p.lmu.Lock()
+	p.units++
+	p.lmu.Unlock()
+}
+
+func (p *Planner) untrack() {
+	p.lmu.Lock()
+	p.units--
+	if p.closing && p.units == 0 && !p.drainedup {
+		p.drainedup = true
+		close(p.drained)
+	}
+	p.lmu.Unlock()
+}
+
+// acquire takes a worker slot, failing fast with ErrOverloaded when the
+// waiting line is already QueueDepth deep — the 429 path that keeps the
+// backlog (and therefore p99) bounded under overload. Callers admitted
+// into the line wait for a slot unconditionally: computations run
+// detached from request contexts (see runShared), and both the line and
+// each computation are bounded.
+func (p *Planner) acquire() error {
+	if q := p.queued.Add(1); int(q) > p.cfg.QueueDepth {
+		p.queued.Add(-1)
+		return ErrOverloaded
+	}
+	p.slots <- struct{}{}
+	p.queued.Add(-1)
+	return nil
+}
+
+func (p *Planner) release() { <-p.slots }
+
+// spawn runs fn on a detached, drain-tracked goroutine and lands the
+// flight with its result. A panic in fn is recovered into an error — one
+// poisoned request must 500 its own callers, not crash the server (the
+// detached goroutine is outside net/http's per-connection recover) — and
+// the flight always finishes, so followers never wait on a dead leader.
+func (p *Planner) spawn(key requestKey, c *flightCall, fn func() (any, error)) {
+	p.track()
+	go func() {
+		defer p.untrack()
+		var v any
+		err := errFlightAbandoned
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("service: computation panicked: %v", r)
+				}
+			}()
+			v, err = fn()
+		}()
+		p.flight.finish(key, c, v, err)
+	}()
+}
+
+// runShared executes fn at most once per key across concurrent callers.
+// The computation runs on a detached goroutine (spawn) that survives
+// caller cancellation: coalesced followers and the cache still want the
+// result when the leader's client disconnects, so a leader hang-up must
+// not poison the flight with its context error. The caller waits under
+// its own ctx; an abandoned computation still runs to completion (it is
+// bounded — the trial budget caps estimates, LP solves are finite) and
+// lands in the cache.
+func (p *Planner) runShared(ctx context.Context, key requestKey, fn func() (any, error)) (any, error, bool) {
+	c, follower := p.flight.join(key)
+	if !follower {
+		p.spawn(key, c, fn)
+	}
+	select {
+	case <-c.done:
+		return c.val, c.err, follower
+	case <-ctx.Done():
+		return nil, ctx.Err(), follower
+	}
+}
+
+// Info describes how a response was produced.
+type Info struct {
+	Cached    bool
+	Coalesced bool
+}
+
+// PlanRun is one run of a planned schedule on the wire.
+type PlanRun struct {
+	Job   int   `json:"job"`
+	Steps int64 `json:"steps"`
+}
+
+// PlanRequest asks for an LP-rounded oblivious schedule.
+type PlanRequest struct {
+	Instance *model.Instance `json:"instance"`
+	// Target is the per-job log-mass target L of LP1 (independent
+	// instances only; default 1/2, the Lemma 1/2 choice).
+	Target float64 `json:"target,omitempty"`
+}
+
+// PlanResponse is the rounded schedule. Independent instances get the
+// LP1(J, L) rounding (Lemma 2); chain instances get the LP2 rounding
+// (Lemma 6). Responses are shared between callers; treat as immutable.
+type PlanResponse struct {
+	Fingerprint string      `json:"fingerprint"`
+	Class       string      `json:"class"`
+	M           int         `json:"m"`
+	N           int         `json:"n"`
+	Target      float64     `json:"target,omitempty"`
+	TStar       float64     `json:"tstar"`
+	LowerBound  float64     `json:"lower_bound,omitempty"`
+	Length      int64       `json:"length"`
+	Machines    [][]PlanRun `json:"machines"`
+	Cached      bool        `json:"cached"`
+	Coalesced   bool        `json:"coalesced,omitempty"`
+}
+
+// Plan computes (or serves from cache) the rounded schedule for req.
+func (p *Planner) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+	if err := p.begin(); err != nil {
+		return nil, err
+	}
+	defer p.end()
+	start := time.Now()
+	resp, err := p.plan(ctx, req)
+	p.metrics.observe(kindPlan, time.Since(start), err)
+	return resp, err
+}
+
+func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+	if req == nil || req.Instance == nil {
+		return nil, badRequestf("missing instance")
+	}
+	ins := req.Instance
+	target := req.Target
+	if target == 0 {
+		target = 0.5
+	}
+	if math.IsNaN(target) || target < 0 || target > model.LogFailCap {
+		// NaN must be rejected explicitly: as a map key it never equals
+		// itself, so it would leak singleflight entries and plant
+		// unfindable cache entries.
+		return nil, badRequestf("target %g outside (0, %g]", target, model.LogFailCap)
+	}
+	class := ins.Class()
+	if class != dag.ClassIndependent && class != dag.ClassChains {
+		return nil, badRequestf("planning supports independent and chain instances; got class %v (use /v1/estimate with policy forest or layered)", class)
+	}
+	if class == dag.ClassChains {
+		// LP2 has no target knob: normalize before keying, so the same
+		// chain instance under different targets shares one cache entry
+		// and one flight instead of recomputing an identical schedule.
+		target = 0
+	}
+	fp := sched.FingerprintInstance(ins)
+	key := requestKey{fp: fp, kind: kindPlan, target: target}
+	if v, ok := p.cache.get(key); ok {
+		resp := *(v.(*PlanResponse))
+		resp.Cached = true
+		return &resp, nil
+	}
+	v, err, shared := p.runShared(ctx, key, func() (any, error) {
+		if err := p.acquire(); err != nil {
+			return nil, err
+		}
+		defer p.release()
+		resp, err := p.computePlan(ins, fp, target, class)
+		if err != nil {
+			return nil, err
+		}
+		p.cache.put(key, resp)
+		return resp, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		p.metrics.coalesced.Add(1)
+		resp := *(v.(*PlanResponse))
+		resp.Coalesced = true
+		return &resp, nil
+	}
+	return v.(*PlanResponse), nil
+}
+
+// computePlan runs the rounding on a pooled workspace.
+func (p *Planner) computePlan(ins *model.Instance, fp sched.Fingerprint, target float64, class dag.Class) (*PlanResponse, error) {
+	ws := p.pool.Get()
+	defer p.pool.Put(ws)
+	resp := &PlanResponse{
+		Fingerprint: fp.String(),
+		Class:       class.String(),
+		M:           ins.M,
+		N:           ins.N,
+		Target:      target,
+	}
+	var asn *sched.Assignment
+	switch class {
+	case dag.ClassIndependent:
+		jobs := make([]int, ins.N)
+		for j := range jobs {
+			jobs[j] = j
+		}
+		ws.Begin()
+		// The nil cache runs the rounding directly on ws; response-level
+		// caching is the planner's sharded LRU, so a second memo layer
+		// here would only hold duplicates.
+		r, err := (*rounding.Cache)(nil).RoundLP1Ws(ws, ins, jobs, target)
+		if err != nil {
+			return nil, err
+		}
+		asn = r.Assignment
+		resp.TStar = r.TFrac
+		if target == 0.5 {
+			// Lemma 1: E[T_OPT] ≥ max(t*/2, 1) at L = 1/2.
+			resp.LowerBound = r.TFrac / 2
+			if resp.LowerBound < 1 {
+				resp.LowerBound = 1
+			}
+		}
+	case dag.ClassChains:
+		chains, err := ins.Chains()
+		if err != nil {
+			return nil, err
+		}
+		ws.BeginLP2()
+		r, err := (*rounding.LP2Cache)(nil).RoundLP2Ws(ws, ins, chains)
+		if err != nil {
+			return nil, err
+		}
+		asn = r.Assignment
+		resp.TStar = r.TFrac
+	}
+	o := asn.Serialize()
+	resp.Length = o.Length
+	machines := make([][]PlanRun, len(o.Runs))
+	for i, runs := range o.Runs {
+		row := make([]PlanRun, len(runs))
+		for k, r := range runs {
+			row[k] = PlanRun{Job: r.Job, Steps: r.Steps}
+		}
+		machines[i] = row
+	}
+	resp.Machines = machines
+	return resp, nil
+}
+
+// EstimateRequest asks for a Monte Carlo makespan estimate.
+type EstimateRequest struct {
+	Instance *model.Instance `json:"instance"`
+	// Policy is one of sem, obl, chains, forest, layered, greedy,
+	// greedy-prec, sequential, eligible-split, or auto/"" (pick by
+	// precedence class).
+	Policy string `json:"policy,omitempty"`
+	// Trials is the Monte Carlo budget (default DefaultTrials, capped at
+	// MaxTrials).
+	Trials int `json:"trials,omitempty"`
+	// Seed makes the estimate reproducible; trial i runs on stream seed+i.
+	Seed int64 `json:"seed,omitempty"`
+	// Stream asks the HTTP layer for NDJSON progress lines.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// EstimateResponse summarizes the makespan sample.
+type EstimateResponse struct {
+	Fingerprint string  `json:"fingerprint"`
+	Policy      string  `json:"policy"`
+	Trials      int     `json:"trials"`
+	Seed        int64   `json:"seed"`
+	Mean        float64 `json:"mean"`
+	Std         float64 `json:"std"`
+	Sem         float64 `json:"sem"`
+	Min         float64 `json:"min"`
+	Max         float64 `json:"max"`
+	Median      float64 `json:"median"`
+	P90         float64 `json:"p90"`
+	Cached      bool    `json:"cached"`
+	Coalesced   bool    `json:"coalesced,omitempty"`
+}
+
+// Progress reports a streamed estimate's partial state.
+type Progress struct {
+	Done  int     `json:"done"`
+	Total int     `json:"total"`
+	Mean  float64 `json:"mean"`
+}
+
+// classRank orders precedence classes by generality.
+func classRank(c dag.Class) int {
+	switch {
+	case c == dag.ClassIndependent:
+		return 0
+	case c == dag.ClassChains:
+		return 1
+	case c.IsForest(): // out-, in-, and mixed forests: SUU-T territory
+		return 2
+	default:
+		return 3
+	}
+}
+
+// maxClassRank is the most general class each policy accepts (runtime
+// checks inside the policies would reject too, but pre-checking turns the
+// mistake into a clean 400 instead of a mid-computation failure).
+var maxClassRank = map[string]int{
+	"sem":            0,
+	"obl":            0,
+	"greedy":         0,
+	"chains":         1,
+	"forest":         2,
+	"layered":        3,
+	"greedy-prec":    3,
+	"sequential":     3,
+	"eligible-split": 3,
+}
+
+// resolvePolicy picks the policy instance for a request.
+func (p *Planner) resolvePolicy(name string, class dag.Class) (string, sim.Policy, error) {
+	if name == "" || name == "auto" {
+		switch classRank(class) {
+		case 0:
+			name = "sem"
+		case 1:
+			name = "chains"
+		case 2:
+			name = "forest"
+		default:
+			name = "layered"
+		}
+	}
+	pol, ok := p.policies[name]
+	if !ok {
+		return "", nil, badRequestf("unknown policy %q", name)
+	}
+	if classRank(class) > maxClassRank[name] {
+		return "", nil, badRequestf("policy %q does not support precedence class %v", name, class)
+	}
+	return name, pol, nil
+}
+
+// Estimate computes (or serves from cache) the Monte Carlo estimate for
+// req. onProgress, if non-nil, observes partial means while the estimate
+// computes; cache hits and coalesced requests skip straight to the result.
+func (p *Planner) Estimate(ctx context.Context, req *EstimateRequest, onProgress func(Progress)) (*EstimateResponse, error) {
+	if err := p.begin(); err != nil {
+		return nil, err
+	}
+	defer p.end()
+	start := time.Now()
+	resp, err := p.estimate(ctx, req, onProgress)
+	p.metrics.observe(kindEstimate, time.Since(start), err)
+	return resp, err
+}
+
+// estimateParams validates req and resolves it into its effective
+// parameters. ValidateEstimate exposes exactly these checks so the HTTP
+// layer can reject a bad stream request before committing a 200.
+func (p *Planner) estimateParams(req *EstimateRequest) (trials int, name string, pol sim.Policy, err error) {
+	if req == nil || req.Instance == nil {
+		return 0, "", nil, badRequestf("missing instance")
+	}
+	trials = req.Trials
+	if trials == 0 {
+		trials = p.cfg.DefaultTrials
+	}
+	if trials < 0 {
+		return 0, "", nil, badRequestf("trials %d must be positive", trials)
+	}
+	if trials > p.cfg.MaxTrials {
+		return 0, "", nil, badRequestf("trials %d over the per-request budget %d", trials, p.cfg.MaxTrials)
+	}
+	name, pol, err = p.resolvePolicy(req.Policy, req.Instance.Class())
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return trials, name, pol, nil
+}
+
+// ValidateEstimate reports whether req would pass Estimate's validation,
+// without computing anything.
+func (p *Planner) ValidateEstimate(req *EstimateRequest) error {
+	_, _, _, err := p.estimateParams(req)
+	return err
+}
+
+func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress func(Progress)) (*EstimateResponse, error) {
+	trials, name, pol, err := p.estimateParams(req)
+	if err != nil {
+		return nil, err
+	}
+	ins := req.Instance
+	fp := sched.FingerprintInstance(ins)
+	key := requestKey{fp: fp, kind: kindEstimate, policy: name, trials: trials, seed: req.Seed}
+	if v, ok := p.cache.get(key); ok {
+		resp := *(v.(*EstimateResponse))
+		resp.Cached = true
+		return &resp, nil
+	}
+	// Progress flows through a channel drained by this (caller) goroutine,
+	// so onProgress never runs on the detached computation goroutine — it
+	// may touch the caller's ResponseWriter, which dies with the caller.
+	var progCh chan Progress
+	if onProgress != nil {
+		progCh = make(chan Progress, 8)
+	}
+	c, follower := p.flight.join(key)
+	if !follower {
+		emit := func(Progress) {}
+		if progCh != nil {
+			ch := progCh
+			emit = func(pr Progress) {
+				select {
+				case ch <- pr:
+				default: // progress is best-effort; never block the compute
+				}
+			}
+		}
+		p.spawn(key, c, func() (any, error) {
+			if err := p.acquire(); err != nil {
+				return nil, err
+			}
+			defer p.release()
+			resp, err := p.computeEstimate(ins, fp, name, pol, trials, req.Seed, emit)
+			if err != nil {
+				return nil, err
+			}
+			p.cache.put(key, resp)
+			return resp, nil
+		})
+	}
+	done := false
+	for !done {
+		select {
+		case pr := <-progCh:
+			onProgress(pr)
+		case <-c.done:
+			done = true
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	// Deliver progress that landed in the channel before the flight
+	// finished, in order, so callers see every chunk boundary.
+	for progCh != nil {
+		select {
+		case pr := <-progCh:
+			onProgress(pr)
+		default:
+			progCh = nil
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if follower {
+		p.metrics.coalesced.Add(1)
+		resp := *(c.val.(*EstimateResponse))
+		resp.Coalesced = true
+		return &resp, nil
+	}
+	return c.val.(*EstimateResponse), nil
+}
+
+// computeEstimate runs the Monte Carlo in ProgressChunk batches. Batch b
+// starts at trial offset o and seeds its stream with seed+o, so the
+// concatenated sample is byte-identical to one unchunked MonteCarlo call —
+// chunking changes progress granularity, never the estimate. It runs on a
+// detached goroutine and always runs to completion: the trial budget is
+// the bound, not a caller's context.
+func (p *Planner) computeEstimate(ins *model.Instance, fp sched.Fingerprint, name string, pol sim.Policy, trials int, seed int64, emit func(Progress)) (*EstimateResponse, error) {
+	all := make([]float64, 0, trials)
+	for done := 0; done < trials; {
+		c := p.cfg.ProgressChunk
+		if rest := trials - done; c > rest {
+			c = rest
+		}
+		res, err := sim.MonteCarlo(ins, pol, c, seed+int64(done), p.cfg.TrialWorkers)
+		if err != nil {
+			return nil, fmt.Errorf("estimate with %s: %w", name, err)
+		}
+		all = append(all, res.Makespans...)
+		done += c
+		if done < trials {
+			emit(Progress{Done: done, Total: trials, Mean: stats.Mean(all)})
+		}
+	}
+	s := stats.Summarize(all)
+	return &EstimateResponse{
+		Fingerprint: fp.String(),
+		Policy:      name,
+		Trials:      trials,
+		Seed:        seed,
+		Mean:        s.Mean,
+		Std:         s.Std,
+		Sem:         s.Sem,
+		Min:         s.Min,
+		Max:         s.Max,
+		Median:      s.Median,
+		P90:         s.P90,
+	}, nil
+}

@@ -1,0 +1,54 @@
+package service
+
+import "sync"
+
+// flightGroup coalesces duplicate in-flight requests: the first caller of
+// a key becomes the leader and computes (via the planner's spawn, which
+// runs it detached and panic-isolated); every caller that arrives before
+// the leader finishes waits for — and shares — the leader's result. Keys
+// are content-addressed requestKeys, so "duplicate" means semantically
+// identical work, not byte-identical request bodies.
+//
+// This is the classic singleflight shape split into join/finish, local to
+// the service because the repo carries no external dependencies. Results
+// are not retained after the flight lands — that is the plan cache's job.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[requestKey]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+	dups int // followers attached so far; written under the group's mu
+}
+
+// join attaches the caller to key's flight, creating it if none is in
+// flight. The second return reports whether the caller is a follower
+// (someone else leads); a leader MUST eventually call finish or followers
+// wait forever.
+func (g *flightGroup) join(key requestKey) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[requestKey]*flightCall)
+	}
+	if c, inFlight := g.m[key]; inFlight {
+		c.dups++
+		return c, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	return c, false
+}
+
+// finish lands the flight: records the result, removes the key, and wakes
+// every waiter.
+func (g *flightGroup) finish(key requestKey, c *flightCall, val any, err error) {
+	c.val, c.err = val, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+}

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	key := planKeyN(1)
+
+	c, follower := g.join(key)
+	if follower {
+		t.Fatal("first joiner marked follower")
+	}
+	var wg sync.WaitGroup
+	results := make([]any, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fc, fol := g.join(key)
+			if !fol {
+				t.Errorf("waiter %d became leader", i)
+				return
+			}
+			<-fc.done
+			results[i] = fc.val
+		}(i)
+	}
+	// Wait until every follower has attached (dups is written under the
+	// group's mutex), then land the flight.
+	for {
+		g.mu.Lock()
+		dups := g.m[key].dups
+		g.mu.Unlock()
+		if dups == 4 {
+			break
+		}
+		runtime.Gosched()
+	}
+	g.finish(key, c, "computed", nil)
+	wg.Wait()
+	for i, v := range results {
+		if v != "computed" {
+			t.Fatalf("follower %d got %v", i, v)
+		}
+	}
+	// The flight is gone afterwards: a new join leads a fresh one.
+	c2, follower := g.join(key)
+	if follower {
+		t.Fatal("post-flight join coalesced with a finished flight")
+	}
+	g.finish(key, c2, "fresh", nil)
+}
+
+func TestFlightGroupDistinctKeysRunIndependently(t *testing.T) {
+	var g flightGroup
+	a, fa := g.join(planKeyN(1))
+	b, fb := g.join(planKeyN(2))
+	if fa || fb {
+		t.Fatal("distinct keys coalesced")
+	}
+	g.finish(planKeyN(1), a, 1, nil)
+	g.finish(planKeyN(2), b, 2, nil)
+	if a.val.(int) != 1 || b.val.(int) != 2 {
+		t.Fatalf("got %v, %v", a.val, b.val)
+	}
+}
+
+func TestFlightGroupErrorShared(t *testing.T) {
+	var g flightGroup
+	key := planKeyN(3)
+	wantErr := errors.New("boom")
+	c, _ := g.join(key)
+	waiterErr := make(chan error, 1)
+	go func() {
+		fc, _ := g.join(key)
+		<-fc.done
+		waiterErr <- fc.err
+	}()
+	for {
+		g.mu.Lock()
+		dups := g.m[key].dups
+		g.mu.Unlock()
+		if dups == 1 {
+			break
+		}
+		runtime.Gosched()
+	}
+	g.finish(key, c, nil, wantErr)
+	if err := <-waiterErr; !errors.Is(err, wantErr) {
+		t.Fatalf("follower err = %v", err)
+	}
+}
+
+// TestSpawnRecoversPanics pins the server-survival property: a panicking
+// computation runs on a detached goroutine outside net/http's recover, so
+// the planner's spawn must catch it, land the flight with an error, and
+// leave the planner usable (one bad request 500s, the process lives).
+func TestSpawnRecoversPanics(t *testing.T) {
+	p := smallPlanner(nil)
+	key := planKeyN(9)
+	c, _ := p.flight.join(key)
+	p.spawn(key, c, func() (any, error) {
+		panic("poisoned instance")
+	})
+	<-c.done
+	if c.err == nil || !strings.Contains(c.err.Error(), "panicked") {
+		t.Fatalf("flight error = %v", c.err)
+	}
+	// The planner still serves requests and Close still drains.
+	if _, err := p.Plan(context.Background(), testInstance(t, "uniform", 3, 5, 91)); err != nil {
+		t.Fatalf("planner dead after recovered panic: %v", err)
+	}
+	p.Close()
+}

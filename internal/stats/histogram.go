@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-bucket log-scale histogram. Bucket i covers the
+// half-open value range [lo·2^(i/perOctave), lo·2^((i+1)/perOctave)), so
+// the relative quantile error is bounded by 2^(1/perOctave)−1 regardless
+// of how skewed the sample is — the property that makes it the right
+// shape for service latencies, whose p99 sits orders of magnitude above
+// the median. Observations below lo land in bucket 0 and observations at
+// or above hi land in the last bucket; exact min/max/sum are tracked on
+// the side so the tails of Quantile stay exact.
+//
+// Two histograms built with the same (lo, hi, perOctave) are mergeable,
+// which is how per-worker recorders combine into one report (suuload) and
+// how a snapshot is taken without copying bucket-by-bucket under a lock.
+//
+// A Histogram is not safe for concurrent use; wrap it in a mutex (as
+// service.Metrics does) or keep one per goroutine and Merge.
+type Histogram struct {
+	lo        float64
+	perOctave int
+	counts    []uint64
+	n         uint64
+	sum       float64
+	min, max  float64
+}
+
+// NewHistogram returns a histogram covering [lo, hi) with perOctave
+// buckets per doubling. lo and hi must be positive with lo < hi;
+// perOctave must be at least 1.
+func NewHistogram(lo, hi float64, perOctave int) (*Histogram, error) {
+	if !(lo > 0) || !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram needs 0 < lo < hi, got [%g, %g)", lo, hi)
+	}
+	if perOctave < 1 {
+		return nil, fmt.Errorf("stats: histogram needs perOctave ≥ 1, got %d", perOctave)
+	}
+	nb := int(math.Ceil(math.Log2(hi/lo) * float64(perOctave)))
+	if nb < 1 {
+		nb = 1
+	}
+	return &Histogram{
+		lo:        lo,
+		perOctave: perOctave,
+		counts:    make([]uint64, nb),
+		min:       math.Inf(1),
+		max:       math.Inf(-1),
+	}, nil
+}
+
+// NewLatencyHistogram returns the histogram shape both suuload and the
+// service's /metrics use for request latencies in seconds: 1µs to 100s at
+// 16 buckets per octave (≤ 4.4% relative quantile error).
+func NewLatencyHistogram() *Histogram {
+	h, err := NewHistogram(1e-6, 100, 16)
+	if err != nil {
+		panic(err) // constants are valid
+	}
+	return h
+}
+
+// bucket maps a value to its bucket index, clamping under- and overflow
+// into the edge buckets.
+func (h *Histogram) bucket(v float64) int {
+	if v < h.lo {
+		return 0
+	}
+	i := int(math.Log2(v/h.lo) * float64(h.perOctave))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// Observe records one value. Non-finite and negative values are ignored:
+// a latency can be zero on a coarse clock, never negative, and a single
+// ±Inf would poison Sum/Mean forever (and log2-overflow into the wrong
+// bucket).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return
+	}
+	h.counts[h.bucket(v)]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the exact sample mean (NaN when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the exact smallest observation (NaN when empty).
+func (h *Histogram) Min() float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	return h.min
+}
+
+// Max returns the exact largest observation (NaN when empty).
+func (h *Histogram) Max() float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	return h.max
+}
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1): the
+// geometric midpoint of the bucket holding the rank-⌈q·n⌉ observation,
+// clamped to the exact observed [min, max]. Empty histograms return NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			// Out-of-range observations are clamped into the edge buckets,
+			// where the midpoint could be off by orders of magnitude; report
+			// the exact observed extreme instead (conservative in the
+			// direction that matters: low quantiles never inflated, high
+			// quantiles never understated).
+			if i == 0 && h.min < h.lo {
+				return h.min
+			}
+			top := h.lo * math.Pow(2, float64(len(h.counts))/float64(h.perOctave))
+			if i == len(h.counts)-1 && h.max >= top {
+				return h.max
+			}
+			v := h.lo * math.Pow(2, (float64(i)+0.5)/float64(h.perOctave))
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds o's observations into h. The histograms must have been built
+// with identical (lo, hi, perOctave).
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil || o.n == 0 {
+		return nil
+	}
+	if h.lo != o.lo || h.perOctave != o.perOctave || len(h.counts) != len(o.counts) {
+		return fmt.Errorf("stats: merging incompatible histograms (lo %g/%g, perOctave %d/%d, buckets %d/%d)",
+			h.lo, o.lo, h.perOctave, o.perOctave, len(h.counts), len(o.counts))
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	return nil
+}
+
+// Clone returns an independent copy (the snapshot primitive: clone under
+// the owner's lock, read quantiles outside it).
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.counts = append([]uint64(nil), h.counts...)
+	return &c
+}
+
+// RelativeError returns the worst-case relative quantile error implied by
+// the bucket width, 2^(1/perOctave)−1.
+func (h *Histogram) RelativeError() float64 {
+	return math.Pow(2, 1/float64(h.perOctave)) - 1
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 8); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := NewHistogram(2, 1, 8); err == nil {
+		t.Error("hi<lo accepted")
+	}
+	if _, err := NewHistogram(1, 2, 0); err == nil {
+		t.Error("perOctave=0 accepted")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.N() != 0 {
+		t.Fatalf("N = %d", h.N())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if !math.IsNaN(h.Quantile(q)) {
+			t.Errorf("Quantile(%g) = %g on empty histogram, want NaN", q, h.Quantile(q))
+		}
+	}
+	if !math.IsNaN(h.Mean()) || !math.IsNaN(h.Min()) || !math.IsNaN(h.Max()) {
+		t.Error("empty histogram moments not NaN")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(0.0123)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0.0123 {
+			t.Errorf("Quantile(%g) = %g, want exactly 0.0123 (min=max clamp)", q, got)
+		}
+	}
+	if h.Mean() != 0.0123 {
+		t.Errorf("Mean = %g", h.Mean())
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the advertised relative error bound
+// against exact order statistics on log-uniform and heavy-tailed samples.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := map[string]func() float64{
+		"loguniform": func() float64 { return math.Pow(10, -5+4*rng.Float64()) },
+		"heavytail":  func() float64 { return 1e-4 * math.Pow(1/(1-rng.Float64()), 1.5) },
+	}
+	for name, draw := range samples {
+		h := NewLatencyHistogram()
+		xs := make([]float64, 20000)
+		for i := range xs {
+			xs[i] = draw()
+			h.Observe(xs[i])
+		}
+		sort.Float64s(xs)
+		relErr := h.RelativeError()
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999} {
+			exact := xs[int(math.Ceil(q*float64(len(xs))))-1]
+			got := h.Quantile(q)
+			if rel := math.Abs(got-exact) / exact; rel > relErr+1e-12 {
+				t.Errorf("%s: Quantile(%g) = %g, exact %g, rel err %.4f > bound %.4f",
+					name, q, got, exact, rel, relErr)
+			}
+		}
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h, err := NewHistogram(1e-3, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(1e-9) // underflow bucket
+	h.Observe(1e9)  // overflow bucket
+	h.Observe(-1)   // ignored
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))  // ignored: would poison Sum and overflow log2
+	h.Observe(math.Inf(-1)) // ignored
+	if h.N() != 2 {
+		t.Fatalf("N = %d, want 2 (negative, NaN, and Inf ignored)", h.N())
+	}
+	if math.IsInf(h.Sum(), 0) || math.IsInf(h.Max(), 0) {
+		t.Fatalf("Inf leaked into moments: sum=%g max=%g", h.Sum(), h.Max())
+	}
+	// Exact min/max survive even though the values were clamped to edge
+	// buckets.
+	if h.Min() != 1e-9 || h.Max() != 1e9 {
+		t.Errorf("min/max = %g/%g", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.01); got != 1e-9 {
+		t.Errorf("low quantile = %g, want clamp to observed min", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	whole := NewLatencyHistogram()
+	parts := []*Histogram{NewLatencyHistogram(), NewLatencyHistogram(), NewLatencyHistogram()}
+	for i := 0; i < 9999; i++ {
+		v := math.Pow(10, -5+3*rng.Float64())
+		whole.Observe(v)
+		parts[i%3].Observe(v)
+	}
+	merged := NewLatencyHistogram()
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.N() != whole.N() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatal("merged moments differ from whole-sample moments")
+	}
+	// Sum is float addition in a different order: equal up to rounding.
+	if rel := math.Abs(merged.Sum()-whole.Sum()) / whole.Sum(); rel > 1e-12 {
+		t.Fatalf("merged sum off by %g relative", rel)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("Quantile(%g): merged %g vs whole %g", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+
+	other, err := NewHistogram(1e-6, 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Observe(1)
+	if err := merged.Merge(other); err == nil {
+		t.Error("merge of incompatible shapes accepted")
+	}
+	if err := merged.Merge(nil); err != nil {
+		t.Errorf("merge of nil: %v", err)
+	}
+}
+
+func TestHistogramClone(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(0.5)
+	c := h.Clone()
+	c.Observe(0.25)
+	if h.N() != 1 || c.N() != 2 {
+		t.Fatalf("clone not independent: h.N=%d c.N=%d", h.N(), c.N())
+	}
+}
