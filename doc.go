@@ -70,9 +70,11 @@
 // (duplicate in-flight requests share one computation via a singleflight
 // keyed on sched.Fingerprint, a canonical content hash of (m, n, q,
 // prec)), and cached in a sharded LRU under the same content-addressed
-// keys. Computations run on the same pooled rounding.Workspace / shared
-// policy machinery the Monte Carlo engine uses, audited and race-tested
-// for cross-request sharing. cmd/suuload is the fabbench-style open-loop
+// keys. Computations run on the same pooled rounding.Workspace / policy
+// machinery the Monte Carlo engine uses (race-tested for concurrent
+// sharing); policy LP caches are request-scoped, so cross-request reuse
+// is the content-addressed cache's job and finished computations retain
+// nothing. cmd/suuload is the fabbench-style open-loop
 // load harness (Poisson or fixed-rate arrivals, per-op latency in a
 // log-scale stats.Histogram, BENCH-compatible JSON reports);
 // examples/service runs the whole loop in one process.

@@ -60,6 +60,9 @@ type planCache struct {
 	shards []cacheShard
 	mask   uint64
 	hits   atomic.Uint64
+	// misses counts every get that found nothing — including callers that
+	// then coalesce onto another request's flight. Metrics.snapshot folds
+	// the coalesced count back in when it reports the hit rate.
 	misses atomic.Uint64
 }
 
@@ -106,9 +109,22 @@ func (c *planCache) shard(k requestKey) *cacheShard {
 }
 
 // get returns the cached response for k, bumping it to most-recently-used.
-// The value is copied out under the shard lock: put may refresh e.val in
-// place, so reading it after unlock would race.
 func (c *planCache) get(k requestKey) (any, bool) {
+	v, ok := c.peek(k)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// peek is get without touching the hit/miss counters: the flight leader's
+// late re-check (see runShared) serves a racing flight's cached result
+// without double-counting a request that already recorded its miss. The
+// value is copied out under the shard lock: put may refresh e.val in
+// place, so reading it after unlock would race.
+func (c *planCache) peek(k requestKey) (any, bool) {
 	s := c.shard(k)
 	s.mu.Lock()
 	e, ok := s.entries[k]
@@ -118,12 +134,7 @@ func (c *planCache) get(k requestKey) (any, bool) {
 		v = e.val
 	}
 	s.mu.Unlock()
-	if ok {
-		c.hits.Add(1)
-		return v, true
-	}
-	c.misses.Add(1)
-	return nil, false
+	return v, ok
 }
 
 // put inserts (or refreshes) k's response, evicting the shard's least

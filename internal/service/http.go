@@ -13,17 +13,22 @@ import (
 // swallow the heap.
 const maxBodyBytes = 64 << 20
 
+// ErrRequestTooLarge marks a body over maxBodyBytes; the HTTP layer maps
+// it to 413 so clients see the limit instead of a generic decode failure.
+var ErrRequestTooLarge = errors.New("service: request body too large")
+
 // Server is the HTTP face of a Planner: /v1/plan, /v1/estimate, /healthz,
 // /metrics. It implements http.Handler; lifecycle (listening, TLS,
 // graceful shutdown) belongs to the caller's http.Server.
 type Server struct {
 	planner *Planner
 	mux     *http.ServeMux
+	maxBody int64 // request body cap in bytes; tests lower it to hit the 413 path cheaply
 }
 
 // NewServer wraps a planner.
 func NewServer(p *Planner) *Server {
-	s := &Server{planner: p, mux: http.NewServeMux()}
+	s := &Server{planner: p, mux: http.NewServeMux(), maxBody: maxBodyBytes}
 	s.mux.HandleFunc("/v1/plan", s.handlePlan)
 	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -53,6 +58,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // mean the client is gone; the write is best-effort.
 func writeError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, ErrRequestTooLarge):
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrBadRequest):
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrOverloaded):
@@ -69,9 +76,13 @@ func writeError(w http.ResponseWriter, err error) {
 
 // decodeRequest reads one JSON document into dst, rejecting trailing
 // garbage so malformed batches fail loudly instead of half-running.
-func decodeRequest(w http.ResponseWriter, r *http.Request, dst any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w: body over %d bytes", ErrRequestTooLarge, mbe.Limit)
+		}
 		return badRequestf("decoding request: %v", err)
 	}
 	if dec.More() {
@@ -94,7 +105,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req PlanRequest
-	if err := decodeRequest(w, r, &req); err != nil {
+	if err := s.decodeRequest(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -111,7 +122,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req EstimateRequest
-	if err := decodeRequest(w, r, &req); err != nil {
+	if err := s.decodeRequest(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/sim"
 )
 
 func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
@@ -174,6 +176,21 @@ func TestHTTPErrorPaths(t *testing.T) {
 	resp, body = postJSON(t, ts, "/v1/estimate", &EstimateRequest{Instance: ins, Trials: 501, Stream: true})
 	check("over budget streamed", resp, body, http.StatusBadRequest)
 
+	// Oversized body: a real 413 naming the limit, not a generic decode
+	// 400 (the limit is lowered so the test does not ship 64 MB).
+	srv := NewServer(p)
+	srv.maxBody = 128
+	bigTS := httptest.NewServer(srv)
+	defer bigTS.Close()
+	big := `{"instance":{"m":3,"n":6,"q":[` + strings.Repeat("[0.5,0.5,0.5,0.5,0.5,0.5],", 64) + `]}}`
+	resp, err = http.Post(bigTS.URL+"/v1/plan", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	check("oversized body", resp, body, http.StatusRequestEntityTooLarge)
+
 	// Wrong method.
 	getResp, err := ts.Client().Get(ts.URL + "/v1/plan")
 	if err != nil {
@@ -302,7 +319,7 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 func TestHTTPGracefulShutdown(t *testing.T) {
 	p := smallPlanner(nil)
 	gp := &gatePolicy{entered: make(chan struct{}, 1), gate: make(chan struct{})}
-	p.policies["gate"] = gp
+	p.policies["gate"] = func() sim.Policy { return gp }
 	srv := &http.Server{Handler: NewServer(p)}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -57,11 +57,11 @@ type LoadReport struct {
 	Arrival       string           `json:"arrival,omitempty"`
 	OfferedRate   float64          `json:"offered_rate_rps,omitempty"`
 	DurationS     float64          `json:"duration_s"`
-	Issued        uint64           `json:"issued"`
+	Issued        uint64           `json:"issued"` // requests actually sent; Issued = Done + Errors after the drain
 	Done          uint64           `json:"done"`
 	Errors        uint64           `json:"errors"`
 	Rejected      uint64           `json:"rejected"` // server 429s, a subset of Errors
-	Dropped       uint64           `json:"dropped"`  // open-mode arrivals over the in-flight cap
+	Dropped       uint64           `json:"dropped"`  // open-mode arrivals over the in-flight cap, never issued
 	Throughput    float64          `json:"throughput_rps"`
 	LatMean       float64          `json:"lat_mean_s"`
 	LatP50        float64          `json:"lat_p50_s"`
@@ -239,9 +239,13 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			case <-runCtx.Done():
 				break dispatch
 			case <-timer.C:
-				issued.Add(1)
 				select {
 				case w := <-slots:
+					// Count issued only once a slot is held: dropped
+					// arrivals never reach the server, and keeping them
+					// out of issued lets Issued = Done + Errors reconcile
+					// after the drain.
+					issued.Add(1)
 					wg.Add(1)
 					go func(w, i int) {
 						defer wg.Done()

@@ -55,6 +55,12 @@ func TestRunLoadOpenLoop(t *testing.T) {
 	if rep.Done == 0 || rep.Throughput <= 0 {
 		t.Fatalf("no completed requests: %+v", rep)
 	}
+	// After the drain every issued request resolved one way or the other;
+	// dropped arrivals never count as issued.
+	if rep.Issued != rep.Done+rep.Errors {
+		t.Fatalf("issued=%d does not reconcile with done=%d + errors=%d (dropped=%d)",
+			rep.Issued, rep.Done, rep.Errors, rep.Dropped)
+	}
 	if rep.LatP99 <= 0 || rep.LatP99 < rep.LatP50 {
 		t.Fatalf("latency quantiles broken: p50=%g p99=%g", rep.LatP50, rep.LatP99)
 	}

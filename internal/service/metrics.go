@@ -20,7 +20,7 @@ type Metrics struct {
 	errors    atomic.Uint64 // requests that failed server-side
 	canceled  atomic.Uint64 // callers that gave up waiting (client's doing, not ours)
 	rejected  atomic.Uint64 // admission-control rejections (429s)
-	coalesced atomic.Uint64 // requests served by another caller's flight
+	coalesced atomic.Uint64 // requests served by another caller's flight or its just-cached result
 	inflight  atomic.Int64  // admitted requests currently in the planner
 
 	mu      sync.Mutex
@@ -119,10 +119,20 @@ func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
 	planLat := m.planLat.Clone()
 	estLat := m.estLat.Clone()
 	m.mu.Unlock()
+	// coalesced is loaded before the cache counters: each coalesced.Add is
+	// sequenced after its caller's misses.Add, so this order guarantees
+	// every observed coalesce has its miss observed too (coalesced ≤
+	// misses) and the rate below never exceeds 1.
+	coalesced := m.coalesced.Load()
 	hits, misses := cache.hits.Load(), cache.misses.Load()
 	rate := 0.0
 	if hits+misses > 0 {
-		rate = float64(hits) / float64(hits+misses)
+		// Every coalesced follower first missed the LRU (so coalesced ≤
+		// misses) but was then served off another caller's flight without
+		// recomputation; counting it as a plain miss would understate the
+		// hit rate under exactly the duplicate-heavy load the cache and
+		// flight group exist for.
+		rate = float64(hits+coalesced) / float64(hits+misses)
 	}
 	return MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
@@ -131,7 +141,7 @@ func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
 		Errors:        m.errors.Load(),
 		Canceled:      m.canceled.Load(),
 		Rejected:      m.rejected.Load(),
-		Coalesced:     m.coalesced.Load(),
+		Coalesced:     coalesced,
 		InFlight:      m.inflight.Load(),
 		CacheHits:     hits,
 		CacheMisses:   misses,

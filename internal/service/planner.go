@@ -99,16 +99,23 @@ func (c Config) withDefaults() Config {
 // Planner is the concurrent scheduling service core: it admits requests
 // up to a queue bound, coalesces duplicates in flight, serves repeats
 // from a sharded LRU cache, and computes misses on a bounded worker pool
-// of pooled LP workspaces and shared policy instances (whose internal LP
-// caches are themselves shared across requests — the cross-request
-// concurrency the policies were audited for).
+// of pooled LP workspaces. Cross-request reuse lives entirely in the
+// response LRU and the flight group, both keyed by content fingerprint;
+// the policies' LP caches are request-scoped (see policies below), so a
+// finished computation retains nothing.
 type Planner struct {
-	cfg      Config
-	metrics  *Metrics
-	cache    *planCache
-	flight   flightGroup
-	pool     rounding.WorkspacePool
-	policies map[string]sim.Policy
+	cfg     Config
+	metrics *Metrics
+	cache   *planCache
+	flight  flightGroup
+	pool    rounding.WorkspacePool
+	// policies maps each policy name to a factory building a fresh
+	// instance with fresh LP caches. Each estimate computation gets its
+	// own: the LP caches key on the *model.Instance pointer, and only
+	// trials within one computation share that pointer — so per-request
+	// caches capture all the reuse there is, while planner-lifetime ones
+	// would only pin every decoded instance (and its LP results) forever.
+	policies map[string]func() sim.Policy
 
 	slots  chan struct{}
 	queued atomic.Int64
@@ -123,9 +130,9 @@ type Planner struct {
 	drainedup bool // drained already closed
 }
 
-// NewPlanner builds a planner. The policy instances — and through them the
-// LP roundings their caches hold — live as long as the planner and are
-// shared by every request.
+// NewPlanner builds a planner. Policy instances are built per estimate
+// computation (see Planner.policies); cross-request reuse of finished
+// work is the fingerprint-keyed response cache's job.
 func NewPlanner(cfg Config) *Planner {
 	cfg = cfg.withDefaults()
 	return &Planner{
@@ -134,22 +141,28 @@ func NewPlanner(cfg Config) *Planner {
 		cache:   newPlanCache(cfg.CacheCap, cfg.CacheShards),
 		slots:   make(chan struct{}, cfg.Workers),
 		drained: make(chan struct{}),
-		policies: map[string]sim.Policy{
-			"sem": &core.SEM{Cache: rounding.NewCache()},
-			"obl": &core.OBL{Cache: rounding.NewCache()},
-			"chains": &core.Chains{
-				LP1Cache: rounding.NewCache(),
-				LP2Cache: rounding.NewLP2Cache(),
+		policies: map[string]func() sim.Policy{
+			"sem": func() sim.Policy { return &core.SEM{Cache: rounding.NewCache()} },
+			"obl": func() sim.Policy { return &core.OBL{Cache: rounding.NewCache()} },
+			"chains": func() sim.Policy {
+				return &core.Chains{
+					LP1Cache: rounding.NewCache(),
+					LP2Cache: rounding.NewLP2Cache(),
+				}
 			},
-			"forest": &core.Forest{Engine: &core.Chains{
-				LP1Cache: rounding.NewCache(),
-				LP2Cache: rounding.NewLP2Cache(),
-			}},
-			"layered":        &core.Layered{Inner: &core.SEM{Cache: rounding.NewCache()}},
-			"greedy":         baseline.Greedy{},
-			"greedy-prec":    baseline.GreedyPrec{},
-			"sequential":     baseline.Sequential{},
-			"eligible-split": baseline.EligibleSplit{},
+			"forest": func() sim.Policy {
+				return &core.Forest{Engine: &core.Chains{
+					LP1Cache: rounding.NewCache(),
+					LP2Cache: rounding.NewLP2Cache(),
+				}}
+			},
+			"layered": func() sim.Policy {
+				return &core.Layered{Inner: &core.SEM{Cache: rounding.NewCache()}}
+			},
+			"greedy":         func() sim.Policy { return baseline.Greedy{} },
+			"greedy-prec":    func() sim.Policy { return baseline.GreedyPrec{} },
+			"sequential":     func() sim.Policy { return baseline.Sequential{} },
+			"eligible-split": func() sim.Policy { return baseline.EligibleSplit{} },
 		},
 	}
 }
@@ -267,23 +280,75 @@ func (p *Planner) spawn(key requestKey, c *flightCall, fn func() (any, error)) {
 // its own ctx; an abandoned computation still runs to completion (it is
 // bounded — the trial budget caps estimates, LP solves are finite) and
 // lands in the cache.
-func (p *Planner) runShared(ctx context.Context, key requestKey, fn func() (any, error)) (any, error, bool) {
+//
+// A new leader re-checks the response cache (an uncounted peek — the
+// caller already recorded its miss) before spawning fn: a racing flight
+// for the same key may have landed between this caller's cache miss and
+// its join, and recomputing its cached result would waste a worker slot.
+// A peek hit finishes the flight inline and returns fromCache=true so
+// callers label and meter the response as cache-served, not computed.
+//
+// onProgress, if non-nil and this caller leads, observes the progress fn
+// emits. Progress flows through a channel drained by this (caller)
+// goroutine, so onProgress never runs on the detached computation
+// goroutine — it may touch the caller's ResponseWriter, which dies with
+// the caller.
+func (p *Planner) runShared(ctx context.Context, key requestKey, onProgress func(Progress), fn func(emit func(Progress)) (any, error)) (v any, err error, follower, fromCache bool) {
 	c, follower := p.flight.join(key)
+	var progCh chan Progress
 	if !follower {
-		p.spawn(key, c, fn)
+		if cv, ok := p.cache.peek(key); ok {
+			p.flight.finish(key, c, cv, nil)
+			return cv, nil, false, true
+		}
+		emit := func(Progress) {}
+		if onProgress != nil {
+			ch := make(chan Progress, 8)
+			progCh = ch
+			emit = func(pr Progress) {
+				select {
+				case ch <- pr:
+				default: // progress is best-effort; never block the compute
+				}
+			}
+		}
+		p.spawn(key, c, func() (any, error) { return fn(emit) })
 	}
-	select {
-	case <-c.done:
-		return c.val, c.err, follower
-	case <-ctx.Done():
-		return nil, ctx.Err(), follower
+	for {
+		select {
+		case pr := <-progCh:
+			onProgress(pr)
+		case <-c.done:
+			// Deliver progress that landed in the channel before the
+			// flight finished, in order, so callers see every chunk
+			// boundary.
+			for progCh != nil {
+				select {
+				case pr := <-progCh:
+					onProgress(pr)
+				default:
+					progCh = nil
+				}
+			}
+			return c.val, c.err, follower, false
+		case <-ctx.Done():
+			return nil, ctx.Err(), follower, false
+		}
 	}
 }
 
-// Info describes how a response was produced.
-type Info struct {
-	Cached    bool
-	Coalesced bool
+// markShared meters and labels a response served from shared work rather
+// than this request's own computation — a coalesced follower (coalesced
+// flag) or a leader's late cache peek (cached flag). Both count in the
+// coalesced bucket: each such caller already recorded a cache miss, so
+// the reported hit rate stays ≤ 1.
+func (p *Planner) markShared(cached, coalesced *bool, coalescedFlight bool) {
+	p.metrics.coalesced.Add(1)
+	if coalescedFlight {
+		*coalesced = true
+	} else {
+		*cached = true
+	}
 }
 
 // PlanRun is one run of a planned schedule on the wire.
@@ -361,7 +426,7 @@ func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 		resp.Cached = true
 		return &resp, nil
 	}
-	v, err, shared := p.runShared(ctx, key, func() (any, error) {
+	v, err, shared, fromCache := p.runShared(ctx, key, nil, func(func(Progress)) (any, error) {
 		if err := p.acquire(); err != nil {
 			return nil, err
 		}
@@ -376,10 +441,9 @@ func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 	if err != nil {
 		return nil, err
 	}
-	if shared {
-		p.metrics.coalesced.Add(1)
+	if shared || fromCache {
 		resp := *(v.(*PlanResponse))
-		resp.Coalesced = true
+		p.markShared(&resp.Cached, &resp.Coalesced, shared)
 		return &resp, nil
 	}
 	return v.(*PlanResponse), nil
@@ -516,8 +580,8 @@ var maxClassRank = map[string]int{
 	"eligible-split": 3,
 }
 
-// resolvePolicy picks the policy instance for a request.
-func (p *Planner) resolvePolicy(name string, class dag.Class) (string, sim.Policy, error) {
+// resolvePolicy picks the policy factory for a request.
+func (p *Planner) resolvePolicy(name string, class dag.Class) (string, func() sim.Policy, error) {
 	if name == "" || name == "auto" {
 		switch classRank(class) {
 		case 0:
@@ -530,14 +594,14 @@ func (p *Planner) resolvePolicy(name string, class dag.Class) (string, sim.Polic
 			name = "layered"
 		}
 	}
-	pol, ok := p.policies[name]
+	newPol, ok := p.policies[name]
 	if !ok {
 		return "", nil, badRequestf("unknown policy %q", name)
 	}
 	if classRank(class) > maxClassRank[name] {
 		return "", nil, badRequestf("policy %q does not support precedence class %v", name, class)
 	}
-	return name, pol, nil
+	return name, newPol, nil
 }
 
 // Estimate computes (or serves from cache) the Monte Carlo estimate for
@@ -557,7 +621,7 @@ func (p *Planner) Estimate(ctx context.Context, req *EstimateRequest, onProgress
 // estimateParams validates req and resolves it into its effective
 // parameters. ValidateEstimate exposes exactly these checks so the HTTP
 // layer can reject a bad stream request before committing a 200.
-func (p *Planner) estimateParams(req *EstimateRequest) (trials int, name string, pol sim.Policy, err error) {
+func (p *Planner) estimateParams(req *EstimateRequest) (trials int, name string, newPol func() sim.Policy, err error) {
 	if req == nil || req.Instance == nil {
 		return 0, "", nil, badRequestf("missing instance")
 	}
@@ -571,11 +635,11 @@ func (p *Planner) estimateParams(req *EstimateRequest) (trials int, name string,
 	if trials > p.cfg.MaxTrials {
 		return 0, "", nil, badRequestf("trials %d over the per-request budget %d", trials, p.cfg.MaxTrials)
 	}
-	name, pol, err = p.resolvePolicy(req.Policy, req.Instance.Class())
+	name, newPol, err = p.resolvePolicy(req.Policy, req.Instance.Class())
 	if err != nil {
 		return 0, "", nil, err
 	}
-	return trials, name, pol, nil
+	return trials, name, newPol, nil
 }
 
 // ValidateEstimate reports whether req would pass Estimate's validation,
@@ -586,7 +650,7 @@ func (p *Planner) ValidateEstimate(req *EstimateRequest) error {
 }
 
 func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress func(Progress)) (*EstimateResponse, error) {
-	trials, name, pol, err := p.estimateParams(req)
+	trials, name, newPol, err := p.estimateParams(req)
 	if err != nil {
 		return nil, err
 	}
@@ -598,69 +662,27 @@ func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress
 		resp.Cached = true
 		return &resp, nil
 	}
-	// Progress flows through a channel drained by this (caller) goroutine,
-	// so onProgress never runs on the detached computation goroutine — it
-	// may touch the caller's ResponseWriter, which dies with the caller.
-	var progCh chan Progress
-	if onProgress != nil {
-		progCh = make(chan Progress, 8)
-	}
-	c, follower := p.flight.join(key)
-	if !follower {
-		emit := func(Progress) {}
-		if progCh != nil {
-			ch := progCh
-			emit = func(pr Progress) {
-				select {
-				case ch <- pr:
-				default: // progress is best-effort; never block the compute
-				}
-			}
+	v, err, shared, fromCache := p.runShared(ctx, key, onProgress, func(emit func(Progress)) (any, error) {
+		if err := p.acquire(); err != nil {
+			return nil, err
 		}
-		p.spawn(key, c, func() (any, error) {
-			if err := p.acquire(); err != nil {
-				return nil, err
-			}
-			defer p.release()
-			resp, err := p.computeEstimate(ins, fp, name, pol, trials, req.Seed, emit)
-			if err != nil {
-				return nil, err
-			}
-			p.cache.put(key, resp)
-			return resp, nil
-		})
-	}
-	done := false
-	for !done {
-		select {
-		case pr := <-progCh:
-			onProgress(pr)
-		case <-c.done:
-			done = true
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		defer p.release()
+		resp, err := p.computeEstimate(ins, fp, name, newPol(), trials, req.Seed, emit)
+		if err != nil {
+			return nil, err
 		}
+		p.cache.put(key, resp)
+		return resp, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	// Deliver progress that landed in the channel before the flight
-	// finished, in order, so callers see every chunk boundary.
-	for progCh != nil {
-		select {
-		case pr := <-progCh:
-			onProgress(pr)
-		default:
-			progCh = nil
-		}
-	}
-	if c.err != nil {
-		return nil, c.err
-	}
-	if follower {
-		p.metrics.coalesced.Add(1)
-		resp := *(c.val.(*EstimateResponse))
-		resp.Coalesced = true
+	if shared || fromCache {
+		resp := *(v.(*EstimateResponse))
+		p.markShared(&resp.Cached, &resp.Coalesced, shared)
 		return &resp, nil
 	}
-	return c.val.(*EstimateResponse), nil
+	return v.(*EstimateResponse), nil
 }
 
 // computeEstimate runs the Monte Carlo in ProgressChunk batches. Batch b
@@ -668,7 +690,9 @@ func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress
 // concatenated sample is byte-identical to one unchunked MonteCarlo call —
 // chunking changes progress granularity, never the estimate. It runs on a
 // detached goroutine and always runs to completion: the trial budget is
-// the bound, not a caller's context.
+// the bound, not a caller's context. pol is this computation's own
+// instance: its LP caches warm up across the request's trials (which all
+// share ins) and die with the computation.
 func (p *Planner) computeEstimate(ins *model.Instance, fp sched.Fingerprint, name string, pol sim.Policy, trials int, seed int64, emit func(Progress)) (*EstimateResponse, error) {
 	all := make([]float64, 0, trials)
 	for done := 0; done < trials; {

@@ -6,9 +6,11 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/model"
 	"repro/internal/rounding"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -155,7 +157,75 @@ func TestEstimateMatchesMonteCarlo(t *testing.T) {
 
 // freshPolicy builds a throwaway policy instance outside any planner.
 func freshPolicy(name string) sim.Policy {
-	return NewPlanner(Config{}).policies[name]
+	return NewPlanner(Config{}).policies[name]()
+}
+
+// TestEstimatePolicyPerComputation pins the request-scoped policy
+// contract: every estimate that actually computes builds a fresh policy
+// from the factory (so its LP caches die with the computation), while
+// response-cache hits build nothing.
+func TestEstimatePolicyPerComputation(t *testing.T) {
+	p := smallPlanner(nil)
+	var built atomic.Int32
+	p.policies["counted"] = func() sim.Policy {
+		built.Add(1)
+		return freshPolicy("sem")
+	}
+	ins := testInstance(t, "uniform", 3, 6, 8).Instance
+	for seed := int64(1); seed <= 3; seed++ {
+		if _, err := p.Estimate(context.Background(), &EstimateRequest{
+			Instance: ins, Policy: "counted", Trials: 5, Seed: seed,
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := built.Load(); got != 3 {
+		t.Fatalf("policy built %d times for 3 uncached estimates", got)
+	}
+	// A repeat hits the response cache: no computation, no new policy.
+	if _, err := p.Estimate(context.Background(), &EstimateRequest{
+		Instance: ins, Policy: "counted", Trials: 5, Seed: 1,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := built.Load(); got != 3 {
+		t.Fatalf("response-cache hit built a policy (%d builds total)", got)
+	}
+}
+
+// TestEstimateDoesNotRetainInstance is the unbounded-growth regression:
+// with planner-lifetime policies, the LP caches (keyed by instance
+// pointer, full-set entries pinned) retained every distinct estimated
+// instance forever. After an estimate finishes, nothing in the planner
+// may keep the decoded instance reachable — the response cache and
+// flight group key by content fingerprint, and the policy (with its
+// caches and workspace pool) is request-scoped.
+func TestEstimateDoesNotRetainInstance(t *testing.T) {
+	p := smallPlanner(nil)
+	collected := make(chan struct{})
+	err := func() error {
+		ins, err := workload.Generate(workload.Spec{Family: "uniform", M: 3, N: 6, Seed: 123})
+		if err != nil {
+			return err
+		}
+		runtime.SetFinalizer(ins, func(*model.Instance) { close(collected) })
+		_, err = p.Estimate(context.Background(), &EstimateRequest{
+			Instance: ins, Policy: "sem", Trials: 5, Seed: 1,
+		}, nil)
+		return err
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	t.Fatal("instance still reachable after its estimate finished: the planner retains it")
 }
 
 func TestEstimateChunkingInvariant(t *testing.T) {
@@ -277,7 +347,7 @@ func (g *gatePolicy) Run(w *sim.World) error {
 func TestEstimateCoalescesDuplicates(t *testing.T) {
 	p := smallPlanner(nil)
 	gp := &gatePolicy{entered: make(chan struct{}, 1), gate: make(chan struct{})}
-	p.policies["gate"] = gp
+	p.policies["gate"] = func() sim.Policy { return gp }
 	ins := testInstance(t, "uniform", 3, 5, 4).Instance
 	req := &EstimateRequest{Instance: ins, Policy: "gate", Trials: 4, Seed: 1}
 
@@ -321,8 +391,43 @@ func TestEstimateCoalescesDuplicates(t *testing.T) {
 	if a.resp.Coalesced == b.resp.Coalesced {
 		t.Fatalf("want exactly one coalesced response, got %v/%v", a.resp.Coalesced, b.resp.Coalesced)
 	}
-	if snap := p.Metrics(); snap.Coalesced != 1 {
+	snap := p.Metrics()
+	if snap.Coalesced != 1 {
 		t.Fatalf("coalesced counter = %d", snap.Coalesced)
+	}
+	// Both callers missed the LRU, but the follower was served off the
+	// leader's flight: the reported hit rate counts it as served-from-
+	// shared-work, not as a plain miss.
+	if snap.CacheHits != 0 || snap.CacheMisses != 2 || snap.CacheHitRate != 0.5 {
+		t.Fatalf("hit-rate accounting: hits=%d misses=%d rate=%v",
+			snap.CacheHits, snap.CacheMisses, snap.CacheHitRate)
+	}
+}
+
+// TestRunSharedLeaderServesRacedCache pins the leader's late cache
+// re-check: when an identical flight landed between a caller's cache miss
+// and its join, the new leader serves the cached result (flagged
+// fromCache so the endpoints label it cached) instead of recomputing —
+// and the uncounted peek leaves the hit/miss counters alone (the caller
+// already recorded its miss).
+func TestRunSharedLeaderServesRacedCache(t *testing.T) {
+	p := smallPlanner(nil)
+	key := requestKey{kind: kindPlan, target: 0.25}
+	want := &PlanResponse{Fingerprint: "raced"}
+	p.cache.put(key, want)
+	v, err, shared, fromCache := p.runShared(context.Background(), key, nil, func(func(Progress)) (any, error) {
+		t.Error("computation ran despite a cached result for its key")
+		return nil, errors.New("unreachable")
+	})
+	if err != nil || shared || !fromCache || v.(*PlanResponse) != want {
+		t.Fatalf("v=%v err=%v shared=%v fromCache=%v", v, err, shared, fromCache)
+	}
+	if h, m := p.cache.hits.Load(), p.cache.misses.Load(); h != 0 || m != 0 {
+		t.Fatalf("peek touched the counters: hits=%d misses=%d", h, m)
+	}
+	// The inline finish removed the flight: a fresh caller leads again.
+	if _, follower := p.flight.join(key); follower {
+		t.Fatal("flight entry leaked after the peek-served finish")
 	}
 }
 
@@ -332,7 +437,7 @@ func TestEstimateCoalescesDuplicates(t *testing.T) {
 func TestFollowerSurvivesLeaderCancellation(t *testing.T) {
 	p := smallPlanner(nil)
 	gp := &gatePolicy{entered: make(chan struct{}, 1), gate: make(chan struct{})}
-	p.policies["gate"] = gp
+	p.policies["gate"] = func() sim.Policy { return gp }
 	ins := testInstance(t, "uniform", 3, 5, 61).Instance
 	req := &EstimateRequest{Instance: ins, Policy: "gate", Trials: 4, Seed: 1}
 	key := requestKey{fp: sched.FingerprintInstance(ins), kind: kindEstimate, policy: "gate", trials: 4, seed: 1}
@@ -436,7 +541,7 @@ func TestAdmissionControl(t *testing.T) {
 func TestCloseDrainsInFlight(t *testing.T) {
 	p := smallPlanner(nil)
 	gp := &gatePolicy{entered: make(chan struct{}, 1), gate: make(chan struct{})}
-	p.policies["gate"] = gp
+	p.policies["gate"] = func() sim.Policy { return gp }
 	ins := testInstance(t, "uniform", 3, 5, 31).Instance
 
 	respCh := make(chan error, 1)
@@ -478,7 +583,7 @@ func TestCloseDrainsInFlight(t *testing.T) {
 
 // TestPlannerConcurrentMixed fires overlapping plans and estimates from
 // many goroutines through one planner — the -race exercise for the
-// sharded cache, the flight group, and the shared policies, with a cache
+// sharded cache, the flight group, and the per-request policies, with a cache
 // small enough to force eviction mid-run.
 func TestPlannerConcurrentMixed(t *testing.T) {
 	p := smallPlanner(func(c *Config) {
