@@ -1,8 +1,10 @@
 // Command suud serves the SUU planner over HTTP/JSON: POST /v1/plan
-// (LP-rounded oblivious schedules), POST /v1/estimate (Monte Carlo
-// makespan estimates, NDJSON streaming with "stream": true), GET /healthz,
-// GET /metrics. Requests are admission-controlled, coalesced, and cached
-// content-addressed — see internal/service.
+// (LP-rounded oblivious schedules), POST /v1/plan/batch (many plan items
+// per request with per-item status, intra-batch dedupe, and cost-weighted
+// admission), POST /v1/estimate (Monte Carlo makespan estimates, NDJSON
+// streaming with "stream": true), GET /healthz, GET /metrics. Requests are
+// admission-controlled, coalesced, and cached content-addressed — see
+// internal/service.
 //
 // Run it:
 //
@@ -34,18 +36,22 @@ func main() {
 		cacheCap     = flag.Int("cache-cap", 4096, "cached responses across shards")
 		cacheShards  = flag.Int("cache-shards", 16, "cache shard count")
 		maxTrials    = flag.Int("max-trials", 10000, "per-request Monte Carlo budget")
+		maxBatch     = flag.Int("max-batch", 256, "items per /v1/plan/batch request")
+		maxItemCost  = flag.Int("max-item-cost", 64, "per-item admission cost budget, in n·m/1024 units")
 		trialWorkers = flag.Int("trial-workers", 2, "Monte Carlo workers per estimate")
 		drainWait    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
 
 	planner := service.NewPlanner(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheCap:     *cacheCap,
-		CacheShards:  *cacheShards,
-		MaxTrials:    *maxTrials,
-		TrialWorkers: *trialWorkers,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheCap:      *cacheCap,
+		CacheShards:   *cacheShards,
+		MaxTrials:     *maxTrials,
+		MaxBatchItems: *maxBatch,
+		MaxItemCost:   *maxItemCost,
+		TrialWorkers:  *trialWorkers,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -13,8 +13,15 @@
 //	suuload -url http://127.0.0.1:8650 -rate 300 -duration 10s \
 //	        -family uniform -m 16 -n 64 -instances 4 -json > load.json
 //
+// Batch mode (-op plan-batch) issues /v1/plan/batch requests whose sizes
+// follow -batch-dist around -batch-size; -item-rate offers load in
+// items/second (request rate = item-rate / batch-size), which is how batch
+// and single runs are compared at equal offered item rate. The report adds
+// an item-level ledger (items_issued = items_done + items_errors) next to
+// the request ledger.
+//
 // With -smoke the process exits nonzero unless the run completed requests
-// with zero errors — the CI contract.
+// with zero request and item errors — the CI contract.
 package main
 
 import (
@@ -40,7 +47,10 @@ func main() {
 		rate        = flag.Float64("rate", 100, "open-mode offered load, requests/second")
 		duration    = flag.Duration("duration", 10*time.Second, "issuing window")
 		concurrency = flag.Int("concurrency", 64, "closed-mode workers / open-mode in-flight cap")
-		op          = flag.String("op", "plan", "request type: plan or estimate")
+		op          = flag.String("op", "plan", "request type: plan, estimate, or plan-batch")
+		batchSize   = flag.Int("batch-size", 0, "plan-batch mean items per request (default 8)")
+		batchDist   = flag.String("batch-dist", "", "plan-batch size distribution: fixed or uniform (default fixed)")
+		itemRate    = flag.Float64("item-rate", 0, "plan-batch open-mode offered load in items/second (overrides -rate; request rate becomes item-rate/batch-size)")
 		family      = flag.String("family", "uniform", "instance family (see workload.Spec)")
 		m           = flag.Int("m", 16, "machines per instance")
 		n           = flag.Int("n", 64, "jobs per instance")
@@ -73,6 +83,9 @@ func main() {
 		Concurrency: *concurrency,
 		Duration:    *duration,
 		Op:          *op,
+		BatchSize:   *batchSize,
+		BatchDist:   *batchDist,
+		ItemRate:    *itemRate,
 		Specs:       specs,
 		Trials:      *trials,
 		Seed:        *seed,
@@ -87,6 +100,11 @@ func main() {
 			"suuload: throughput=%.1f req/s lat p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 		rep.Mode, rep.Op, rep.DurationS, rep.Issued, rep.Done, rep.Errors, rep.Rejected, rep.Dropped,
 		rep.Throughput, rep.LatP50*1e3, rep.LatP95*1e3, rep.LatP99*1e3, rep.LatMax*1e3)
+	if rep.Op == "plan-batch" {
+		fmt.Fprintf(os.Stderr,
+			"suuload: items(%s size %d): issued=%d done=%d errors=%d item-throughput=%.1f items/s\n",
+			rep.BatchDist, rep.BatchSize, rep.ItemsIssued, rep.ItemsDone, rep.ItemsErrors, rep.ItemThroughput)
+	}
 	if sm := rep.ServerMetrics; sm != nil {
 		fmt.Fprintf(os.Stderr, "suuload: server %v\n", *sm)
 	}
@@ -122,6 +140,14 @@ func main() {
 				"errors":         float64(rep.Errors),
 				"done":           float64(rep.Done),
 				"issued":         float64(rep.Issued),
+				// Item-level ledger: for single ops these mirror the
+				// request counts, so batch and single runs compare at
+				// equal offered item rate.
+				"items_rps":             rep.ItemThroughput,
+				"items_issued":          float64(rep.ItemsIssued),
+				"items_done":            float64(rep.ItemsDone),
+				"items_errors":          float64(rep.ItemsErrors),
+				"offered_item_rate_rps": rep.OfferedItemRate,
 				// Arrivals shed at the client's in-flight cap: nonzero
 				// means the harness self-throttled and the offered rate
 				// was NOT what -rate claims — exactly the silent
@@ -129,10 +155,19 @@ func main() {
 				"dropped": float64(rep.Dropped),
 			},
 		}
+		if rep.Op == "plan-batch" {
+			rec.Extra["batch_size"] = float64(rep.BatchSize)
+		}
 		if sm := rep.ServerMetrics; sm != nil {
 			rec.Extra["cache_hit_rate"] = sm.CacheHitRate
 			rec.Extra["coalesced"] = float64(sm.Coalesced)
 			rec.Extra["rejected_429"] = float64(sm.Rejected)
+			if rep.Op == "plan-batch" {
+				// Server-side per-batch p99 and mean batch size, to pair
+				// with the client-side batch latencies.
+				rec.Extra["server_batch_p99_s"] = sm.BatchLatency.P99
+				rec.Extra["server_batch_size_mean"] = sm.BatchSizes.Mean
+			}
 		}
 		report.Records = append(report.Records, rec)
 		if err := report.Write(os.Stdout); err != nil {
@@ -140,8 +175,8 @@ func main() {
 		}
 	}
 
-	if *smoke && (rep.Done == 0 || rep.Errors != 0) {
-		log.Fatalf("suuload: smoke failed: done=%d errors=%d", rep.Done, rep.Errors)
+	if *smoke && (rep.Done == 0 || rep.Errors != 0 || rep.ItemsErrors != 0) {
+		log.Fatalf("suuload: smoke failed: done=%d errors=%d item_errors=%d", rep.Done, rep.Errors, rep.ItemsErrors)
 	}
 }
 

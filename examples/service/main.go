@@ -1,9 +1,11 @@
 // Service: run the suud planner in-process, hit it over real HTTP with
-// the suuload open-loop harness, and print what the service measured —
-// the one-file version of:
+// the suuload open-loop harness — single requests first, then batch mode
+// at the same offered item rate — and print what the service measured.
+// The one-file version of:
 //
 //	go run ./cmd/suud &
 //	go run ./cmd/suuload -rate 200 -duration 3s -m 8 -n 32
+//	go run ./cmd/suuload -op plan-batch -item-rate 200 -batch-size 8 -duration 3s -m 8 -n 32
 //
 // Run it:
 //
@@ -11,8 +13,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -59,6 +64,72 @@ func main() {
 	if sm := rep.ServerMetrics; sm != nil {
 		fmt.Printf("server: %v\n", *sm)
 	}
+
+	// Batch walkthrough, request by request: one POST to /v1/plan/batch
+	// carries several items — including an intra-batch duplicate and a
+	// deliberately invalid item — and comes back with per-item status.
+	// Payloads are the canonical plans; the envelope's "source" says how
+	// each was served (cached / computed / coalesced).
+	fresh, err := workload.Generate(workload.Spec{Family: "uniform", M: 8, N: 32, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	repeat, err := workload.Generate(workload.Spec{Family: "uniform", M: 8, N: 32, Seed: 1}) // seed 1 is warm from the load run
+	if err != nil {
+		log.Fatal(err)
+	}
+	batchBody, _ := json.Marshal(&service.BatchPlanRequest{Items: []service.PlanRequest{
+		{Instance: fresh},
+		{Instance: fresh}, // duplicate: deduped inside the batch, one compute
+		{Instance: repeat},
+		{}, // invalid: fails alone, not the batch
+	}})
+	httpResp, err := http.Post(base+"/v1/plan/batch", "application/json", bytes.NewReader(batchBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(httpResp.Body)
+		log.Fatalf("batch rejected: %d %s", httpResp.StatusCode, body)
+	}
+	var batch service.BatchPlanResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&batch); err != nil {
+		log.Fatal(err)
+	}
+	httpResp.Body.Close()
+	fmt.Printf("\nbatch: %d items → %d ok (%d cached, %d computed, %d coalesced), %d errors, %d cost units\n",
+		batch.Size, batch.OK, batch.Cached, batch.Computed, batch.Coalesced, batch.Errors, batch.CostUnits)
+	for i, item := range batch.Items {
+		if item.Status == "ok" {
+			fmt.Printf("  item %d: %-9s t*=%.3f length=%d\n", i, item.Source, item.Plan.TStar, item.Plan.Length)
+		} else {
+			fmt.Printf("  item %d: error: %s\n", i, item.Error)
+		}
+	}
+
+	// The same comparison at load: batch mode at the identical offered
+	// ITEM rate amortizes per-request HTTP/JSON cost into one round trip
+	// per batch.
+	brep, err := service.RunLoad(context.Background(), service.LoadConfig{
+		BaseURL:   base,
+		Mode:      "open",
+		Arrival:   "poisson",
+		ItemRate:  200, // = the single-run request rate, in items/s
+		BatchSize: 8,
+		Duration:  3 * time.Second,
+		Op:        "plan-batch",
+		Specs: []workload.Spec{
+			{Family: "uniform", M: 8, N: 32, Seed: 1},
+			{Family: "uniform", M: 8, N: 32, Seed: 2},
+		},
+		Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbatch load: %d batches, %d items, %d item errors, %.1f items/s (offered %.0f)\n",
+		brep.Done, brep.ItemsDone, brep.ItemsErrors, brep.ItemThroughput, brep.OfferedItemRate)
+	fmt.Printf("per-batch latency: p50=%.2fms p99=%.2fms\n", brep.LatP50*1e3, brep.LatP99*1e3)
 
 	// Graceful shutdown: stop accepting, drain in-flight work.
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -1,0 +1,70 @@
+// Command gencorpus regenerates the committed Go fuzz corpora from the
+// scenario generator, seeding the fuzz targets with structured instances
+// the mutator would take a long time to discover from scratch:
+//
+//	go run ./internal/scenario/gencorpus
+//
+// writes (deterministically — same seed, same files):
+//
+//	internal/sched/testdata/fuzz/FuzzFingerprint/           instance documents
+//	internal/service/testdata/fuzz/FuzzPlanRequestDecode/   plan and batch request bodies
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to write testdata under")
+	perShape := flag.Int("per-shape", 3, "corpus entries per scenario shape")
+	flag.Parse()
+
+	fpDir := filepath.Join(*root, "internal", "sched", "testdata", "fuzz", "FuzzFingerprint")
+	reqDir := filepath.Join(*root, "internal", "service", "testdata", "fuzz", "FuzzPlanRequestDecode")
+	for _, d := range []string{fpDir, reqDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, shape := range scenario.Shapes {
+		g := scenario.New(90125)
+		g.MaxJobs, g.MaxMachines = 8, 4 // corpus entries stay small; the mutator grows them
+		for i := 0; i < *perShape; i++ {
+			ins, err := g.Instance(shape)
+			if err != nil {
+				log.Fatal(err)
+			}
+			insJSON, err := json.Marshal(ins)
+			if err != nil {
+				log.Fatal(err)
+			}
+			write(filepath.Join(fpDir, fmt.Sprintf("scenario-%s-%d", shape, i)), insJSON)
+			write(filepath.Join(reqDir, fmt.Sprintf("scenario-%s-%d", shape, i)),
+				[]byte(fmt.Sprintf(`{"instance":%s}`, insJSON)))
+			if i == 0 {
+				// One batch body per shape: the instance, a duplicate of
+				// it, and an invalid item — the per-item paths in one seed.
+				write(filepath.Join(reqDir, fmt.Sprintf("scenario-%s-batch", shape)),
+					[]byte(fmt.Sprintf(`{"items":[{"instance":%s},{"instance":%s,"target":0.25},{}],"deadline_ms":50}`, insJSON, insJSON)))
+			}
+		}
+	}
+}
+
+// write emits one corpus entry in the `go test fuzz v1` encoding.
+func write(path string, data []byte) {
+	body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", path)
+}

@@ -1,0 +1,227 @@
+// Package scenario generates randomized SUU instances for property-based
+// and fuzz testing. Where internal/workload builds the paper's named
+// experiment families (well-conditioned by design), scenario deliberately
+// wanders the edges of the input space the hand-written tests never reach:
+// degenerate failure probabilities (exactly 0, exactly 1, and 1−ε, the
+// values that hit the LogFailCap clamp and the ℓ=0 no-mass path), duplicate
+// job columns (identical LP columns force degenerate ties), m ≫ n and
+// n ≫ m aspect ratios, and every precedence shape the service routes on
+// (independent, chains, forest, layered).
+//
+// Generation is deterministic in the seed: a Gen built from the same seed
+// emits the same instance sequence on every run and platform (it draws from
+// internal/rng's SplitMix64), so a property-test failure reproduces from
+// its logged seed alone. Instances are built through model.New and are
+// always valid — the generator's job is to be adversarial within the
+// contract, not to produce garbage (the fuzz targets own the garbage).
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// Shape selects the precedence structure of generated instances.
+type Shape string
+
+// The four generated shapes. Independent and Chains are plannable
+// (/v1/plan supports them); Forest and Layered exercise the estimate
+// policies and the service's per-item rejection paths.
+const (
+	Independent Shape = "independent"
+	Chains      Shape = "chains"
+	Forest      Shape = "forest"
+	Layered     Shape = "layered"
+)
+
+// Shapes lists every generated shape, in a fixed order property suites can
+// range over.
+var Shapes = []Shape{Independent, Chains, Forest, Layered}
+
+// Gen is a deterministic instance generator. Not safe for concurrent use;
+// give each goroutine its own (seeds are cheap).
+type Gen struct {
+	src *rng.SplitMix64
+
+	// MaxJobs and MaxMachines bound the common-case sampled sizes. The
+	// skewed aspect-ratio draws (m ≫ n, n ≫ m) may exceed one of them by
+	// design, up to 4×. Zero values default to 16 jobs / 8 machines —
+	// small enough that a 200-scenario property sweep stays in seconds.
+	MaxJobs     int
+	MaxMachines int
+}
+
+// New returns a generator for the given seed.
+func New(seed int64) *Gen { return &Gen{src: rng.New(seed)} }
+
+func (g *Gen) f64() float64 { return g.src.Float64() }
+
+// intn returns a uniform int in [0, n). n must be positive.
+func (g *Gen) intn(n int) int { return int(g.src.Uint64() % uint64(n)) }
+
+// Instance draws one random instance of the given shape.
+func (g *Gen) Instance(shape Shape) (*model.Instance, error) {
+	maxN, maxM := g.MaxJobs, g.MaxMachines
+	if maxN <= 0 {
+		maxN = 16
+	}
+	if maxM <= 0 {
+		maxM = 8
+	}
+	var m, n int
+	switch r := g.f64(); {
+	case r < 0.10: // m ≫ n: more machines than jobs, the matching-heavy corner
+		n = 1 + g.intn(3)
+		m = 2*maxM + g.intn(2*maxM)
+	case r < 0.20: // n ≫ m: long schedules, machine rows are the bottleneck
+		n = 2*maxN + g.intn(2*maxN)
+		m = 1 + g.intn(2)
+	default:
+		n = 1 + g.intn(maxN)
+		m = 1 + g.intn(maxM)
+	}
+	q := g.qMatrix(m, n)
+	prec, err := g.prec(shape, n)
+	if err != nil {
+		return nil, err
+	}
+	ins, err := model.New(m, n, q, prec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: generated an invalid %s instance (m=%d n=%d): %w", shape, m, n, err)
+	}
+	return ins, nil
+}
+
+// qMatrix fills an m×n failure matrix with adversarial values: point
+// masses at 0 (instant success, ℓ clamped to LogFailCap), 1 (useless
+// machine, ℓ=0), and 1−ε (ℓ barely positive — the numerically nastiest
+// rate), plus duplicated job columns. Every job is guaranteed at least one
+// machine with q < 1, the model invariant.
+func (g *Gen) qMatrix(m, n int) [][]float64 {
+	q := make([][]float64, m)
+	for i := range q {
+		q[i] = make([]float64, n)
+		for j := range q[i] {
+			switch r := g.f64(); {
+			case r < 0.08:
+				q[i][j] = 0 // certain completion: ℓ hits the LogFailCap clamp
+			case r < 0.20:
+				q[i][j] = 1 // machine contributes nothing to this job
+			case r < 0.25:
+				q[i][j] = math.Nextafter(1, 0) // 1−ε: smallest positive ℓ
+			case r < 0.30:
+				q[i][j] = math.Exp2(-float64(40 + g.intn(40))) // deep tail, near/below the clamp
+			default:
+				q[i][j] = 0.02 + 0.96*g.f64()
+			}
+		}
+	}
+	// Duplicate jobs: copy whole columns so the LP sees identical columns
+	// (exactly tied reduced costs, the degenerate-pivot stressor).
+	if n >= 2 && g.f64() < 0.35 {
+		for k := 0; k < 1+n/4; k++ {
+			src, dst := g.intn(n), g.intn(n)
+			for i := 0; i < m; i++ {
+				q[i][dst] = q[i][src]
+			}
+		}
+	}
+	// Repair: every job needs one machine with q < 1 (the model invariant)
+	// — and one with q bounded away from 1. A job carried only by ℓ ≈ 1e-16
+	// machines needs x ~ 10¹⁵ in LP1's cover row, which no float simplex
+	// can be expected to solve; 1−ε entries still appear everywhere as
+	// degenerate columns, they just never carry a job alone.
+	for j := 0; j < n; j++ {
+		ok := false
+		for i := 0; i < m; i++ {
+			if q[i][j] <= 0.99 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			q[g.intn(m)][j] = 0.25 + 0.5*g.f64()
+		}
+	}
+	return q
+}
+
+// prec builds the precedence DAG for the shape (nil for most independent
+// draws; occasionally a zero-edge DAG, which must behave identically).
+func (g *Gen) prec(shape Shape, n int) (*dag.DAG, error) {
+	switch shape {
+	case Independent:
+		if g.f64() < 0.2 {
+			// A non-nil zero-edge graph describes the same problem as nil;
+			// emitting both forms keeps the fingerprint equivalence honest.
+			return dag.New(n), nil
+		}
+		return nil, nil
+	case Chains:
+		d := dag.New(n)
+		if n < 2 {
+			return d, nil
+		}
+		// Sequential partition into z < n chains: at least one chain has
+		// length ≥ 2, so the instance classifies as chains, not independent.
+		z := 1 + g.intn(n-1)
+		bounds := make([]bool, n) // bounds[j]: a new chain starts at j
+		bounds[0] = true
+		for k := 1; k < z; k++ {
+			bounds[1+g.intn(n-1)] = true
+		}
+		for j := 1; j < n; j++ {
+			if !bounds[j] {
+				d.MustEdge(j-1, j)
+			}
+		}
+		return d, nil
+	case Forest:
+		d := dag.New(n)
+		if n < 2 {
+			return d, nil
+		}
+		edges := 0
+		for v := 1; v < n; v++ {
+			if g.f64() < 0.6 {
+				d.MustEdge(g.intn(v), v) // in-degree ≤ 1: an out-forest
+				edges++
+			}
+		}
+		if edges == 0 {
+			d.MustEdge(0, 1)
+		}
+		return d, nil
+	case Layered:
+		d := dag.New(n)
+		if n < 2 {
+			return d, nil
+		}
+		layers := 2 + g.intn(3)
+		if layers > n {
+			layers = n
+		}
+		// Sequential layer partition, complete bipartite between
+		// consecutive layers (mapreduce-style; in-degrees ≥ 2 whenever the
+		// previous layer has ≥ 2 jobs, so the class is general, not forest).
+		starts := []int{0}
+		for k := 1; k < layers; k++ {
+			starts = append(starts, starts[k-1]+1+(n-starts[k-1]-(layers-k))/2)
+		}
+		starts = append(starts, n)
+		for k := 0; k+2 < len(starts); k++ {
+			for u := starts[k]; u < starts[k+1]; u++ {
+				for v := starts[k+1]; v < starts[k+2]; v++ {
+					d.MustEdge(u, v)
+				}
+			}
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown shape %q", shape)
+	}
+}

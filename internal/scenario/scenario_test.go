@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// TestGeneratorDeterministic pins the reproducibility contract: the same
+// seed yields the same instance sequence (by content fingerprint).
+func TestGeneratorDeterministic(t *testing.T) {
+	for _, shape := range Shapes {
+		a, b := New(42), New(42)
+		for i := 0; i < 50; i++ {
+			ia, err := a.Instance(shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ib, err := b.Instance(shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sched.FingerprintInstance(ia) != sched.FingerprintInstance(ib) {
+				t.Fatalf("%s instance %d differs across generators with one seed", shape, i)
+			}
+		}
+	}
+}
+
+// TestGeneratorShapesAndEdges checks that each shape actually produces its
+// precedence class (for sizes where that is possible), that degenerate q
+// values and skewed aspect ratios occur, and that every instance survives
+// a JSON round trip with its fingerprint intact.
+func TestGeneratorShapesAndEdges(t *testing.T) {
+	for _, shape := range Shapes {
+		g := New(7)
+		var sawClass, sawZero, sawOne, sawNearOne, sawMBig, sawNBig, sawDup bool
+		for i := 0; i < 200; i++ {
+			ins, err := g.Instance(shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			class := ins.Class()
+			switch shape {
+			case Independent:
+				if class != dag.ClassIndependent {
+					t.Fatalf("independent draw classified %v", class)
+				}
+				sawClass = true
+			case Chains:
+				if ins.N >= 2 && class != dag.ClassChains {
+					t.Fatalf("chains draw (n=%d) classified %v", ins.N, class)
+				}
+				sawClass = sawClass || class == dag.ClassChains
+			case Forest:
+				if ins.N >= 2 && !class.IsForest() {
+					t.Fatalf("forest draw (n=%d) classified %v", ins.N, class)
+				}
+				sawClass = sawClass || class.IsForest() && class != dag.ClassIndependent && class != dag.ClassChains
+			case Layered:
+				sawClass = sawClass || (!class.IsForest() && class != dag.ClassChains)
+			}
+			for i2 := range ins.Q {
+				for j := range ins.Q[i2] {
+					switch q := ins.Q[i2][j]; {
+					case q == 0:
+						sawZero = true
+					case q == 1:
+						sawOne = true
+					case q > 0.999999999999:
+						sawNearOne = true
+					}
+				}
+			}
+			if ins.M > 4*ins.N {
+				sawMBig = true
+			}
+			if ins.N > 8*ins.M {
+				sawNBig = true
+			}
+			// Duplicate job columns: any two identical columns count.
+			for a := 0; a < ins.N && !sawDup; a++ {
+				for b := a + 1; b < ins.N && !sawDup; b++ {
+					same := true
+					for i2 := 0; i2 < ins.M; i2++ {
+						if ins.Q[i2][a] != ins.Q[i2][b] {
+							same = false
+							break
+						}
+					}
+					sawDup = same
+				}
+			}
+
+			data, err := json.Marshal(ins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back model.Instance
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatalf("%s instance %d does not survive a JSON round trip: %v", shape, i, err)
+			}
+			if sched.FingerprintInstance(ins) != sched.FingerprintInstance(&back) {
+				t.Fatalf("%s instance %d changes fingerprint across a JSON round trip", shape, i)
+			}
+		}
+		if !sawClass {
+			t.Errorf("%s: no draw realized its class in 200 instances", shape)
+		}
+		if !sawZero || !sawOne || !sawNearOne {
+			t.Errorf("%s: degenerate q coverage zero=%v one=%v near-one=%v", shape, sawZero, sawOne, sawNearOne)
+		}
+		if !sawMBig || !sawNBig {
+			t.Errorf("%s: aspect-ratio coverage m>>n=%v n>>m=%v", shape, sawMBig, sawNBig)
+		}
+		if !sawDup {
+			t.Errorf("%s: no duplicate job columns in 200 instances", shape)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// FuzzFingerprint fuzzes the fingerprint through the wire format: any
+// bytes that decode to a valid instance must fingerprint identically after
+// an encode→decode round trip (the content-addressing contract the
+// service's cache correctness rests on), must never produce the zero
+// fingerprint, and — when the decoded precedence graph exists but has no
+// edges — must stay bit-equal to the nil-graph form of the same problem.
+// The committed corpus under testdata/fuzz is generated from
+// internal/scenario (go run ./internal/scenario/gencorpus).
+func FuzzFingerprint(f *testing.F) {
+	f.Add([]byte(`{"m":1,"n":1,"q":[[0.5]]}`))
+	f.Add([]byte(`{"m":2,"n":2,"q":[[0,1],[1,0.25]],"edges":[[0,1]]}`))
+	f.Add([]byte(`{"m":1,"n":2,"q":[[0.9,0.1]],"edges":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ins model.Instance
+		if err := json.Unmarshal(data, &ins); err != nil {
+			return // not a valid instance; decode rejection is its own target
+		}
+		fp := FingerprintInstance(&ins)
+		if fp.IsZero() {
+			t.Fatalf("valid instance hashed to the zero fingerprint: %s", data)
+		}
+		out, err := json.Marshal(&ins)
+		if err != nil {
+			t.Fatalf("instance decoded from %q does not re-encode: %v", data, err)
+		}
+		var back model.Instance
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-encoding is not decodable: %v (encoded %s)", err, out)
+		}
+		if fp2 := FingerprintInstance(&back); fp2 != fp {
+			t.Fatalf("fingerprint changed across a round trip: %v vs %v (input %s)", fp, fp2, data)
+		}
+		if ins.Prec != nil && ins.Prec.Edges() == 0 {
+			bare := ins
+			bare.Prec = nil
+			if fp3 := FingerprintInstance(&bare); fp3 != fp {
+				t.Fatalf("zero-edge graph fingerprints differently from nil graph: %v vs %v", fp, fp3)
+			}
+		}
+	})
+}

@@ -1,0 +1,308 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// refItemWork is the n·m product of the reference batch item (the n=64,
+// m=16 cell the service benchmarks center on): one admission cost unit.
+// The LP1 behind a plan has n·m+1 variables, so n·m is the natural
+// first-cut proxy for expected compute cost — ROADMAP's "weigh requests,
+// not count them" backpressure, seeded here for the batch path.
+const refItemWork = 64 * 16
+
+// itemCost converts an instance's size into admission cost units:
+// ⌈n·m/refItemWork⌉, at least 1. A batch charges the sum over its
+// to-be-computed items against the queue budget, so ten large instances
+// consume the capacity of ten, not of one request.
+func itemCost(ins *model.Instance) int {
+	c := (ins.N*ins.M + refItemWork - 1) / refItemWork
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// BatchPlanRequest asks for rounded schedules for a list of instances in
+// one round trip. Items are independent: each is validated, admitted, and
+// computed (or served from cache / coalesced) on its own, and one bad item
+// yields a per-item error, never a failed batch.
+type BatchPlanRequest struct {
+	Items []PlanRequest `json:"items"`
+	// DeadlineMS, when positive, turns on partial-results mode: items
+	// still unfinished after the deadline report a per-item error while
+	// finished items return normally. Abandoned computations keep running
+	// detached and land in the cache, so a retry is cheap.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Batch item serving sources.
+const (
+	sourceCached    = "cached"    // served from the response LRU
+	sourceComputed  = "computed"  // this batch led the computation
+	sourceCoalesced = "coalesced" // served off shared work: an in-flight request or an intra-batch duplicate
+)
+
+// BatchItemResult is one item's outcome. Exactly one of Plan or Error is
+// set. Plan payloads are the canonical cached values — their Cached and
+// Coalesced flags are always false; how the item was served is the
+// envelope's Source, which (unlike the payload) depends on request order
+// and cache state.
+type BatchItemResult struct {
+	Status string        `json:"status"` // "ok" or "error"
+	Source string        `json:"source,omitempty"`
+	Plan   *PlanResponse `json:"plan,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// BatchPlanResponse is the per-item results plus the batch's own
+// accounting: Size = OK + Errors and OK = Cached + Computed + Coalesced
+// always reconcile. CostUnits is what admission charged for the computed
+// items (cache hits and rejected items are free).
+type BatchPlanResponse struct {
+	Size      int               `json:"size"`
+	OK        int               `json:"ok"`
+	Errors    int               `json:"errors"`
+	Cached    int               `json:"cached"`
+	Computed  int               `json:"computed"`
+	Coalesced int               `json:"coalesced"`
+	CostUnits int               `json:"cost_units"`
+	Items     []BatchItemResult `json:"items"`
+}
+
+// batchGroup is one unique requestKey's worth of batch items: idxs are the
+// item positions sharing the key (intra-batch duplicates dedupe here,
+// before any flight registration), cost its admission charge.
+type batchGroup struct {
+	key    requestKey
+	idxs   []int
+	cost   int
+	ins    *model.Instance
+	fp     sched.Fingerprint
+	target float64
+	class  dag.Class
+
+	val    any
+	err    error
+	source string
+}
+
+// PlanBatch computes (or serves from cache) rounded schedules for every
+// item of req. Batch-level errors are reserved for the request itself
+// (malformed envelope, overload, shutdown, a gone client); anything wrong
+// with an individual item — validation, an over-budget instance, a compute
+// failure, a missed deadline — comes back as that item's error.
+func (p *Planner) PlanBatch(ctx context.Context, req *BatchPlanRequest) (*BatchPlanResponse, error) {
+	if err := p.begin(); err != nil {
+		return nil, err
+	}
+	defer p.end()
+	start := time.Now()
+	resp, err := p.planBatch(ctx, req)
+	p.metrics.observeBatch(time.Since(start), resp, err)
+	return resp, err
+}
+
+func (p *Planner) planBatch(ctx context.Context, req *BatchPlanRequest) (*BatchPlanResponse, error) {
+	if req == nil || len(req.Items) == 0 {
+		return nil, badRequestf("batch needs at least one item")
+	}
+	if len(req.Items) > p.cfg.MaxBatchItems {
+		return nil, badRequestf("batch of %d items over the cap %d (split the batch)", len(req.Items), p.cfg.MaxBatchItems)
+	}
+	// maxDeadlineMS bounds deadline_ms at 24h: far beyond any real
+	// partial-results deadline, and small enough that the nanosecond
+	// conversion below can never overflow into an already-expired context.
+	const maxDeadlineMS = 24 * 60 * 60 * 1000
+	if req.DeadlineMS < 0 || req.DeadlineMS > maxDeadlineMS {
+		return nil, badRequestf("deadline_ms %d outside [0, %d]", req.DeadlineMS, int64(maxDeadlineMS))
+	}
+
+	items := make([]BatchItemResult, len(req.Items))
+
+	// Validate every item and dedupe by content key: duplicate items —
+	// within the batch or across different decodings of the same instance —
+	// collapse onto one group before anything touches the flight table.
+	groups := make(map[requestKey]*batchGroup)
+	var order []*batchGroup
+	for i := range req.Items {
+		ins, target, class, err := p.validatePlan(&req.Items[i])
+		if err != nil {
+			items[i] = BatchItemResult{Status: "error", Error: err.Error()}
+			continue
+		}
+		fp := sched.FingerprintInstance(ins)
+		key := requestKey{fp: fp, kind: kindPlan, target: target}
+		g, ok := groups[key]
+		if !ok {
+			g = &batchGroup{key: key, cost: itemCost(ins), ins: ins, fp: fp, target: target, class: class}
+			groups[key] = g
+			order = append(order, g)
+		}
+		g.idxs = append(g.idxs, i)
+	}
+
+	// Pass 1 — peek the cache (uncounted: if admission rejects the batch
+	// below, no response is delivered and no hit may be claimed) and price
+	// the remaining work.
+	var misses []*batchGroup
+	totalCost := 0
+	for _, g := range order {
+		if v, ok := p.cache.peek(g.key); ok {
+			g.val, g.source = v, sourceCached
+			continue
+		}
+		if g.cost > p.cfg.MaxItemCost {
+			g.err = badRequestf("item cost %d units (n=%d, m=%d) over the per-item budget %d", g.cost, g.ins.N, g.ins.M, p.cfg.MaxItemCost)
+			continue
+		}
+		misses = append(misses, g)
+		totalCost += g.cost
+	}
+
+	// Admission weighs items, not requests: the batch charges the summed
+	// cost of its to-be-computed items against the same queue budget
+	// single requests count against. A batch whose own cost exceeds the
+	// budget is still admittable — but only against an empty enough line
+	// (otherwise it could never run at all).
+	if totalCost > 0 {
+		if q := p.queued.Add(int64(totalCost)); q > int64(max(p.cfg.QueueDepth, totalCost)) {
+			p.queued.Add(-int64(totalCost))
+			return nil, fmt.Errorf("%w (batch of %d cost units)", ErrOverloaded, totalCost)
+		}
+	}
+
+	// The batch is admitted: now record per-item cache accounting. Misses
+	// land before any coalesced counts can (the fan-out below), keeping
+	// coalesced ≤ misses — and the reported hit rate ≤ 1 — within any one
+	// /metrics document.
+	for _, g := range order {
+		switch {
+		case g.source == sourceCached:
+			p.cache.hits.Add(uint64(len(g.idxs)))
+		case g.err == nil:
+			p.cache.misses.Add(uint64(len(g.idxs)))
+		}
+	}
+
+	// Fan the misses across the worker pool, one resolver per unique key.
+	// Resolvers coalesce against in-flight singles and other batches
+	// through the same flight table the single path uses.
+	dctx := ctx
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	var wg sync.WaitGroup
+	for _, g := range misses {
+		wg.Add(1)
+		go func(g *batchGroup) {
+			defer wg.Done()
+			p.resolveBatchGroup(dctx, g)
+		}(g)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// The client is gone; the response has no reader. Detached
+		// computations still finish and land in the cache.
+		return nil, err
+	}
+
+	resp := &BatchPlanResponse{Size: len(req.Items), CostUnits: totalCost, Items: items}
+	for _, g := range order {
+		if g.err != nil {
+			for _, i := range g.idxs {
+				items[i] = BatchItemResult{Status: "error", Error: g.err.Error()}
+			}
+			continue
+		}
+		plan := g.val.(*PlanResponse)
+		for k, i := range g.idxs {
+			src := g.source
+			if src == sourceComputed && k > 0 {
+				src = sourceCoalesced // intra-batch duplicate of the computed item
+			}
+			items[i] = BatchItemResult{Status: "ok", Source: src, Plan: plan}
+		}
+	}
+	coalescedItems := 0
+	for i := range items {
+		switch {
+		case items[i].Status == "error":
+			resp.Errors++
+			continue
+		case items[i].Source == sourceCached:
+			resp.Cached++
+		case items[i].Source == sourceComputed:
+			resp.Computed++
+		default:
+			resp.Coalesced++
+			coalescedItems++
+		}
+		resp.OK++
+	}
+	// Items served off shared work (flight followers, raced-cache peeks,
+	// intra-batch duplicates) recorded a miss above but recomputed
+	// nothing; fold them into the shared-work bucket exactly like the
+	// single path's markShared.
+	if coalescedItems > 0 {
+		p.metrics.coalesced.Add(uint64(coalescedItems))
+	}
+	return resp, nil
+}
+
+// resolveBatchGroup serves one unique uncached key: join the flight as a
+// follower, or lead — re-checking the cache for a raced flight first, then
+// computing on a worker slot via a detached, panic-isolated spawn. The
+// group's admission charge is released the moment it is known not to be
+// queued work anymore (follower join, raced-cache hit, or slot acquired).
+func (p *Planner) resolveBatchGroup(ctx context.Context, g *batchGroup) {
+	c, follower := p.flight.join(g.key)
+	if follower {
+		p.queued.Add(-int64(g.cost)) // someone else computes; nothing queued
+		g.source = sourceCoalesced
+		g.await(ctx, c)
+		return
+	}
+	if v, ok := p.cache.peek(g.key); ok {
+		// A racing flight landed between our peek in pass 1 and the join.
+		p.flight.finish(g.key, c, v, nil)
+		p.queued.Add(-int64(g.cost))
+		g.val, g.source = v, sourceCoalesced
+		return
+	}
+	ins, fp, target, class, cost := g.ins, g.fp, g.target, g.class, g.cost
+	p.spawn(g.key, c, func() (any, error) {
+		p.slots <- struct{}{} // block for a worker slot; admission already charged the line
+		p.queued.Add(-int64(cost))
+		defer p.release()
+		resp, err := p.computePlan(ins, fp, target, class)
+		if err != nil {
+			return nil, err
+		}
+		p.cache.put(g.key, resp)
+		return resp, nil
+	})
+	g.source = sourceComputed
+	g.await(ctx, c)
+}
+
+// await waits for the group's flight under the batch's (possibly
+// deadline-bounded) context. A deadline expiry becomes this item's error;
+// the computation itself is detached and unharmed.
+func (g *batchGroup) await(ctx context.Context, c *flightCall) {
+	select {
+	case <-c.done:
+		g.val, g.err = c.val, c.err
+	case <-ctx.Done():
+		g.err = fmt.Errorf("item unfinished at the batch deadline: %w (the computation continues and will be cached)", ctx.Err())
+	}
+}

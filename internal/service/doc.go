@@ -25,10 +25,28 @@
 //     for a planner fronting a fleet of similar workloads — are served
 //     from memory. Shards each carry their own lock; the cache is exercised
 //     under -race by the package tests.
+//   - Batches amortize the HTTP and JSON overhead: /v1/plan/batch
+//     (Planner.PlanBatch) takes a list of plan items per request and
+//     resolves each independently — cache hits immediately, duplicates
+//     deduped within the batch by fingerprint before any flight
+//     registration, the rest fanned across the same worker pool and
+//     coalesced against in-flight singles and other batches. Items fail
+//     individually (validation, per-item cost budget, compute errors, a
+//     missed DeadlineMS in partial-results mode), never the batch; item
+//     payloads are the canonical cached values, with the serving source
+//     ("cached"/"computed"/"coalesced") in the per-item envelope. Batch
+//     admission is the first cut of cost-model backpressure: each
+//     to-be-computed item charges ⌈n·m/1024⌉ units (1 unit = the n=64,
+//     m=16 reference) against the same queue budget single requests count
+//     against, so a batch of heavy instances sheds load like the many
+//     requests it is.
 //   - Metrics counts everything (hits, misses, coalesced, rejected,
-//     in-flight) and records per-endpoint latency in stats.Histogram;
-//     Server exposes it all as JSON on /metrics next to /healthz,
-//     /v1/plan, and /v1/estimate (which can stream NDJSON progress).
+//     in-flight, per-item batch outcomes, a batch-size distribution) and
+//     records per-endpoint latency in stats.Histogram; Server exposes it
+//     all as JSON on /metrics next to /healthz, /v1/plan, /v1/plan/batch,
+//     and /v1/estimate (which can stream NDJSON progress). Within one
+//     /metrics document the batch item counters reconcile exactly and
+//     cache_hit_rate ≤ 1 holds with per-item batch accounting folded in.
 //
 // Responses handed out by the Planner are shared (cached and coalesced
 // callers receive the same pointers); callers must treat them as

@@ -30,6 +30,7 @@ type Server struct {
 func NewServer(p *Planner) *Server {
 	s := &Server{planner: p, mux: http.NewServeMux(), maxBody: maxBodyBytes}
 	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/plan/batch", s.handlePlanBatch)
 	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -117,6 +118,33 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handlePlanBatch serves /v1/plan/batch: many plan items in one request,
+// with per-item status. The HTTP status reflects the batch envelope only —
+// a 200 may carry items that individually failed; inspect each item's
+// "status" (and the top-level "errors" count).
+func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req BatchPlanRequest
+	if err := s.decodeRequest(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.planner.PlanBatch(r.Context(), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Batch responses are machine-consumed and carry one payload per item;
+	// compact encoding keeps the wire cost of a big batch proportional to
+	// its content, not to pretty-printing (indentation roughly doubles an
+	// n=64 plan payload).
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
@@ -200,6 +228,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // String renders a snapshot compactly for operator logs.
 func (sn MetricsSnapshot) String() string {
-	return fmt.Sprintf("plans=%d estimates=%d hit_rate=%.2f coalesced=%d rejected=%d errors=%d inflight=%d plan_p99=%.2fms",
-		sn.Plans, sn.Estimates, sn.CacheHitRate, sn.Coalesced, sn.Rejected, sn.Errors, sn.InFlight, sn.PlanLatency.P99*1e3)
+	return fmt.Sprintf("plans=%d estimates=%d batches=%d batch_items=%d hit_rate=%.2f coalesced=%d rejected=%d errors=%d inflight=%d plan_p99=%.2fms batch_p99=%.2fms",
+		sn.Plans, sn.Estimates, sn.Batches, sn.BatchItems, sn.CacheHitRate, sn.Coalesced, sn.Rejected, sn.Errors, sn.InFlight, sn.PlanLatency.P99*1e3, sn.BatchLatency.P99*1e3)
 }

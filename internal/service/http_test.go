@@ -280,6 +280,137 @@ func TestHTTPEstimateStreaming(t *testing.T) {
 	}
 }
 
+// TestHTTPPlanBatchGolden round-trips a mixed batch over HTTP and pins the
+// response shape: envelope fields, per-item statuses and sources, and
+// payloads cross-checked against the single endpoint.
+func TestHTTPPlanBatchGolden(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	fresh := testInstance(t, "uniform", 4, 8, 201)
+	chain := testInstance(t, "chains", 4, 12, 202)
+
+	resp, body := postJSON(t, ts, "/v1/plan/batch", &BatchPlanRequest{Items: []PlanRequest{
+		*fresh, jsonClone(t, fresh), *chain, {},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	for _, field := range []string{"size", "ok", "errors", "cached", "computed", "coalesced", "cost_units", "items"} {
+		if _, present := got[field]; !present {
+			t.Errorf("response missing field %q in %s", field, body)
+		}
+	}
+	var batch BatchPlanResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Size != 4 || batch.OK != 3 || batch.Errors != 1 ||
+		batch.Computed != 2 || batch.Coalesced != 1 {
+		t.Fatalf("summary: %+v", batch)
+	}
+	direct, err := smallPlanner(nil).Plan(context.Background(), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonicalPlanJSON(t, batch.Items[0].Plan), canonicalPlanJSON(t, direct); got != want {
+		t.Errorf("batch payload over HTTP differs from direct library call")
+	}
+	if batch.Items[3].Status != "error" || batch.Items[3].Error == "" {
+		t.Errorf("invalid item: %+v", batch.Items[3])
+	}
+
+	// Error paths: malformed JSON and an oversized batch are envelope-level
+	// 400s (there are no items to isolate).
+	r2, err := ts.Client().Post(ts.URL+"/v1/plan/batch", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed batch: %d", r2.StatusCode)
+	}
+	resp, body = postJSON(t, ts, "/v1/plan/batch", &BatchPlanRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestHTTPMetricsBatchCounters pins the /metrics batch accounting
+// contract: the documented batch counters exist, are monotone across
+// documents, reconcile exactly within one document
+// (batch_items = cached + computed + coalesced + errors — they are
+// snapshotted under one lock), and per-item batch accounting keeps
+// cache_hit_rate ≤ 1.
+func TestHTTPMetricsBatchCounters(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	a := testInstance(t, "uniform", 3, 6, 301)
+	b := testInstance(t, "uniform", 3, 6, 302)
+
+	fetch := func() MetricsSnapshot {
+		t.Helper()
+		snap, err := FetchMetrics(context.Background(), ts.Client(), ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap.check(t)
+	}
+
+	postJSON(t, ts, "/v1/plan/batch", &BatchPlanRequest{Items: []PlanRequest{*a, jsonClone(t, a), *b}})
+	doc1 := fetch()
+	if doc1.Batches != 1 || doc1.BatchItems != 3 || doc1.BatchComputed != 2 || doc1.BatchShared != 1 {
+		t.Fatalf("doc1: %+v", doc1)
+	}
+	if doc1.BatchSizes.Count != 1 || doc1.BatchLatency.Count != 1 || doc1.BatchLatency.P99 <= 0 {
+		t.Fatalf("doc1 batch histograms: %+v / %+v", doc1.BatchSizes, doc1.BatchLatency)
+	}
+
+	// A second batch: all hits plus one per-item error.
+	postJSON(t, ts, "/v1/plan/batch", &BatchPlanRequest{Items: []PlanRequest{jsonClone(t, b), {}}})
+	doc2 := fetch()
+	if doc2.Batches != 2 || doc2.BatchItems != 5 || doc2.BatchCached != doc1.BatchCached+1 || doc2.BatchErrors != doc1.BatchErrors+1 {
+		t.Fatalf("doc2: %+v", doc2)
+	}
+	// Monotonicity, counter by counter.
+	type pair struct {
+		name string
+		a, b uint64
+	}
+	for _, c := range []pair{
+		{"batches", doc1.Batches, doc2.Batches},
+		{"batch_items", doc1.BatchItems, doc2.BatchItems},
+		{"batch_items_cached", doc1.BatchCached, doc2.BatchCached},
+		{"batch_items_computed", doc1.BatchComputed, doc2.BatchComputed},
+		{"batch_items_coalesced", doc1.BatchShared, doc2.BatchShared},
+		{"batch_item_errors", doc1.BatchErrors, doc2.BatchErrors},
+		{"cache_hits", doc1.CacheHits, doc2.CacheHits},
+		{"cache_misses", doc1.CacheMisses, doc2.CacheMisses},
+		{"coalesced", doc1.Coalesced, doc2.Coalesced},
+	} {
+		if c.b < c.a {
+			t.Errorf("%s went backwards: %d → %d", c.name, c.a, c.b)
+		}
+	}
+}
+
+// check asserts the invariants every /metrics document must satisfy.
+func (sn MetricsSnapshot) check(t *testing.T) MetricsSnapshot {
+	t.Helper()
+	if sn.BatchItems != sn.BatchCached+sn.BatchComputed+sn.BatchShared+sn.BatchErrors {
+		t.Fatalf("batch items do not reconcile within one document: %+v", sn)
+	}
+	if sn.CacheHitRate < 0 || sn.CacheHitRate > 1 {
+		t.Fatalf("cache_hit_rate %v outside [0, 1]: %+v", sn.CacheHitRate, sn)
+	}
+	if sn.Coalesced > sn.CacheMisses {
+		t.Fatalf("coalesced %d > misses %d within one document", sn.Coalesced, sn.CacheMisses)
+	}
+	return sn
+}
+
 func TestHTTPHealthzAndMetrics(t *testing.T) {
 	ts, _ := newTestServer(t, nil)
 	postJSON(t, ts, "/v1/plan", testInstance(t, "uniform", 3, 6, 55))

@@ -37,8 +37,19 @@ type LoadConfig struct {
 	Concurrency int
 	// Duration bounds the issuing phase; in-flight requests then drain.
 	Duration time.Duration
-	// Op is "plan" or "estimate".
+	// Op is "plan", "estimate", or "plan-batch".
 	Op string
+	// BatchSize is the mean items per plan-batch request (default 8).
+	BatchSize int
+	// BatchDist draws each batch's size: "fixed" (every batch is
+	// BatchSize) or "uniform" (uniform on [1, 2·BatchSize−1], mean
+	// BatchSize). plan-batch only.
+	BatchDist string
+	// ItemRate, when positive, offers load in items/second instead of
+	// requests/second: the request rate becomes ItemRate / BatchSize.
+	// This is how batch and single runs are compared at equal offered
+	// item rate. Open-mode plan-batch only.
+	ItemRate float64
 	// Specs are the instances to cycle through round-robin. Repeats are
 	// the point: they measure the server's content-addressed cache.
 	Specs []workload.Spec
@@ -50,25 +61,39 @@ type LoadConfig struct {
 	Timeout time.Duration
 }
 
-// LoadReport is the measured outcome. Latencies are seconds.
+// LoadReport is the measured outcome. Latencies are seconds and are
+// per-request — for plan-batch, per batch. Item accounting reconciles by
+// construction: ItemsIssued counts the items of every request actually
+// sent, and each of those items ends in ItemsDone or ItemsErrors (a
+// request-level failure counts all its items as errors; a 200 batch
+// splits its items by per-item status). For single-item ops the item
+// fields mirror the request fields, so single and batch runs compare
+// directly at the item level.
 type LoadReport struct {
-	Mode          string           `json:"mode"`
-	Op            string           `json:"op"`
-	Arrival       string           `json:"arrival,omitempty"`
-	OfferedRate   float64          `json:"offered_rate_rps,omitempty"`
-	DurationS     float64          `json:"duration_s"`
-	Issued        uint64           `json:"issued"` // requests actually sent; Issued = Done + Errors after the drain
-	Done          uint64           `json:"done"`
-	Errors        uint64           `json:"errors"`
-	Rejected      uint64           `json:"rejected"` // server 429s, a subset of Errors
-	Dropped       uint64           `json:"dropped"`  // open-mode arrivals over the in-flight cap, never issued
-	Throughput    float64          `json:"throughput_rps"`
-	LatMean       float64          `json:"lat_mean_s"`
-	LatP50        float64          `json:"lat_p50_s"`
-	LatP95        float64          `json:"lat_p95_s"`
-	LatP99        float64          `json:"lat_p99_s"`
-	LatMax        float64          `json:"lat_max_s"`
-	ServerMetrics *MetricsSnapshot `json:"server_metrics,omitempty"`
+	Mode            string           `json:"mode"`
+	Op              string           `json:"op"`
+	Arrival         string           `json:"arrival,omitempty"`
+	OfferedRate     float64          `json:"offered_rate_rps,omitempty"`
+	OfferedItemRate float64          `json:"offered_item_rate_rps,omitempty"`
+	BatchSize       int              `json:"batch_size,omitempty"`
+	BatchDist       string           `json:"batch_dist,omitempty"`
+	DurationS       float64          `json:"duration_s"`
+	Issued          uint64           `json:"issued"` // requests actually sent; Issued = Done + Errors after the drain
+	Done            uint64           `json:"done"`
+	Errors          uint64           `json:"errors"`
+	Rejected        uint64           `json:"rejected"` // server 429s, a subset of Errors
+	Dropped         uint64           `json:"dropped"`  // open-mode arrivals over the in-flight cap, never issued
+	ItemsIssued     uint64           `json:"items_issued"`
+	ItemsDone       uint64           `json:"items_done"`
+	ItemsErrors     uint64           `json:"items_errors"`
+	Throughput      float64          `json:"throughput_rps"`
+	ItemThroughput  float64          `json:"item_throughput_rps"`
+	LatMean         float64          `json:"lat_mean_s"`
+	LatP50          float64          `json:"lat_p50_s"`
+	LatP95          float64          `json:"lat_p95_s"`
+	LatP99          float64          `json:"lat_p99_s"`
+	LatMax          float64          `json:"lat_max_s"`
+	ServerMetrics   *MetricsSnapshot `json:"server_metrics,omitempty"`
 
 	// Latencies is the merged histogram backing the quantiles above.
 	Latencies *stats.Histogram `json:"-"`
@@ -101,9 +126,6 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if cfg.Arrival != "poisson" && cfg.Arrival != "fixed" {
 		return nil, fmt.Errorf("service: arrival %q (want poisson or fixed)", cfg.Arrival)
 	}
-	if cfg.Mode == "open" && cfg.Rate <= 0 {
-		return nil, fmt.Errorf("service: open mode needs rate > 0, got %g", cfg.Rate)
-	}
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 64
 	}
@@ -113,8 +135,33 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if cfg.Op == "" {
 		cfg.Op = "plan"
 	}
-	if cfg.Op != "plan" && cfg.Op != "estimate" {
-		return nil, fmt.Errorf("service: op %q (want plan or estimate)", cfg.Op)
+	if cfg.Op != "plan" && cfg.Op != "estimate" && cfg.Op != "plan-batch" {
+		return nil, fmt.Errorf("service: op %q (want plan, estimate, or plan-batch)", cfg.Op)
+	}
+	if cfg.Op == "plan-batch" {
+		if cfg.BatchSize <= 0 {
+			cfg.BatchSize = 8
+		}
+		if cfg.BatchDist == "" {
+			cfg.BatchDist = "fixed"
+		}
+		if cfg.BatchDist != "fixed" && cfg.BatchDist != "uniform" {
+			return nil, fmt.Errorf("service: batch dist %q (want fixed or uniform)", cfg.BatchDist)
+		}
+		if cfg.ItemRate > 0 {
+			if cfg.Mode != "open" {
+				return nil, fmt.Errorf("service: item-rate pacing needs open mode")
+			}
+			// Offer items, not requests: both distributions have mean
+			// BatchSize, so this hits the configured item rate in
+			// expectation.
+			cfg.Rate = cfg.ItemRate / float64(cfg.BatchSize)
+		}
+	} else if cfg.BatchSize > 0 || cfg.BatchDist != "" || cfg.ItemRate > 0 {
+		return nil, fmt.Errorf("service: batch options need op plan-batch, got %q", cfg.Op)
+	}
+	if cfg.Mode == "open" && cfg.Rate <= 0 {
+		return nil, fmt.Errorf("service: open mode needs rate > 0, got %g", cfg.Rate)
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
@@ -123,23 +170,77 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	// Pre-generate and pre-marshal every request body: the harness must
 	// not spend its issuing budget on instance generation or JSON
 	// encoding, or measured latency drifts with client cost.
-	bodies := make([][]byte, len(cfg.Specs))
-	var path string
+	instances := make([]*PlanRequest, len(cfg.Specs))
 	for i, spec := range cfg.Specs {
 		ins, err := workload.Generate(spec)
 		if err != nil {
 			return nil, fmt.Errorf("service: generating spec %d: %w", i, err)
 		}
+		instances[i] = &PlanRequest{Instance: ins}
+	}
+	var path string
+	var bodies [][]byte
+	var bodyItems []uint64 // items per body, parallel to bodies
+	{
+		var err error
 		switch cfg.Op {
 		case "plan":
 			path = "/v1/plan"
-			bodies[i], err = json.Marshal(&PlanRequest{Instance: ins})
+			bodies = make([][]byte, len(instances))
+			for i, req := range instances {
+				if bodies[i], err = json.Marshal(req); err != nil {
+					return nil, fmt.Errorf("service: marshaling spec %d: %w", i, err)
+				}
+			}
 		case "estimate":
 			path = "/v1/estimate"
-			bodies[i], err = json.Marshal(&EstimateRequest{Instance: ins, Trials: cfg.Trials, Seed: 1})
-		}
-		if err != nil {
-			return nil, fmt.Errorf("service: marshaling spec %d: %w", i, err)
+			bodies = make([][]byte, len(instances))
+			for i, req := range instances {
+				er := &EstimateRequest{Instance: req.Instance, Trials: cfg.Trials, Seed: 1}
+				if bodies[i], err = json.Marshal(er); err != nil {
+					return nil, fmt.Errorf("service: marshaling spec %d: %w", i, err)
+				}
+			}
+		case "plan-batch":
+			// A pool of pre-built batches: sizes drawn from the configured
+			// distribution, items cycling the specs round-robin across
+			// bodies so every spec appears regardless of batch boundaries.
+			path = "/v1/plan/batch"
+			nBodies := 4 * len(instances)
+			if nBodies < 32 {
+				nBodies = 32
+			}
+			bodies = make([][]byte, nBodies)
+			bodyItems = make([]uint64, nBodies)
+			sizeSrc := rng.New(cfg.Seed + 0xba7c)
+			next := 0
+			lastSize := 0
+			for b := range bodies {
+				size := cfg.BatchSize
+				if cfg.BatchDist == "uniform" {
+					// Antithetic pairs: body 2k draws uniform[1, 2B−1],
+					// body 2k+1 takes its mirror 2B−draw, so the pool's
+					// mean size is exactly BatchSize and the reported
+					// offered item rate (request rate × BatchSize) is the
+					// rate actually offered, not off by the pool's
+					// sampling error. nBodies is even (a multiple of 4).
+					if b%2 == 0 {
+						size = 1 + int(sizeSrc.Uint64()%uint64(2*cfg.BatchSize-1))
+						lastSize = size
+					} else {
+						size = 2*cfg.BatchSize - lastSize
+					}
+				}
+				items := make([]PlanRequest, size)
+				for k := range items {
+					items[k] = *instances[next%len(instances)]
+					next++
+				}
+				if bodies[b], err = json.Marshal(&BatchPlanRequest{Items: items}); err != nil {
+					return nil, fmt.Errorf("service: marshaling batch body %d: %w", b, err)
+				}
+				bodyItems[b] = uint64(size)
+			}
 		}
 	}
 	url := cfg.BaseURL + path
@@ -153,28 +254,59 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	var issued, done, errs, rejected, dropped atomic.Uint64
+	var itemsIssued, itemsDone, itemsErr atomic.Uint64
 	workers := make([]loadWorkerState, cfg.Concurrency)
 	for i := range workers {
 		workers[i].hist = stats.NewLatencyHistogram()
 	}
 
-	issue := func(ws *loadWorkerState, body []byte) {
+	batchOp := cfg.Op == "plan-batch"
+	issue := func(ws *loadWorkerState, idx int) {
+		items := uint64(1)
+		if batchOp {
+			items = bodyItems[idx]
+		}
+		itemsIssued.Add(items)
 		start := time.Now()
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[idx]))
 		lat := time.Since(start).Seconds()
 		if err != nil {
 			errs.Add(1)
+			itemsErr.Add(items)
 			return
 		}
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
 			errs.Add(1)
+			itemsErr.Add(items) // a failed request delivered none of its items
 			if resp.StatusCode == http.StatusTooManyRequests {
 				rejected.Add(1)
 			}
 			return
 		}
+		if batchOp {
+			// Split the batch's items by the per-item statuses the
+			// envelope summarizes; ok + errors = size, so the item ledger
+			// reconciles exactly like the request ledger.
+			var sum struct {
+				OK     uint64 `json:"ok"`
+				Errors uint64 `json:"errors"`
+			}
+			if derr := json.NewDecoder(resp.Body).Decode(&sum); derr != nil {
+				_, _ = io.Copy(io.Discard, resp.Body) // drain so the connection stays reusable
+				resp.Body.Close()
+				errs.Add(1)
+				itemsErr.Add(items)
+				return
+			}
+			itemsDone.Add(sum.OK)
+			itemsErr.Add(sum.Errors)
+		} else {
+			itemsDone.Add(1)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
 		ws.hist.Observe(lat)
 		done.Add(1)
 	}
@@ -192,7 +324,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 				ws := &workers[w]
 				for i := w; runCtx.Err() == nil; i += cfg.Concurrency {
 					issued.Add(1)
-					issue(ws, bodies[i%len(bodies)])
+					issue(ws, i%len(bodies))
 				}
 			}(w)
 		}
@@ -249,7 +381,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 					wg.Add(1)
 					go func(w, i int) {
 						defer wg.Done()
-						issue(&workers[w], bodies[i%len(bodies)])
+						issue(&workers[w], i%len(bodies))
 						slots <- w
 					}(w, i)
 				default:
@@ -268,20 +400,32 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		}
 	}
 	rep := &LoadReport{
-		Mode:       cfg.Mode,
-		Op:         cfg.Op,
-		DurationS:  elapsed,
-		Issued:     issued.Load(),
-		Done:       done.Load(),
-		Errors:     errs.Load(),
-		Rejected:   rejected.Load(),
-		Dropped:    dropped.Load(),
-		Throughput: float64(done.Load()) / elapsed,
-		Latencies:  merged,
+		Mode:           cfg.Mode,
+		Op:             cfg.Op,
+		DurationS:      elapsed,
+		Issued:         issued.Load(),
+		Done:           done.Load(),
+		Errors:         errs.Load(),
+		Rejected:       rejected.Load(),
+		Dropped:        dropped.Load(),
+		ItemsIssued:    itemsIssued.Load(),
+		ItemsDone:      itemsDone.Load(),
+		ItemsErrors:    itemsErr.Load(),
+		Throughput:     float64(done.Load()) / elapsed,
+		ItemThroughput: float64(itemsDone.Load()) / elapsed,
+		Latencies:      merged,
+	}
+	if batchOp {
+		rep.BatchSize = cfg.BatchSize
+		rep.BatchDist = cfg.BatchDist
 	}
 	if cfg.Mode == "open" {
 		rep.Arrival = cfg.Arrival
 		rep.OfferedRate = cfg.Rate
+		rep.OfferedItemRate = cfg.Rate
+		if batchOp {
+			rep.OfferedItemRate = cfg.Rate * float64(cfg.BatchSize)
+		}
 	}
 	if merged.N() > 0 {
 		rep.LatMean = merged.Mean()

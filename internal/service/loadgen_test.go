@@ -18,6 +18,9 @@ func TestRunLoadValidation(t *testing.T) {
 		{BaseURL: "http://x", Specs: specs, Arrival: "bursty"},
 		{BaseURL: "http://x", Specs: specs, Mode: "open", Rate: 0},
 		{BaseURL: "http://x", Specs: specs, Mode: "closed", Op: "delete"},
+		{BaseURL: "http://x", Specs: specs, Op: "plan", BatchSize: 4},                                 // batch knobs without batch op
+		{BaseURL: "http://x", Specs: specs, Op: "plan-batch", BatchDist: "zipf", Rate: 10},            // unknown distribution
+		{BaseURL: "http://x", Specs: specs, Op: "plan-batch", Mode: "closed", ItemRate: 10, Rate: 10}, // item pacing is open-mode
 	}
 	for i, cfg := range cases {
 		if _, err := RunLoad(ctx, cfg); err == nil {
@@ -72,6 +75,68 @@ func TestRunLoadOpenLoop(t *testing.T) {
 	}
 	if rep.Latencies.N() != rep.Done {
 		t.Fatalf("histogram n=%d, done=%d", rep.Latencies.N(), rep.Done)
+	}
+}
+
+// TestRunLoadBatchMode drives plan-batch end to end at an item-paced open
+// loop: uniform batch sizes, zero errors, and an item ledger that
+// reconciles exactly (items_issued = items_done + items_errors) with the
+// request ledger and the server's own batch counters.
+func TestRunLoadBatchMode(t *testing.T) {
+	ts, _ := newTestServer(t, func(c *Config) { c.QueueDepth = 256 })
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:     ts.URL,
+		Mode:        "open",
+		Arrival:     "fixed",
+		ItemRate:    400,
+		BatchSize:   4,
+		BatchDist:   "uniform",
+		Duration:    700 * time.Millisecond,
+		Concurrency: 32,
+		Op:          "plan-batch",
+		Specs: []workload.Spec{
+			{Family: "uniform", M: 4, N: 16, Seed: 1},
+			{Family: "uniform", M: 4, N: 16, Seed: 2},
+		},
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.ItemsErrors != 0 || rep.Done == 0 {
+		t.Fatalf("batch load: %+v", rep)
+	}
+	if rep.OfferedRate != 100 || rep.OfferedItemRate != 400 { // 400 items/s ÷ size 4
+		t.Fatalf("pacing: offered=%g offered_items=%g", rep.OfferedRate, rep.OfferedItemRate)
+	}
+	if rep.Issued != rep.Done+rep.Errors || rep.ItemsIssued != rep.ItemsDone+rep.ItemsErrors {
+		t.Fatalf("ledgers do not reconcile: %+v", rep)
+	}
+	if rep.ItemsDone <= rep.Done { // uniform sizes on [1,7] mean >1 item/request
+		t.Fatalf("items_done=%d not above done=%d", rep.ItemsDone, rep.Done)
+	}
+	if rep.ItemThroughput <= rep.Throughput {
+		t.Fatalf("item throughput %g not above request throughput %g", rep.ItemThroughput, rep.Throughput)
+	}
+	if rep.BatchSize != 4 || rep.BatchDist != "uniform" || rep.Op != "plan-batch" {
+		t.Fatalf("labels: %+v", rep)
+	}
+	sm := rep.ServerMetrics
+	if sm == nil {
+		t.Fatal("server metrics not fetched")
+	}
+	if sm.Batches != rep.Done || sm.BatchItems != rep.ItemsDone {
+		t.Fatalf("server sees %d batches / %d items; client did %d / %d",
+			sm.Batches, sm.BatchItems, rep.Done, rep.ItemsDone)
+	}
+	if sm.BatchItems != sm.BatchCached+sm.BatchComputed+sm.BatchShared+sm.BatchErrors {
+		t.Fatalf("server batch accounting does not reconcile: %+v", sm)
+	}
+	if sm.CacheHitRate <= 0 || sm.CacheHitRate > 1 {
+		t.Fatalf("hit rate %g", sm.CacheHitRate)
+	}
+	if sm.BatchSizes.Mean <= 1 || sm.BatchLatency.P99 <= 0 {
+		t.Fatalf("batch histograms: %+v / %+v", sm.BatchSizes, sm.BatchLatency)
 	}
 }
 

@@ -26,13 +26,35 @@ type Metrics struct {
 	mu      sync.Mutex
 	planLat *stats.Histogram
 	estLat  *stats.Histogram
+
+	// Batch accounting lives under mu as plain counters (not atomics):
+	// observeBatch updates the whole family plus two histograms in one
+	// critical section, and snapshot reads under the same lock — so one
+	// /metrics document always reconciles exactly:
+	// batchItems = cached + computed + coalesced + errors.
+	batches             uint64 // completed /v1/plan/batch requests
+	batchItems          uint64 // items across completed batches
+	batchItemsCached    uint64 // items served from the response LRU
+	batchItemsComputed  uint64 // items whose batch led the computation
+	batchItemsCoalesced uint64 // items served off shared work (flights, intra-batch duplicates)
+	batchItemErrors     uint64 // per-item failures (validation, budget, compute, deadline)
+	batchLat            *stats.Histogram
+	batchSize           *stats.Histogram
 }
 
 func newMetrics() *Metrics {
+	// Batch sizes are small integers; a 1..4096 log-scale histogram at 8
+	// buckets per octave keeps the quantiles' relative error under ~9%.
+	sizeHist, err := stats.NewHistogram(1, 4096, 8)
+	if err != nil {
+		panic(err) // static parameters; cannot fail
+	}
 	return &Metrics{
-		start:   time.Now(),
-		planLat: stats.NewLatencyHistogram(),
-		estLat:  stats.NewLatencyHistogram(),
+		start:     time.Now(),
+		planLat:   stats.NewLatencyHistogram(),
+		estLat:    stats.NewLatencyHistogram(),
+		batchLat:  stats.NewLatencyHistogram(),
+		batchSize: sizeHist,
 	}
 }
 
@@ -68,6 +90,34 @@ func (m *Metrics) observe(kind uint8, d time.Duration, err error) {
 	}
 }
 
+// observeBatch records one finished batch request. Error classification
+// matches observe; per-item counts come off the response so they are only
+// claimed for batches whose response was actually delivered.
+func (m *Metrics) observeBatch(d time.Duration, resp *BatchPlanResponse, err error) {
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			m.canceled.Add(1)
+		case errors.Is(err, ErrOverloaded):
+			m.errors.Add(1)
+			m.rejected.Add(1)
+		default:
+			m.errors.Add(1)
+		}
+		return
+	}
+	m.mu.Lock()
+	m.batches++
+	m.batchItems += uint64(resp.Size)
+	m.batchItemsCached += uint64(resp.Cached)
+	m.batchItemsComputed += uint64(resp.Computed)
+	m.batchItemsCoalesced += uint64(resp.Coalesced)
+	m.batchItemErrors += uint64(resp.Errors)
+	m.batchLat.Observe(d.Seconds())
+	m.batchSize.Observe(float64(resp.Size))
+	m.mu.Unlock()
+}
+
 // LatencySnapshot is one endpoint's latency quantiles in seconds.
 type LatencySnapshot struct {
 	Count uint64  `json:"count"`
@@ -92,11 +142,40 @@ func latencySnapshot(h *stats.Histogram) LatencySnapshot {
 	}
 }
 
+// DistSnapshot summarizes a unitless distribution (batch sizes).
+type DistSnapshot struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// distSnapshot shares latencySnapshot's extraction; the distinct type
+// exists only for the unit-free JSON field names.
+func distSnapshot(h *stats.Histogram) DistSnapshot {
+	l := latencySnapshot(h)
+	return DistSnapshot{Count: l.Count, Mean: l.Mean, P50: l.P50, P95: l.P95, P99: l.P99, Max: l.Max}
+}
+
 // MetricsSnapshot is the JSON document /metrics serves.
+//
+// Batch accounting: batches counts completed /v1/plan/batch requests and
+// batch_items their items; every item lands in exactly one of
+// batch_items_cached (response-LRU hit), batch_items_computed (this batch
+// led the computation), batch_items_coalesced (served off shared work — an
+// in-flight request's flight or an intra-batch duplicate), or
+// batch_item_errors — the four always sum to batch_items within one
+// document (they are updated and snapshotted under one lock). Batch items
+// also feed the shared cache_hits/cache_misses/coalesced counters
+// per item, so cache_hit_rate stays ≤ 1 with batches in play. All
+// counters are monotone over the process lifetime.
 type MetricsSnapshot struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Plans         uint64          `json:"plans"`
 	Estimates     uint64          `json:"estimates"`
+	Batches       uint64          `json:"batches"`
 	Errors        uint64          `json:"errors"`
 	Canceled      uint64          `json:"canceled"`
 	Rejected      uint64          `json:"rejected"`
@@ -106,8 +185,15 @@ type MetricsSnapshot struct {
 	CacheMisses   uint64          `json:"cache_misses"`
 	CacheHitRate  float64         `json:"cache_hit_rate"`
 	CacheEntries  int             `json:"cache_entries"`
+	BatchItems    uint64          `json:"batch_items"`
+	BatchCached   uint64          `json:"batch_items_cached"`
+	BatchComputed uint64          `json:"batch_items_computed"`
+	BatchShared   uint64          `json:"batch_items_coalesced"`
+	BatchErrors   uint64          `json:"batch_item_errors"`
 	PlanLatency   LatencySnapshot `json:"plan_latency"`
 	EstLatency    LatencySnapshot `json:"estimate_latency"`
+	BatchLatency  LatencySnapshot `json:"batch_latency"`
+	BatchSizes    DistSnapshot    `json:"batch_size"`
 }
 
 // Snapshot assembles a consistent-enough view: counters are read
@@ -118,6 +204,14 @@ func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
 	m.mu.Lock()
 	planLat := m.planLat.Clone()
 	estLat := m.estLat.Clone()
+	batchLat := m.batchLat.Clone()
+	batchSize := m.batchSize.Clone()
+	batches := m.batches
+	batchItems := m.batchItems
+	batchCached := m.batchItemsCached
+	batchComputed := m.batchItemsComputed
+	batchShared := m.batchItemsCoalesced
+	batchErrors := m.batchItemErrors
 	m.mu.Unlock()
 	// coalesced is loaded before the cache counters: each coalesced.Add is
 	// sequenced after its caller's misses.Add, so this order guarantees
@@ -138,6 +232,7 @@ func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Plans:         m.plans.Load(),
 		Estimates:     m.estimates.Load(),
+		Batches:       batches,
 		Errors:        m.errors.Load(),
 		Canceled:      m.canceled.Load(),
 		Rejected:      m.rejected.Load(),
@@ -147,7 +242,14 @@ func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
 		CacheMisses:   misses,
 		CacheHitRate:  rate,
 		CacheEntries:  cache.Len(),
+		BatchItems:    batchItems,
+		BatchCached:   batchCached,
+		BatchComputed: batchComputed,
+		BatchShared:   batchShared,
+		BatchErrors:   batchErrors,
 		PlanLatency:   latencySnapshot(planLat),
 		EstLatency:    latencySnapshot(estLat),
+		BatchLatency:  latencySnapshot(batchLat),
+		BatchSizes:    distSnapshot(batchSize),
 	}
 }

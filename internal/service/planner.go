@@ -61,6 +61,15 @@ type Config struct {
 	// ProgressChunk is the trial batch size between streamed progress
 	// callbacks (default 64).
 	ProgressChunk int
+	// MaxBatchItems bounds the item count of one /v1/plan/batch request
+	// (default 256). Larger batches are a bad request, not an overload:
+	// the client should split them.
+	MaxBatchItems int
+	// MaxItemCost bounds the admission cost of a single batch item, in
+	// units of the reference instance size (see itemCost; default 64,
+	// i.e. n·m up to 64×1024). An item over it gets a per-item error —
+	// one oversized instance must not poison its batch.
+	MaxItemCost int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +101,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProgressChunk <= 0 {
 		c.ProgressChunk = 64
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
+	if c.MaxItemCost <= 0 {
+		c.MaxItemCost = 64
 	}
 	return c
 }
@@ -394,12 +409,17 @@ func (p *Planner) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 	return resp, err
 }
 
-func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+// validatePlan resolves req into its effective parameters: the instance,
+// the normalized target (defaulted to the Lemma 1/2 choice, zeroed for
+// chains where LP2 has no target knob), and the precedence class. Both the
+// single and the batch endpoints go through it, so an item in a batch is
+// accepted or rejected by exactly the rules /v1/plan applies.
+func (p *Planner) validatePlan(req *PlanRequest) (ins *model.Instance, target float64, class dag.Class, err error) {
 	if req == nil || req.Instance == nil {
-		return nil, badRequestf("missing instance")
+		return nil, 0, 0, badRequestf("missing instance")
 	}
-	ins := req.Instance
-	target := req.Target
+	ins = req.Instance
+	target = req.Target
 	if target == 0 {
 		target = 0.5
 	}
@@ -407,17 +427,25 @@ func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 		// NaN must be rejected explicitly: as a map key it never equals
 		// itself, so it would leak singleflight entries and plant
 		// unfindable cache entries.
-		return nil, badRequestf("target %g outside (0, %g]", target, model.LogFailCap)
+		return nil, 0, 0, badRequestf("target %g outside (0, %g]", target, model.LogFailCap)
 	}
-	class := ins.Class()
+	class = ins.Class()
 	if class != dag.ClassIndependent && class != dag.ClassChains {
-		return nil, badRequestf("planning supports independent and chain instances; got class %v (use /v1/estimate with policy forest or layered)", class)
+		return nil, 0, 0, badRequestf("planning supports independent and chain instances; got class %v (use /v1/estimate with policy forest or layered)", class)
 	}
 	if class == dag.ClassChains {
 		// LP2 has no target knob: normalize before keying, so the same
 		// chain instance under different targets shares one cache entry
 		// and one flight instead of recomputing an identical schedule.
 		target = 0
+	}
+	return ins, target, class, nil
+}
+
+func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+	ins, target, class, err := p.validatePlan(req)
+	if err != nil {
+		return nil, err
 	}
 	fp := sched.FingerprintInstance(ins)
 	key := requestKey{fp: fp, kind: kindPlan, target: target}
