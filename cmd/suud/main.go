@@ -11,7 +11,14 @@
 //	suud -addr 127.0.0.1:8650 -workers 8 -queue 64
 //
 // and drive it with cmd/suuload. SIGINT/SIGTERM shut down gracefully:
-// the listener closes immediately, in-flight requests drain.
+// /readyz flips to 503 first, the listener closes, in-flight requests
+// drain, and the planner's detached work is awaited.
+//
+// Overload behavior is configurable: -degraded-policy picks between
+// rejecting with 429 (reject), serving uncertified greedy fallback plans
+// for independent-job requests (independent), or for everything (all)
+// once admission pressure crosses -brownout-threshold. -chaos enables
+// the fault-injection harness (internal/faults) for resilience drills.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/service"
 )
 
@@ -40,33 +48,83 @@ func main() {
 		maxItemCost  = flag.Int("max-item-cost", 64, "per-item admission cost budget, in n·m/1024 units")
 		trialWorkers = flag.Int("trial-workers", 2, "Monte Carlo workers per estimate")
 		drainWait    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+
+		degradedPolicy = flag.String("degraded-policy", service.DegradeNever,
+			"overload response: reject (429s), independent (greedy fallback plans for independent-job requests), or all")
+		brownout = flag.Float64("brownout-threshold", 0.75,
+			"queue-pressure fraction (0..1] at which degraded fallbacks kick in")
+
+		chaos        = flag.Bool("chaos", false, "enable fault injection (the -chaos-* rates)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "fault-stream seed (same seed, same arrival order => same faults)")
+		chaosLatP    = flag.Float64("chaos-latency-p", 0.10, "P(injected request latency)")
+		chaosLat     = flag.Duration("chaos-latency", 50*time.Millisecond, "injected latency magnitude (±50% jitter)")
+		chaosErrP    = flag.Float64("chaos-error-p", 0.05, "P(injected 503 response)")
+		chaosPanicP  = flag.Float64("chaos-panic-p", 0.02, "P(injected handler panic; kills the connection)")
+		chaosStallP  = flag.Float64("chaos-stall-p", 0, "P(injected slow-solve stall at a compute checkpoint)")
+		chaosStall   = flag.Duration("chaos-stall", 100*time.Millisecond, "stall magnitude (±50% jitter)")
+		chaosCErrP   = flag.Float64("chaos-compute-error-p", 0, "P(injected compute error at a checkpoint)")
+		chaosCPanicP = flag.Float64("chaos-compute-panic-p", 0, "P(injected compute panic at a checkpoint)")
 	)
 	flag.Parse()
 
+	switch *degradedPolicy {
+	case service.DegradeNever, service.DegradeIndependent, service.DegradeAll:
+	default:
+		log.Fatalf("suud: -degraded-policy must be %q, %q, or %q (got %q)",
+			service.DegradeNever, service.DegradeIndependent, service.DegradeAll, *degradedPolicy)
+	}
+
+	var inj *faults.Injector
+	if *chaos {
+		inj = faults.New(faults.Config{
+			Seed:         *chaosSeed,
+			LatencyP:     *chaosLatP,
+			Latency:      *chaosLat,
+			ErrorP:       *chaosErrP,
+			PanicP:       *chaosPanicP,
+			HTTPMethod:   http.MethodPost, // keep /healthz, /readyz, /metrics probes clean
+			StallP:       *chaosStallP,
+			Stall:        *chaosStall,
+			ComputeErrP:  *chaosCErrP,
+			ComputePanic: *chaosCPanicP,
+		})
+		if inj == nil {
+			log.Printf("suud: -chaos set but every rate is zero; injecting nothing")
+		}
+	}
+
 	planner := service.NewPlanner(service.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		CacheCap:      *cacheCap,
-		CacheShards:   *cacheShards,
-		MaxTrials:     *maxTrials,
-		MaxBatchItems: *maxBatch,
-		MaxItemCost:   *maxItemCost,
-		TrialWorkers:  *trialWorkers,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheCap:          *cacheCap,
+		CacheShards:       *cacheShards,
+		MaxTrials:         *maxTrials,
+		MaxBatchItems:     *maxBatch,
+		MaxItemCost:       *maxItemCost,
+		TrialWorkers:      *trialWorkers,
+		DegradedPolicy:    *degradedPolicy,
+		BrownoutThreshold: *brownout,
+		ComputeHook:       inj.ComputeHook(),
 	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewServer(planner),
+		Handler:           inj.Wrap(service.NewServer(planner)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if err := planner.Warmup(); err != nil {
+		log.Fatalf("suud: warmup: %v", err)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	cfg := planner.Config()
-	log.Printf("suud: serving on %s (workers=%d queue=%d cache=%d/%d shards)",
-		*addr, cfg.Workers, cfg.QueueDepth, cfg.CacheCap, cfg.CacheShards)
+	log.Printf("suud: serving on %s (workers=%d queue=%d cache=%d/%d shards policy=%s brownout=%.2f chaos=%v)",
+		*addr, cfg.Workers, cfg.QueueDepth, cfg.CacheCap, cfg.CacheShards,
+		cfg.DegradedPolicy, cfg.BrownoutThreshold, inj != nil)
 
 	select {
 	case err := <-errCh:
@@ -74,11 +132,17 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Printf("suud: shutting down, draining up to %v", *drainWait)
+	// Flip /readyz before closing the listener so load balancers stop
+	// sending new work while in-flight requests drain.
+	planner.BeginDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("suud: shutdown: %v", err)
 	}
 	planner.Close()
+	if inj != nil {
+		log.Printf("suud: chaos ledger %+v", inj.Snapshot())
+	}
 	log.Printf("suud: drained; final %v", planner.Metrics())
 }

@@ -57,7 +57,8 @@ func main() {
 		instances   = flag.Int("instances", 4, "distinct instances cycled round-robin (repeats exercise the plan cache)")
 		trials      = flag.Int("trials", 0, "estimate-op Monte Carlo trials (0 = server default)")
 		seed        = flag.Int64("seed", 1, "seed for instance generation and arrivals")
-		timeout     = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-attempt client timeout")
+		retries     = flag.Int("retries", 0, "extra attempts per request beyond the first (conn errors and 429/503 retry with backoff)")
 		jsonOut     = flag.Bool("json", false, "emit a bench.Report JSON document on stdout")
 		note        = flag.String("note", "", "free-form note recorded in the JSON report")
 		smoke       = flag.Bool("smoke", false, "exit nonzero unless done > 0 and errors == 0")
@@ -90,6 +91,7 @@ func main() {
 		Trials:      *trials,
 		Seed:        *seed,
 		Timeout:     *timeout,
+		MaxAttempts: *retries + 1,
 	})
 	if err != nil {
 		log.Fatalf("suuload: %v", err)
@@ -104,6 +106,13 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"suuload: items(%s size %d): issued=%d done=%d errors=%d item-throughput=%.1f items/s\n",
 			rep.BatchDist, rep.BatchSize, rep.ItemsIssued, rep.ItemsDone, rep.ItemsErrors, rep.ItemThroughput)
+	}
+	if rep.Degraded != 0 || rep.ItemsDegraded != 0 || rep.InjectedErrors != 0 ||
+		rep.OrganicServerErrors != 0 || rep.Retries != 0 || rep.ConnErrors != 0 || rep.BreakerOpens != 0 {
+		fmt.Fprintf(os.Stderr,
+			"suuload: resilience: degraded=%d items_degraded=%d injected_errors=%d organic_5xx=%d retries=%d conn_errors=%d breaker_opens=%d\n",
+			rep.Degraded, rep.ItemsDegraded, rep.InjectedErrors, rep.OrganicServerErrors,
+			rep.Retries, rep.ConnErrors, rep.BreakerOpens)
 	}
 	if sm := rep.ServerMetrics; sm != nil {
 		fmt.Fprintf(os.Stderr, "suuload: server %v\n", *sm)
@@ -153,6 +162,16 @@ func main() {
 				// was NOT what -rate claims — exactly the silent
 				// closed-loop degradation open-loop reports must expose.
 				"dropped": float64(rep.Dropped),
+				// Resilience ledger: uncertified fallback serves, the
+				// injected/organic split of 5xx, and the retry machinery's
+				// own counters. injected + organic partitions the 5xx seen.
+				"degraded":        float64(rep.Degraded),
+				"items_degraded":  float64(rep.ItemsDegraded),
+				"injected_errors": float64(rep.InjectedErrors),
+				"organic_5xx":     float64(rep.OrganicServerErrors),
+				"retries":         float64(rep.Retries),
+				"conn_errors":     float64(rep.ConnErrors),
+				"breaker_opens":   float64(rep.BreakerOpens),
 			},
 		}
 		if rep.Op == "plan-batch" {
@@ -162,6 +181,9 @@ func main() {
 			rec.Extra["cache_hit_rate"] = sm.CacheHitRate
 			rec.Extra["coalesced"] = float64(sm.Coalesced)
 			rec.Extra["rejected_429"] = float64(sm.Rejected)
+			rec.Extra["server_degraded"] = float64(sm.Degraded)
+			rec.Extra["server_deadline_abandoned"] = float64(sm.Abandoned)
+			rec.Extra["server_retries_observed"] = float64(sm.RetriesSeen)
 			if rep.Op == "plan-batch" {
 				// Server-side per-batch p99 and mean batch size, to pair
 				// with the client-side batch latencies.

@@ -1,28 +1,36 @@
 // Service: run the suud planner in-process, hit it over real HTTP with
 // the suuload open-loop harness — single requests first, then batch mode
 // at the same offered item rate — and print what the service measured.
+// Then the resilience layer: a second, deliberately tiny server under
+// fault injection and overload, driven through the retrying client, shows
+// brownout fallbacks, retries, and the readiness lifecycle.
 // The one-file version of:
 //
 //	go run ./cmd/suud &
 //	go run ./cmd/suuload -rate 200 -duration 3s -m 8 -n 32
 //	go run ./cmd/suuload -op plan-batch -item-rate 200 -batch-size 8 -duration 3s -m 8 -n 32
+//	go run ./cmd/suud -degraded-policy independent -chaos &
+//	go run ./cmd/suuload -retries 3 ...
 //
 // Run it:
 //
 //	go run ./examples/service
+//
+// See README.md here for the failure-mode contract the demo exercises.
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
+	"repro/internal/client"
+	"repro/internal/faults"
 	"repro/internal/service"
 	"repro/internal/workload"
 )
@@ -84,19 +92,20 @@ func main() {
 		{Instance: repeat},
 		{}, // invalid: fails alone, not the batch
 	}})
-	httpResp, err := http.Post(base+"/v1/plan/batch", "application/json", bytes.NewReader(batchBody))
+	// internal/client is the resilient way in: per-attempt timeouts,
+	// backoff with jitter, 429/503 and connection errors retried.
+	suu := client.New(client.Config{Seed: 1})
+	res, err := suu.Do(context.Background(), base+"/v1/plan/batch", batchBody)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if httpResp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(httpResp.Body)
-		log.Fatalf("batch rejected: %d %s", httpResp.StatusCode, body)
+	if res.Status != http.StatusOK {
+		log.Fatalf("batch rejected: %d %s", res.Status, res.Body)
 	}
 	var batch service.BatchPlanResponse
-	if err := json.NewDecoder(httpResp.Body).Decode(&batch); err != nil {
+	if err := json.Unmarshal(res.Body, &batch); err != nil {
 		log.Fatal(err)
 	}
-	httpResp.Body.Close()
 	fmt.Printf("\nbatch: %d items → %d ok (%d cached, %d computed, %d coalesced), %d errors, %d cost units\n",
 		batch.Size, batch.OK, batch.Cached, batch.Computed, batch.Coalesced, batch.Errors, batch.CostUnits)
 	for i, item := range batch.Items {
@@ -131,6 +140,85 @@ func main() {
 		brep.Done, brep.ItemsDone, brep.ItemsErrors, brep.ItemThroughput, brep.OfferedItemRate)
 	fmt.Printf("per-batch latency: p50=%.2fms p99=%.2fms\n", brep.LatP50*1e3, brep.LatP99*1e3)
 
+	// Resilience demo: a deliberately tiny planner (one worker, short
+	// queue) under injected 503s, with brownout fallbacks enabled. The
+	// retrying client absorbs the injected errors; overload past the
+	// brownout threshold is answered with degraded greedy plans instead of
+	// 429s.
+	tiny := service.NewPlanner(service.Config{
+		Workers:           1,
+		QueueDepth:        4,
+		DegradedPolicy:    service.DegradeIndependent,
+		BrownoutThreshold: 0.5,
+	})
+	inj := faults.New(faults.Config{Seed: 7, ErrorP: 0.3, HTTPMethod: http.MethodPost})
+	tsrv := &http.Server{Handler: inj.Wrap(service.NewServer(tiny))}
+	tln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go tsrv.Serve(tln)
+	tbase := "http://" + tln.Addr().String()
+
+	// /readyz is the lifecycle endpoint: 503 until Warmup, 200 while
+	// serving, 503 again the moment drain begins (before the listener
+	// closes). /healthz stays 200 throughout — liveness, not readiness.
+	fmt.Printf("\nreadyz before warmup: %d\n", getStatus(tbase+"/readyz"))
+	if err := tiny.Warmup(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("readyz after warmup:  %d\n", getStatus(tbase+"/readyz"))
+
+	rsuu := client.New(client.Config{
+		MaxAttempts: 4,
+		BaseBackoff: 5 * time.Millisecond,
+		Seed:        9,
+	})
+	var (
+		wg                          sync.WaitGroup
+		mu                          sync.Mutex
+		okFull, okDegraded, retried int
+	)
+	for i := 0; i < 16; i++ {
+		ins, err := workload.Generate(workload.Spec{Family: "uniform", M: 24, N: 192, Seed: 100 + int64(i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := json.Marshal(&service.PlanRequest{Instance: ins, DeadlineMS: 5000})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := rsuu.Do(context.Background(), tbase+"/v1/plan", body)
+			if err != nil || r.Status != http.StatusOK {
+				return
+			}
+			var plan service.PlanResponse
+			if json.Unmarshal(r.Body, &plan) != nil {
+				return
+			}
+			mu.Lock()
+			if plan.Degraded {
+				okDegraded++
+			} else {
+				okFull++
+			}
+			if r.Attempts > 1 {
+				retried++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	cm := rsuu.Snapshot()
+	fmt.Printf("\nchaos burst: 16 cold plans → %d ok (%d full, %d degraded fallbacks); %d calls retried (%d retries total)\n",
+		okFull+okDegraded, okFull, okDegraded, retried, cm.Retries)
+	fmt.Printf("injected by the chaos middleware: %+v\n", inj.Snapshot())
+
+	tiny.BeginDrain()
+	fmt.Printf("readyz during drain:  %d\n", getStatus(tbase+"/readyz"))
+	tln.Close()
+	tiny.Close()
+
 	// Graceful shutdown: stop accepting, drain in-flight work.
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -139,4 +227,13 @@ func main() {
 	}
 	planner.Close()
 	fmt.Println("\ndrained cleanly")
+}
+
+func getStatus(url string) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0
+	}
+	resp.Body.Close()
+	return resp.StatusCode
 }

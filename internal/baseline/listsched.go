@@ -1,0 +1,74 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// maxListSteps bounds one job's run in a list schedule. The smallest
+// positive log failure a float64 q < 1 can produce is ~1.6e-16, so a 0.5
+// mass target needs at most ~3.2e15 steps — comfortably inside the bound;
+// the clamp only guards arithmetic against future looser inputs.
+const maxListSteps = int64(1) << 55
+
+// ListSchedule builds an LP-free static assignment by greedy list
+// scheduling over q: each job is placed wholly on one machine, jobs in
+// descending order of their best-machine work requirement (LPT), each on
+// the machine that finishes it earliest (current load plus the steps this
+// machine needs to push the job's log mass to target). It is the cheap
+// fallback the planning service serves under brownout — O(n·m) with one
+// sort, no LP, no workspace — and it keeps the invariants the paper's
+// schedules are stated in: every job is assigned at least one step and
+// reaches the target log mass on its single machine (so one full pass
+// completes each job with probability ≥ 1 − 2^−target). It carries no
+// optimality certificate: the LP-rounded plan can be a factor m shorter.
+//
+// target must be positive; the service passes LP1's default 1/2.
+func ListSchedule(ins *model.Instance, target float64) *sched.Assignment {
+	asn := sched.NewAssignment(ins.M, ins.N)
+	// steps[j] is the job's requirement on its best machine — the LPT
+	// ordering key; order is the job permutation, longest first, ties by
+	// index so the schedule is deterministic.
+	best := make([]int64, ins.N)
+	order := make([]int, ins.N)
+	for j := 0; j < ins.N; j++ {
+		order[j] = j
+		best[j] = stepsFor(ins.L[ins.BestMachine(j)][j], target)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return best[order[a]] > best[order[b]] })
+
+	load := make([]int64, ins.M)
+	for _, j := range order {
+		pick, pickSteps, pickDone := -1, int64(0), int64(math.MaxInt64)
+		for i := 0; i < ins.M; i++ {
+			if ins.L[i][j] <= 0 {
+				continue // this machine never completes job j
+			}
+			s := stepsFor(ins.L[i][j], target)
+			if done := load[i] + s; done < pickDone || (done == pickDone && s < pickSteps) {
+				pick, pickSteps, pickDone = i, s, done
+			}
+		}
+		// model.New guarantees every job one machine with q < 1, so pick
+		// is always set.
+		asn.X[pick][j] = pickSteps
+		load[pick] += pickSteps
+	}
+	return asn
+}
+
+// stepsFor returns the steps needed on a machine with log failure ell to
+// accumulate the target log mass: ⌈target/ell⌉, at least 1.
+func stepsFor(ell, target float64) int64 {
+	s := int64(math.Ceil(target / ell))
+	if s < 1 {
+		return 1
+	}
+	if s > maxListSteps {
+		return maxListSteps
+	}
+	return s
+}

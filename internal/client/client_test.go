@@ -1,0 +1,282 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastCfg keeps backoff negligible so retry tests run in milliseconds.
+func fastCfg() Config {
+	return Config{
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+// scriptServer serves the scripted status codes in order (sticking on the
+// last one) and records each request's X-Suu-Attempt header.
+func scriptServer(t *testing.T, statuses ...int) (*httptest.Server, *[]string) {
+	t.Helper()
+	var mu sync.Mutex
+	var attempts []string
+	n := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts = append(attempts, r.Header.Get(AttemptHeader))
+		code := statuses[n]
+		if n < len(statuses)-1 {
+			n++
+		}
+		mu.Unlock()
+		w.WriteHeader(code)
+		fmt.Fprintf(w, `{"status": %d}`, code)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &attempts
+}
+
+func TestRetriesTransientStatusesToSuccess(t *testing.T) {
+	ts, attempts := scriptServer(t, http.StatusServiceUnavailable, http.StatusTooManyRequests, http.StatusOK)
+	c := New(fastCfg())
+	res, err := c.Do(context.Background(), ts.URL, []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusOK || res.Attempts != 3 {
+		t.Fatalf("status=%d attempts=%d, want 200 after 3 tries", res.Status, res.Attempts)
+	}
+	if got := *attempts; len(got) != 3 || got[0] != "1" || got[1] != "2" || got[2] != "3" {
+		t.Errorf("X-Suu-Attempt sequence %v, want [1 2 3]", got)
+	}
+	if m := c.Snapshot(); m.Calls != 1 || m.Retries != 2 {
+		t.Errorf("metrics %+v, want 1 call with 2 retries", m)
+	}
+}
+
+func TestNonRetryableStatusesReturnFirstAttempt(t *testing.T) {
+	for _, code := range []int{http.StatusBadRequest, http.StatusUnprocessableEntity, http.StatusInternalServerError} {
+		t.Run(fmt.Sprint(code), func(t *testing.T) {
+			ts, attempts := scriptServer(t, code)
+			c := New(fastCfg())
+			res, err := c.Do(context.Background(), ts.URL, []byte("{}"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != code || res.Attempts != 1 {
+				t.Fatalf("status=%d attempts=%d, want %d on the first try", res.Status, res.Attempts, code)
+			}
+			if len(*attempts) != 1 {
+				t.Errorf("server saw %d requests, want exactly 1", len(*attempts))
+			}
+		})
+	}
+}
+
+func TestExhaustedRetriesReturnTheHeldResponse(t *testing.T) {
+	ts, _ := scriptServer(t, http.StatusServiceUnavailable)
+	cfg := fastCfg()
+	cfg.BreakerThreshold = -1 // the breaker would trip mid-loop otherwise
+	c := New(cfg)
+	res, err := c.Do(context.Background(), ts.URL, []byte("{}"))
+	if err != nil {
+		t.Fatal("out of attempts with a response in hand should not error:", err)
+	}
+	if res.Status != http.StatusServiceUnavailable || res.Attempts != 3 {
+		t.Fatalf("status=%d attempts=%d, want the final 503 after 3 tries", res.Status, res.Attempts)
+	}
+}
+
+func TestRetryAfterStretchesBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(AttemptHeader) == "1" {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(ts.Close)
+	c := New(fastCfg())
+	start := time.Now()
+	res, err := c.Do(context.Background(), ts.URL, []byte("{}"))
+	if err != nil || res.Status != http.StatusOK {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("retry fired after %v; Retry-After: 1 should stretch the 1ms backoff to ~1s", elapsed)
+	}
+	if m := c.Snapshot(); m.RetryAfterWaits != 1 {
+		t.Errorf("retry_after_waits = %d, want 1", m.RetryAfterWaits)
+	}
+}
+
+// rtFunc lets tests script the transport.
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func okResponse() *http.Response {
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{},
+		Body:       io.NopCloser(strings.NewReader(`{}`)),
+	}
+}
+
+func TestTransportErrorRetriesThenSucceeds(t *testing.T) {
+	calls := 0
+	cfg := fastCfg()
+	cfg.Transport = rtFunc(func(r *http.Request) (*http.Response, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("connection reset")
+		}
+		return okResponse(), nil
+	})
+	c := New(cfg)
+	res, err := c.Do(context.Background(), "http://suud.test/v1/plan", []byte("{}"))
+	if err != nil || res.Status != http.StatusOK || res.Attempts != 2 {
+		t.Fatalf("res=%+v err=%v, want 200 on attempt 2", res, err)
+	}
+	if m := c.Snapshot(); m.ConnErrors != 1 {
+		t.Errorf("conn_errors = %d, want 1", m.ConnErrors)
+	}
+}
+
+func TestInjectedHeaderMarksResult(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MaxAttempts = 1
+	cfg.Transport = rtFunc(func(r *http.Request) (*http.Response, error) {
+		resp := okResponse()
+		resp.StatusCode = http.StatusInternalServerError
+		resp.Header.Set(InjectedHeader, "error")
+		return resp, nil
+	})
+	c := New(cfg)
+	res, err := c.Do(context.Background(), "http://suud.test/v1/plan", []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Injected {
+		t.Error("X-Suu-Injected response should mark Result.Injected")
+	}
+}
+
+// TestBreakerLifecycle walks the full state machine with a stubbed clock:
+// consecutive failures trip it, open fast-fails without touching the
+// transport, the cooldown admits one half-open probe, a probe success
+// closes, a probe failure reopens.
+func TestBreakerLifecycle(t *testing.T) {
+	var failing bool
+	transportCalls := 0
+	cfg := Config{
+		MaxAttempts:      1,
+		BaseBackoff:      time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+		Transport: rtFunc(func(r *http.Request) (*http.Response, error) {
+			transportCalls++
+			if failing {
+				return nil, errors.New("connection refused")
+			}
+			return okResponse(), nil
+		}),
+	}
+	c := New(cfg)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	do := func() (*Result, error) { return c.Do(context.Background(), "http://suud.test/v1/plan", []byte("{}")) }
+
+	failing = true
+	for i := 0; i < 2; i++ {
+		if _, err := do(); err == nil {
+			t.Fatal("failing transport should error")
+		}
+	}
+	if m := c.Snapshot(); m.BreakerOpens != 1 {
+		t.Fatalf("breaker_opens = %d after %d consecutive failures, want 1", m.BreakerOpens, 2)
+	}
+
+	// Open: fast-fail, transport untouched.
+	before := transportCalls
+	if _, err := do(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker: err = %v, want ErrBreakerOpen", err)
+	}
+	if transportCalls != before {
+		t.Error("open breaker must not touch the transport")
+	}
+	if m := c.Snapshot(); m.BreakerFastFails != 1 {
+		t.Errorf("breaker_fast_fails = %d, want 1", m.BreakerFastFails)
+	}
+
+	// Cooldown over: one probe allowed; its success closes the breaker.
+	now = now.Add(time.Minute)
+	failing = false
+	if res, err := do(); err != nil || res.Status != http.StatusOK {
+		t.Fatalf("half-open probe should pass: res=%+v err=%v", res, err)
+	}
+	if res, err := do(); err != nil || res.Status != http.StatusOK {
+		t.Fatalf("closed breaker should serve normally: res=%+v err=%v", res, err)
+	}
+
+	// Reopen, then fail the probe: the breaker reopens and fast-fails again.
+	failing = true
+	for i := 0; i < 2; i++ {
+		do()
+	}
+	now = now.Add(time.Minute)
+	if _, err := do(); err == nil || errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("probe should reach the transport and fail organically, got %v", err)
+	}
+	if _, err := do(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("failed probe should reopen the breaker, got %v", err)
+	}
+	if m := c.Snapshot(); m.BreakerOpens != 3 {
+		t.Errorf("breaker_opens = %d, want 3 (initial, refail, failed probe)", m.BreakerOpens)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MaxAttempts = 1
+	cfg.BreakerThreshold = -1
+	cfg.Transport = rtFunc(func(r *http.Request) (*http.Response, error) {
+		return nil, errors.New("connection refused")
+	})
+	c := New(cfg)
+	for i := 0; i < 20; i++ {
+		if _, err := c.Do(context.Background(), "http://suud.test/v1/plan", []byte("{}")); errors.Is(err, ErrBreakerOpen) {
+			t.Fatal("disabled breaker must never open")
+		}
+	}
+	if m := c.Snapshot(); m.BreakerOpens != 0 {
+		t.Errorf("breaker_opens = %d with the breaker disabled, want 0", m.BreakerOpens)
+	}
+}
+
+func TestContextCancelsBetweenAttempts(t *testing.T) {
+	ts, _ := scriptServer(t, http.StatusServiceUnavailable)
+	cfg := fastCfg()
+	cfg.BaseBackoff = 10 * time.Second // the backoff is where cancellation must bite
+	cfg.MaxBackoff = 10 * time.Second
+	c := New(cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Do(ctx, ts.URL, []byte("{}")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("cancellation should interrupt the backoff sleep, not wait it out")
+	}
+}

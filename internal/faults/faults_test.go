@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := New(Config{Seed: 42}) // a seed alone injects nothing
+	if in != nil {
+		t.Fatal("zero-rate config should build a nil injector")
+	}
+	// Every method is nil-safe: Wrap is identity, ComputeHook absent,
+	// Snapshot zero — callers wire the injector unconditionally.
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusTeapot) })
+	rec := httptest.NewRecorder()
+	in.Wrap(next).ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/plan", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("nil Wrap should be the identity, got status %d", rec.Code)
+	}
+	if in.ComputeHook() != nil {
+		t.Error("nil injector should return a nil compute hook")
+	}
+	if in.Snapshot() != (Snapshot{}) {
+		t.Errorf("nil Snapshot = %+v, want zero", in.Snapshot())
+	}
+}
+
+// computeDecisions runs n hook calls and encodes each outcome.
+func computeDecisions(in *Injector, n int) string {
+	hook := in.ComputeHook()
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					b.WriteByte('P')
+				}
+			}()
+			if hook() != nil {
+				b.WriteByte('E')
+			} else {
+				b.WriteByte('.')
+			}
+		}()
+	}
+	return b.String()
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, ComputeErrP: 0.3, ComputePanic: 0.1}
+	a := computeDecisions(New(cfg), 500)
+	b := computeDecisions(New(cfg), 500)
+	if a != b {
+		t.Fatal("same seed and call order must yield the same fault sequence")
+	}
+	cfg.Seed = 8
+	if c := computeDecisions(New(cfg), 500); c == a {
+		t.Fatal("a different seed should yield a different fault sequence")
+	}
+	if !strings.Contains(a, "E") || !strings.Contains(a, "P") || !strings.Contains(a, ".") {
+		t.Errorf("500 draws at 30%%/10%% should show every outcome, got %.40s...", a)
+	}
+}
+
+func TestHTTPRatesRoughlyHonored(t *testing.T) {
+	in := New(Config{Seed: 3, ErrorP: 0.2})
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	h := in.Wrap(next)
+	const trials = 2000
+	injected := 0
+	for i := 0; i < trials; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/plan", nil))
+		if rec.Code == http.StatusServiceUnavailable {
+			injected++
+		}
+	}
+	// Bernoulli(0.2) over 2000 draws: ±5 absolute percentage points is >5σ.
+	if injected < trials*15/100 || injected > trials*25/100 {
+		t.Errorf("injected %d/%d ≈ %.1f%%, want ≈20%%", injected, trials, 100*float64(injected)/trials)
+	}
+	if got := in.Snapshot().HTTPErrors; got != uint64(injected) {
+		t.Errorf("ledger says %d injected, responses say %d", got, injected)
+	}
+}
+
+func TestInjectedErrorIsMarked(t *testing.T) {
+	in := New(Config{ErrorP: 1})
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	rec := httptest.NewRecorder()
+	in.Wrap(next).ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/plan", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want an injected 503", rec.Code)
+	}
+	if rec.Header().Get(Header) == "" {
+		t.Errorf("injected response must carry %s", Header)
+	}
+	if !strings.Contains(rec.Body.String(), "injected") {
+		t.Errorf("injected response body must say so, got %s", rec.Body.String())
+	}
+}
+
+func TestMethodFilterSparesProbes(t *testing.T) {
+	in := New(Config{ErrorP: 1, PanicP: 1, HTTPMethod: http.MethodPost})
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	rec := httptest.NewRecorder()
+	in.Wrap(next).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("GET should pass the POST-only injector untouched, got %d", rec.Code)
+	}
+	if s := in.Snapshot(); s.HTTPErrors != 0 || s.HTTPPanics != 0 {
+		t.Errorf("filtered request must not be ledgered, got %+v", s)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	in := New(Config{PanicP: 1})
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	defer func() {
+		if recover() == nil {
+			t.Error("PanicP=1 must panic the handler")
+		}
+		if got := in.Snapshot().HTTPPanics; got != 1 {
+			t.Errorf("http_panics = %d, want 1", got)
+		}
+	}()
+	in.Wrap(next).ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/v1/plan", nil))
+}
+
+func TestStallInjectsLatency(t *testing.T) {
+	in := New(Config{StallP: 1, Stall: 20 * time.Millisecond})
+	hook := in.ComputeHook()
+	start := time.Now()
+	if err := hook(); err != nil {
+		t.Fatal(err)
+	}
+	// Jitter is uniform in [0.5×, 1.5×]: at least 10ms.
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("stall lasted %v, want ≥ 10ms", d)
+	}
+	if got := in.Snapshot().Stalls; got != 1 {
+		t.Errorf("stalls = %d, want 1", got)
+	}
+}

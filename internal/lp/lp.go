@@ -163,6 +163,14 @@ type Solution struct {
 // which indicates a numerical pathology rather than a legitimate answer.
 var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
 
+// ErrUnsolvable marks a problem no engine can finish: the sparse simplex
+// bailed out numerically and the problem is over the dense fallback's size
+// cap, so retrying would only repeat the failure. Callers that serve LP
+// results should surface it as a semantic rejection of the instance (the
+// planning service maps it to HTTP 422), not as an internal server error —
+// the request was understood, and this instance is beyond the engine.
+var ErrUnsolvable = errors.New("lp: problem unsolvable within engine limits")
+
 // errNumeric is an internal sentinel for sparse-engine numerical bailouts
 // (a basis refactorization that cannot find acceptable pivots); Solve
 // responds by re-solving on the dense engine.
@@ -255,9 +263,15 @@ func (s *Solver) Solve(p *Problem) (*Solution, error) {
 			s.DenseFallbacks++
 			return s.solveDense(p)
 		}
-		return nil, fmt.Errorf("lp: sparse engine failed and problem too large for the dense fallback (%d rows): %w", len(p.Cons), err)
+		return nil, unsolvableError(p, err)
 	}
 	return sol, err
+}
+
+// unsolvableError wraps a size-capped sparse bailout so callers can match
+// both the typed ErrUnsolvable and the underlying engine failure.
+func unsolvableError(p *Problem, cause error) error {
+	return fmt.Errorf("%w: sparse engine failed and problem too large for the dense fallback (%d rows): %w", ErrUnsolvable, len(p.Cons), cause)
 }
 
 // denseFallbackFits caps the automatic sparse→dense bailout: the dense

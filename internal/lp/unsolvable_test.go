@@ -1,0 +1,44 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestUnsolvableErrorTyping pins the contract the planning service builds
+// its 422 mapping on: a size-capped sparse bailout matches ErrUnsolvable
+// AND the underlying engine failure, and names the problem size.
+func TestUnsolvableErrorTyping(t *testing.T) {
+	p := &Problem{NumVars: 3, Cons: make([]Constraint, 2)}
+	cause := fmt.Errorf("pivot stall: %w", errNumeric)
+	err := unsolvableError(p, cause)
+	if !errors.Is(err, ErrUnsolvable) {
+		t.Error("unsolvableError must match ErrUnsolvable")
+	}
+	if !errors.Is(err, errNumeric) {
+		t.Error("unsolvableError must preserve the engine failure cause")
+	}
+	if !strings.Contains(err.Error(), "2 rows") {
+		t.Errorf("message should name the problem size, got %q", err.Error())
+	}
+}
+
+// TestDenseFallbackFits pins the cap that decides between a dense re-solve
+// and an ErrUnsolvable bailout.
+func TestDenseFallbackFits(t *testing.T) {
+	s := &Solver{}
+	small := &Problem{NumVars: 100, Cons: make([]Constraint, 50)}
+	if !s.denseFallbackFits(small) {
+		t.Error("a 50×300 tableau is far under the cap")
+	}
+	huge := &Problem{NumVars: 4 << 20, Cons: make([]Constraint, 4096)}
+	if s.denseFallbackFits(huge) {
+		t.Error("a multi-billion-entry tableau must refuse the dense fallback")
+	}
+	empty := &Problem{NumVars: 10}
+	if !s.denseFallbackFits(empty) {
+		t.Error("zero constraints always fit")
+	}
+}

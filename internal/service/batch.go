@@ -38,8 +38,10 @@ type BatchPlanRequest struct {
 	Items []PlanRequest `json:"items"`
 	// DeadlineMS, when positive, turns on partial-results mode: items
 	// still unfinished after the deadline report a per-item error while
-	// finished items return normally. Abandoned computations keep running
-	// detached and land in the cache, so a retry is cheap.
+	// finished items return normally. A computation the deadline strands
+	// keeps running only while some other caller still wants it; work
+	// nobody waits for stops at its next checkpoint instead of burning a
+	// pool slot.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
@@ -48,6 +50,7 @@ const (
 	sourceCached    = "cached"    // served from the response LRU
 	sourceComputed  = "computed"  // this batch led the computation
 	sourceCoalesced = "coalesced" // served off shared work: an in-flight request or an intra-batch duplicate
+	sourceDegraded  = "degraded"  // brownout fallback: LP-free list schedule, never cached
 )
 
 // BatchItemResult is one item's outcome. Exactly one of Plan or Error is
@@ -63,9 +66,10 @@ type BatchItemResult struct {
 }
 
 // BatchPlanResponse is the per-item results plus the batch's own
-// accounting: Size = OK + Errors and OK = Cached + Computed + Coalesced
-// always reconcile. CostUnits is what admission charged for the computed
-// items (cache hits and rejected items are free).
+// accounting: Size = OK + Errors and OK = Cached + Computed + Coalesced +
+// Degraded always reconcile. CostUnits is what admission charged for the
+// computed items (cache hits, rejected items, and degraded fallbacks are
+// free).
 type BatchPlanResponse struct {
 	Size      int               `json:"size"`
 	OK        int               `json:"ok"`
@@ -73,6 +77,7 @@ type BatchPlanResponse struct {
 	Cached    int               `json:"cached"`
 	Computed  int               `json:"computed"`
 	Coalesced int               `json:"coalesced"`
+	Degraded  int               `json:"degraded"`
 	CostUnits int               `json:"cost_units"`
 	Items     []BatchItemResult `json:"items"`
 }
@@ -117,12 +122,8 @@ func (p *Planner) planBatch(ctx context.Context, req *BatchPlanRequest) (*BatchP
 	if len(req.Items) > p.cfg.MaxBatchItems {
 		return nil, badRequestf("batch of %d items over the cap %d (split the batch)", len(req.Items), p.cfg.MaxBatchItems)
 	}
-	// maxDeadlineMS bounds deadline_ms at 24h: far beyond any real
-	// partial-results deadline, and small enough that the nanosecond
-	// conversion below can never overflow into an already-expired context.
-	const maxDeadlineMS = 24 * 60 * 60 * 1000
-	if req.DeadlineMS < 0 || req.DeadlineMS > maxDeadlineMS {
-		return nil, badRequestf("deadline_ms %d outside [0, %d]", req.DeadlineMS, int64(maxDeadlineMS))
+	if err := validDeadlineMS(req.DeadlineMS); err != nil {
+		return nil, err
 	}
 
 	items := make([]BatchItemResult, len(req.Items))
@@ -151,9 +152,12 @@ func (p *Planner) planBatch(ctx context.Context, req *BatchPlanRequest) (*BatchP
 
 	// Pass 1 — peek the cache (uncounted: if admission rejects the batch
 	// below, no response is delivered and no hit may be claimed) and price
-	// the remaining work.
+	// the remaining work. Under brownout pressure, eligible miss groups
+	// take the degraded fallback here — free of admission charge, exactly
+	// like the single path.
 	var misses []*batchGroup
 	totalCost := 0
+	degradeNow := p.pressure() >= p.cfg.BrownoutThreshold
 	for _, g := range order {
 		if v, ok := p.cache.peek(g.key); ok {
 			g.val, g.source = v, sourceCached
@@ -161,6 +165,13 @@ func (p *Planner) planBatch(ctx context.Context, req *BatchPlanRequest) (*BatchP
 		}
 		if g.cost > p.cfg.MaxItemCost {
 			g.err = badRequestf("item cost %d units (n=%d, m=%d) over the per-item budget %d", g.cost, g.ins.N, g.ins.M, p.cfg.MaxItemCost)
+			continue
+		}
+		if degradeNow && p.degradeAllowed(g.class) {
+			// Tag now, mint after admission settles: if the batch's
+			// non-degradable remainder rejects below, no response is
+			// delivered and no degraded serve may be counted.
+			g.source = sourceDegraded
 			continue
 		}
 		misses = append(misses, g)
@@ -171,11 +182,47 @@ func (p *Planner) planBatch(ctx context.Context, req *BatchPlanRequest) (*BatchP
 	// cost of its to-be-computed items against the same queue budget
 	// single requests count against. A batch whose own cost exceeds the
 	// budget is still admittable — but only against an empty enough line
-	// (otherwise it could never run at all).
+	// (otherwise it could never run at all). If the line filled between
+	// the pressure check and here, degrade-eligible groups take the
+	// fallback and only the remainder re-tries admission.
 	if totalCost > 0 {
 		if q := p.queued.Add(int64(totalCost)); q > int64(max(p.cfg.QueueDepth, totalCost)) {
 			p.queued.Add(-int64(totalCost))
-			return nil, fmt.Errorf("%w (batch of %d cost units)", ErrOverloaded, totalCost)
+			var keep []*batchGroup
+			kept := 0
+			for _, g := range misses {
+				if !p.degradeAllowed(g.class) {
+					keep = append(keep, g)
+					kept += g.cost
+				}
+			}
+			if kept == totalCost {
+				// Nothing degradable; the whole batch rejects as before.
+				return nil, fmt.Errorf("%w (batch of %d cost units)", p.overloaded(), totalCost)
+			}
+			if kept > 0 {
+				if q := p.queued.Add(int64(kept)); q > int64(max(p.cfg.QueueDepth, kept)) {
+					p.queued.Add(-int64(kept))
+					return nil, fmt.Errorf("%w (batch of %d cost units)", p.overloaded(), kept)
+				}
+			}
+			// The remainder is admitted (or empty): the eligible groups
+			// take the fallback.
+			for _, g := range misses {
+				if p.degradeAllowed(g.class) {
+					g.source = sourceDegraded
+				}
+			}
+			misses, totalCost = keep, kept
+		}
+	}
+
+	// The batch is fully admitted; mint the degraded fallbacks tagged
+	// above. Building them after admission keeps the degraded-serve
+	// counter equal to fallbacks actually delivered.
+	for _, g := range order {
+		if g.source == sourceDegraded {
+			g.val = p.degradedPlan(g.ins, g.fp, g.target, g.class)
 		}
 	}
 
@@ -211,8 +258,10 @@ func (p *Planner) planBatch(ctx context.Context, req *BatchPlanRequest) (*BatchP
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		// The client is gone; the response has no reader. Detached
-		// computations still finish and land in the cache.
+		// The client is gone; the response has no reader. Each resolver
+		// already left its flight: work other callers still want runs to
+		// completion and lands in the cache, the rest stops at its next
+		// checkpoint.
 		return nil, err
 	}
 
@@ -243,6 +292,8 @@ func (p *Planner) planBatch(ctx context.Context, req *BatchPlanRequest) (*BatchP
 			resp.Cached++
 		case items[i].Source == sourceComputed:
 			resp.Computed++
+		case items[i].Source == sourceDegraded:
+			resp.Degraded++
 		default:
 			resp.Coalesced++
 			coalescedItems++
@@ -269,7 +320,7 @@ func (p *Planner) resolveBatchGroup(ctx context.Context, g *batchGroup) {
 	if follower {
 		p.queued.Add(-int64(g.cost)) // someone else computes; nothing queued
 		g.source = sourceCoalesced
-		g.await(ctx, c)
+		p.await(ctx, g, c)
 		return
 	}
 	if v, ok := p.cache.peek(g.key); ok {
@@ -281,10 +332,19 @@ func (p *Planner) resolveBatchGroup(ctx context.Context, g *batchGroup) {
 	}
 	ins, fp, target, class, cost := g.ins, g.fp, g.target, g.class, g.cost
 	p.spawn(g.key, c, func() (any, error) {
-		p.slots <- struct{}{} // block for a worker slot; admission already charged the line
+		// Block for a worker slot (admission already charged the line) —
+		// unless every caller abandons the flight first, in which case the
+		// queued charge is refunded and the work never starts.
+		select {
+		case p.slots <- struct{}{}:
+		case <-c.abandoned:
+			p.queued.Add(-int64(cost))
+			p.metrics.deadlineAbandoned.Add(1)
+			return nil, errAbandoned
+		}
 		p.queued.Add(-int64(cost))
 		defer p.release()
-		resp, err := p.computePlan(ins, fp, target, class)
+		resp, err := p.computePlan(ins, fp, target, class, c.abandoned)
 		if err != nil {
 			return nil, err
 		}
@@ -292,17 +352,20 @@ func (p *Planner) resolveBatchGroup(ctx context.Context, g *batchGroup) {
 		return resp, nil
 	})
 	g.source = sourceComputed
-	g.await(ctx, c)
+	p.await(ctx, g, c)
 }
 
 // await waits for the group's flight under the batch's (possibly
-// deadline-bounded) context. A deadline expiry becomes this item's error;
-// the computation itself is detached and unharmed.
-func (g *batchGroup) await(ctx context.Context, c *flightCall) {
+// deadline-bounded) context. A deadline expiry becomes this item's error
+// and leaves the flight: with other callers still attached the detached
+// computation runs to completion and lands in the cache; stranded alone,
+// it stops at its next checkpoint.
+func (p *Planner) await(ctx context.Context, g *batchGroup, c *flightCall) {
 	select {
 	case <-c.done:
 		g.val, g.err = c.val, c.err
 	case <-ctx.Done():
-		g.err = fmt.Errorf("item unfinished at the batch deadline: %w (the computation continues and will be cached)", ctx.Err())
+		p.flight.leave(g.key, c)
+		g.err = fmt.Errorf("item unfinished at the batch deadline: %w", ctx.Err())
 	}
 }

@@ -7,7 +7,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
-	"time"
+
+	"repro/internal/sched"
 )
 
 // canonicalPlanJSON marshals a plan response with its serving-source flags
@@ -209,8 +210,9 @@ func TestBatchAdmissionWeighsItems(t *testing.T) {
 
 // TestBatchDeadlinePartialResults pins partial-results mode: items that
 // cannot finish by the deadline report per-item errors while the batch
-// still succeeds; the abandoned computations run to completion detached
-// and land in the cache for the retry.
+// still succeeds. A computation the deadline strands with no other caller
+// is abandoned at its slot-wait checkpoint — queue charge refunded,
+// nothing cached — so a retry recomputes it rather than finding it warm.
 func TestBatchDeadlinePartialResults(t *testing.T) {
 	p := smallPlanner(func(c *Config) { c.Workers = 1 })
 	ctx := context.Background()
@@ -235,22 +237,28 @@ func TestBatchDeadlinePartialResults(t *testing.T) {
 		t.Fatalf("deadlined item: %+v", it)
 	}
 
-	<-p.slots // free the worker; the detached computation completes
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		resp, err = p.PlanBatch(ctx, &BatchPlanRequest{Items: []PlanRequest{jsonClone(t, cold)}})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if resp.Items[0].Status == "ok" && resp.Items[0].Source == sourceCached {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("abandoned computation never landed in the cache: %+v", resp.Items[0])
-		}
+	// The stranded computation had no other caller: it must be abandoned
+	// (charge refunded, never cached) instead of burning the worker.
+	for p.Metrics().Abandoned != 1 {
 		runtime.Gosched()
 	}
-	p.Close() // the detached computation must drain cleanly
+	if q := p.queued.Load(); q != 0 {
+		t.Fatalf("abandonment did not refund the queue charge: queued=%d", q)
+	}
+	<-p.slots // free the worker
+	key := requestKey{fp: sched.FingerprintInstance(cold.Instance), kind: kindPlan, target: 0.5}
+	if _, ok := p.cache.peek(key); ok {
+		t.Fatal("abandoned batch computation landed in the cache")
+	}
+	// A retry recomputes the item from scratch and succeeds.
+	resp, err = p.PlanBatch(ctx, &BatchPlanRequest{Items: []PlanRequest{jsonClone(t, cold)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Items[0].Status != "ok" || resp.Items[0].Source != sourceComputed {
+		t.Fatalf("retry after abandonment: %+v", resp.Items[0])
+	}
+	p.Close() // every detached goroutine must drain cleanly
 }
 
 // TestBatchCoalescesWithInFlightSingle holds the one worker busy, parks a

@@ -43,10 +43,51 @@
 //   - Metrics counts everything (hits, misses, coalesced, rejected,
 //     in-flight, per-item batch outcomes, a batch-size distribution) and
 //     records per-endpoint latency in stats.Histogram; Server exposes it
-//     all as JSON on /metrics next to /healthz, /v1/plan, /v1/plan/batch,
-//     and /v1/estimate (which can stream NDJSON progress). Within one
-//     /metrics document the batch item counters reconcile exactly and
-//     cache_hit_rate ≤ 1 holds with per-item batch accounting folded in.
+//     all as JSON on /metrics next to /healthz, /readyz, /v1/plan,
+//     /v1/plan/batch, and /v1/estimate (which can stream NDJSON progress).
+//     Within one /metrics document the batch item counters reconcile
+//     exactly (items = cached + computed + coalesced + degraded + errors)
+//     and cache_hit_rate ≤ 1 holds with per-item batch accounting folded
+//     in.
+//
+// # Resilience
+//
+// Overload has two regimes. Below Config.BrownoutThreshold (a fraction of
+// QueueDepth) the service rejects excess load with 429 and an adaptive
+// Retry-After computed from live queue depth times a smoothed per-unit
+// compute cost — the hint tracks how long the backlog actually takes to
+// drain. Above the threshold, Config.DegradedPolicy may switch eligible
+// requests to graceful degradation: instead of a 429 they receive a cheap
+// LP-free greedy fallback plan (internal/baseline list scheduling) marked
+// "degraded": true with no certificate (TStar and LowerBound zero).
+// Degraded plans never enter the response cache and never register in the
+// flight table — they are emergency output, not the canonical answer.
+// DegradeIndependent limits fallbacks to independent-job instances, where
+// greedy list scheduling is a principled approximation; DegradeAll extends
+// them to precedence-constrained instances whose fallback ignores chain
+// order (openly uncertified); DegradeNever keeps pure rejection.
+//
+// Requests may carry DeadlineMS, a client-side give-up hint. The deadline
+// becomes a per-request context deadline, and the computation it admitted
+// checks for abandonment at checkpoints (while queued for a worker slot,
+// before an LP solve, between Monte Carlo chunks). A computation every
+// waiter has abandoned stops early and refunds its queue charge — unless
+// other callers coalesced onto it, in which case it runs to completion for
+// them. A started LP solve always finishes and caches: solves are the
+// expensive indivisible unit, so their work is never thrown away.
+//
+// Config.ComputeHook is the fault-injection seam: the planner calls it at
+// every compute checkpoint, and internal/faults supplies hooks that stall,
+// error, or panic at seeded-deterministic rates. Panics — injected or real
+// — are isolated per computation and surface as errors to every waiter,
+// never as a crashed process.
+//
+// Lifecycle: /readyz is distinct from /healthz. It reports 503 until
+// Planner.Warmup() has pushed one tiny plan through the full stack, and
+// flips back to 503 the moment BeginDrain() or Close() starts shutdown —
+// before the listener closes — so load balancers stop routing while
+// in-flight requests drain. Every accepted request reaches a terminal
+// response during drain; Close waits for detached work.
 //
 // Responses handed out by the Planner are shared (cached and coalesced
 // callers receive the same pointers); callers must treat them as

@@ -5,7 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
+
+	"repro/internal/lp"
 )
 
 // maxBodyBytes bounds request bodies. An n=1024, m=256 instance is ~5 MB
@@ -18,8 +22,8 @@ const maxBodyBytes = 64 << 20
 var ErrRequestTooLarge = errors.New("service: request body too large")
 
 // Server is the HTTP face of a Planner: /v1/plan, /v1/estimate, /healthz,
-// /metrics. It implements http.Handler; lifecycle (listening, TLS,
-// graceful shutdown) belongs to the caller's http.Server.
+// /readyz, /metrics. It implements http.Handler; lifecycle (listening,
+// TLS, graceful shutdown) belongs to the caller's http.Server.
 type Server struct {
 	planner *Planner
 	mux     *http.ServeMux
@@ -33,6 +37,7 @@ func NewServer(p *Planner) *Server {
 	s.mux.HandleFunc("/v1/plan/batch", s.handlePlanBatch)
 	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
@@ -57,6 +62,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // writeError maps planner errors onto status codes. Context cancellations
 // mean the client is gone; the write is best-effort.
+//
+// Retry semantics, as a retrying client should read them: 429 and 503
+// carry Retry-After and are safe to retry (planning is idempotent); 422
+// means the instance is beyond what any engine here can solve — retrying
+// the same request is useless; 4xx never retries; 408 means the server
+// gave up at the client's own deadline.
 func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrRequestTooLarge):
@@ -64,14 +75,38 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrBadRequest):
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		// Adaptive hint: backlog cost units × measured seconds per unit ÷
+		// pool width (see Planner.retryAfter), carried by the overloadError
+		// the admission path builds. A plain ErrOverloaded (tests, future
+		// call sites) falls back to the old constant 1s.
+		retry := 1.0
+		var oe *overloadError
+		if errors.As(err, &oe) {
+			retry = oe.retryAfter.Seconds()
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry))))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case errors.Is(err, lp.ErrUnsolvable):
+		// The sparse engine failed and the dense fallback refused the size:
+		// deterministic for this instance, so 422 (don't retry), not 500.
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusRequestTimeout, errorBody{Error: err.Error()})
 	default:
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// observeAttempt meters retries a well-behaved client confesses to via the
+// X-Suu-Attempt header (1-based attempt number; ≥ 2 is a retry).
+func (s *Server) observeAttempt(r *http.Request) {
+	if v := r.Header.Get("X-Suu-Attempt"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 2 {
+			s.planner.metrics.retriesObserved.Add(1)
+		}
 	}
 }
 
@@ -105,6 +140,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
+	s.observeAttempt(r)
 	var req PlanRequest
 	if err := s.decodeRequest(w, r, &req); err != nil {
 		writeError(w, err)
@@ -126,6 +162,7 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
+	s.observeAttempt(r)
 	var req BatchPlanRequest
 	if err := s.decodeRequest(w, r, &req); err != nil {
 		writeError(w, err)
@@ -149,6 +186,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
+	s.observeAttempt(r)
 	var req EstimateRequest
 	if err := s.decodeRequest(w, r, &req); err != nil {
 		writeError(w, err)
@@ -222,12 +260,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, healthBody{Status: status, UptimeSeconds: snap.UptimeSeconds})
 }
 
+// handleReadyz serves readiness, distinct from /healthz liveness: a
+// replica is ready only after Warmup and before BeginDrain/Close. Flip it
+// (via Planner.BeginDrain) before http.Server.Shutdown so balancers stop
+// routing during the graceful drain instead of eating connection errors.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.planner.Ready() {
+		writeJSON(w, http.StatusOK, healthBody{Status: "ready", UptimeSeconds: s.planner.Metrics().UptimeSeconds})
+		return
+	}
+	status := "not-ready"
+	if s.planner.draining.Load() || s.planner.ShuttingDown() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusServiceUnavailable, healthBody{Status: status, UptimeSeconds: s.planner.Metrics().UptimeSeconds})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.planner.Metrics())
 }
 
 // String renders a snapshot compactly for operator logs.
 func (sn MetricsSnapshot) String() string {
-	return fmt.Sprintf("plans=%d estimates=%d batches=%d batch_items=%d hit_rate=%.2f coalesced=%d rejected=%d errors=%d inflight=%d plan_p99=%.2fms batch_p99=%.2fms",
-		sn.Plans, sn.Estimates, sn.Batches, sn.BatchItems, sn.CacheHitRate, sn.Coalesced, sn.Rejected, sn.Errors, sn.InFlight, sn.PlanLatency.P99*1e3, sn.BatchLatency.P99*1e3)
+	return fmt.Sprintf("plans=%d estimates=%d batches=%d batch_items=%d hit_rate=%.2f coalesced=%d rejected=%d degraded=%d abandoned=%d retries_seen=%d errors=%d inflight=%d plan_p99=%.2fms batch_p99=%.2fms",
+		sn.Plans, sn.Estimates, sn.Batches, sn.BatchItems, sn.CacheHitRate, sn.Coalesced, sn.Rejected, sn.Degraded, sn.Abandoned, sn.RetriesSeen, sn.Errors, sn.InFlight, sn.PlanLatency.P99*1e3, sn.BatchLatency.P99*1e3)
 }

@@ -5,13 +5,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -57,8 +57,12 @@ type LoadConfig struct {
 	Trials int
 	// Seed drives the arrival process.
 	Seed int64
-	// Timeout is the per-request client timeout (default 30s).
+	// Timeout is the per-attempt client timeout (default 30s).
 	Timeout time.Duration
+	// MaxAttempts is the retrying client's total tries per request
+	// (default 1: no retries — measurement runs should see raw failures;
+	// chaos runs turn retries on).
+	MaxAttempts int
 }
 
 // LoadReport is the measured outcome. Latencies are seconds and are
@@ -70,30 +74,44 @@ type LoadConfig struct {
 // fields mirror the request fields, so single and batch runs compare
 // directly at the item level.
 type LoadReport struct {
-	Mode            string           `json:"mode"`
-	Op              string           `json:"op"`
-	Arrival         string           `json:"arrival,omitempty"`
-	OfferedRate     float64          `json:"offered_rate_rps,omitempty"`
-	OfferedItemRate float64          `json:"offered_item_rate_rps,omitempty"`
-	BatchSize       int              `json:"batch_size,omitempty"`
-	BatchDist       string           `json:"batch_dist,omitempty"`
-	DurationS       float64          `json:"duration_s"`
-	Issued          uint64           `json:"issued"` // requests actually sent; Issued = Done + Errors after the drain
-	Done            uint64           `json:"done"`
-	Errors          uint64           `json:"errors"`
-	Rejected        uint64           `json:"rejected"` // server 429s, a subset of Errors
-	Dropped         uint64           `json:"dropped"`  // open-mode arrivals over the in-flight cap, never issued
-	ItemsIssued     uint64           `json:"items_issued"`
-	ItemsDone       uint64           `json:"items_done"`
-	ItemsErrors     uint64           `json:"items_errors"`
-	Throughput      float64          `json:"throughput_rps"`
-	ItemThroughput  float64          `json:"item_throughput_rps"`
-	LatMean         float64          `json:"lat_mean_s"`
-	LatP50          float64          `json:"lat_p50_s"`
-	LatP95          float64          `json:"lat_p95_s"`
-	LatP99          float64          `json:"lat_p99_s"`
-	LatMax          float64          `json:"lat_max_s"`
-	ServerMetrics   *MetricsSnapshot `json:"server_metrics,omitempty"`
+	Mode            string  `json:"mode"`
+	Op              string  `json:"op"`
+	Arrival         string  `json:"arrival,omitempty"`
+	OfferedRate     float64 `json:"offered_rate_rps,omitempty"`
+	OfferedItemRate float64 `json:"offered_item_rate_rps,omitempty"`
+	BatchSize       int     `json:"batch_size,omitempty"`
+	BatchDist       string  `json:"batch_dist,omitempty"`
+	DurationS       float64 `json:"duration_s"`
+	Issued          uint64  `json:"issued"` // requests actually sent; Issued = Done + Errors after the drain
+	Done            uint64  `json:"done"`
+	Errors          uint64  `json:"errors"`
+	Rejected        uint64  `json:"rejected"` // server 429s, a subset of Errors
+	Dropped         uint64  `json:"dropped"`  // open-mode arrivals over the in-flight cap, never issued
+	ItemsIssued     uint64  `json:"items_issued"`
+	ItemsDone       uint64  `json:"items_done"`
+	ItemsErrors     uint64  `json:"items_errors"`
+	Throughput      float64 `json:"throughput_rps"`
+	ItemThroughput  float64 `json:"item_throughput_rps"`
+	// Resilience ledger. Degraded splits Done (and ItemsDegraded splits
+	// ItemsDone): those requests succeeded but carried the brownout
+	// fallback. InjectedErrors and OrganicServerErrors split the 5xx part
+	// of Errors by whether the response was marked injected (X-Suu-Injected
+	// or an "injected" body) — a chaos run asserts the organic half is
+	// zero. Retries/ConnErrors/BreakerOpens come off the retrying client.
+	Degraded            uint64 `json:"degraded"`
+	ItemsDegraded       uint64 `json:"items_degraded"`
+	InjectedErrors      uint64 `json:"injected_errors"`
+	OrganicServerErrors uint64 `json:"organic_5xx"`
+	Retries             uint64 `json:"retries"`
+	ConnErrors          uint64 `json:"conn_errors"`
+	BreakerOpens        uint64 `json:"breaker_opens"`
+
+	LatMean       float64          `json:"lat_mean_s"`
+	LatP50        float64          `json:"lat_p50_s"`
+	LatP95        float64          `json:"lat_p95_s"`
+	LatP99        float64          `json:"lat_p99_s"`
+	LatMax        float64          `json:"lat_max_s"`
+	ServerMetrics *MetricsSnapshot `json:"server_metrics,omitempty"`
 
 	// Latencies is the merged histogram backing the quantiles above.
 	Latencies *stats.Histogram `json:"-"`
@@ -245,16 +263,22 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	}
 	url := cfg.BaseURL + path
 
-	client := &http.Client{
-		Timeout: cfg.Timeout,
-		Transport: &http.Transport{
-			MaxIdleConns:        cfg.Concurrency * 2,
-			MaxIdleConnsPerHost: cfg.Concurrency * 2,
-		},
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Concurrency * 2,
+		MaxIdleConnsPerHost: cfg.Concurrency * 2,
 	}
+	// FetchMetrics and other plain GETs share the pooled transport.
+	plainClient := &http.Client{Timeout: cfg.Timeout, Transport: transport}
+	suu := client.New(client.Config{
+		MaxAttempts:    cfg.MaxAttempts,
+		AttemptTimeout: cfg.Timeout,
+		Seed:           cfg.Seed + 0xc11e,
+		Transport:      transport,
+	})
 
 	var issued, done, errs, rejected, dropped atomic.Uint64
 	var itemsIssued, itemsDone, itemsErr atomic.Uint64
+	var degraded, itemsDegraded, injectedErrs, organic5xx atomic.Uint64
 	workers := make([]loadWorkerState, cfg.Concurrency)
 	for i := range workers {
 		workers[i].hist = stats.NewLatencyHistogram()
@@ -268,20 +292,31 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		}
 		itemsIssued.Add(items)
 		start := time.Now()
-		resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[idx]))
+		res, err := suu.Do(ctx, url, bodies[idx])
 		lat := time.Since(start).Seconds()
 		if err != nil {
+			// No response at all: every attempt died on the wire (or the
+			// breaker was open). The client's own ledger has the split.
 			errs.Add(1)
 			itemsErr.Add(items)
 			return
 		}
-		if resp.StatusCode != http.StatusOK {
-			_, _ = io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+		if res.Status != http.StatusOK {
 			errs.Add(1)
 			itemsErr.Add(items) // a failed request delivered none of its items
-			if resp.StatusCode == http.StatusTooManyRequests {
+			switch {
+			case res.Status == http.StatusTooManyRequests:
 				rejected.Add(1)
+			case res.Status >= 500:
+				// Ledger injected separately from organic: injected faults
+				// announce themselves (header or an "injected" body); any
+				// other 5xx is the server's own bug and a chaos run must
+				// report it as such.
+				if res.Injected || bytes.Contains(res.Body, []byte("injected")) {
+					injectedErrs.Add(1)
+				} else {
+					organic5xx.Add(1)
+				}
 			}
 			return
 		}
@@ -290,23 +325,33 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			// envelope summarizes; ok + errors = size, so the item ledger
 			// reconciles exactly like the request ledger.
 			var sum struct {
-				OK     uint64 `json:"ok"`
-				Errors uint64 `json:"errors"`
+				OK       uint64 `json:"ok"`
+				Errors   uint64 `json:"errors"`
+				Degraded uint64 `json:"degraded"`
 			}
-			if derr := json.NewDecoder(resp.Body).Decode(&sum); derr != nil {
-				_, _ = io.Copy(io.Discard, resp.Body) // drain so the connection stays reusable
-				resp.Body.Close()
+			if derr := json.Unmarshal(res.Body, &sum); derr != nil {
 				errs.Add(1)
 				itemsErr.Add(items)
 				return
 			}
 			itemsDone.Add(sum.OK)
 			itemsErr.Add(sum.Errors)
+			if sum.Degraded > 0 {
+				degraded.Add(1)
+				itemsDegraded.Add(sum.Degraded)
+			}
 		} else {
 			itemsDone.Add(1)
+			if cfg.Op == "plan" {
+				var pr struct {
+					Degraded bool `json:"degraded"`
+				}
+				if json.Unmarshal(res.Body, &pr) == nil && pr.Degraded {
+					degraded.Add(1)
+					itemsDegraded.Add(1)
+				}
+			}
 		}
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
 		ws.hist.Observe(lat)
 		done.Add(1)
 	}
@@ -399,21 +444,29 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			return nil, err
 		}
 	}
+	cm := suu.Snapshot()
 	rep := &LoadReport{
-		Mode:           cfg.Mode,
-		Op:             cfg.Op,
-		DurationS:      elapsed,
-		Issued:         issued.Load(),
-		Done:           done.Load(),
-		Errors:         errs.Load(),
-		Rejected:       rejected.Load(),
-		Dropped:        dropped.Load(),
-		ItemsIssued:    itemsIssued.Load(),
-		ItemsDone:      itemsDone.Load(),
-		ItemsErrors:    itemsErr.Load(),
-		Throughput:     float64(done.Load()) / elapsed,
-		ItemThroughput: float64(itemsDone.Load()) / elapsed,
-		Latencies:      merged,
+		Mode:                cfg.Mode,
+		Op:                  cfg.Op,
+		DurationS:           elapsed,
+		Issued:              issued.Load(),
+		Done:                done.Load(),
+		Errors:              errs.Load(),
+		Rejected:            rejected.Load(),
+		Dropped:             dropped.Load(),
+		ItemsIssued:         itemsIssued.Load(),
+		ItemsDone:           itemsDone.Load(),
+		ItemsErrors:         itemsErr.Load(),
+		Degraded:            degraded.Load(),
+		ItemsDegraded:       itemsDegraded.Load(),
+		InjectedErrors:      injectedErrs.Load(),
+		OrganicServerErrors: organic5xx.Load(),
+		Retries:             cm.Retries,
+		ConnErrors:          cm.ConnErrors,
+		BreakerOpens:        cm.BreakerOpens,
+		Throughput:          float64(done.Load()) / elapsed,
+		ItemThroughput:      float64(itemsDone.Load()) / elapsed,
+		Latencies:           merged,
 	}
 	if batchOp {
 		rep.BatchSize = cfg.BatchSize
@@ -436,7 +489,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	}
 	// Best-effort server-side view (hit rate, in-flight peaks) to pair
 	// with the client-side latencies.
-	if snap, err := FetchMetrics(ctx, client, cfg.BaseURL); err == nil {
+	if snap, err := FetchMetrics(ctx, plainClient, cfg.BaseURL); err == nil {
 		rep.ServerMetrics = snap
 	}
 	return rep, nil

@@ -23,6 +23,10 @@ type Metrics struct {
 	coalesced atomic.Uint64 // requests served by another caller's flight or its just-cached result
 	inflight  atomic.Int64  // admitted requests currently in the planner
 
+	degraded          atomic.Uint64 // brownout fallback serves (groups/requests, not batch items)
+	deadlineAbandoned atomic.Uint64 // computations stopped because every caller gave up
+	retriesObserved   atomic.Uint64 // requests arriving with X-Suu-Attempt ≥ 2
+
 	mu      sync.Mutex
 	planLat *stats.Histogram
 	estLat  *stats.Histogram
@@ -31,12 +35,13 @@ type Metrics struct {
 	// observeBatch updates the whole family plus two histograms in one
 	// critical section, and snapshot reads under the same lock — so one
 	// /metrics document always reconciles exactly:
-	// batchItems = cached + computed + coalesced + errors.
+	// batchItems = cached + computed + coalesced + degraded + errors.
 	batches             uint64 // completed /v1/plan/batch requests
 	batchItems          uint64 // items across completed batches
 	batchItemsCached    uint64 // items served from the response LRU
 	batchItemsComputed  uint64 // items whose batch led the computation
 	batchItemsCoalesced uint64 // items served off shared work (flights, intra-batch duplicates)
+	batchItemsDegraded  uint64 // items served the brownout fallback
 	batchItemErrors     uint64 // per-item failures (validation, budget, compute, deadline)
 	batchLat            *stats.Histogram
 	batchSize           *stats.Histogram
@@ -112,6 +117,7 @@ func (m *Metrics) observeBatch(d time.Duration, resp *BatchPlanResponse, err err
 	m.batchItemsCached += uint64(resp.Cached)
 	m.batchItemsComputed += uint64(resp.Computed)
 	m.batchItemsCoalesced += uint64(resp.Coalesced)
+	m.batchItemsDegraded += uint64(resp.Degraded)
 	m.batchItemErrors += uint64(resp.Errors)
 	m.batchLat.Observe(d.Seconds())
 	m.batchSize.Observe(float64(resp.Size))
@@ -165,12 +171,20 @@ func distSnapshot(h *stats.Histogram) DistSnapshot {
 // batch_items their items; every item lands in exactly one of
 // batch_items_cached (response-LRU hit), batch_items_computed (this batch
 // led the computation), batch_items_coalesced (served off shared work — an
-// in-flight request's flight or an intra-batch duplicate), or
-// batch_item_errors — the four always sum to batch_items within one
-// document (they are updated and snapshotted under one lock). Batch items
-// also feed the shared cache_hits/cache_misses/coalesced counters
-// per item, so cache_hit_rate stays ≤ 1 with batches in play. All
-// counters are monotone over the process lifetime.
+// in-flight request's flight or an intra-batch duplicate),
+// batch_items_degraded (brownout fallback), or batch_item_errors — the
+// five always sum to batch_items within one document (they are updated
+// and snapshotted under one lock). Batch items also feed the shared
+// cache_hits/cache_misses/coalesced counters per item, so cache_hit_rate
+// stays ≤ 1 with batches in play. All counters are monotone over the
+// process lifetime.
+//
+// Resilience counters: degraded counts brownout fallback serves (one per
+// /v1/plan request or unique batch group), deadline_abandoned counts
+// computations stopped because every caller gave up, retries_observed
+// counts requests that arrived carrying X-Suu-Attempt ≥ 2 (a retrying
+// client's confession), retry_after_hint_s is the adaptive Retry-After a
+// 429 would carry right now.
 type MetricsSnapshot struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Plans         uint64          `json:"plans"`
@@ -181,6 +195,9 @@ type MetricsSnapshot struct {
 	Rejected      uint64          `json:"rejected"`
 	Coalesced     uint64          `json:"coalesced"`
 	InFlight      int64           `json:"in_flight"`
+	Degraded      uint64          `json:"degraded"`
+	Abandoned     uint64          `json:"deadline_abandoned"`
+	RetriesSeen   uint64          `json:"retries_observed"`
 	CacheHits     uint64          `json:"cache_hits"`
 	CacheMisses   uint64          `json:"cache_misses"`
 	CacheHitRate  float64         `json:"cache_hit_rate"`
@@ -189,7 +206,9 @@ type MetricsSnapshot struct {
 	BatchCached   uint64          `json:"batch_items_cached"`
 	BatchComputed uint64          `json:"batch_items_computed"`
 	BatchShared   uint64          `json:"batch_items_coalesced"`
+	BatchDegraded uint64          `json:"batch_items_degraded"`
 	BatchErrors   uint64          `json:"batch_item_errors"`
+	RetryAfterS   float64         `json:"retry_after_hint_s"`
 	PlanLatency   LatencySnapshot `json:"plan_latency"`
 	EstLatency    LatencySnapshot `json:"estimate_latency"`
 	BatchLatency  LatencySnapshot `json:"batch_latency"`
@@ -211,6 +230,7 @@ func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
 	batchCached := m.batchItemsCached
 	batchComputed := m.batchItemsComputed
 	batchShared := m.batchItemsCoalesced
+	batchDegraded := m.batchItemsDegraded
 	batchErrors := m.batchItemErrors
 	m.mu.Unlock()
 	// coalesced is loaded before the cache counters: each coalesced.Add is
@@ -238,6 +258,9 @@ func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
 		Rejected:      m.rejected.Load(),
 		Coalesced:     coalesced,
 		InFlight:      m.inflight.Load(),
+		Degraded:      m.degraded.Load(),
+		Abandoned:     m.deadlineAbandoned.Load(),
+		RetriesSeen:   m.retriesObserved.Load(),
 		CacheHits:     hits,
 		CacheMisses:   misses,
 		CacheHitRate:  rate,
@@ -246,6 +269,7 @@ func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
 		BatchCached:   batchCached,
 		BatchComputed: batchComputed,
 		BatchShared:   batchShared,
+		BatchDegraded: batchDegraded,
 		BatchErrors:   batchErrors,
 		PlanLatency:   latencySnapshot(planLat),
 		EstLatency:    latencySnapshot(estLat),

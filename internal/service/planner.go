@@ -28,11 +28,61 @@ var (
 	ErrShuttingDown    = errors.New("service: shutting down")
 	ErrBadRequest      = errors.New("service: bad request")
 	errFlightAbandoned = errors.New("service: in-flight computation abandoned")
+	// errAbandoned ends a detached computation whose every caller has given
+	// up (deadline expired or disconnected) before it reached a worker slot
+	// or its next solve checkpoint. It never reaches a live caller: the
+	// flight is orphaned off the table before the computation sees it.
+	errAbandoned = errors.New("service: computation abandoned by every caller")
 )
+
+// overloadError is ErrOverloaded with an adaptive Retry-After hint derived
+// from the live queue and the measured per-unit compute cost. errors.Is
+// still matches ErrOverloaded through Unwrap.
+type overloadError struct {
+	retryAfter time.Duration
+}
+
+func (e *overloadError) Error() string { return ErrOverloaded.Error() }
+func (e *overloadError) Unwrap() error { return ErrOverloaded }
 
 // badRequestf wraps ErrBadRequest with detail.
 func badRequestf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// Brownout policies: what an eligible plan request gets when admission
+// pressure crosses Config.BrownoutThreshold. See Config.DegradedPolicy.
+const (
+	// DegradeNever keeps the PR 4 behavior: a full line rejects with 429.
+	DegradeNever = "reject"
+	// DegradeIndependent serves independent-class plan requests a cheap
+	// LP-free fallback under pressure; chains still reject.
+	DegradeIndependent = "independent"
+	// DegradeAll serves every plannable class the fallback under pressure.
+	DegradeAll = "all"
+)
+
+// maxDeadlineMS bounds every client deadline knob at 24h: far beyond any
+// real deadline, and small enough that the nanosecond conversion can never
+// overflow into an already-expired context.
+const maxDeadlineMS = 24 * 60 * 60 * 1000
+
+// withDeadlineMS derives the request context a client deadline bounds.
+// ms ≤ 0 (absent) leaves ctx alone; the returned cancel is always safe to
+// defer.
+func withDeadlineMS(ctx context.Context, ms int64) (context.Context, context.CancelFunc) {
+	if ms <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+}
+
+// validDeadlineMS rejects out-of-range client deadlines.
+func validDeadlineMS(ms int64) error {
+	if ms < 0 || ms > maxDeadlineMS {
+		return badRequestf("deadline_ms %d outside [0, %d]", ms, int64(maxDeadlineMS))
+	}
+	return nil
 }
 
 // Config sizes the planner. Zero values take the documented defaults.
@@ -70,6 +120,22 @@ type Config struct {
 	// i.e. n·m up to 64×1024). An item over it gets a per-item error —
 	// one oversized instance must not poison its batch.
 	MaxItemCost int
+	// DegradedPolicy selects the brownout behavior when admission pressure
+	// crosses BrownoutThreshold: DegradeNever (default) keeps rejecting
+	// with 429; DegradeIndependent serves independent plan requests the
+	// LP-free list-schedule fallback; DegradeAll serves every plannable
+	// class the fallback. Estimates never degrade — a degraded sample
+	// would be silently wrong, while a degraded plan is openly marked.
+	DegradedPolicy string
+	// BrownoutThreshold is the queue-pressure fraction (queued/QueueDepth)
+	// at which eligible plan requests start degrading instead of queueing
+	// (default 1.0: degrade only where the old behavior would 429).
+	BrownoutThreshold float64
+	// ComputeHook, if non-nil, runs at every compute checkpoint (before an
+	// LP solve, between Monte Carlo chunks). An error return fails the
+	// computation; a panic exercises the panic-isolation path. It exists
+	// for fault injection (internal/faults) and tests.
+	ComputeHook func() error
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +174,16 @@ func (c Config) withDefaults() Config {
 	if c.MaxItemCost <= 0 {
 		c.MaxItemCost = 64
 	}
+	switch c.DegradedPolicy {
+	case DegradeIndependent, DegradeAll:
+	default:
+		// Unknown strings fall back to the safe pre-brownout behavior;
+		// cmd/suud validates the flag loudly before building a Config.
+		c.DegradedPolicy = DegradeNever
+	}
+	if c.BrownoutThreshold <= 0 || c.BrownoutThreshold > 1 {
+		c.BrownoutThreshold = 1
+	}
 	return c
 }
 
@@ -134,6 +210,17 @@ type Planner struct {
 
 	slots  chan struct{}
 	queued atomic.Int64
+
+	// readiness, distinct from liveness: ready flips on after Warmup and
+	// off at BeginDrain, so a load balancer stops routing before Shutdown
+	// starts refusing.
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	// unitCostNS is an EWMA of observed compute nanoseconds per admission
+	// cost unit (itemCost), stored as float64 bits. It prices the adaptive
+	// Retry-After hint: backlog units × cost per unit ÷ workers.
+	unitCostNS atomic.Uint64
 
 	// lifecycle: a mutex-guarded unit count instead of a sync.WaitGroup,
 	// because begin() may Add while Close() waits — a combination
@@ -186,12 +273,17 @@ func NewPlanner(cfg Config) *Planner {
 func (p *Planner) Config() Config { return p.cfg }
 
 // Metrics returns the current metrics snapshot.
-func (p *Planner) Metrics() MetricsSnapshot { return p.metrics.snapshot(p.cache) }
+func (p *Planner) Metrics() MetricsSnapshot {
+	s := p.metrics.snapshot(p.cache)
+	s.RetryAfterS = p.retryAfter().Seconds()
+	return s
+}
 
 // Close stops admitting requests and waits for every in-flight unit —
 // admitted requests and detached computations — to drain. Safe to call
 // more than once.
 func (p *Planner) Close() {
+	p.draining.Store(true)
 	p.lmu.Lock()
 	p.closing = true
 	if p.units == 0 && !p.drainedup {
@@ -207,6 +299,33 @@ func (p *Planner) ShuttingDown() bool {
 	p.lmu.Lock()
 	defer p.lmu.Unlock()
 	return p.closing
+}
+
+// Warmup primes the workspace pool and LP engines with one tiny plan, then
+// marks the planner ready. /readyz reports not-ready until it runs: a
+// replica that has not yet paged in its solve path serves its first real
+// request with a cold-start latency spike a balancer should not see.
+func (p *Planner) Warmup() error {
+	ins, err := model.New(2, 2, [][]float64{{0.5, 0.5}, {0.5, 0.5}}, nil)
+	if err != nil {
+		return err
+	}
+	if _, err := p.computePlan(ins, sched.FingerprintInstance(ins), 0.5, dag.ClassIndependent, nil); err != nil {
+		return err
+	}
+	p.ready.Store(true)
+	return nil
+}
+
+// BeginDrain marks the planner not ready without refusing work. Call it
+// before http.Server.Shutdown: the balancer sees /readyz flip and stops
+// routing while in-flight (and straggler) requests still complete.
+func (p *Planner) BeginDrain() { p.draining.Store(true) }
+
+// Ready reports whether the planner should receive new traffic: warmed up,
+// not draining, not shut down.
+func (p *Planner) Ready() bool {
+	return p.ready.Load() && !p.draining.Load() && !p.ShuttingDown()
 }
 
 // begin admits a request into the planner's in-flight set.
@@ -246,23 +365,121 @@ func (p *Planner) untrack() {
 	p.lmu.Unlock()
 }
 
-// acquire takes a worker slot, failing fast with ErrOverloaded when the
-// waiting line is already QueueDepth deep — the 429 path that keeps the
-// backlog (and therefore p99) bounded under overload. Callers admitted
-// into the line wait for a slot unconditionally: computations run
-// detached from request contexts (see runShared), and both the line and
-// each computation are bounded.
-func (p *Planner) acquire() error {
+// acquireFlight takes a worker slot for c's computation, failing fast with
+// ErrOverloaded when the waiting line is already QueueDepth deep — the 429
+// path that keeps the backlog (and therefore p99) bounded under overload.
+// A computation admitted into the line waits for a slot until either one
+// frees or every caller abandons the flight (c.abandoned closes): a plan
+// nobody is waiting for must not keep burning queue and pool capacity.
+// Work with live followers keeps waiting — one impatient caller never
+// cancels a shared result.
+func (p *Planner) acquireFlight(c *flightCall) error {
 	if q := p.queued.Add(1); int(q) > p.cfg.QueueDepth {
 		p.queued.Add(-1)
-		return ErrOverloaded
+		return p.overloaded()
 	}
-	p.slots <- struct{}{}
-	p.queued.Add(-1)
-	return nil
+	var abandoned <-chan struct{}
+	if c != nil {
+		abandoned = c.abandoned
+	}
+	select {
+	case p.slots <- struct{}{}:
+		p.queued.Add(-1)
+		return nil
+	case <-abandoned:
+		p.queued.Add(-1)
+		p.metrics.deadlineAbandoned.Add(1)
+		return errAbandoned
+	}
 }
 
 func (p *Planner) release() { <-p.slots }
+
+// pressure is the admission line's fill fraction. It counts only work
+// waiting for the planner's pool — cache hits bypass it entirely, so
+// brownout sheds exactly the load that LP compute is drowning under.
+func (p *Planner) pressure() float64 {
+	return float64(p.queued.Load()) / float64(p.cfg.QueueDepth)
+}
+
+// degradeAllowed reports whether the configured brownout policy lets a
+// plan request of this class be served the LP-free fallback.
+func (p *Planner) degradeAllowed(class dag.Class) bool {
+	switch p.cfg.DegradedPolicy {
+	case DegradeAll:
+		return true
+	case DegradeIndependent:
+		return class == dag.ClassIndependent
+	default:
+		return false
+	}
+}
+
+// shouldDegrade is the brownout decision for a plan request: policy allows
+// the class and pressure has crossed the threshold.
+func (p *Planner) shouldDegrade(class dag.Class) bool {
+	return p.degradeAllowed(class) && p.pressure() >= p.cfg.BrownoutThreshold
+}
+
+// observeUnitCost folds one computation's wall time into the EWMA that
+// prices Retry-After hints. units is the computation's admission cost
+// (itemCost).
+func (p *Planner) observeUnitCost(units int, d time.Duration) {
+	if units <= 0 || d <= 0 {
+		return
+	}
+	per := float64(d) / float64(units)
+	for {
+		old := p.unitCostNS.Load()
+		next := per
+		if old != 0 {
+			next = 0.8*math.Float64frombits(old) + 0.2*per
+		}
+		if p.unitCostNS.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfter estimates when the backlog will have drained enough for a
+// retry to be admitted: queued cost units × compute time per unit ÷ pool
+// width, clamped to [1s, 30s]. Before any computation has priced the EWMA
+// it falls back to the old constant 1s.
+func (p *Planner) retryAfter() time.Duration {
+	per := math.Float64frombits(p.unitCostNS.Load())
+	q := float64(p.queued.Load())
+	d := time.Duration(q * per / float64(p.cfg.Workers))
+	if d < time.Second {
+		return time.Second
+	}
+	if d > 30*time.Second {
+		return 30 * time.Second
+	}
+	return d
+}
+
+func (p *Planner) overloaded() error {
+	return &overloadError{retryAfter: p.retryAfter()}
+}
+
+// checkpoint is the solve-boundary stop inside a detached computation: an
+// abandoned one (every caller gone) ends before its next expensive phase,
+// and the injected ComputeHook (chaos) gets its shot at failing or
+// stalling the compute. abandoned may be nil (warmup, degraded serves).
+func (p *Planner) checkpoint(abandoned <-chan struct{}) error {
+	select {
+	case <-abandoned:
+		p.metrics.deadlineAbandoned.Add(1)
+		return errAbandoned
+	default:
+	}
+	if h := p.cfg.ComputeHook; h != nil {
+		if err := h(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // spawn runs fn on a detached, drain-tracked goroutine and lands the
 // flight with its result. A panic in fn is recovered into an error — one
@@ -292,9 +509,12 @@ func (p *Planner) spawn(key requestKey, c *flightCall, fn func() (any, error)) {
 // caller cancellation: coalesced followers and the cache still want the
 // result when the leader's client disconnects, so a leader hang-up must
 // not poison the flight with its context error. The caller waits under
-// its own ctx; an abandoned computation still runs to completion (it is
-// bounded — the trial budget caps estimates, LP solves are finite) and
-// lands in the cache.
+// its own ctx; a caller that gives up leaves the flight, and only when the
+// LAST caller leaves is the computation abandoned — it then stops at its
+// next checkpoint (slot wait, solve boundary, Monte Carlo chunk) instead
+// of running to completion, so deadline-expired work stops burning pool
+// slots. Work any live follower still wants runs to completion and lands
+// in the cache.
 //
 // A new leader re-checks the response cache (an uncounted peek — the
 // caller already recorded its miss) before spawning fn: a racing flight
@@ -308,7 +528,7 @@ func (p *Planner) spawn(key requestKey, c *flightCall, fn func() (any, error)) {
 // goroutine, so onProgress never runs on the detached computation
 // goroutine — it may touch the caller's ResponseWriter, which dies with
 // the caller.
-func (p *Planner) runShared(ctx context.Context, key requestKey, onProgress func(Progress), fn func(emit func(Progress)) (any, error)) (v any, err error, follower, fromCache bool) {
+func (p *Planner) runShared(ctx context.Context, key requestKey, onProgress func(Progress), fn func(fl *flightCall, emit func(Progress)) (any, error)) (v any, err error, follower, fromCache bool) {
 	c, follower := p.flight.join(key)
 	var progCh chan Progress
 	if !follower {
@@ -327,7 +547,7 @@ func (p *Planner) runShared(ctx context.Context, key requestKey, onProgress func
 				}
 			}
 		}
-		p.spawn(key, c, func() (any, error) { return fn(emit) })
+		p.spawn(key, c, func() (any, error) { return fn(c, emit) })
 	}
 	for {
 		select {
@@ -347,6 +567,7 @@ func (p *Planner) runShared(ctx context.Context, key requestKey, onProgress func
 			}
 			return c.val, c.err, follower, false
 		case <-ctx.Done():
+			p.flight.leave(key, c)
 			return nil, ctx.Err(), follower, false
 		}
 	}
@@ -378,6 +599,12 @@ type PlanRequest struct {
 	// Target is the per-job log-mass target L of LP1 (independent
 	// instances only; default 1/2, the Lemma 1/2 choice).
 	Target float64 `json:"target,omitempty"`
+	// DeadlineMS is the client's deadline for this request. Past it the
+	// server stops working on the request (unless coalesced followers
+	// still want the result) and the caller gets a 408. It never enters
+	// the cache key: two requests differing only in patience want the
+	// same plan.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // PlanResponse is the rounded schedule. Independent instances get the
@@ -395,6 +622,11 @@ type PlanResponse struct {
 	Machines    [][]PlanRun `json:"machines"`
 	Cached      bool        `json:"cached"`
 	Coalesced   bool        `json:"coalesced,omitempty"`
+	// Degraded marks a brownout fallback: a greedy list schedule served
+	// under overload instead of the LP rounding. Degraded plans carry no
+	// TStar/LowerBound certificate and are never cached — a retry after
+	// the storm gets the real plan.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Plan computes (or serves from cache) the rounded schedule for req.
@@ -417,6 +649,9 @@ func (p *Planner) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 func (p *Planner) validatePlan(req *PlanRequest) (ins *model.Instance, target float64, class dag.Class, err error) {
 	if req == nil || req.Instance == nil {
 		return nil, 0, 0, badRequestf("missing instance")
+	}
+	if err := validDeadlineMS(req.DeadlineMS); err != nil {
+		return nil, 0, 0, err
 	}
 	ins = req.Instance
 	target = req.Target
@@ -447,6 +682,8 @@ func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := withDeadlineMS(ctx, req.DeadlineMS)
+	defer cancel()
 	fp := sched.FingerprintInstance(ins)
 	key := requestKey{fp: fp, kind: kindPlan, target: target}
 	if v, ok := p.cache.get(key); ok {
@@ -454,12 +691,18 @@ func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 		resp.Cached = true
 		return &resp, nil
 	}
-	v, err, shared, fromCache := p.runShared(ctx, key, nil, func(func(Progress)) (any, error) {
-		if err := p.acquire(); err != nil {
+	// Brownout: past the pressure threshold an eligible request skips the
+	// line (and the flight table — degraded answers are never shared or
+	// cached) and gets the cheap fallback immediately.
+	if p.shouldDegrade(class) {
+		return p.degradedPlan(ins, fp, target, class), nil
+	}
+	v, err, shared, fromCache := p.runShared(ctx, key, nil, func(fl *flightCall, _ func(Progress)) (any, error) {
+		if err := p.acquireFlight(fl); err != nil {
 			return nil, err
 		}
 		defer p.release()
-		resp, err := p.computePlan(ins, fp, target, class)
+		resp, err := p.computePlan(ins, fp, target, class, fl.abandoned)
 		if err != nil {
 			return nil, err
 		}
@@ -467,6 +710,11 @@ func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 		return resp, nil
 	})
 	if err != nil {
+		// The line filled between the pressure check and admission; under
+		// a degrade policy the fallback still beats a 429.
+		if errors.Is(err, ErrOverloaded) && p.degradeAllowed(class) {
+			return p.degradedPlan(ins, fp, target, class), nil
+		}
 		return nil, err
 	}
 	if shared || fromCache {
@@ -477,8 +725,15 @@ func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 	return v.(*PlanResponse), nil
 }
 
-// computePlan runs the rounding on a pooled workspace.
-func (p *Planner) computePlan(ins *model.Instance, fp sched.Fingerprint, target float64, class dag.Class) (*PlanResponse, error) {
+// computePlan runs the rounding on a pooled workspace. The checkpoint
+// before the solve is the last stop for abandoned work (and the chaos
+// hook); a solve that starts always finishes — LP solves are finite and
+// their result is worth caching even if every caller has gone.
+func (p *Planner) computePlan(ins *model.Instance, fp sched.Fingerprint, target float64, class dag.Class, abandoned <-chan struct{}) (*PlanResponse, error) {
+	if err := p.checkpoint(abandoned); err != nil {
+		return nil, err
+	}
+	start := time.Now()
 	ws := p.pool.Get()
 	defer p.pool.Put(ws)
 	resp := &PlanResponse{
@@ -525,8 +780,16 @@ func (p *Planner) computePlan(ins *model.Instance, fp sched.Fingerprint, target 
 		asn = r.Assignment
 		resp.TStar = r.TFrac
 	}
+	resp.Machines = serializeRuns(asn, &resp.Length)
+	p.observeUnitCost(itemCost(ins), time.Since(start))
+	return resp, nil
+}
+
+// serializeRuns converts an assignment into the wire run lists, recording
+// the schedule length into *length.
+func serializeRuns(asn *sched.Assignment, length *int64) [][]PlanRun {
 	o := asn.Serialize()
-	resp.Length = o.Length
+	*length = o.Length
 	machines := make([][]PlanRun, len(o.Runs))
 	for i, runs := range o.Runs {
 		row := make([]PlanRun, len(runs))
@@ -535,8 +798,7 @@ func (p *Planner) computePlan(ins *model.Instance, fp sched.Fingerprint, target 
 		}
 		machines[i] = row
 	}
-	resp.Machines = machines
-	return resp, nil
+	return machines
 }
 
 // EstimateRequest asks for a Monte Carlo makespan estimate.
@@ -553,6 +815,8 @@ type EstimateRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Stream asks the HTTP layer for NDJSON progress lines.
 	Stream bool `json:"stream,omitempty"`
+	// DeadlineMS is the client's deadline; see PlanRequest.DeadlineMS.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // EstimateResponse summarizes the makespan sample.
@@ -653,6 +917,9 @@ func (p *Planner) estimateParams(req *EstimateRequest) (trials int, name string,
 	if req == nil || req.Instance == nil {
 		return 0, "", nil, badRequestf("missing instance")
 	}
+	if err := validDeadlineMS(req.DeadlineMS); err != nil {
+		return 0, "", nil, err
+	}
 	trials = req.Trials
 	if trials == 0 {
 		trials = p.cfg.DefaultTrials
@@ -682,6 +949,8 @@ func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := withDeadlineMS(ctx, req.DeadlineMS)
+	defer cancel()
 	ins := req.Instance
 	fp := sched.FingerprintInstance(ins)
 	key := requestKey{fp: fp, kind: kindEstimate, policy: name, trials: trials, seed: req.Seed}
@@ -690,12 +959,12 @@ func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress
 		resp.Cached = true
 		return &resp, nil
 	}
-	v, err, shared, fromCache := p.runShared(ctx, key, onProgress, func(emit func(Progress)) (any, error) {
-		if err := p.acquire(); err != nil {
+	v, err, shared, fromCache := p.runShared(ctx, key, onProgress, func(fl *flightCall, emit func(Progress)) (any, error) {
+		if err := p.acquireFlight(fl); err != nil {
 			return nil, err
 		}
 		defer p.release()
-		resp, err := p.computeEstimate(ins, fp, name, newPol(), trials, req.Seed, emit)
+		resp, err := p.computeEstimate(ins, fp, name, newPol(), trials, req.Seed, fl.abandoned, emit)
 		if err != nil {
 			return nil, err
 		}
@@ -717,13 +986,17 @@ func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress
 // starts at trial offset o and seeds its stream with seed+o, so the
 // concatenated sample is byte-identical to one unchunked MonteCarlo call —
 // chunking changes progress granularity, never the estimate. It runs on a
-// detached goroutine and always runs to completion: the trial budget is
-// the bound, not a caller's context. pol is this computation's own
-// instance: its LP caches warm up across the request's trials (which all
-// share ins) and die with the computation.
-func (p *Planner) computeEstimate(ins *model.Instance, fp sched.Fingerprint, name string, pol sim.Policy, trials int, seed int64, emit func(Progress)) (*EstimateResponse, error) {
+// detached goroutine; each chunk boundary is a checkpoint, so an estimate
+// every caller abandoned stops there instead of burning the rest of its
+// trial budget. pol is this computation's own instance: its LP caches
+// warm up across the request's trials (which all share ins) and die with
+// the computation.
+func (p *Planner) computeEstimate(ins *model.Instance, fp sched.Fingerprint, name string, pol sim.Policy, trials int, seed int64, abandoned <-chan struct{}, emit func(Progress)) (*EstimateResponse, error) {
 	all := make([]float64, 0, trials)
 	for done := 0; done < trials; {
+		if err := p.checkpoint(abandoned); err != nil {
+			return nil, err
+		}
 		c := p.cfg.ProgressChunk
 		if rest := trials - done; c > rest {
 			c = rest

@@ -415,7 +415,7 @@ func TestRunSharedLeaderServesRacedCache(t *testing.T) {
 	key := requestKey{kind: kindPlan, target: 0.25}
 	want := &PlanResponse{Fingerprint: "raced"}
 	p.cache.put(key, want)
-	v, err, shared, fromCache := p.runShared(context.Background(), key, nil, func(func(Progress)) (any, error) {
+	v, err, shared, fromCache := p.runShared(context.Background(), key, nil, func(*flightCall, func(Progress)) (any, error) {
 		t.Error("computation ran despite a cached result for its key")
 		return nil, errors.New("unreachable")
 	})
@@ -511,31 +511,41 @@ func TestAdmissionControl(t *testing.T) {
 		t.Fatalf("queued request failed: %v", err)
 	}
 
-	// A caller whose client gives up gets its context error immediately,
-	// but the admitted computation is work-conserving: it keeps its place
-	// in line, completes once a worker frees up, and lands in the cache.
+	// A caller whose client gives up gets its context error immediately;
+	// with nobody else attached, the computation is abandoned at its
+	// slot-wait checkpoint — the queue charge is refunded without a worker
+	// slot ever being consumed, the flight table is cleared, and nothing
+	// lands in the cache. (Work with live followers still completes: see
+	// TestFollowerSurvivesLeaderCancellation.)
 	p2 := smallPlanner(func(c *Config) { c.Workers = 1; c.QueueDepth = 2 })
-	p2.slots <- struct{}{}
+	p2.slots <- struct{}{} // keep the only worker busy for the whole test
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := p2.Plan(ctx, reqB); !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
-	<-p2.slots // free the worker; the abandoned computation finishes
-	for p2.queued.Load() != 0 {
+	for p2.Metrics().Abandoned != 1 {
 		runtime.Gosched()
 	}
+	if q := p2.queued.Load(); q != 0 {
+		t.Fatalf("abandonment did not refund the queue charge: queued=%d", q)
+	}
 	key := requestKey{fp: sched.FingerprintInstance(reqB.Instance), kind: kindPlan, target: 0.5}
-	for {
-		if _, ok := p2.cache.get(key); ok {
-			break
-		}
-		runtime.Gosched()
+	if _, ok := p2.cache.get(key); ok {
+		t.Fatal("abandoned computation landed in the cache")
+	}
+	p2.flight.mu.Lock()
+	flights := len(p2.flight.m)
+	p2.flight.mu.Unlock()
+	if flights != 0 {
+		t.Fatalf("flight table has %d entries after abandonment", flights)
 	}
 	// The abandoned wait is a cancellation, not a server error.
 	if snap := p2.Metrics(); snap.Canceled != 1 || snap.Errors != 0 {
 		t.Fatalf("canceled/errors = %d/%d", snap.Canceled, snap.Errors)
 	}
+	<-p2.slots
+	p2.Close() // the detached goroutine must have untracked itself
 }
 
 func TestCloseDrainsInFlight(t *testing.T) {

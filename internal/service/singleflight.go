@@ -9,6 +9,14 @@ import "sync"
 // are content-addressed requestKeys, so "duplicate" means semantically
 // identical work, not byte-identical request bodies.
 //
+// Each flight tracks its live waiters. A caller that gives up (its client
+// deadline expired or it disconnected) leaves the flight; when the last
+// waiter leaves before the result lands, the flight is orphaned — removed
+// from the table so later arrivals start fresh, and its abandoned channel
+// closed so the detached computation can stop burning pool capacity at its
+// next checkpoint. Work with live waiters always runs to completion: one
+// impatient caller never cancels a result other callers are waiting on.
+//
 // This is the classic singleflight shape split into join/finish, local to
 // the service because the repo carries no external dependencies. Results
 // are not retained after the flight lands — that is the plan cache's job.
@@ -18,10 +26,14 @@ type flightGroup struct {
 }
 
 type flightCall struct {
-	done chan struct{}
-	val  any
-	err  error
-	dups int // followers attached so far; written under the group's mu
+	done      chan struct{}
+	abandoned chan struct{} // closed when the last waiter leaves before done
+	val       any
+	err       error
+	waiters   int  // callers currently waiting on done
+	landed    bool // finish ran; abandoned can no longer close
+	orphaned  bool // abandoned closed; the call is off the table
+	dups      int  // followers attached so far; written under the group's mu
 }
 
 // join attaches the caller to key's flight, creating it if none is in
@@ -36,19 +48,42 @@ func (g *flightGroup) join(key requestKey) (*flightCall, bool) {
 	}
 	if c, inFlight := g.m[key]; inFlight {
 		c.dups++
+		c.waiters++
 		return c, true
 	}
-	c := &flightCall{done: make(chan struct{})}
+	c := &flightCall{done: make(chan struct{}), abandoned: make(chan struct{}), waiters: 1}
 	g.m[key] = c
 	return c, false
 }
 
-// finish lands the flight: records the result, removes the key, and wakes
-// every waiter.
+// leave detaches a waiter that gave up before the result landed. The last
+// leaver orphans the flight: the key is freed immediately (a later caller
+// must not inherit a computation that may be about to stop) and abandoned
+// is closed so the computation sees it at its next checkpoint. Callers
+// served normally never leave; their waiter counts die with the call.
+func (g *flightGroup) leave(key requestKey, c *flightCall) {
+	g.mu.Lock()
+	c.waiters--
+	if c.waiters == 0 && !c.landed && !c.orphaned {
+		c.orphaned = true
+		if g.m[key] == c {
+			delete(g.m, key)
+		}
+		close(c.abandoned)
+	}
+	g.mu.Unlock()
+}
+
+// finish lands the flight: records the result, removes the key (unless an
+// orphaning already did, and never a successor flight under the same key),
+// and wakes every waiter.
 func (g *flightGroup) finish(key requestKey, c *flightCall, val any, err error) {
 	c.val, c.err = val, err
 	g.mu.Lock()
-	delete(g.m, key)
+	c.landed = true
+	if g.m[key] == c {
+		delete(g.m, key)
+	}
 	g.mu.Unlock()
 	close(c.done)
 }
