@@ -19,6 +19,16 @@
 // for independent-job requests (independent), or for everything (all)
 // once admission pressure crosses -brownout-threshold. -chaos enables
 // the fault-injection harness (internal/faults) for resilience drills.
+//
+// -store-dir adds a crash-safe durable plan store (internal/store) under
+// the response cache: computed plans persist to an append-only checksummed
+// log and survive restarts, so a warm replica recomputes nothing. -peers
+// (with -self) replicates the store across a static fleet: local misses
+// fall through to the key's ring owners, writes fan out asynchronously,
+// and a restarted replica pulls what it missed before /readyz goes green.
+// -fsync picks the durability point (always | interval | never); the
+// -chaos-disk-* and -chaos-peer-error-p flags inject storage and
+// replication faults for drills.
 package main
 
 import (
@@ -29,11 +39,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/faults"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -54,6 +66,15 @@ func main() {
 		brownout = flag.Float64("brownout-threshold", 0.75,
 			"queue-pressure fraction (0..1] at which degraded fallbacks kick in")
 
+		storeDir      = flag.String("store-dir", "", "durable plan store directory (empty = no disk tier)")
+		storeMemBytes = flag.Int64("store-mem-bytes", 64<<20, "in-memory store tier budget in bytes (0 = no mem tier)")
+		fsyncMode     = flag.String("fsync", "interval", "disk store durability: always, interval, or never")
+		fsyncEvery    = flag.Duration("fsync-interval", 100*time.Millisecond, "sync period for -fsync interval")
+		compactBytes  = flag.Int64("store-compact-bytes", 256<<20, "auto-compact the log once it exceeds this and most bytes are dead (0 = off)")
+		self          = flag.String("self", "", "this replica's base URL as peers reach it (required with -peers)")
+		peers         = flag.String("peers", "", "comma-separated replica base URLs, self included; enables the replicated store")
+		replication   = flag.Int("replication", 2, "ring owners per key in the replicated store")
+
 		chaos        = flag.Bool("chaos", false, "enable fault injection (the -chaos-* rates)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "fault-stream seed (same seed, same arrival order => same faults)")
 		chaosLatP    = flag.Float64("chaos-latency-p", 0.10, "P(injected request latency)")
@@ -64,6 +85,11 @@ func main() {
 		chaosStall   = flag.Duration("chaos-stall", 100*time.Millisecond, "stall magnitude (±50% jitter)")
 		chaosCErrP   = flag.Float64("chaos-compute-error-p", 0, "P(injected compute error at a checkpoint)")
 		chaosCPanicP = flag.Float64("chaos-compute-panic-p", 0, "P(injected compute panic at a checkpoint)")
+
+		chaosPeerErrP   = flag.Float64("chaos-peer-error-p", 0, "P(injected 503 on /v1/store/* peer traffic only; independent of -chaos)")
+		chaosBitFlipP   = flag.Float64("chaos-disk-bitflip-p", 0, "P(flipping one random bit of a disk record on read; needs -chaos)")
+		chaosShortReadP = flag.Float64("chaos-disk-shortread-p", 0, "P(zeroing a random tail of a disk record on read; needs -chaos)")
+		chaosENOSPC     = flag.Int64("chaos-disk-enospc-after", 0, "fail disk appends with ENOSPC after this many bytes (0 = off; needs -chaos)")
 	)
 	flag.Parse()
 
@@ -93,6 +119,77 @@ func main() {
 		}
 	}
 
+	// Compose the plan store bottom-up: mem LRU over the disk log, the
+	// replication layer over both. The planner reads through whatever stack
+	// comes out; a nil store means compute-and-LRU only, exactly the old
+	// behavior.
+	var planStore store.PlanStore
+	{
+		var tiers []store.PlanStore
+		if *storeMemBytes > 0 {
+			tiers = append(tiers, store.NewMem(*storeMemBytes, 0))
+		}
+		if *storeDir != "" {
+			pol, err := store.ParseFsyncPolicy(*fsyncMode)
+			if err != nil {
+				log.Fatalf("suud: %v", err)
+			}
+			dcfg := store.DiskConfig{
+				Fsync:         pol,
+				FsyncInterval: *fsyncEvery,
+				CompactBytes:  *compactBytes,
+			}
+			if *chaos {
+				if dinj := faults.NewDiskInjector(faults.DiskConfig{
+					Seed:             *chaosSeed,
+					BitFlipP:         *chaosBitFlipP,
+					ShortReadP:       *chaosShortReadP,
+					ENOSPC:           *chaosENOSPC > 0,
+					ENOSPCAfterBytes: *chaosENOSPC,
+				}); dinj != nil {
+					dcfg.WriteFault = dinj.WriteFault()
+					dcfg.ReadFault = dinj.ReadFault()
+				}
+			}
+			disk, err := store.Open(*storeDir, dcfg)
+			if err != nil {
+				log.Fatalf("suud: opening store %s: %v", *storeDir, err)
+			}
+			tiers = append(tiers, disk)
+		}
+		switch len(tiers) {
+		case 0:
+		case 1:
+			planStore = tiers[0]
+		default:
+			planStore = store.NewTiered(tiers...)
+		}
+		if *peers != "" {
+			var peerList []string
+			for _, p := range strings.Split(*peers, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					peerList = append(peerList, p)
+				}
+			}
+			if *self == "" {
+				log.Fatalf("suud: -peers needs -self (this replica's URL in the peer list)")
+			}
+			if planStore == nil {
+				log.Fatalf("suud: -peers needs a local store tier (-store-dir and/or -store-mem-bytes)")
+			}
+			rep, err := store.NewReplicated(planStore, store.ReplicatedConfig{
+				Self:        *self,
+				Peers:       peerList,
+				Replication: *replication,
+				HandoffDir:  *storeDir, // hints persist next to the log; empty keeps them in memory
+			})
+			if err != nil {
+				log.Fatalf("suud: replicated store: %v", err)
+			}
+			planStore = rep
+		}
+	}
+
 	planner := service.NewPlanner(service.Config{
 		Workers:           *workers,
 		QueueDepth:        *queue,
@@ -105,10 +202,23 @@ func main() {
 		DegradedPolicy:    *degradedPolicy,
 		BrownoutThreshold: *brownout,
 		ComputeHook:       inj.ComputeHook(),
+		Store:             planStore,
 	})
+	var handler http.Handler = service.NewServer(planner)
+	if *chaosPeerErrP > 0 {
+		// Peer-fault mode: a second injector scoped to the store's peer
+		// protocol, so replication traffic degrades while client traffic
+		// stays clean — the failover/handoff drill.
+		handler = faults.New(faults.Config{
+			Seed:           *chaosSeed + 1,
+			ErrorP:         *chaosPeerErrP,
+			HTTPMethod:     http.MethodPost,
+			HTTPPathPrefix: "/v1/store/",
+		}).Wrap(handler)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           inj.Wrap(service.NewServer(planner)),
+		Handler:           inj.Wrap(handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -122,9 +232,13 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	cfg := planner.Config()
-	log.Printf("suud: serving on %s (workers=%d queue=%d cache=%d/%d shards policy=%s brownout=%.2f chaos=%v)",
+	storeName := "none"
+	if planStore != nil {
+		storeName = planStore.Name()
+	}
+	log.Printf("suud: serving on %s (workers=%d queue=%d cache=%d/%d shards policy=%s brownout=%.2f store=%s chaos=%v)",
 		*addr, cfg.Workers, cfg.QueueDepth, cfg.CacheCap, cfg.CacheShards,
-		cfg.DegradedPolicy, cfg.BrownoutThreshold, inj != nil)
+		cfg.DegradedPolicy, cfg.BrownoutThreshold, storeName, inj != nil)
 
 	select {
 	case err := <-errCh:
@@ -141,6 +255,12 @@ func main() {
 		log.Printf("suud: shutdown: %v", err)
 	}
 	planner.Close()
+	// The planner is done issuing puts; now the store can flush and close.
+	if planStore != nil {
+		if err := planStore.Close(); err != nil {
+			log.Printf("suud: closing store: %v", err)
+		}
+	}
 	if inj != nil {
 		log.Printf("suud: chaos ledger %+v", inj.Snapshot())
 	}

@@ -31,6 +31,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +43,7 @@ import (
 func main() {
 	var (
 		url         = flag.String("url", "http://127.0.0.1:8650", "suud base URL")
+		urls        = flag.String("urls", "", "comma-separated replica base URLs; enables fleet mode (per-request rotation with failover; overrides -url)")
 		mode        = flag.String("mode", "open", "open (paced arrivals) or closed (back-to-back workers)")
 		arrival     = flag.String("arrival", "poisson", "open-mode arrival process: poisson or fixed")
 		rate        = flag.Float64("rate", 100, "open-mode offered load, requests/second")
@@ -76,8 +78,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	baseURL := *url
+	var baseURLs []string
+	if *urls != "" {
+		// Fleet mode: -urls replaces -url entirely so the default value of
+		// -url does not sneak a phantom fourth replica into the rotation.
+		baseURL = ""
+		for _, u := range strings.Split(*urls, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				baseURLs = append(baseURLs, strings.TrimRight(u, "/"))
+			}
+		}
+	}
+
 	rep, err := service.RunLoad(ctx, service.LoadConfig{
-		BaseURL:     *url,
+		BaseURL:     baseURL,
+		BaseURLs:    baseURLs,
 		Mode:        *mode,
 		Arrival:     *arrival,
 		Rate:        *rate,
@@ -117,14 +133,38 @@ func main() {
 	if sm := rep.ServerMetrics; sm != nil {
 		fmt.Fprintf(os.Stderr, "suuload: server %v\n", *sm)
 	}
+	if len(rep.Fleet) > 0 {
+		up := 0
+		for _, sn := range rep.Fleet {
+			if sn != nil {
+				up++
+			}
+		}
+		fmt.Fprintf(os.Stderr,
+			"suuload: fleet: replicas=%d up=%d hit_rate=%.3f store_hits=%d plans_computed=%d\n",
+			len(rep.Fleet), up, rep.FleetHitRate, rep.FleetStoreHits, rep.FleetPlansComputed)
+		for i, sn := range rep.Fleet {
+			if sn == nil {
+				fmt.Fprintf(os.Stderr, "suuload: fleet[%d] %s: unreachable\n", i, baseURLs[i])
+				continue
+			}
+			fmt.Fprintf(os.Stderr,
+				"suuload: fleet[%d] %s: plans=%d computed=%d hits=%d coalesced=%d disk_hits=%d peer_hits=%d\n",
+				i, baseURLs[i], sn.Plans, sn.PlansComputed, sn.CacheHits, sn.Coalesced, sn.StoreDiskHits, sn.StorePeerHits)
+		}
+	}
 
 	if *jsonOut {
 		report := bench.NewReport(bench.Config{Seed: *seed})
 		if *note != "" {
 			report.Notes = append(report.Notes, *note)
 		}
+		target := *url
+		if len(baseURLs) > 0 {
+			target = strings.Join(baseURLs, ",")
+		}
 		report.Notes = append(report.Notes,
-			fmt.Sprintf("suuload %s/%s against %s: %d×%s m=%d n=%d", *mode, *arrival, *url, *instances, *family, *m, *n))
+			fmt.Sprintf("suuload %s/%s against %s: %d×%s m=%d n=%d", *mode, *arrival, target, *instances, *family, *m, *n))
 		rec := bench.Record{
 			Experiment: "suuload-" + *op,
 			NsPerOp:    int64(rep.LatMean * 1e9),
@@ -176,6 +216,19 @@ func main() {
 		}
 		if rep.Op == "plan-batch" {
 			rec.Extra["batch_size"] = float64(rep.BatchSize)
+		}
+		if len(rep.Fleet) > 0 {
+			up := 0
+			for _, sn := range rep.Fleet {
+				if sn != nil {
+					up++
+				}
+			}
+			rec.Extra["fleet_replicas"] = float64(len(rep.Fleet))
+			rec.Extra["fleet_up"] = float64(up)
+			rec.Extra["fleet_hit_rate"] = rep.FleetHitRate
+			rec.Extra["fleet_store_hits"] = float64(rep.FleetStoreHits)
+			rec.Extra["fleet_plans_computed"] = float64(rep.FleetPlansComputed)
 		}
 		if sm := rep.ServerMetrics; sm != nil {
 			rec.Extra["cache_hit_rate"] = sm.CacheHitRate

@@ -4,11 +4,15 @@
 // Then the resilience layer: a second, deliberately tiny server under
 // fault injection and overload, driven through the retrying client, shows
 // brownout fallbacks, retries, and the readiness lifecycle.
+// In between, the durable plan store: compute against a disk-backed
+// store, tear the whole stack down, rebuild it on the same directory,
+// and replay the workload warm with zero recomputation.
 // The one-file version of:
 //
 //	go run ./cmd/suud &
 //	go run ./cmd/suuload -rate 200 -duration 3s -m 8 -n 32
 //	go run ./cmd/suuload -op plan-batch -item-rate 200 -batch-size 8 -duration 3s -m 8 -n 32
+//	go run ./cmd/suud -store-dir /var/lib/suud &   # kill -9 it; restart serves from the log
 //	go run ./cmd/suud -degraded-policy independent -chaos &
 //	go run ./cmd/suuload -retries 3 ...
 //
@@ -26,12 +30,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/faults"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -139,6 +145,64 @@ func main() {
 	fmt.Printf("\nbatch load: %d batches, %d items, %d item errors, %.1f items/s (offered %.0f)\n",
 		brep.Done, brep.ItemsDone, brep.ItemsErrors, brep.ItemThroughput, brep.OfferedItemRate)
 	fmt.Printf("per-batch latency: p50=%.2fms p99=%.2fms\n", brep.LatP50*1e3, brep.LatP99*1e3)
+
+	// Durability: the same planner core over a disk-backed plan store.
+	// Plans computed once survive a full restart — close the planner and
+	// the store, reopen the same directory, replay the same workload, and
+	// every answer comes off the recovered log with zero recomputation.
+	storeDir, err := os.MkdirTemp("", "suud-store-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(storeDir)
+	durReqs := make([]*service.PlanRequest, 6)
+	for i := range durReqs {
+		ins, err := workload.Generate(workload.Spec{Family: "uniform", M: 8, N: 32, Seed: 200 + int64(i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		durReqs[i] = &service.PlanRequest{Instance: ins}
+	}
+	st1, err := store.Open(storeDir, store.DiskConfig{Fsync: store.FsyncAlways})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dp1 := service.NewPlanner(service.Config{Workers: 2, QueueDepth: 16, Store: st1})
+	for _, req := range durReqs {
+		if _, err := dp1.Plan(context.Background(), req); err != nil {
+			log.Fatal(err)
+		}
+	}
+	dm1 := dp1.Metrics()
+	fmt.Printf("\ndurable store, cold run: %d plans computed, %d records on disk\n",
+		dm1.PlansComputed, dm1.StoreEntries)
+	dp1.Close()
+	if err := st1.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The "restart": a fresh store over the same directory, a fresh
+	// planner with an empty LRU. Warmup gates readiness on store recovery.
+	st2, err := store.Open(storeDir, store.DiskConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dp2 := service.NewPlanner(service.Config{Workers: 2, QueueDepth: 16, Store: st2})
+	if err := dp2.Warmup(); err != nil {
+		log.Fatal(err)
+	}
+	for _, req := range durReqs {
+		if _, err := dp2.Plan(context.Background(), req); err != nil {
+			log.Fatal(err)
+		}
+	}
+	dm2 := dp2.Metrics()
+	fmt.Printf("durable store, after restart: %d plans computed, %d disk hits, %d corrupt records dropped\n",
+		dm2.PlansComputed, dm2.StoreDiskHits, dm2.StoreCorrupt)
+	dp2.Close()
+	if err := st2.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Resilience demo: a deliberately tiny planner (one worker, short
 	// queue) under injected 503s, with brownout fallbacks enabled. The

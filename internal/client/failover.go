@@ -1,0 +1,94 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// DoAny POSTs body (JSON) to any of several equivalent replicas, with the
+// same retry contract as Do but a rotating target choice: attempt k
+// prefers urls[(k-1) mod len(urls)] and scans forward past targets whose
+// circuit breaker is open, so a dead replica costs one connection error
+// at most once per cooldown and every retry lands somewhere else. The
+// planning service is content-addressed and replicated, which is what
+// makes "any replica" correct — every target returns the same answer.
+//
+// With a single URL this is exactly Do. With every breaker open the call
+// fails fast with ErrBreakerOpen, like Do does.
+func (c *Client) DoAny(ctx context.Context, urls []string, body []byte) (*Result, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("client: no urls")
+	}
+	if len(urls) == 1 {
+		return c.Do(ctx, urls[0], body)
+	}
+	c.calls.Add(1)
+	targets := make([]string, len(urls))
+	for i, u := range urls {
+		t, err := targetOf(u)
+		if err != nil {
+			return nil, fmt.Errorf("client: bad url: %w", err)
+		}
+		targets[i] = t
+	}
+	var lastErr error
+	res := &Result{}
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.retries.Add(1)
+			wait := c.backoff(attempt, retryAfterOf(res.Header))
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		// Rotate the preferred replica with the attempt number, then take
+		// the first whose breaker admits the call.
+		var (
+			url    string
+			br     *breaker
+			chosen = -1
+		)
+		for i := 0; i < len(urls); i++ {
+			j := (attempt - 1 + i) % len(urls)
+			b := c.breakerFor(targets[j])
+			if b.allow(c) {
+				url, br, chosen = urls[j], b, j
+				break
+			}
+			c.breakerFastFails.Add(1)
+		}
+		if chosen < 0 {
+			// Every replica's breaker is open. Cooldowns outlast backoffs,
+			// so fail the call fast rather than spin the attempt loop.
+			return nil, fmt.Errorf("%w: all %d replicas", ErrBreakerOpen, len(urls))
+		}
+		res.Attempts = attempt
+		status, header, respBody, err := c.attempt(ctx, url, body, attempt)
+		if err != nil {
+			c.connErrors.Add(1)
+			br.failure(c)
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			res.Header = nil
+			continue
+		}
+		res.Status, res.Header, res.Body = status, header, respBody
+		res.Injected = header.Get(InjectedHeader) != ""
+		if retryableStatus(status) {
+			br.failure(c)
+			lastErr = fmt.Errorf("client: status %d from %s", status, targets[chosen])
+			continue
+		}
+		br.success()
+		return res, nil
+	}
+	if res.Status != 0 {
+		return res, nil
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,121 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// replicaServer always answers with code and counts its hits.
+func replicaServer(t *testing.T, code int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(code)
+		w.Write([]byte(`{}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestDoAnyFailsOverToHealthyReplica(t *testing.T) {
+	bad, badHits := replicaServer(t, http.StatusServiceUnavailable)
+	good, goodHits := replicaServer(t, http.StatusOK)
+	c := New(fastCfg())
+	res, err := c.DoAny(context.Background(), []string{bad.URL, good.URL}, []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusOK {
+		t.Fatalf("status %d", res.Status)
+	}
+	if badHits.Load() != 1 || goodHits.Load() != 1 {
+		t.Fatalf("hits bad=%d good=%d, want one attempt each", badHits.Load(), goodHits.Load())
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts %d", res.Attempts)
+	}
+}
+
+func TestDoAnyPrefersFirstURLWhenHealthy(t *testing.T) {
+	a, aHits := replicaServer(t, http.StatusOK)
+	b, bHits := replicaServer(t, http.StatusOK)
+	c := New(fastCfg())
+	for i := 0; i < 3; i++ {
+		res, err := c.DoAny(context.Background(), []string{a.URL, b.URL}, []byte("{}"))
+		if err != nil || res.Status != http.StatusOK {
+			t.Fatalf("call %d: %v %v", i, err, res)
+		}
+	}
+	if aHits.Load() != 3 || bHits.Load() != 0 {
+		t.Fatalf("hits a=%d b=%d, want all on the preferred replica", aHits.Load(), bHits.Load())
+	}
+}
+
+func TestDoAnyConnErrorFailover(t *testing.T) {
+	// A replica that is not even listening: conn error, not a status.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	good, goodHits := replicaServer(t, http.StatusOK)
+	c := New(fastCfg())
+	res, err := c.DoAny(context.Background(), []string{deadURL, good.URL}, []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusOK || goodHits.Load() != 1 {
+		t.Fatalf("status=%d good_hits=%d", res.Status, goodHits.Load())
+	}
+	if snap := c.Snapshot(); snap.ConnErrors == 0 {
+		t.Fatalf("conn errors unrecorded: %+v", snap)
+	}
+}
+
+func TestDoAnySkipsOpenBreakers(t *testing.T) {
+	bad, _ := replicaServer(t, http.StatusServiceUnavailable)
+	good, goodHits := replicaServer(t, http.StatusOK)
+	cfg := fastCfg()
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Minute
+	c := New(cfg)
+	// Trip the bad replica's breaker.
+	for i := 0; i < 2; i++ {
+		c.Do(context.Background(), bad.URL, []byte("{}"))
+	}
+	goodHits.Store(0)
+	res, err := c.DoAny(context.Background(), []string{bad.URL, good.URL}, []byte("{}"))
+	if err != nil || res.Status != http.StatusOK {
+		t.Fatalf("%v %v", err, res)
+	}
+	// The open breaker was skipped without an attempt: first try lands on
+	// the healthy replica.
+	if res.Attempts != 1 || goodHits.Load() != 1 {
+		t.Fatalf("attempts=%d good_hits=%d", res.Attempts, goodHits.Load())
+	}
+
+	// Every breaker open: fail fast, no attempts spent.
+	c2 := New(cfg)
+	for i := 0; i < 2; i++ {
+		c2.Do(context.Background(), bad.URL, []byte("{}"))
+	}
+	if _, err := c2.DoAny(context.Background(), []string{bad.URL}, []byte("{}")); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("all-open: %v", err)
+	}
+}
+
+func TestDoAnyDegenerateInputs(t *testing.T) {
+	c := New(fastCfg())
+	if _, err := c.DoAny(context.Background(), nil, nil); err == nil {
+		t.Fatal("no URLs should error")
+	}
+	good, _ := replicaServer(t, http.StatusOK)
+	res, err := c.DoAny(context.Background(), []string{good.URL}, []byte("{}"))
+	if err != nil || res.Status != http.StatusOK {
+		t.Fatalf("single URL: %v %v", err, res)
+	}
+}

@@ -330,6 +330,15 @@ func (p *Planner) resolveBatchGroup(ctx context.Context, g *batchGroup) {
 		g.val, g.source = v, sourceCoalesced
 		return
 	}
+	if v, ok := p.storeGet(g.key); ok {
+		// The durable store holds this plan (this node's disk, or a
+		// peer's): serve it without a slot, exactly like the raced-cache
+		// path — it recorded a miss but computes nothing.
+		p.flight.finish(g.key, c, v, nil)
+		p.queued.Add(-int64(g.cost))
+		g.val, g.source = v, sourceCoalesced
+		return
+	}
 	ins, fp, target, class, cost := g.ins, g.fp, g.target, g.class, g.cost
 	p.spawn(g.key, c, func() (any, error) {
 		// Block for a worker slot (admission already charged the line) —
@@ -348,7 +357,9 @@ func (p *Planner) resolveBatchGroup(ctx context.Context, g *batchGroup) {
 		if err != nil {
 			return nil, err
 		}
+		p.metrics.plansComputed.Add(1)
 		p.cache.put(g.key, resp)
+		p.storePut(g.key, resp)
 		return resp, nil
 	})
 	g.source = sourceComputed
@@ -364,6 +375,10 @@ func (p *Planner) await(ctx context.Context, g *batchGroup, c *flightCall) {
 	select {
 	case <-c.done:
 		g.val, g.err = c.val, c.err
+		if sv, ok := g.val.(storeServed); ok {
+			// The flight we coalesced onto was answered from the store.
+			g.val = sv.val
+		}
 	case <-ctx.Done():
 		p.flight.leave(g.key, c)
 		g.err = fmt.Errorf("item unfinished at the batch deadline: %w", ctx.Err())

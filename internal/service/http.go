@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"repro/internal/lp"
+	"repro/internal/store"
 )
 
 // maxBodyBytes bounds request bodies. An n=1024, m=256 instance is ~5 MB
@@ -39,6 +40,12 @@ func NewServer(p *Planner) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if p.cfg.Store != nil {
+		// Peer protocol for the replicated plan store: other replicas
+		// read and write this node's local tiers here. Served from the
+		// node-local view, so one peer's request never fans out again.
+		s.mux.Handle("/v1/store/", store.PeerHandler(store.PeerView(p.cfg.Store)))
+	}
 	return s
 }
 

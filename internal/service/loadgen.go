@@ -21,6 +21,12 @@ import (
 type LoadConfig struct {
 	// BaseURL is the server root, e.g. http://127.0.0.1:8650.
 	BaseURL string
+	// BaseURLs, when set, runs fleet mode: each arrival is offered to the
+	// replicas in a per-request rotation (spreading load evenly), and the
+	// retrying client fails over across them — an arrival only errors when
+	// every replica refuses it. BaseURL may be empty when BaseURLs is set;
+	// if both are set, BaseURL is prepended.
+	BaseURLs []string
 	// Mode is "open" (arrivals at Rate regardless of completions — the
 	// honest way to measure a service, per the fabbench/open-vs-closed
 	// literature: closed loops hide queueing delay by self-throttling) or
@@ -113,6 +119,19 @@ type LoadReport struct {
 	LatMax        float64          `json:"lat_max_s"`
 	ServerMetrics *MetricsSnapshot `json:"server_metrics,omitempty"`
 
+	// Fleet mode: one post-run snapshot per replica (nil slot for an
+	// unreachable replica — a killed one stays in the ledger), and the
+	// fleet-wide effectiveness numbers. FleetHitRate counts every request
+	// answered without a fresh computation anywhere — LRU hits, coalesced
+	// flights, and store tiers — over all lookups; FleetStoreHits is the
+	// disk+peer share of that; FleetPlansComputed is the total number of
+	// plans any replica actually computed, the denominator of the "how much
+	// work did replication save" question.
+	Fleet              []*MetricsSnapshot `json:"fleet,omitempty"`
+	FleetHitRate       float64            `json:"fleet_hit_rate,omitempty"`
+	FleetStoreHits     uint64             `json:"fleet_store_hits,omitempty"`
+	FleetPlansComputed uint64             `json:"fleet_plans_computed,omitempty"`
+
 	// Latencies is the merged histogram backing the quantiles above.
 	Latencies *stats.Histogram `json:"-"`
 }
@@ -126,7 +145,12 @@ type loadWorkerState struct {
 // RunLoad drives the configured load and reports. The context cancels the
 // run early (in-flight requests still drain).
 func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
-	if cfg.BaseURL == "" {
+	bases := make([]string, 0, 1+len(cfg.BaseURLs))
+	if cfg.BaseURL != "" {
+		bases = append(bases, cfg.BaseURL)
+	}
+	bases = append(bases, cfg.BaseURLs...)
+	if len(bases) == 0 {
 		return nil, fmt.Errorf("service: load needs a base URL")
 	}
 	if len(cfg.Specs) == 0 {
@@ -261,7 +285,22 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			}
 		}
 	}
-	url := cfg.BaseURL + path
+	// Fleet mode pre-builds every rotation of the replica URL list:
+	// request i prefers replica i mod n but hands the retrying client the
+	// whole ring, so failover costs an attempt, not an error. Precomputing
+	// keeps the per-arrival hot path allocation-free.
+	urls := make([]string, len(bases))
+	for i, b := range bases {
+		urls[i] = b + path
+	}
+	rotations := make([][]string, len(urls))
+	for r := range rotations {
+		rot := make([]string, len(urls))
+		for i := range urls {
+			rot[i] = urls[(r+i)%len(urls)]
+		}
+		rotations[r] = rot
+	}
 
 	transport := &http.Transport{
 		MaxIdleConns:        cfg.Concurrency * 2,
@@ -292,7 +331,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		}
 		itemsIssued.Add(items)
 		start := time.Now()
-		res, err := suu.Do(ctx, url, bodies[idx])
+		res, err := suu.DoAny(ctx, rotations[idx%len(rotations)], bodies[idx])
 		lat := time.Since(start).Seconds()
 		if err != nil {
 			// No response at all: every attempt died on the wire (or the
@@ -488,9 +527,30 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		rep.LatMax = merged.Max()
 	}
 	// Best-effort server-side view (hit rate, in-flight peaks) to pair
-	// with the client-side latencies.
-	if snap, err := FetchMetrics(ctx, plainClient, cfg.BaseURL); err == nil {
+	// with the client-side latencies. ServerMetrics stays the first
+	// replica's snapshot so single-replica consumers read the same field
+	// they always did; fleet mode adds the per-replica list and the
+	// fleet-wide aggregates on top.
+	if snap, err := FetchMetrics(ctx, plainClient, bases[0]); err == nil {
 		rep.ServerMetrics = snap
+	}
+	if len(bases) > 1 {
+		rep.Fleet = make([]*MetricsSnapshot, len(bases))
+		var lookups, notComputed uint64
+		for i, b := range bases {
+			snap, err := FetchMetrics(ctx, plainClient, b)
+			if err != nil {
+				continue // replica down (maybe on purpose); nil marks it
+			}
+			rep.Fleet[i] = snap
+			lookups += snap.CacheHits + snap.CacheMisses
+			notComputed += snap.CacheHits + snap.Coalesced + snap.StoreDiskHits + snap.StorePeerHits
+			rep.FleetStoreHits += snap.StoreDiskHits + snap.StorePeerHits
+			rep.FleetPlansComputed += snap.PlansComputed
+		}
+		if lookups > 0 {
+			rep.FleetHitRate = float64(notComputed) / float64(lookups)
+		}
 	}
 	return rep, nil
 }

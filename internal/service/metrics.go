@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Metrics is the planner's instrumentation: monotone counters on atomics
@@ -27,9 +28,26 @@ type Metrics struct {
 	deadlineAbandoned atomic.Uint64 // computations stopped because every caller gave up
 	retriesObserved   atomic.Uint64 // requests arriving with X-Suu-Attempt ≥ 2
 
+	// Store-tier ledger: every storeGet lands in exactly one of the hit
+	// counters (by the tier that served it) or storeMisses, and every
+	// plan actually computed lands in plansComputed — so a warm-restart
+	// assertion can reconcile "served from disk, computed nothing".
+	storeMemHits   atomic.Uint64 // store lookups served by the mem tier
+	storeDiskHits  atomic.Uint64 // served by the disk tier (segment log)
+	storePeerHits  atomic.Uint64 // served by a peer replica
+	storeMisses    atomic.Uint64 // store lookups no tier could answer
+	storePutErrors atomic.Uint64 // persists that failed (full/failing store)
+	plansComputed  atomic.Uint64 // plans actually computed (not served from LRU/store)
+
 	mu      sync.Mutex
 	planLat *stats.Histogram
 	estLat  *stats.Histogram
+
+	// Per-tier store lookup latency, under the same mutex as the other
+	// histograms.
+	storeMemLat  *stats.Histogram
+	storeDiskLat *stats.Histogram
+	storePeerLat *stats.Histogram
 
 	// Batch accounting lives under mu as plain counters (not atomics):
 	// observeBatch updates the whole family plus two histograms in one
@@ -55,12 +73,36 @@ func newMetrics() *Metrics {
 		panic(err) // static parameters; cannot fail
 	}
 	return &Metrics{
-		start:     time.Now(),
-		planLat:   stats.NewLatencyHistogram(),
-		estLat:    stats.NewLatencyHistogram(),
-		batchLat:  stats.NewLatencyHistogram(),
-		batchSize: sizeHist,
+		start:        time.Now(),
+		planLat:      stats.NewLatencyHistogram(),
+		estLat:       stats.NewLatencyHistogram(),
+		batchLat:     stats.NewLatencyHistogram(),
+		batchSize:    sizeHist,
+		storeMemLat:  stats.NewLatencyHistogram(),
+		storeDiskLat: stats.NewLatencyHistogram(),
+		storePeerLat: stats.NewLatencyHistogram(),
 	}
+}
+
+// observeStore records one store lookup served by the named tier.
+func (m *Metrics) observeStore(tier string, d time.Duration) {
+	var h *stats.Histogram
+	switch tier {
+	case store.TierMem:
+		m.storeMemHits.Add(1)
+		h = m.storeMemLat
+	case store.TierDisk:
+		m.storeDiskHits.Add(1)
+		h = m.storeDiskLat
+	case store.TierPeer:
+		m.storePeerHits.Add(1)
+		h = m.storePeerLat
+	default:
+		return
+	}
+	m.mu.Lock()
+	h.Observe(d.Seconds())
+	m.mu.Unlock()
 }
 
 // observe records one finished request of the given kind. A caller
@@ -213,6 +255,29 @@ type MetricsSnapshot struct {
 	EstLatency    LatencySnapshot `json:"estimate_latency"`
 	BatchLatency  LatencySnapshot `json:"batch_latency"`
 	BatchSizes    DistSnapshot    `json:"batch_size"`
+
+	// Store-tier counters (all zero when no store is configured). The
+	// service-side view reconciles per document: every store lookup is
+	// one of store_mem_hits/store_disk_hits/store_peer_hits/store_misses,
+	// and plans_computed counts only plans no tier (LRU or store) could
+	// serve. The store_* ledger fields below come from the store's own
+	// Stats — corrupt records quarantined, hinted handoff flow, and the
+	// startup anti-entropy pull.
+	PlansComputed      uint64          `json:"plans_computed"`
+	StoreMemHits       uint64          `json:"store_mem_hits"`
+	StoreDiskHits      uint64          `json:"store_disk_hits"`
+	StorePeerHits      uint64          `json:"store_peer_hits"`
+	StoreMisses        uint64          `json:"store_misses"`
+	StorePutErrors     uint64          `json:"store_put_errors"`
+	StoreEntries       int             `json:"store_entries"`
+	StoreCorrupt       uint64          `json:"store_corrupt_dropped"`
+	StoreHandoffQueued uint64          `json:"store_handoff_queued"`
+	StoreHandoffDrain  uint64          `json:"store_handoff_drained"`
+	StoreHandoffDrop   uint64          `json:"store_handoff_dropped"`
+	StoreAntiEntropy   uint64          `json:"store_anti_entropy_pulled"`
+	StoreMemLatency    LatencySnapshot `json:"store_mem_latency"`
+	StoreDiskLatency   LatencySnapshot `json:"store_disk_latency"`
+	StorePeerLatency   LatencySnapshot `json:"store_peer_latency"`
 }
 
 // Snapshot assembles a consistent-enough view: counters are read
@@ -225,6 +290,9 @@ func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
 	estLat := m.estLat.Clone()
 	batchLat := m.batchLat.Clone()
 	batchSize := m.batchSize.Clone()
+	storeMemLat := m.storeMemLat.Clone()
+	storeDiskLat := m.storeDiskLat.Clone()
+	storePeerLat := m.storePeerLat.Clone()
 	batches := m.batches
 	batchItems := m.batchItems
 	batchCached := m.batchItemsCached
@@ -275,5 +343,15 @@ func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
 		EstLatency:    latencySnapshot(estLat),
 		BatchLatency:  latencySnapshot(batchLat),
 		BatchSizes:    distSnapshot(batchSize),
+
+		PlansComputed:    m.plansComputed.Load(),
+		StoreMemHits:     m.storeMemHits.Load(),
+		StoreDiskHits:    m.storeDiskHits.Load(),
+		StorePeerHits:    m.storePeerHits.Load(),
+		StoreMisses:      m.storeMisses.Load(),
+		StorePutErrors:   m.storePutErrors.Load(),
+		StoreMemLatency:  latencySnapshot(storeMemLat),
+		StoreDiskLatency: latencySnapshot(storeDiskLat),
+		StorePeerLatency: latencySnapshot(storePeerLat),
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Service errors. The HTTP layer maps ErrBadRequest-wrapped errors to 400,
@@ -136,6 +137,13 @@ type Config struct {
 	// computation; a panic exercises the panic-isolation path. It exists
 	// for fault injection (internal/faults) and tests.
 	ComputeHook func() error
+	// Store, if non-nil, is the durable/replicated tier under the
+	// response LRU: compute closures read through it before taking a
+	// worker slot and persist what they compute; Warmup waits for its
+	// recovery (disk index rebuild, anti-entropy) before /readyz flips.
+	// The planner does not own its lifecycle — whoever built the store
+	// closes it, after Planner.Close.
+	Store store.PlanStore
 }
 
 func (c Config) withDefaults() Config {
@@ -276,6 +284,15 @@ func (p *Planner) Config() Config { return p.cfg }
 func (p *Planner) Metrics() MetricsSnapshot {
 	s := p.metrics.snapshot(p.cache)
 	s.RetryAfterS = p.retryAfter().Seconds()
+	if p.cfg.Store != nil {
+		st := p.cfg.Store.Stats()
+		s.StoreEntries = st.Entries
+		s.StoreCorrupt = st.CorruptDropped
+		s.StoreHandoffQueued = st.HandoffQueued
+		s.StoreHandoffDrain = st.HandoffDrained
+		s.StoreHandoffDrop = st.HandoffDropped
+		s.StoreAntiEntropy = st.AntiEntropyPulled
+	}
 	return s
 }
 
@@ -312,6 +329,14 @@ func (p *Planner) Warmup() error {
 	}
 	if _, err := p.computePlan(ins, sched.FingerprintInstance(ins), 0.5, dag.ClassIndependent, nil); err != nil {
 		return err
+	}
+	// A replica with a store also waits for it to be fleet-worthy — disk
+	// index rebuilt, startup anti-entropy done — before claiming ready:
+	// a rebooting node must come up warm, not merely alive.
+	if p.cfg.Store != nil {
+		if err := p.cfg.Store.WaitWarm(context.Background()); err != nil {
+			return err
+		}
 	}
 	p.ready.Store(true)
 	return nil
@@ -698,6 +723,12 @@ func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 		return p.degradedPlan(ins, fp, target, class), nil
 	}
 	v, err, shared, fromCache := p.runShared(ctx, key, nil, func(fl *flightCall, _ func(Progress)) (any, error) {
+		// Read through the durable store before burning a worker slot:
+		// a plan any replica ever computed is a deserialization, not a
+		// solve. Coalesced followers ride the same lookup.
+		if sv, ok := p.storeGet(key); ok {
+			return storeServed{val: sv}, nil
+		}
 		if err := p.acquireFlight(fl); err != nil {
 			return nil, err
 		}
@@ -706,7 +737,9 @@ func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 		if err != nil {
 			return nil, err
 		}
+		p.metrics.plansComputed.Add(1)
 		p.cache.put(key, resp)
+		p.storePut(key, resp)
 		return resp, nil
 	})
 	if err != nil {
@@ -716,6 +749,11 @@ func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 			return p.degradedPlan(ins, fp, target, class), nil
 		}
 		return nil, err
+	}
+	if sv, ok := v.(storeServed); ok {
+		// Store-served responses count as shared work: this caller
+		// recorded an LRU miss but computed nothing.
+		v, fromCache = sv.val, true
 	}
 	if shared || fromCache {
 		resp := *(v.(*PlanResponse))
@@ -960,6 +998,9 @@ func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress
 		return &resp, nil
 	}
 	v, err, shared, fromCache := p.runShared(ctx, key, onProgress, func(fl *flightCall, emit func(Progress)) (any, error) {
+		if sv, ok := p.storeGet(key); ok {
+			return storeServed{val: sv}, nil
+		}
 		if err := p.acquireFlight(fl); err != nil {
 			return nil, err
 		}
@@ -969,10 +1010,14 @@ func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress
 			return nil, err
 		}
 		p.cache.put(key, resp)
+		p.storePut(key, resp)
 		return resp, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if sv, ok := v.(storeServed); ok {
+		v, fromCache = sv.val, true
 	}
 	if shared || fromCache {
 		resp := *(v.(*EstimateResponse))

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/store"
+)
+
+// The durable store sits under the response LRU as a read-through /
+// write-behind tier: a compute closure checks it after the LRU misses and
+// before burning a worker slot, and persists what it computes. The store
+// holds the same canonical values the LRU does, serialized; its Key is a
+// content address derived from the full requestKey, so every node in a
+// fleet derives identical keys for identical requests.
+
+// storeServed wraps a flight value that was answered from the store
+// rather than computed, so callers downstream of runShared can label it
+// served-from-shared-work (it cost no compute) without new plumbing.
+type storeServed struct{ val any }
+
+// storeKeyOf derives the 128-bit content address for a request: two
+// differently-salted SplitMix64 lanes over the fingerprint and every
+// result-determining parameter. Unlike requestKey.hash (a shard selector
+// where collisions are harmless), both lanes absorb the full policy
+// string and the full seed — a collision here would serve a wrong
+// payload, so the address must separate everything the result depends on.
+func storeKeyOf(k requestKey) store.Key {
+	pf := uint64(0xcbf29ce484222325) // FNV-1a over the policy name
+	for i := 0; i < len(k.policy); i++ {
+		pf = (pf ^ uint64(k.policy[i])) * 0x100000001b3
+	}
+	hi := fpMixLocal(k.fp.Hi ^ 0x9e3779b97f4a7c15)
+	hi = fpMixLocal(hi ^ k.fp.Lo)
+	hi = fpMixLocal(hi ^ uint64(k.kind))
+	hi = fpMixLocal(hi ^ math.Float64bits(k.target))
+	hi = fpMixLocal(hi ^ uint64(k.trials))
+	hi = fpMixLocal(hi ^ uint64(k.seed))
+	hi = fpMixLocal(hi ^ pf)
+	lo := fpMixLocal(k.fp.Lo ^ 0xbf58476d1ce4e5b9)
+	lo = fpMixLocal(lo ^ k.fp.Hi)
+	lo = fpMixLocal(lo ^ uint64(k.kind)<<8)
+	lo = fpMixLocal(lo ^ math.Float64bits(k.target)<<1 ^ math.Float64bits(k.target)>>63)
+	lo = fpMixLocal(lo ^ uint64(k.seed)<<16 ^ uint64(k.trials))
+	lo = fpMixLocal(lo ^ pf<<1)
+	return store.Key{Hi: hi, Lo: lo}
+}
+
+// storedEnvelope frames a persisted response: a version, the request
+// kind, and the canonical response JSON. The kind check on decode means a
+// (vanishingly unlikely) key collision between a plan and an estimate
+// degrades to a store miss, never a mistyped response.
+type storedEnvelope struct {
+	V    int             `json:"v"`
+	Kind uint8           `json:"kind"`
+	Body json.RawMessage `json:"body"`
+}
+
+const storedEnvelopeV = 1
+
+func encodeStored(kind uint8, v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(&storedEnvelope{V: storedEnvelopeV, Kind: kind, Body: body})
+}
+
+func decodeStored(kind uint8, b []byte) (any, error) {
+	var env storedEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, err
+	}
+	if env.V != storedEnvelopeV || env.Kind != kind {
+		return nil, fmt.Errorf("stored envelope v%d kind %d does not match request kind %d", env.V, env.Kind, kind)
+	}
+	switch kind {
+	case kindPlan:
+		resp := &PlanResponse{}
+		if err := json.Unmarshal(env.Body, resp); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	case kindEstimate:
+		resp := &EstimateResponse{}
+		if err := json.Unmarshal(env.Body, resp); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("unknown stored kind %d", kind)
+}
+
+// storeGet reads through the store for key. On a hit the canonical value
+// also lands in the response LRU, so the next request for the key never
+// reaches the store at all. Runs under context.Background(): the store's
+// own timeouts bound a peer fetch, and a result is worth caching even if
+// this caller's deadline is about to expire (same reasoning as detached
+// computations).
+func (p *Planner) storeGet(key requestKey) (any, bool) {
+	st := p.cfg.Store
+	if st == nil {
+		return nil, false
+	}
+	start := time.Now()
+	b, tier, err := st.Get(context.Background(), storeKeyOf(key))
+	elapsed := time.Since(start)
+	if err != nil {
+		p.metrics.storeMisses.Add(1)
+		return nil, false
+	}
+	v, err := decodeStored(key.kind, b)
+	if err != nil {
+		// Undecodable content is a quarantine case the checksum cannot
+		// catch (e.g. a schema change): miss, recompute, overwrite.
+		p.metrics.storeMisses.Add(1)
+		return nil, false
+	}
+	p.metrics.observeStore(tier, elapsed)
+	p.cache.put(key, v)
+	return v, true
+}
+
+// storePut persists a freshly computed response. Degraded brownout
+// fallbacks never persist — they are placeholders a retry should replace,
+// and writing one would let a moment of overload haunt every replica from
+// disk (the durable mirror of "degraded plans are never cached"). Errors
+// are counted, not surfaced: a full or failing store degrades the fleet
+// to compute-only, it does not fail requests.
+func (p *Planner) storePut(key requestKey, v any) {
+	st := p.cfg.Store
+	if st == nil {
+		return
+	}
+	if pr, ok := v.(*PlanResponse); ok && pr.Degraded {
+		return
+	}
+	b, err := encodeStored(key.kind, v)
+	if err != nil {
+		p.metrics.storePutErrors.Add(1)
+		return
+	}
+	if err := st.Put(context.Background(), storeKeyOf(key), b); err != nil {
+		p.metrics.storePutErrors.Add(1)
+	}
+}

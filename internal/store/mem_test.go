@@ -1,0 +1,71 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestMemLRUEviction(t *testing.T) {
+	// One shard so the LRU order is global and the budget is exact.
+	m := NewMem(100, 1)
+	ctx := context.Background()
+	val := func(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 40) }
+	for i := 0; i < 3; i++ {
+		if err := m.Put(ctx, tkey(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3×40 = 120 > 100: the oldest entry is gone, the two newest remain.
+	if _, _, err := m.Get(ctx, tkey(0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("oldest entry survived: %v", err)
+	}
+	for i := 1; i < 3; i++ {
+		v, tier, err := m.Get(ctx, tkey(i))
+		if err != nil || tier != TierMem || !bytes.Equal(v, val(i)) {
+			t.Fatalf("get %d: %v %q", i, err, tier)
+		}
+	}
+	st := m.Stats()
+	if st.Entries != 2 || st.BytesLive != 80 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Recency matters: touch key 1, insert key 3, key 2 is now the victim.
+	if _, _, err := m.Get(ctx, tkey(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(ctx, tkey(3), val(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Get(ctx, tkey(2)); !errors.Is(err, ErrNotFound) {
+		t.Fatal("LRU victim was not the least recently used")
+	}
+	if _, _, err := m.Get(ctx, tkey(1)); err != nil {
+		t.Fatal("recently used entry evicted")
+	}
+}
+
+func TestMemDupPutAndKeys(t *testing.T) {
+	m := NewMem(1<<20, 4)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if err := m.Put(ctx, tkey(i), tval(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Put(ctx, tkey(4), tval(4)); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Puts != 10 || st.PutSkips != 1 || st.Entries != 10 {
+		t.Fatalf("stats %+v", st)
+	}
+	if got := m.Keys(0); len(got) != 10 {
+		t.Fatalf("keys %d", len(got))
+	}
+	if got := m.Keys(3); len(got) != 3 {
+		t.Fatalf("limited keys %d", len(got))
+	}
+}

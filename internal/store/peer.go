@@ -1,0 +1,191 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/client"
+)
+
+// Peer wire protocol: three POST-JSON endpoints a replica mounts under
+// /v1/store/ and serves from its node-local view (PeerView), so a peer's
+// request can never cascade into another peer fetch.
+//
+//	POST /v1/store/get  {"key":"<32 hex>"}            → 200 {"value":"<base64>"} | 404
+//	POST /v1/store/put  {"key":"<32 hex>","value":..} → 204
+//	POST /v1/store/keys {"limit":N}                   → 200 {"keys":["<32 hex>",...]}
+const (
+	peerGetPath  = "/v1/store/get"
+	peerPutPath  = "/v1/store/put"
+	peerKeysPath = "/v1/store/keys"
+)
+
+type peerGetRequest struct {
+	Key string `json:"key"`
+}
+
+type peerGetResponse struct {
+	Value []byte `json:"value"` // encoding/json base64s []byte
+}
+
+type peerPutRequest struct {
+	Key   string `json:"key"`
+	Value []byte `json:"value"`
+}
+
+type peerKeysRequest struct {
+	Limit int `json:"limit"`
+}
+
+type peerKeysResponse struct {
+	Keys []string `json:"keys"`
+}
+
+// PeerHandler serves the peer protocol over ps — pass PeerView(store) so
+// a replicated store answers from its local tiers only.
+func PeerHandler(ps PlanStore) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(peerGetPath, func(w http.ResponseWriter, r *http.Request) {
+		var req peerGetRequest
+		if !decodePeerBody(w, r, &req) {
+			return
+		}
+		k, err := ParseKey(req.Key)
+		if err != nil {
+			peerError(w, http.StatusBadRequest, err)
+			return
+		}
+		v, _, err := ps.GetLocal(r.Context(), k)
+		if err != nil {
+			peerError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(&peerGetResponse{Value: v})
+	})
+	mux.HandleFunc(peerPutPath, func(w http.ResponseWriter, r *http.Request) {
+		var req peerPutRequest
+		if !decodePeerBody(w, r, &req) {
+			return
+		}
+		k, err := ParseKey(req.Key)
+		if err != nil || len(req.Value) == 0 {
+			peerError(w, http.StatusBadRequest, fmt.Errorf("store: bad put request"))
+			return
+		}
+		if err := ps.PutLocal(r.Context(), k, req.Value); err != nil {
+			peerError(w, http.StatusInsufficientStorage, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc(peerKeysPath, func(w http.ResponseWriter, r *http.Request) {
+		var req peerKeysRequest
+		if !decodePeerBody(w, r, &req) {
+			return
+		}
+		ks := ps.Keys(req.Limit)
+		out := peerKeysResponse{Keys: make([]string, len(ks))}
+		for i, k := range ks {
+			out.Keys[i] = k.String()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(&out)
+	})
+	return mux
+}
+
+func decodePeerBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		peerError(w, http.StatusMethodNotAllowed, fmt.Errorf("store: POST only"))
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		peerError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func peerError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// peerClient is the replicated tier's view of one remote replica, backed
+// by the resilient internal/client (retries, per-target breaker).
+type peerClient struct {
+	base string // http://host:port, no trailing slash
+	c    *client.Client
+}
+
+func newPeerClient(base string, c *client.Client) *peerClient {
+	return &peerClient{base: strings.TrimRight(base, "/"), c: c}
+}
+
+// get fetches k from the peer. ErrNotFound means the peer answered and
+// does not hold k; any other error means the peer was unreachable.
+func (p *peerClient) get(ctx context.Context, k Key) ([]byte, error) {
+	body, _ := json.Marshal(&peerGetRequest{Key: k.String()})
+	res, err := p.c.Do(ctx, p.base+peerGetPath, body)
+	if err != nil {
+		return nil, err
+	}
+	switch res.Status {
+	case http.StatusOK:
+		var out peerGetResponse
+		if err := json.Unmarshal(res.Body, &out); err != nil {
+			return nil, err
+		}
+		if len(out.Value) == 0 {
+			return nil, fmt.Errorf("store: peer returned empty value")
+		}
+		return out.Value, nil
+	case http.StatusNotFound:
+		return nil, ErrNotFound
+	}
+	return nil, fmt.Errorf("store: peer get: status %d", res.Status)
+}
+
+// put delivers k/v to the peer.
+func (p *peerClient) put(ctx context.Context, k Key, v []byte) error {
+	body, _ := json.Marshal(&peerPutRequest{Key: k.String(), Value: v})
+	res, err := p.c.Do(ctx, p.base+peerPutPath, body)
+	if err != nil {
+		return err
+	}
+	if res.Status != http.StatusNoContent && res.Status != http.StatusOK {
+		return fmt.Errorf("store: peer put: status %d", res.Status)
+	}
+	return nil
+}
+
+// keys samples the peer's locally-held key set.
+func (p *peerClient) keys(ctx context.Context, limit int) ([]Key, error) {
+	body, _ := json.Marshal(&peerKeysRequest{Limit: limit})
+	res, err := p.c.Do(ctx, p.base+peerKeysPath, body)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != http.StatusOK {
+		return nil, fmt.Errorf("store: peer keys: status %d", res.Status)
+	}
+	var out peerKeysResponse
+	if err := json.Unmarshal(res.Body, &out); err != nil {
+		return nil, err
+	}
+	ks := make([]Key, 0, len(out.Keys))
+	for _, s := range out.Keys {
+		k, err := ParseKey(s)
+		if err != nil {
+			continue
+		}
+		ks = append(ks, k)
+	}
+	return ks, nil
+}

@@ -1,0 +1,275 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+)
+
+// swapHandler lets a test bring one replica's peer endpoint up and down
+// without restarting its listener.
+type swapHandler struct {
+	mu   sync.Mutex
+	h    http.Handler
+	down bool
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) setDown(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h, down := s.h, s.down
+	s.mu.Unlock()
+	if down || h == nil {
+		http.Error(w, `{"error":"replica down"}`, http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+type testCluster struct {
+	urls  []string
+	swaps []*swapHandler
+	nodes []*Replicated
+}
+
+// newTestCluster brings up n replicas over httptest servers, each a
+// Replicated over its own Mem, fully meshed. prefill seeds node i's local
+// store before the node (and its anti-entropy pass) starts.
+func newTestCluster(t *testing.T, n, replication int, prefill func(i int, m *Mem)) *testCluster {
+	t.Helper()
+	c := &testCluster{}
+	for i := 0; i < n; i++ {
+		sw := &swapHandler{}
+		srv := httptest.NewServer(sw)
+		t.Cleanup(srv.Close)
+		c.swaps = append(c.swaps, sw)
+		c.urls = append(c.urls, srv.URL)
+	}
+	for i := 0; i < n; i++ {
+		m := NewMem(1<<22, 4)
+		if prefill != nil {
+			prefill(i, m)
+		}
+		rep, err := NewReplicated(m, ReplicatedConfig{
+			Self:          c.urls[i],
+			Peers:         c.urls,
+			Replication:   replication,
+			DrainInterval: 25 * time.Millisecond,
+			OpTimeout:     2 * time.Second,
+			Client: client.New(client.Config{
+				MaxAttempts:      1,
+				AttemptTimeout:   2 * time.Second,
+				BreakerThreshold: -1, // the test toggles peers up/down faster than a cooldown
+			}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { rep.Close() })
+		c.nodes = append(c.nodes, rep)
+		c.swaps[i].set(PeerHandler(PeerView(rep)))
+	}
+	// Let every startup anti-entropy pass finish before the test starts
+	// mutating state, so a late pull cannot race the scenario.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, nd := range c.nodes {
+		if err := nd.WaitWarm(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// eventually polls cond for up to 5s — replication is asynchronous by
+// design, so the tests assert convergence, not immediacy.
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestReplicatedFanoutAndReadThrough(t *testing.T) {
+	c := newTestCluster(t, 3, 2, nil)
+	ctx := context.Background()
+
+	const keys = 30
+	for i := 0; i < keys; i++ {
+		if err := c.nodes[0].Put(ctx, tkey(i), tval(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Async fan-out: every ring owner eventually holds every key locally.
+	eventually(t, "fan-out to all owners", func() bool {
+		for i := 0; i < keys; i++ {
+			for _, owner := range c.nodes[0].owners(tkey(i)) {
+				for j, u := range c.urls {
+					if u != owner {
+						continue
+					}
+					if _, _, err := c.nodes[j].GetLocal(ctx, tkey(i)); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Read-through: every node serves every key with identical bytes,
+	// fetching from a peer when it is not an owner.
+	for j := range c.nodes {
+		for i := 0; i < keys; i++ {
+			v, tier, err := c.nodes[j].Get(ctx, tkey(i))
+			if err != nil {
+				t.Fatalf("node %d key %d: %v", j, i, err)
+			}
+			if !bytes.Equal(v, tval(i)) {
+				t.Fatalf("node %d key %d: wrong bytes (tier %s)", j, i, tier)
+			}
+		}
+		// The write-behind promotion made every key local; a second pass
+		// never leaves the node.
+		fetches := c.nodes[j].peerFetches.Load()
+		for i := 0; i < keys; i++ {
+			if _, _, err := c.nodes[j].Get(ctx, tkey(i)); err != nil {
+				t.Fatalf("node %d key %d second read: %v", j, i, err)
+			}
+		}
+		if got := c.nodes[j].peerFetches.Load(); got != fetches {
+			t.Fatalf("node %d re-read went to peers: %d -> %d", j, fetches, got)
+		}
+	}
+}
+
+func TestReplicatedHandoffQueueAndDrain(t *testing.T) {
+	c := newTestCluster(t, 3, 2, nil)
+	ctx := context.Background()
+
+	// Take node 2 down, then write keys it owns from node 0: the fan-out
+	// must detour into its hint queue instead of losing the writes.
+	c.swaps[2].setDown(true)
+	var owned []int
+	for i := 0; i < 200 && len(owned) < 5; i++ {
+		for _, o := range c.nodes[0].owners(tkey(i)) {
+			if o == c.urls[2] {
+				owned = append(owned, i)
+				break
+			}
+		}
+	}
+	if len(owned) < 5 {
+		t.Fatalf("ring gave node 2 only %d of 200 keys", len(owned))
+	}
+	for _, i := range owned {
+		if err := c.nodes[0].Put(ctx, tkey(i), tval(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eventually(t, "hints queued for the dead peer", func() bool {
+		return c.nodes[0].handoffQueued.Load() >= uint64(len(owned))
+	})
+	for _, i := range owned {
+		if _, _, err := c.nodes[2].GetLocal(ctx, tkey(i)); err == nil {
+			t.Fatalf("key %d reached a down replica", i)
+		}
+	}
+
+	// Recovery: the drain loop delivers the backlog and the keys appear.
+	c.swaps[2].setDown(false)
+	eventually(t, "handoff drain to the recovered peer", func() bool {
+		for _, i := range owned {
+			if _, _, err := c.nodes[2].GetLocal(ctx, tkey(i)); err != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if got := c.nodes[0].handoffDrained.Load(); got < uint64(len(owned)) {
+		t.Fatalf("handoff_drained=%d, want >= %d", got, len(owned))
+	}
+	for _, i := range owned {
+		v, _, err := c.nodes[2].GetLocal(ctx, tkey(i))
+		if err != nil || !bytes.Equal(v, tval(i)) {
+			t.Fatalf("key %d after drain: %v", i, err)
+		}
+	}
+}
+
+func TestReplicatedAntiEntropyWarm(t *testing.T) {
+	// Replication 3 on a 3-node fleet: every node owns every key. Nodes 0
+	// and 1 start with the data; node 2 starts empty and must pull what it
+	// owns before declaring itself warm.
+	const keys = 20
+	c := newTestCluster(t, 3, 3, func(i int, m *Mem) {
+		if i == 2 {
+			return
+		}
+		for k := 0; k < keys; k++ {
+			_ = m.Put(context.Background(), tkey(k), tval(k))
+		}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.nodes[2].WaitWarm(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := c.nodes[2].Stats()
+	if st.AntiEntropyPulled != keys {
+		t.Fatalf("anti_entropy_pulled=%d, want %d", st.AntiEntropyPulled, keys)
+	}
+	for k := 0; k < keys; k++ {
+		v, _, err := c.nodes[2].GetLocal(context.Background(), tkey(k))
+		if err != nil || !bytes.Equal(v, tval(k)) {
+			t.Fatalf("key %d after warm-up: %v", k, err)
+		}
+	}
+}
+
+func TestReplicatedPutSurvivesDeadPeerAndCloseIsClean(t *testing.T) {
+	c := newTestCluster(t, 2, 2, nil)
+	ctx := context.Background()
+	c.swaps[1].setDown(true)
+	// Writes never block or fail on a dead peer: local durability first,
+	// replication is strictly asynchronous.
+	for i := 0; i < 10; i++ {
+		if err := c.nodes[0].Put(ctx, tkey(i), tval(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.nodes[0].GetLocal(ctx, tkey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close with a backlog still queued must not hang or error.
+	if err := c.nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent close.
+	if err := c.nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+}
