@@ -118,6 +118,9 @@ func main() {
 			"suuload: throughput=%.1f req/s lat p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 		rep.Mode, rep.Op, rep.DurationS, rep.Issued, rep.Done, rep.Errors, rep.Rejected, rep.Dropped,
 		rep.Throughput, rep.LatP50*1e3, rep.LatP95*1e3, rep.LatP99*1e3, rep.LatMax*1e3)
+	fmt.Fprintf(os.Stderr,
+		"suuload: wire: read=%d bytes (%.1f KB/s) — payload cost per delivered item: %.0f bytes\n",
+		rep.BytesRead, rep.BytesPerSec/1e3, perItemBytes(rep))
 	if rep.Op == "plan-batch" {
 		fmt.Fprintf(os.Stderr,
 			"suuload: items(%s size %d): issued=%d done=%d errors=%d item-throughput=%.1f items/s\n",
@@ -197,6 +200,12 @@ func main() {
 				"items_done":            float64(rep.ItemsDone),
 				"items_errors":          float64(rep.ItemsErrors),
 				"offered_item_rate_rps": rep.OfferedItemRate,
+				// Wire-cost ledger: response bytes read (and discarded)
+				// per second next to items/s, so a serving change that
+				// fattens payloads shows up even when item throughput
+				// holds.
+				"bytes_rps":  rep.BytesPerSec,
+				"bytes_read": float64(rep.BytesRead),
 				// Arrivals shed at the client's in-flight cap: nonzero
 				// means the harness self-throttled and the offered rate
 				// was NOT what -rate claims — exactly the silent
@@ -260,4 +269,12 @@ func hitRateCell(rep *service.LoadReport) string {
 		return "n/a"
 	}
 	return fmt.Sprintf("%.3f", rep.ServerMetrics.CacheHitRate)
+}
+
+// perItemBytes is the mean response bytes paid per delivered item.
+func perItemBytes(rep *service.LoadReport) float64 {
+	if rep.ItemsDone == 0 {
+		return 0
+	}
+	return float64(rep.BytesRead) / float64(rep.ItemsDone)
 }

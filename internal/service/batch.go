@@ -63,6 +63,11 @@ type BatchItemResult struct {
 	Source string        `json:"source,omitempty"`
 	Plan   *PlanResponse `json:"plan,omitempty"`
 	Error  string        `json:"error,omitempty"`
+	// frame is Plan's canonical pre-encoded payload, shared with the
+	// response LRU; the HTTP layer splices it into the batch envelope
+	// instead of re-marshaling Plan. Library callers read Plan and never
+	// see it (unexported, invisible to encoding/json).
+	frame []byte
 }
 
 // BatchPlanResponse is the per-item results plus the batch's own
@@ -222,7 +227,12 @@ func (p *Planner) planBatch(ctx context.Context, req *BatchPlanRequest) (*BatchP
 	// counter equal to fallbacks actually delivered.
 	for _, g := range order {
 		if g.source == sourceDegraded {
-			g.val = p.degradedPlan(g.ins, g.fp, g.target, g.class)
+			cf, err := p.encodeFrame(p.degradedPlan(g.ins, g.fp, g.target, g.class))
+			if err != nil {
+				g.err, g.source = err, ""
+				continue
+			}
+			g.val = cf
 		}
 	}
 
@@ -273,13 +283,14 @@ func (p *Planner) planBatch(ctx context.Context, req *BatchPlanRequest) (*BatchP
 			}
 			continue
 		}
-		plan := g.val.(*PlanResponse)
+		cf := g.val.(*cachedFrame)
+		plan := cf.val.(*PlanResponse)
 		for k, i := range g.idxs {
 			src := g.source
 			if src == sourceComputed && k > 0 {
 				src = sourceCoalesced // intra-batch duplicate of the computed item
 			}
-			items[i] = BatchItemResult{Status: "ok", Source: src, Plan: plan}
+			items[i] = BatchItemResult{Status: "ok", Source: src, Plan: plan, frame: cf.frame}
 		}
 	}
 	coalescedItems := 0
@@ -357,10 +368,14 @@ func (p *Planner) resolveBatchGroup(ctx context.Context, g *batchGroup) {
 		if err != nil {
 			return nil, err
 		}
+		cf, err := p.encodeFrame(resp)
+		if err != nil {
+			return nil, err
+		}
 		p.metrics.plansComputed.Add(1)
-		p.cache.put(g.key, resp)
-		p.storePut(g.key, resp)
-		return resp, nil
+		p.cache.put(g.key, cf)
+		p.storePut(g.key, cf)
+		return cf, nil
 	})
 	g.source = sourceComputed
 	p.await(ctx, g, c)

@@ -91,5 +91,45 @@
 //
 // Responses handed out by the Planner are shared (cached and coalesced
 // callers receive the same pointers); callers must treat them as
-// immutable. The HTTP layer only ever serializes them.
+// immutable. The HTTP layer never mutates them — and, on hits, never
+// re-serializes them either (see Wire format).
+//
+// # Wire format
+//
+// Every plan and estimate payload is served from a canonical frame: the
+// compact (non-indented) json.Marshal encoding of the response struct
+// with the serving flags (Cached, Coalesced) false, produced exactly once
+// when the response is computed. The response LRU, the in-flight
+// coalescing table, and the durable store all carry the frame next to the
+// decoded struct (cachedFrame), so the same bytes flow through every
+// tier:
+//
+//   - /v1/plan and /v1/estimate write the frame directly, splicing the
+//     caller's serving flags over the constant-size "cached":false tail —
+//     a cache or coalesced hit performs zero json.Marshal of the payload.
+//   - /v1/plan/batch streams a hand-written envelope and copies each
+//     item's pre-encoded frame verbatim; item payloads are byte-identical
+//     to the canonical encoding regardless of how the item was resolved.
+//   - The durable store persists the frame inside its envelope
+//     (json.RawMessage, never re-marshaled), so a disk or peer hit
+//     re-enters the zero-copy path with the exact bytes the original
+//     computation produced.
+//
+// The contract this buys: payload bytes are byte-stable across the single
+// endpoint, the batch endpoint, and store round-trips — byte-for-byte
+// reproducible for a given instance and parameters — which makes
+// responses content-addressable and proxy-cacheable. Single-plan and
+// error responses carry an exact Content-Length (sized writes, no
+// chunking); batch and streaming-estimate responses stream through pooled
+// fixed-size buffers, so response memory cost is bounded by the buffer,
+// not the batch. /metrics splits payload_bytes_served by
+// encoded_cache/cold_encode, counts frames_spliced and cold_encodes, and
+// distributes encode cost in the encode_ns histogram.
+//
+// The request side mirrors this: the HTTP handlers capture each request's
+// instance as raw JSON and resolve it through a byte-keyed
+// decoded-instance LRU (decodecache.go) — a repeated instance is decoded
+// once, ever, with a byte-for-byte comparison guarding every hit, so the
+// cache can only change performance, never results.
+// instance_decode_hits / instance_decode_misses in /metrics ledger it.
 package service

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -59,12 +60,38 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// writeJSON serves the non-payload documents (errors, metrics, health)
+// as one sized write: the body is staged in a pooled buffer so
+// Content-Length is exact and small responses avoid chunked framing.
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
+	buf := getBuf()
+	defer putBuf(buf)
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // nothing useful to do about a dead client
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, "encoding response", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(code)
+	_, _ = w.Write(buf.Bytes()) // nothing useful to do about a dead client
+}
+
+// writePayload serves a single plan/estimate response zero-copy: the
+// pre-encoded canonical frame with this caller's serving flags spliced
+// over its constant-size tail, behind an exact Content-Length. The frame
+// bytes are shared with the cache and never mutated.
+func (s *Server) writePayload(w http.ResponseWriter, sv served) {
+	buf := getBuf()
+	defer putBuf(buf)
+	appendServed(buf, sv)
+	buf.WriteByte('\n')
+	s.planner.metrics.addPayloadBytes(buf.Len(), sv.cached || sv.coalesced)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // writeError maps planner errors onto status codes. Context cancellations
@@ -148,17 +175,22 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeAttempt(r)
-	var req PlanRequest
-	if err := s.decodeRequest(w, r, &req); err != nil {
+	var wp wirePlanRequest
+	if err := s.decodeRequest(w, r, &wp); err != nil {
 		writeError(w, err)
 		return
 	}
-	resp, err := s.planner.Plan(r.Context(), &req)
+	req, err := s.planner.resolvePlanItem(&wp)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	sv, err := s.planner.planServe(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.writePayload(w, sv)
 }
 
 // handlePlanBatch serves /v1/plan/batch: many plan items in one request,
@@ -170,10 +202,21 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeAttempt(r)
-	var req BatchPlanRequest
-	if err := s.decodeRequest(w, r, &req); err != nil {
+	var wb wireBatchRequest
+	if err := s.decodeRequest(w, r, &wb); err != nil {
 		writeError(w, err)
 		return
+	}
+	req := BatchPlanRequest{Items: make([]PlanRequest, len(wb.Items)), DeadlineMS: wb.DeadlineMS}
+	for i := range wb.Items {
+		item, err := s.planner.resolvePlanItem(&wb.Items[i])
+		if err != nil {
+			// Exactly the typed-decode behavior: one malformed instance
+			// fails the whole document as a bad request, not per-item.
+			writeError(w, err)
+			return
+		}
+		req.Items[i] = *item
 	}
 	resp, err := s.planner.PlanBatch(r.Context(), &req)
 	if err != nil {
@@ -186,7 +229,70 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 	// n=64 plan payload).
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	_ = json.NewEncoder(w).Encode(resp)
+	s.writeBatch(w, resp)
+}
+
+// writeBatch streams the batch envelope: header fields first, then each
+// item's pre-encoded payload frame copied straight into the response —
+// the whole document is never materialized, so a 256-item batch costs one
+// pooled 32 KB buffer, not a megabyte of assembled JSON. The byte layout
+// matches what json.Marshal(resp) produced before (batch item payloads
+// always carry serving flags false; the envelope's source field is where
+// how-served lives), so decoded responses are identical.
+func (s *Server) writeBatch(w http.ResponseWriter, resp *BatchPlanResponse) {
+	bw := getBufio(w)
+	defer putBufio(bw)
+	var scratch [20]byte
+	writeField := func(name string, n int, first bool) {
+		if !first {
+			_ = bw.WriteByte(',')
+		}
+		_ = bw.WriteByte('"')
+		_, _ = bw.WriteString(name)
+		_, _ = bw.WriteString(`":`)
+		_, _ = bw.Write(strconv.AppendInt(scratch[:0], int64(n), 10))
+	}
+	_ = bw.WriteByte('{')
+	writeField("size", resp.Size, true)
+	writeField("ok", resp.OK, false)
+	writeField("errors", resp.Errors, false)
+	writeField("cached", resp.Cached, false)
+	writeField("computed", resp.Computed, false)
+	writeField("coalesced", resp.Coalesced, false)
+	writeField("degraded", resp.Degraded, false)
+	writeField("cost_units", resp.CostUnits, false)
+	_, _ = bw.WriteString(`,"items":[`)
+	m := s.planner.metrics
+	for i := range resp.Items {
+		if i > 0 {
+			_ = bw.WriteByte(',')
+		}
+		it := &resp.Items[i]
+		if it.Status != "ok" {
+			_, _ = bw.WriteString(`{"status":"error","error":`)
+			msg, _ := json.Marshal(it.Error) // errors are rare; alloc is fine
+			_, _ = bw.Write(msg)
+			_ = bw.WriteByte('}')
+			continue
+		}
+		_, _ = bw.WriteString(`{"status":"ok","source":"`)
+		_, _ = bw.WriteString(it.Source)
+		_, _ = bw.WriteString(`","plan":`)
+		frame := it.frame
+		if frame == nil {
+			// Hand-assembled responses (tests, future callers) without a
+			// frame fall back to a cold encode.
+			frame, _ = json.Marshal(it.Plan)
+		}
+		_, _ = bw.Write(frame)
+		_ = bw.WriteByte('}')
+		// Per item, so frames_spliced reconciles with the batch item
+		// counters: spliced = cached + coalesced items, cold = computed +
+		// degraded.
+		m.addPayloadBytes(len(frame), it.Source == sourceCached || it.Source == sourceCoalesced)
+	}
+	_, _ = bw.WriteString("]}\n")
+	_ = bw.Flush()
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -194,18 +300,25 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeAttempt(r)
-	var req EstimateRequest
-	if err := s.decodeRequest(w, r, &req); err != nil {
+	var we wireEstimateRequest
+	if err := s.decodeRequest(w, r, &we); err != nil {
 		writeError(w, err)
 		return
 	}
+	ins, err := s.planner.decodeInstance(we.Instance)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	req := EstimateRequest{Instance: ins, Policy: we.Policy, Trials: we.Trials,
+		Seed: we.Seed, Stream: we.Stream, DeadlineMS: we.DeadlineMS}
 	if !req.Stream {
-		resp, err := s.planner.Estimate(r.Context(), &req, nil)
+		sv, err := s.planner.estimateServe(r.Context(), &req, nil)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		s.writePayload(w, sv)
 		return
 	}
 	s.streamEstimate(w, r, &req)
@@ -232,14 +345,21 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, req *Est
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	emit := func(ev estimateEvent) {
-		_ = enc.Encode(ev)
+	// Each NDJSON line is staged in a pooled buffer and written in one
+	// call — per-event encoder allocations stay off the stream's hot path.
+	flushLine := func(buf *bytes.Buffer) {
+		_, _ = w.Write(buf.Bytes())
+		putBuf(buf)
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
-	resp, err := s.planner.Estimate(r.Context(), req, func(pr Progress) {
+	emit := func(ev estimateEvent) {
+		buf := getBuf()
+		_ = json.NewEncoder(buf).Encode(ev)
+		flushLine(buf)
+	}
+	sv, err := s.planner.estimateServe(r.Context(), req, func(pr Progress) {
 		p := pr
 		emit(estimateEvent{Progress: &p})
 	})
@@ -247,7 +367,15 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, req *Est
 		emit(estimateEvent{Error: err.Error()})
 		return
 	}
-	emit(estimateEvent{Result: resp})
+	// The result line splices the pre-encoded frame into the event
+	// envelope — a cache-hit stream serves its payload with zero Marshal.
+	buf := getBuf()
+	buf.WriteString(`{"result":`)
+	n := buf.Len()
+	appendServed(buf, sv)
+	s.planner.metrics.addPayloadBytes(buf.Len()-n, sv.cached || sv.coalesced)
+	buf.WriteString("}\n")
+	flushLine(buf)
 }
 
 // healthBody is what /healthz serves.

@@ -98,6 +98,13 @@ type LoadReport struct {
 	ItemsErrors     uint64  `json:"items_errors"`
 	Throughput      float64 `json:"throughput_rps"`
 	ItemThroughput  float64 `json:"item_throughput_rps"`
+	// Wire-cost ledger: BytesRead sums every response body the harness
+	// read (and discarded), across successes and failures alike, and
+	// BytesPerSec normalizes it over the run — items/s can stay flat while
+	// a serving change silently doubles payload bytes, so the wire cost is
+	// reported next to the item throughput it pays for.
+	BytesRead   uint64  `json:"bytes_read"`
+	BytesPerSec float64 `json:"bytes_rps"`
 	// Resilience ledger. Degraded splits Done (and ItemsDegraded splits
 	// ItemsDone): those requests succeeded but carried the brownout
 	// fallback. InjectedErrors and OrganicServerErrors split the 5xx part
@@ -316,7 +323,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	})
 
 	var issued, done, errs, rejected, dropped atomic.Uint64
-	var itemsIssued, itemsDone, itemsErr atomic.Uint64
+	var itemsIssued, itemsDone, itemsErr, bytesRead atomic.Uint64
 	var degraded, itemsDegraded, injectedErrs, organic5xx atomic.Uint64
 	workers := make([]loadWorkerState, cfg.Concurrency)
 	for i := range workers {
@@ -340,6 +347,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			itemsErr.Add(items)
 			return
 		}
+		bytesRead.Add(uint64(len(res.Body)))
 		if res.Status != http.StatusOK {
 			errs.Add(1)
 			itemsErr.Add(items) // a failed request delivered none of its items
@@ -505,6 +513,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		BreakerOpens:        cm.BreakerOpens,
 		Throughput:          float64(done.Load()) / elapsed,
 		ItemThroughput:      float64(itemsDone.Load()) / elapsed,
+		BytesRead:           bytesRead.Load(),
+		BytesPerSec:         float64(bytesRead.Load()) / elapsed,
 		Latencies:           merged,
 	}
 	if batchOp {

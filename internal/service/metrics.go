@@ -39,9 +39,30 @@ type Metrics struct {
 	storePutErrors atomic.Uint64 // persists that failed (full/failing store)
 	plansComputed  atomic.Uint64 // plans actually computed (not served from LRU/store)
 
+	// Zero-copy serving ledger: every payload frame written to a response
+	// is attributed to exactly one side — spliced from a pre-encoded cache
+	// frame (LRU, flight, or store hit: no Marshal ran for this serve) or
+	// produced by a cold encode (this request's own computation, or a
+	// degraded fallback). framesSpliced / (framesSpliced + coldEncodes)
+	// therefore reconciles with the cache hit rate: a frame can only be
+	// spliced because some earlier request's cold encode cached it.
+	payloadBytesCache atomic.Uint64 // payload bytes served by splicing a pre-encoded frame
+	payloadBytesCold  atomic.Uint64 // payload bytes served from this request's own encode
+	framesSpliced     atomic.Uint64 // payloads served with zero json.Marshal
+	coldEncodes       atomic.Uint64 // canonical payload encodes actually run
+
+	// Request-side mirror of the ledger above: instances resolved from
+	// the byte-keyed decoded-instance cache vs actually re-decoded (see
+	// decodecache.go).
+	decodeHits   atomic.Uint64
+	decodeMisses atomic.Uint64
+
 	mu      sync.Mutex
 	planLat *stats.Histogram
 	estLat  *stats.Histogram
+	// encodeNS distributes the cost of cold payload encodes, in
+	// nanoseconds — the time splicing saves on every hit.
+	encodeNS *stats.Histogram
 
 	// Per-tier store lookup latency, under the same mutex as the other
 	// histograms.
@@ -72,10 +93,17 @@ func newMetrics() *Metrics {
 	if err != nil {
 		panic(err) // static parameters; cannot fail
 	}
+	// Cold encodes run from ~microseconds (tiny plans) to milliseconds
+	// (near-cap instances); 100ns..10s covers both edges with clamping.
+	encodeHist, err := stats.NewHistogram(100, 1e10, 8)
+	if err != nil {
+		panic(err) // static parameters; cannot fail
+	}
 	return &Metrics{
 		start:        time.Now(),
 		planLat:      stats.NewLatencyHistogram(),
 		estLat:       stats.NewLatencyHistogram(),
+		encodeNS:     encodeHist,
 		batchLat:     stats.NewLatencyHistogram(),
 		batchSize:    sizeHist,
 		storeMemLat:  stats.NewLatencyHistogram(),
@@ -103,6 +131,30 @@ func (m *Metrics) observeStore(tier string, d time.Duration) {
 	m.mu.Lock()
 	h.Observe(d.Seconds())
 	m.mu.Unlock()
+}
+
+// observeEncode records one cold payload encode — the single Marshal a
+// cacheable response ever gets, or a degraded fallback's per-request one.
+func (m *Metrics) observeEncode(d time.Duration) {
+	m.coldEncodes.Add(1)
+	ns := float64(d.Nanoseconds())
+	if ns < 1 {
+		ns = 1
+	}
+	m.mu.Lock()
+	m.encodeNS.Observe(ns)
+	m.mu.Unlock()
+}
+
+// addPayloadBytes attributes one served payload frame: spliced from a
+// pre-encoded cache frame, or written off a cold encode.
+func (m *Metrics) addPayloadBytes(n int, spliced bool) {
+	if spliced {
+		m.framesSpliced.Add(1)
+		m.payloadBytesCache.Add(uint64(n))
+	} else {
+		m.payloadBytesCold.Add(uint64(n))
+	}
 }
 
 // observe records one finished request of the given kind. A caller
@@ -256,6 +308,25 @@ type MetricsSnapshot struct {
 	BatchLatency  LatencySnapshot `json:"batch_latency"`
 	BatchSizes    DistSnapshot    `json:"batch_size"`
 
+	// Zero-copy serving: payload_bytes_served splits every served payload
+	// frame by where its bytes came from — encoded_cache (spliced from a
+	// pre-encoded frame; zero json.Marshal ran) vs cold_encode (this
+	// request's own encode). frames_spliced / (frames_spliced +
+	// cold_encodes) is the observable zero-copy hit rate; it reconciles
+	// with cache_hit_rate because only a cold encode can plant a frame for
+	// later splicing. encode_ns distributes the cold encodes' cost in
+	// nanoseconds.
+	PayloadBytes  PayloadBytesSnapshot `json:"payload_bytes_served"`
+	FramesSpliced uint64               `json:"frames_spliced"`
+	ColdEncodes   uint64               `json:"cold_encodes"`
+	EncodeNS      DistSnapshot         `json:"encode_ns"`
+	// The request-side mirror: instance_decode_hits counts request
+	// instances resolved byte-for-byte from the decoded-instance cache
+	// (no float parsing ran), instance_decode_misses the instances
+	// actually decoded.
+	DecodeHits   uint64 `json:"instance_decode_hits"`
+	DecodeMisses uint64 `json:"instance_decode_misses"`
+
 	// Store-tier counters (all zero when no store is configured). The
 	// service-side view reconciles per document: every store lookup is
 	// one of store_mem_hits/store_disk_hits/store_peer_hits/store_misses,
@@ -280,6 +351,12 @@ type MetricsSnapshot struct {
 	StorePeerLatency   LatencySnapshot `json:"store_peer_latency"`
 }
 
+// PayloadBytesSnapshot splits served payload bytes by source.
+type PayloadBytesSnapshot struct {
+	EncodedCache uint64 `json:"encoded_cache"`
+	ColdEncode   uint64 `json:"cold_encode"`
+}
+
 // Snapshot assembles a consistent-enough view: counters are read
 // individually (each is internally consistent; cross-counter skew of a
 // few in-flight requests is fine for monitoring), histograms are cloned
@@ -288,6 +365,7 @@ func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
 	m.mu.Lock()
 	planLat := m.planLat.Clone()
 	estLat := m.estLat.Clone()
+	encodeNS := m.encodeNS.Clone()
 	batchLat := m.batchLat.Clone()
 	batchSize := m.batchSize.Clone()
 	storeMemLat := m.storeMemLat.Clone()
@@ -343,6 +421,16 @@ func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
 		EstLatency:    latencySnapshot(estLat),
 		BatchLatency:  latencySnapshot(batchLat),
 		BatchSizes:    distSnapshot(batchSize),
+
+		PayloadBytes: PayloadBytesSnapshot{
+			EncodedCache: m.payloadBytesCache.Load(),
+			ColdEncode:   m.payloadBytesCold.Load(),
+		},
+		FramesSpliced: m.framesSpliced.Load(),
+		ColdEncodes:   m.coldEncodes.Load(),
+		EncodeNS:      distSnapshot(encodeNS),
+		DecodeHits:    m.decodeHits.Load(),
+		DecodeMisses:  m.decodeMisses.Load(),
 
 		PlansComputed:    m.plansComputed.Load(),
 		StoreMemHits:     m.storeMemHits.Load(),

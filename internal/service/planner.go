@@ -144,6 +144,11 @@ type Config struct {
 	// The planner does not own its lifecycle — whoever built the store
 	// closes it, after Planner.Close.
 	Store store.PlanStore
+	// DecodeCacheBytes bounds the raw-key bytes of the decoded-instance
+	// cache the HTTP layer resolves request instances through (default
+	// 32 MiB; see decodecache.go). The cache cannot be disabled — it is
+	// byte-verified, so it only ever changes performance, not results.
+	DecodeCacheBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -206,6 +211,7 @@ type Planner struct {
 	cfg     Config
 	metrics *Metrics
 	cache   *planCache
+	decode  *decodeCache
 	flight  flightGroup
 	pool    rounding.WorkspacePool
 	// policies maps each policy name to a factory building a fresh
@@ -249,6 +255,7 @@ func NewPlanner(cfg Config) *Planner {
 		cfg:     cfg,
 		metrics: newMetrics(),
 		cache:   newPlanCache(cfg.CacheCap, cfg.CacheShards),
+		decode:  newDecodeCache(cfg.DecodeCacheBytes),
 		slots:   make(chan struct{}, cfg.Workers),
 		drained: make(chan struct{}),
 		policies: map[string]func() sim.Policy{
@@ -598,18 +605,17 @@ func (p *Planner) runShared(ctx context.Context, key requestKey, onProgress func
 	}
 }
 
-// markShared meters and labels a response served from shared work rather
-// than this request's own computation — a coalesced follower (coalesced
-// flag) or a leader's late cache peek (cached flag). Both count in the
+// shareServed meters and labels a response served from shared work rather
+// than this request's own computation — a coalesced follower
+// (coalescedFlight) or a leader's late cache peek. Both count in the
 // coalesced bucket: each such caller already recorded a cache miss, so
 // the reported hit rate stays ≤ 1.
-func (p *Planner) markShared(cached, coalesced *bool, coalescedFlight bool) {
+func (p *Planner) shareServed(cf *cachedFrame, coalescedFlight bool) served {
 	p.metrics.coalesced.Add(1)
 	if coalescedFlight {
-		*coalesced = true
-	} else {
-		*cached = true
+		return served{cf: cf, coalesced: true}
 	}
+	return served{cf: cf, cached: true}
 }
 
 // PlanRun is one run of a planned schedule on the wire.
@@ -656,14 +662,26 @@ type PlanResponse struct {
 
 // Plan computes (or serves from cache) the rounded schedule for req.
 func (p *Planner) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
-	if err := p.begin(); err != nil {
+	sv, err := p.planServe(ctx, req)
+	if err != nil {
 		return nil, err
+	}
+	return sv.planResponse(), nil
+}
+
+// planServe is Plan for the zero-copy path: it resolves the request to the
+// shared pre-encoded frame plus this caller's serving flags, without ever
+// materializing a flag-bearing struct copy. The HTTP layer splices the
+// frame straight into the response.
+func (p *Planner) planServe(ctx context.Context, req *PlanRequest) (served, error) {
+	if err := p.begin(); err != nil {
+		return served{}, err
 	}
 	defer p.end()
 	start := time.Now()
-	resp, err := p.plan(ctx, req)
+	sv, err := p.plan(ctx, req)
 	p.metrics.observe(kindPlan, time.Since(start), err)
-	return resp, err
+	return sv, err
 }
 
 // validatePlan resolves req into its effective parameters: the instance,
@@ -702,25 +720,23 @@ func (p *Planner) validatePlan(req *PlanRequest) (ins *model.Instance, target fl
 	return ins, target, class, nil
 }
 
-func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+func (p *Planner) plan(ctx context.Context, req *PlanRequest) (served, error) {
 	ins, target, class, err := p.validatePlan(req)
 	if err != nil {
-		return nil, err
+		return served{}, err
 	}
 	ctx, cancel := withDeadlineMS(ctx, req.DeadlineMS)
 	defer cancel()
 	fp := sched.FingerprintInstance(ins)
 	key := requestKey{fp: fp, kind: kindPlan, target: target}
 	if v, ok := p.cache.get(key); ok {
-		resp := *(v.(*PlanResponse))
-		resp.Cached = true
-		return &resp, nil
+		return served{cf: v.(*cachedFrame), cached: true}, nil
 	}
 	// Brownout: past the pressure threshold an eligible request skips the
 	// line (and the flight table — degraded answers are never shared or
 	// cached) and gets the cheap fallback immediately.
 	if p.shouldDegrade(class) {
-		return p.degradedPlan(ins, fp, target, class), nil
+		return p.degradedServe(ins, fp, target, class)
 	}
 	v, err, shared, fromCache := p.runShared(ctx, key, nil, func(fl *flightCall, _ func(Progress)) (any, error) {
 		// Read through the durable store before burning a worker slot:
@@ -737,30 +753,44 @@ func (p *Planner) plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 		if err != nil {
 			return nil, err
 		}
+		cf, err := p.encodeFrame(resp)
+		if err != nil {
+			return nil, err
+		}
 		p.metrics.plansComputed.Add(1)
-		p.cache.put(key, resp)
-		p.storePut(key, resp)
-		return resp, nil
+		p.cache.put(key, cf)
+		p.storePut(key, cf)
+		return cf, nil
 	})
 	if err != nil {
 		// The line filled between the pressure check and admission; under
 		// a degrade policy the fallback still beats a 429.
 		if errors.Is(err, ErrOverloaded) && p.degradeAllowed(class) {
-			return p.degradedPlan(ins, fp, target, class), nil
+			return p.degradedServe(ins, fp, target, class)
 		}
-		return nil, err
+		return served{}, err
 	}
 	if sv, ok := v.(storeServed); ok {
 		// Store-served responses count as shared work: this caller
 		// recorded an LRU miss but computed nothing.
 		v, fromCache = sv.val, true
 	}
+	cf := v.(*cachedFrame)
 	if shared || fromCache {
-		resp := *(v.(*PlanResponse))
-		p.markShared(&resp.Cached, &resp.Coalesced, shared)
-		return &resp, nil
+		return p.shareServed(cf, shared), nil
 	}
-	return v.(*PlanResponse), nil
+	return served{cf: cf}, nil
+}
+
+// degradedServe wraps the brownout fallback in a one-off frame. Degraded
+// plans are never cached or shared, so their encode is a per-request cold
+// encode — metered, like every other cold encode.
+func (p *Planner) degradedServe(ins *model.Instance, fp sched.Fingerprint, target float64, class dag.Class) (served, error) {
+	cf, err := p.encodeFrame(p.degradedPlan(ins, fp, target, class))
+	if err != nil {
+		return served{}, err
+	}
+	return served{cf: cf}, nil
 }
 
 // computePlan runs the rounding on a pooled workspace. The checkpoint
@@ -938,14 +968,23 @@ func (p *Planner) resolvePolicy(name string, class dag.Class) (string, func() si
 // req. onProgress, if non-nil, observes partial means while the estimate
 // computes; cache hits and coalesced requests skip straight to the result.
 func (p *Planner) Estimate(ctx context.Context, req *EstimateRequest, onProgress func(Progress)) (*EstimateResponse, error) {
-	if err := p.begin(); err != nil {
+	sv, err := p.estimateServe(ctx, req, onProgress)
+	if err != nil {
 		return nil, err
+	}
+	return sv.estimateResponse(), nil
+}
+
+// estimateServe is Estimate for the zero-copy path; see planServe.
+func (p *Planner) estimateServe(ctx context.Context, req *EstimateRequest, onProgress func(Progress)) (served, error) {
+	if err := p.begin(); err != nil {
+		return served{}, err
 	}
 	defer p.end()
 	start := time.Now()
-	resp, err := p.estimate(ctx, req, onProgress)
+	sv, err := p.estimate(ctx, req, onProgress)
 	p.metrics.observe(kindEstimate, time.Since(start), err)
-	return resp, err
+	return sv, err
 }
 
 // estimateParams validates req and resolves it into its effective
@@ -982,10 +1021,10 @@ func (p *Planner) ValidateEstimate(req *EstimateRequest) error {
 	return err
 }
 
-func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress func(Progress)) (*EstimateResponse, error) {
+func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress func(Progress)) (served, error) {
 	trials, name, newPol, err := p.estimateParams(req)
 	if err != nil {
-		return nil, err
+		return served{}, err
 	}
 	ctx, cancel := withDeadlineMS(ctx, req.DeadlineMS)
 	defer cancel()
@@ -993,9 +1032,7 @@ func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress
 	fp := sched.FingerprintInstance(ins)
 	key := requestKey{fp: fp, kind: kindEstimate, policy: name, trials: trials, seed: req.Seed}
 	if v, ok := p.cache.get(key); ok {
-		resp := *(v.(*EstimateResponse))
-		resp.Cached = true
-		return &resp, nil
+		return served{cf: v.(*cachedFrame), cached: true}, nil
 	}
 	v, err, shared, fromCache := p.runShared(ctx, key, onProgress, func(fl *flightCall, emit func(Progress)) (any, error) {
 		if sv, ok := p.storeGet(key); ok {
@@ -1009,22 +1046,25 @@ func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress
 		if err != nil {
 			return nil, err
 		}
-		p.cache.put(key, resp)
-		p.storePut(key, resp)
-		return resp, nil
+		cf, err := p.encodeFrame(resp)
+		if err != nil {
+			return nil, err
+		}
+		p.cache.put(key, cf)
+		p.storePut(key, cf)
+		return cf, nil
 	})
 	if err != nil {
-		return nil, err
+		return served{}, err
 	}
 	if sv, ok := v.(storeServed); ok {
 		v, fromCache = sv.val, true
 	}
+	cf := v.(*cachedFrame)
 	if shared || fromCache {
-		resp := *(v.(*EstimateResponse))
-		p.markShared(&resp.Cached, &resp.Coalesced, shared)
-		return &resp, nil
+		return p.shareServed(cf, shared), nil
 	}
-	return v.(*EstimateResponse), nil
+	return served{cf: cf}, nil
 }
 
 // computeEstimate runs the Monte Carlo in ProgressChunk batches. Batch b

@@ -50,7 +50,9 @@ func storeKeyOf(k requestKey) store.Key {
 }
 
 // storedEnvelope frames a persisted response: a version, the request
-// kind, and the canonical response JSON. The kind check on decode means a
+// kind, and the canonical payload frame — the same bytes the response LRU
+// splices into responses, persisted verbatim so a disk or peer hit skips
+// re-encoding exactly like an LRU hit. The kind check on decode means a
 // (vanishingly unlikely) key collision between a plan and an estimate
 // degrades to a store miss, never a mistyped response.
 type storedEnvelope struct {
@@ -61,15 +63,17 @@ type storedEnvelope struct {
 
 const storedEnvelopeV = 1
 
-func encodeStored(kind uint8, v any) ([]byte, error) {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return nil, err
-	}
-	return json.Marshal(&storedEnvelope{V: storedEnvelopeV, Kind: kind, Body: body})
+// encodeStored wraps an already-canonical payload frame; the payload is
+// never re-marshaled (json.RawMessage passes through verbatim).
+func encodeStored(kind uint8, frame json.RawMessage) ([]byte, error) {
+	return json.Marshal(&storedEnvelope{V: storedEnvelopeV, Kind: kind, Body: frame})
 }
 
-func decodeStored(kind uint8, b []byte) (any, error) {
+// decodeStored validates the envelope and rebuilds the cachedFrame: the
+// struct is decoded once (library callers need it), and the Body bytes —
+// byte-identical to what encodeStored persisted — become the serving
+// frame, so a store hit re-enters the zero-copy path with no encode.
+func decodeStored(kind uint8, b []byte) (*cachedFrame, error) {
 	var env storedEnvelope
 	if err := json.Unmarshal(b, &env); err != nil {
 		return nil, err
@@ -83,13 +87,13 @@ func decodeStored(kind uint8, b []byte) (any, error) {
 		if err := json.Unmarshal(env.Body, resp); err != nil {
 			return nil, err
 		}
-		return resp, nil
+		return newCachedFrame(resp, env.Body), nil
 	case kindEstimate:
 		resp := &EstimateResponse{}
 		if err := json.Unmarshal(env.Body, resp); err != nil {
 			return nil, err
 		}
-		return resp, nil
+		return newCachedFrame(resp, env.Body), nil
 	}
 	return nil, fmt.Errorf("unknown stored kind %d", kind)
 }
@@ -100,7 +104,7 @@ func decodeStored(kind uint8, b []byte) (any, error) {
 // own timeouts bound a peer fetch, and a result is worth caching even if
 // this caller's deadline is about to expire (same reasoning as detached
 // computations).
-func (p *Planner) storeGet(key requestKey) (any, bool) {
+func (p *Planner) storeGet(key requestKey) (*cachedFrame, bool) {
 	st := p.cfg.Store
 	if st == nil {
 		return nil, false
@@ -124,21 +128,23 @@ func (p *Planner) storeGet(key requestKey) (any, bool) {
 	return v, true
 }
 
-// storePut persists a freshly computed response. Degraded brownout
-// fallbacks never persist — they are placeholders a retry should replace,
-// and writing one would let a moment of overload haunt every replica from
-// disk (the durable mirror of "degraded plans are never cached"). Errors
-// are counted, not surfaced: a full or failing store degrades the fleet
-// to compute-only, it does not fail requests.
-func (p *Planner) storePut(key requestKey, v any) {
+// storePut persists a freshly computed response — its pre-encoded frame,
+// so the payload is marshaled exactly once per computation across LRU,
+// disk, and peers. Degraded brownout fallbacks never persist — they are
+// placeholders a retry should replace, and writing one would let a moment
+// of overload haunt every replica from disk (the durable mirror of
+// "degraded plans are never cached"). Errors are counted, not surfaced: a
+// full or failing store degrades the fleet to compute-only, it does not
+// fail requests.
+func (p *Planner) storePut(key requestKey, cf *cachedFrame) {
 	st := p.cfg.Store
 	if st == nil {
 		return
 	}
-	if pr, ok := v.(*PlanResponse); ok && pr.Degraded {
+	if pr, ok := cf.val.(*PlanResponse); ok && pr.Degraded {
 		return
 	}
-	b, err := encodeStored(key.kind, v)
+	b, err := encodeStored(key.kind, cf.frame)
 	if err != nil {
 		p.metrics.storePutErrors.Add(1)
 		return

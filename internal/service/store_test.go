@@ -201,22 +201,22 @@ func TestDegradedPlansNeverPersisted(t *testing.T) {
 	defer p.Close()
 
 	key := requestKey{kind: kindPlan, policy: "lp1", target: 0.5}
-	p.storePut(key, &PlanResponse{Degraded: true, Length: 7})
+	p.storePut(key, testFrame(t, &PlanResponse{Degraded: true, Length: 7}))
 	if got := st.Stats(); got.Puts != 0 || got.Entries != 0 {
 		t.Fatalf("degraded plan persisted: %+v", got)
 	}
 
 	// The same call with a certified plan does persist — the guard is
 	// specific, not a dead store.
-	p.storePut(key, &PlanResponse{Length: 7})
+	p.storePut(key, testFrame(t, &PlanResponse{Length: 7}))
 	if got := st.Stats(); got.Puts != 1 || got.Entries != 1 {
 		t.Fatalf("certified plan not persisted: %+v", got)
 	}
 	// And a degraded response never overwrites a certified one.
-	p.storePut(key, &PlanResponse{Degraded: true})
+	p.storePut(key, testFrame(t, &PlanResponse{Degraded: true}))
 	if v, ok := p.storeGet(key); !ok {
 		t.Fatal("stored plan unreadable")
-	} else if v.(*PlanResponse).Degraded {
+	} else if v.val.(*PlanResponse).Degraded {
 		t.Fatal("degraded response overwrote the stored plan")
 	}
 }
@@ -259,7 +259,7 @@ func TestStoreKeyDerivation(t *testing.T) {
 // one kind never decode as another, so even a key collision degrades to a
 // recompute instead of a mistyped response.
 func TestStoreDecodeMismatchIsMiss(t *testing.T) {
-	b, err := encodeStored(kindPlan, &PlanResponse{Length: 3})
+	b, err := encodeStored(kindPlan, testFrame(t, &PlanResponse{Length: 3}).frame)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestStoreDecodeMismatchIsMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v.(*PlanResponse).Length != 3 {
+	if v.val.(*PlanResponse).Length != 3 {
 		t.Fatal("roundtrip lost the payload")
 	}
 	if _, err := decodeStored(kindPlan, []byte("not json")); err == nil {
