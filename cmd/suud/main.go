@@ -35,8 +35,9 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -86,6 +88,13 @@ func main() {
 		chaosCErrP   = flag.Float64("chaos-compute-error-p", 0, "P(injected compute error at a checkpoint)")
 		chaosCPanicP = flag.Float64("chaos-compute-panic-p", 0, "P(injected compute panic at a checkpoint)")
 
+		traceSample = flag.Float64("trace-sample", 0.01, "request-trace sampling probability in [0,1]; errors, degraded serves, and the slowest requests are always kept")
+		traceRing   = flag.Int("trace-ring", 512, "kept traces retained for /debug/traces (0 disables the recorder)")
+		traceSlow   = flag.Int("trace-slow", 32, "slowest traces pinned in /debug/traces regardless of age")
+		traceLog    = flag.String("trace-log", "", "append kept traces to this binary CRC-framed log file")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+
 		chaosPeerErrP   = flag.Float64("chaos-peer-error-p", 0, "P(injected 503 on /v1/store/* peer traffic only; independent of -chaos)")
 		chaosBitFlipP   = flag.Float64("chaos-disk-bitflip-p", 0, "P(flipping one random bit of a disk record on read; needs -chaos)")
 		chaosShortReadP = flag.Float64("chaos-disk-shortread-p", 0, "P(zeroing a random tail of a disk record on read; needs -chaos)")
@@ -93,11 +102,27 @@ func main() {
 	)
 	flag.Parse()
 
+	if lv, ok := trace.LevelFromString(*logLevel); ok {
+		trace.SetLevel(lv)
+	} else {
+		trace.Fatal("bad -log-level", "got", *logLevel, "want", "debug|info|warn|error")
+	}
+
 	switch *degradedPolicy {
 	case service.DegradeNever, service.DegradeIndependent, service.DegradeAll:
 	default:
-		log.Fatalf("suud: -degraded-policy must be %q, %q, or %q (got %q)",
-			service.DegradeNever, service.DegradeIndependent, service.DegradeAll, *degradedPolicy)
+		trace.Fatal("bad -degraded-policy",
+			"got", *degradedPolicy,
+			"want", fmt.Sprintf("%s|%s|%s", service.DegradeNever, service.DegradeIndependent, service.DegradeAll))
+	}
+
+	var traceLogWriter *trace.LogWriter
+	if *traceLog != "" {
+		lw, err := trace.OpenLog(*traceLog)
+		if err != nil {
+			trace.Fatal("opening trace log", "path", *traceLog, "err", err)
+		}
+		traceLogWriter = lw
 	}
 
 	var inj *faults.Injector
@@ -115,7 +140,7 @@ func main() {
 			ComputePanic: *chaosCPanicP,
 		})
 		if inj == nil {
-			log.Printf("suud: -chaos set but every rate is zero; injecting nothing")
+			trace.Warn("-chaos set but every rate is zero; injecting nothing")
 		}
 	}
 
@@ -132,7 +157,7 @@ func main() {
 		if *storeDir != "" {
 			pol, err := store.ParseFsyncPolicy(*fsyncMode)
 			if err != nil {
-				log.Fatalf("suud: %v", err)
+				trace.Fatal("bad -fsync", "err", err)
 			}
 			dcfg := store.DiskConfig{
 				Fsync:         pol,
@@ -153,7 +178,7 @@ func main() {
 			}
 			disk, err := store.Open(*storeDir, dcfg)
 			if err != nil {
-				log.Fatalf("suud: opening store %s: %v", *storeDir, err)
+				trace.Fatal("opening store", "dir", *storeDir, "err", err)
 			}
 			tiers = append(tiers, disk)
 		}
@@ -172,10 +197,10 @@ func main() {
 				}
 			}
 			if *self == "" {
-				log.Fatalf("suud: -peers needs -self (this replica's URL in the peer list)")
+				trace.Fatal("-peers needs -self (this replica's URL in the peer list)")
 			}
 			if planStore == nil {
-				log.Fatalf("suud: -peers needs a local store tier (-store-dir and/or -store-mem-bytes)")
+				trace.Fatal("-peers needs a local store tier (-store-dir and/or -store-mem-bytes)")
 			}
 			rep, err := store.NewReplicated(planStore, store.ReplicatedConfig{
 				Self:        *self,
@@ -184,7 +209,7 @@ func main() {
 				HandoffDir:  *storeDir, // hints persist next to the log; empty keeps them in memory
 			})
 			if err != nil {
-				log.Fatalf("suud: replicated store: %v", err)
+				trace.Fatal("replicated store", "err", err)
 			}
 			planStore = rep
 		}
@@ -203,6 +228,10 @@ func main() {
 		BrownoutThreshold: *brownout,
 		ComputeHook:       inj.ComputeHook(),
 		Store:             planStore,
+		TraceSample:       *traceSample,
+		TraceRing:         *traceRing,
+		TraceSlowN:        *traceSlow,
+		TraceLog:          traceLogWriter,
 	})
 	var handler http.Handler = service.NewServer(planner)
 	if *chaosPeerErrP > 0 {
@@ -226,7 +255,26 @@ func main() {
 	defer stop()
 
 	if err := planner.Warmup(); err != nil {
-		log.Fatalf("suud: warmup: %v", err)
+		trace.Fatal("warmup failed", "err", err)
+	}
+
+	if *debugAddr != "" {
+		// pprof on its own listener so profiling endpoints never share the
+		// service port (or its chaos middleware) with production traffic.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				trace.Warn("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		defer dsrv.Close()
+		trace.Info("pprof listening", "addr", *debugAddr)
 	}
 
 	errCh := make(chan error, 1)
@@ -236,33 +284,41 @@ func main() {
 	if planStore != nil {
 		storeName = planStore.Name()
 	}
-	log.Printf("suud: serving on %s (workers=%d queue=%d cache=%d/%d shards policy=%s brownout=%.2f store=%s chaos=%v)",
-		*addr, cfg.Workers, cfg.QueueDepth, cfg.CacheCap, cfg.CacheShards,
-		cfg.DegradedPolicy, cfg.BrownoutThreshold, storeName, inj != nil)
+	trace.Info("serving",
+		"addr", *addr, "workers", cfg.Workers, "queue", cfg.QueueDepth,
+		"cache", fmt.Sprintf("%d/%d", cfg.CacheCap, cfg.CacheShards),
+		"policy", cfg.DegradedPolicy, "brownout", cfg.BrownoutThreshold,
+		"store", storeName, "chaos", inj != nil,
+		"trace_sample", *traceSample, "trace_ring", *traceRing)
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("suud: %v", err)
+		trace.Fatal("listener failed", "err", err)
 	case <-ctx.Done():
 	}
-	log.Printf("suud: shutting down, draining up to %v", *drainWait)
+	trace.Info("shutting down", "drain_budget", *drainWait)
 	// Flip /readyz before closing the listener so load balancers stop
 	// sending new work while in-flight requests drain.
 	planner.BeginDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("suud: shutdown: %v", err)
+		trace.Warn("shutdown", "err", err)
 	}
 	planner.Close()
 	// The planner is done issuing puts; now the store can flush and close.
 	if planStore != nil {
 		if err := planStore.Close(); err != nil {
-			log.Printf("suud: closing store: %v", err)
+			trace.Warn("closing store", "err", err)
+		}
+	}
+	if traceLogWriter != nil {
+		if err := traceLogWriter.Close(); err != nil {
+			trace.Warn("closing trace log", "err", err)
 		}
 	}
 	if inj != nil {
-		log.Printf("suud: chaos ledger %+v", inj.Snapshot())
+		trace.Info("chaos ledger", "snapshot", fmt.Sprintf("%+v", inj.Snapshot()))
 	}
-	log.Printf("suud: drained; final %v", planner.Metrics())
+	trace.Info("drained", "final", planner.Metrics())
 }

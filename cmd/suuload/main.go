@@ -28,15 +28,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/service"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -110,7 +111,7 @@ func main() {
 		MaxAttempts: *retries + 1,
 	})
 	if err != nil {
-		log.Fatalf("suuload: %v", err)
+		trace.Fatal("load run failed", "err", err)
 	}
 
 	fmt.Fprintf(os.Stderr,
@@ -132,6 +133,26 @@ func main() {
 			"suuload: resilience: degraded=%d items_degraded=%d injected_errors=%d organic_5xx=%d retries=%d conn_errors=%d breaker_opens=%d\n",
 			rep.Degraded, rep.ItemsDegraded, rep.InjectedErrors, rep.OrganicServerErrors,
 			rep.Retries, rep.ConnErrors, rep.BreakerOpens)
+	}
+	if vi := rep.ServerVersion; vi != nil {
+		fmt.Fprintf(os.Stderr, "suuload: server build: %s %s (%s %s/%s, gomaxprocs=%d)\n",
+			vi.Module, vi.Version, vi.GoVersion, vi.OS, vi.Arch, vi.GOMAXPROCS)
+	}
+	if rep.TracedResponses > 0 {
+		// Per-source server-side attribution: where the server says each
+		// class of request spent its time, from parsed X-Suu-Trace headers.
+		fmt.Fprintf(os.Stderr, "suuload: traced %d/%d responses; server-side attribution:\n",
+			rep.TracedResponses, rep.Done)
+		srcs := make([]string, 0, len(rep.TracedBySource))
+		for src := range rep.TracedBySource {
+			srcs = append(srcs, src)
+		}
+		sort.Strings(srcs)
+		for _, src := range srcs {
+			n := rep.TracedBySource[src]
+			fmt.Fprintf(os.Stderr, "suuload:   %-9s n=%-6d server=%.1fms%s\n",
+				src, n, rep.ServerTotalSeconds[src]*1e3/float64(n), stageCells(rep.ServerStageSeconds[src], n))
+		}
 	}
 	if sm := rep.ServerMetrics; sm != nil {
 		fmt.Fprintf(os.Stderr, "suuload: server %v\n", *sm)
@@ -226,6 +247,17 @@ func main() {
 		if rep.Op == "plan-batch" {
 			rec.Extra["batch_size"] = float64(rep.BatchSize)
 		}
+		if rep.TracedResponses > 0 {
+			rec.Extra["traced_responses"] = float64(rep.TracedResponses)
+			for src, secs := range rep.ServerTotalSeconds {
+				rec.Extra["server_total_s_"+src] = secs
+			}
+			for src, stages := range rep.ServerStageSeconds {
+				for stage, secs := range stages {
+					rec.Extra["server_stage_s_"+src+"_"+strings.ReplaceAll(stage, ".", "_")] = secs
+				}
+			}
+		}
 		if len(rep.Fleet) > 0 {
 			up := 0
 			for _, sn := range rep.Fleet {
@@ -255,13 +287,41 @@ func main() {
 		}
 		report.Records = append(report.Records, rec)
 		if err := report.Write(os.Stdout); err != nil {
-			log.Fatalf("suuload: writing report: %v", err)
+			trace.Fatal("writing report", "err", err)
 		}
 	}
 
 	if *smoke && (rep.Done == 0 || rep.Errors != 0 || rep.ItemsErrors != 0) {
-		log.Fatalf("suuload: smoke failed: done=%d errors=%d item_errors=%d", rep.Done, rep.Errors, rep.ItemsErrors)
+		trace.Fatal("smoke failed",
+			"done", rep.Done, "errors", rep.Errors, "item_errors", rep.ItemsErrors)
 	}
+}
+
+// stageCells renders one source's per-request mean stage milliseconds,
+// heaviest first, for the attribution table.
+func stageCells(stages map[string]float64, n uint64) string {
+	if len(stages) == 0 || n == 0 {
+		return ""
+	}
+	type cell struct {
+		name string
+		ms   float64
+	}
+	cells := make([]cell, 0, len(stages))
+	for name, secs := range stages {
+		cells = append(cells, cell{name, secs * 1e3 / float64(n)})
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].ms != cells[j].ms {
+			return cells[i].ms > cells[j].ms
+		}
+		return cells[i].name < cells[j].name
+	})
+	var b strings.Builder
+	for _, c := range cells {
+		fmt.Fprintf(&b, " %s=%.2fms", c.name, c.ms)
+	}
+	return b.String()
 }
 
 func hitRateCell(rep *service.LoadReport) string {

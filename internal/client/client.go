@@ -26,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // AttemptHeader is the 1-based attempt number each request carries.
@@ -99,6 +101,10 @@ type Result struct {
 	Body     []byte
 	Attempts int  // tries consumed, ≥ 1
 	Injected bool // final response carried X-Suu-Injected
+	// Trace is the raw X-Suu-Trace value of the final response, "" when
+	// the server did not keep the trace. Parse with trace.ParseHeader to
+	// attribute this call's latency to server stages.
+	Trace string
 }
 
 // Metrics is the client's cumulative ledger.
@@ -254,6 +260,7 @@ func (c *Client) Do(ctx context.Context, rawURL string, body []byte) (*Result, e
 		}
 		res.Status, res.Header, res.Body = status, header, respBody
 		res.Injected = header.Get(InjectedHeader) != ""
+		res.Trace = header.Get(trace.ResponseHeader)
 		if retryableStatus(status) {
 			br.failure(c)
 			lastErr = fmt.Errorf("client: status %d from %s", status, target)
@@ -280,6 +287,11 @@ func (c *Client) attempt(ctx context.Context, rawURL string, body []byte, attemp
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(AttemptHeader, strconv.Itoa(attempt))
+	// A caller already inside a traced request (a peer fetch, a relay)
+	// propagates its trace ID so the fleet's logs and rings join up.
+	if id := trace.IDFromContext(ctx); !id.IsZero() {
+		req.Header.Set(trace.IDHeader, id.String())
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return 0, nil, nil, err

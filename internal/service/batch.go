@@ -9,6 +9,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/model"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // refItemWork is the n·m product of the reference batch item (the n=64,
@@ -110,17 +111,23 @@ type batchGroup struct {
 // with an individual item — validation, an over-budget instance, a compute
 // failure, a missed deadline — comes back as that item's error.
 func (p *Planner) PlanBatch(ctx context.Context, req *BatchPlanRequest) (*BatchPlanResponse, error) {
+	return p.planBatchServe(ctx, req, nil)
+}
+
+// planBatchServe is PlanBatch with the request's trace context; the HTTP
+// layer passes its Ctx, library callers go through PlanBatch with nil.
+func (p *Planner) planBatchServe(ctx context.Context, req *BatchPlanRequest, tc *trace.Ctx) (*BatchPlanResponse, error) {
 	if err := p.begin(); err != nil {
 		return nil, err
 	}
 	defer p.end()
 	start := time.Now()
-	resp, err := p.planBatch(ctx, req)
+	resp, err := p.planBatch(ctx, req, tc)
 	p.metrics.observeBatch(time.Since(start), resp, err)
 	return resp, err
 }
 
-func (p *Planner) planBatch(ctx context.Context, req *BatchPlanRequest) (*BatchPlanResponse, error) {
+func (p *Planner) planBatch(ctx context.Context, req *BatchPlanRequest, tc *trace.Ctx) (*BatchPlanResponse, error) {
 	if req == nil || len(req.Items) == 0 {
 		return nil, badRequestf("batch needs at least one item")
 	}
@@ -227,7 +234,10 @@ func (p *Planner) planBatch(ctx context.Context, req *BatchPlanRequest) (*BatchP
 	// counter equal to fallbacks actually delivered.
 	for _, g := range order {
 		if g.source == sourceDegraded {
-			cf, err := p.encodeFrame(p.degradedPlan(g.ins, g.fp, g.target, g.class))
+			dstart := time.Now()
+			resp := p.degradedPlan(g.ins, g.fp, g.target, g.class)
+			p.obsStage(tc, trace.StageDegrade, dstart)
+			cf, err := p.encodeFrame(resp, tc)
 			if err != nil {
 				g.err, g.source = err, ""
 				continue
@@ -263,7 +273,7 @@ func (p *Planner) planBatch(ctx context.Context, req *BatchPlanRequest) (*BatchP
 		wg.Add(1)
 		go func(g *batchGroup) {
 			defer wg.Done()
-			p.resolveBatchGroup(dctx, g)
+			p.resolveBatchGroup(dctx, g, tc)
 		}(g)
 	}
 	wg.Wait()
@@ -326,12 +336,14 @@ func (p *Planner) planBatch(ctx context.Context, req *BatchPlanRequest) (*BatchP
 // computing on a worker slot via a detached, panic-isolated spawn. The
 // group's admission charge is released the moment it is known not to be
 // queued work anymore (follower join, raced-cache hit, or slot acquired).
-func (p *Planner) resolveBatchGroup(ctx context.Context, g *batchGroup) {
+func (p *Planner) resolveBatchGroup(ctx context.Context, g *batchGroup, tc *trace.Ctx) {
 	c, follower := p.flight.join(g.key)
 	if follower {
 		p.queued.Add(-int64(g.cost)) // someone else computes; nothing queued
 		g.source = sourceCoalesced
+		fstart := time.Now()
 		p.await(ctx, g, c)
+		p.obsStage(tc, trace.StageFlight, fstart)
 		return
 	}
 	if v, ok := p.cache.peek(g.key); ok {
@@ -341,7 +353,7 @@ func (p *Planner) resolveBatchGroup(ctx context.Context, g *batchGroup) {
 		g.val, g.source = v, sourceCoalesced
 		return
 	}
-	if v, ok := p.storeGet(g.key); ok {
+	if v, ok := p.storeGet(g.key, tc); ok {
 		// The durable store holds this plan (this node's disk, or a
 		// peer's): serve it without a slot, exactly like the raced-cache
 		// path — it recorded a miss but computes nothing.
@@ -351,10 +363,11 @@ func (p *Planner) resolveBatchGroup(ctx context.Context, g *batchGroup) {
 		return
 	}
 	ins, fp, target, class, cost := g.ins, g.fp, g.target, g.class, g.cost
-	p.spawn(g.key, c, func() (any, error) {
+	p.spawn(g.key, c, tc, func() (any, error) {
 		// Block for a worker slot (admission already charged the line) —
 		// unless every caller abandons the flight first, in which case the
 		// queued charge is refunded and the work never starts.
+		qstart := time.Now()
 		select {
 		case p.slots <- struct{}{}:
 		case <-c.abandoned:
@@ -363,18 +376,19 @@ func (p *Planner) resolveBatchGroup(ctx context.Context, g *batchGroup) {
 			return nil, errAbandoned
 		}
 		p.queued.Add(-int64(cost))
+		p.obsStage(tc, trace.StageQueue, qstart)
 		defer p.release()
-		resp, err := p.computePlan(ins, fp, target, class, c.abandoned)
+		resp, err := p.computePlan(ins, fp, target, class, c.abandoned, tc)
 		if err != nil {
 			return nil, err
 		}
-		cf, err := p.encodeFrame(resp)
+		cf, err := p.encodeFrame(resp, tc)
 		if err != nil {
 			return nil, err
 		}
 		p.metrics.plansComputed.Add(1)
 		p.cache.put(g.key, cf)
-		p.storePut(g.key, cf)
+		p.storePut(g.key, cf, tc)
 		return cf, nil
 	})
 	g.source = sourceComputed

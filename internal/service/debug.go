@@ -1,0 +1,101 @@
+package service
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// debugTracesBody is what /debug/traces serves: whether tracing is on,
+// the tracer's own ledger, and the kept traces — slowest-first and
+// newest-first — rendered as human-readable views.
+type debugTracesBody struct {
+	Enabled  bool                `json:"enabled"`
+	Tracer   trace.Stats         `json:"tracer"`
+	Recorder trace.RecorderStats `json:"recorder"`
+	Log      *trace.LogStats     `json:"log,omitempty"`
+	Slowest  []trace.RecordView  `json:"slowest"`
+	Recent   []trace.RecordView  `json:"recent"`
+}
+
+// handleDebugTraces serves the in-memory trace recorder. Query params:
+// n (cap on recent traces, default 32), op (filter: plan|estimate|batch),
+// outcome (filter: ok|error|rejected|canceled).
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	tr := s.planner.tracer
+	body := debugTracesBody{
+		Enabled: tr.Enabled(),
+		Tracer:  tr.Stats(),
+		Slowest: []trace.RecordView{},
+		Recent:  []trace.RecordView{},
+	}
+	if rec := tr.Recorder(); rec != nil {
+		body.Recorder = rec.Stats()
+		n := 32
+		if v := r.URL.Query().Get("n"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+				n = parsed
+			}
+		}
+		for i := range rec.Slowest() {
+			body.Slowest = append(body.Slowest, rec.Slowest()[i].View())
+		}
+		recent := rec.Recent(n, r.URL.Query().Get("op"), r.URL.Query().Get("outcome"))
+		for i := range recent {
+			body.Recent = append(body.Recent, recent[i].View())
+		}
+	}
+	if lg := tr.Log(); lg != nil {
+		st := lg.Stats()
+		body.Log = &st
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// VersionInfo identifies a running build: what /version serves and what
+// suuload stamps into its report header so a load run is attributable to
+// the exact binary it measured.
+type VersionInfo struct {
+	Module     string `json:"module"`
+	Version    string `json:"version"`
+	VCSRev     string `json:"vcs_revision,omitempty"`
+	VCSTime    string `json:"vcs_time,omitempty"`
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// ReadVersionInfo assembles VersionInfo from the binary's embedded build
+// metadata. Fields the toolchain didn't stamp (test binaries, go run)
+// come back empty rather than failing.
+func ReadVersionInfo() VersionInfo {
+	vi := VersionInfo{
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		vi.Module = bi.Main.Path
+		vi.Version = bi.Main.Version
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				vi.VCSRev = kv.Value
+			case "vcs.time":
+				vi.VCSTime = kv.Value
+			}
+		}
+	}
+	return vi
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ReadVersionInfo())
+}

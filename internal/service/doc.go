@@ -132,4 +132,46 @@
 // once, ever, with a byte-for-byte comparison guarding every hit, so the
 // cache can only change performance, never results.
 // instance_decode_hits / instance_decode_misses in /metrics ledger it.
+//
+// # Observability
+//
+// Every request the HTTP layer accepts can carry a trace context
+// (internal/trace): a 128-bit ID plus per-stage duration/count
+// aggregates for the pipeline stages — decode, queue, flight,
+// store.mem, store.disk, store.peer, store.miss, solve, round, encode,
+// degrade. Contexts are pooled and refcounted; with tracing disabled
+// (Config.TraceSample == 0 and no ring/log), Tracer.Begin returns nil
+// and every downstream call is a nil-check — the library default, and
+// what keeps the zero-copy serving benchmarks at their committed
+// allocation counts.
+//
+// The same trace data surfaces four ways, all views of one ledger:
+//
+//   - /metrics grows a "stages" map of per-stage latency summaries plus
+//     trace counters (traced, sampled, forced, ring/slow kept, log
+//     records/bytes). GET /metrics?format=prom renders the identical
+//     snapshot as Prometheus text exposition (suu_ prefix, counters as
+//     _total, latencies as summaries with quantile labels and _sum/_count,
+//     stages as one suu_stage_seconds{stage="..."} family). Because stage
+//     observation happens only for traced requests and inside the same
+//     endpoint clock, the stage _sum lines (decode excepted — it is
+//     measured in the handler, before the planner's clock starts)
+//     reconcile against the endpoint latency _sum within one scrape.
+//   - Sampled responses carry an X-Suu-Trace header: the trace ID, the
+//     serving source (cached/computed/coalesced/degraded/batch), the
+//     total, and each nonzero stage as <stage>=<µs>[x<count>]. The client
+//     surfaces it as Result.Trace; suuload parses it
+//     (trace.ParseHeader) into a per-source server-side attribution table
+//     — where server time went, split by how the request was served.
+//   - /debug/traces serves a ring of recent traces and a slowest-N list
+//     (filterable by op and outcome), and Config.TraceLog appends every
+//     kept trace to a CRC-framed binary log (trace.ReadLog decodes it,
+//     tolerating torn tails) — the record half of record/replay.
+//   - Requests between replicas propagate the ID: peer store fetches and
+//     replication fan-out stamp X-Suu-Trace-Id, so a fleet-wide search
+//     for one ID finds every hop it touched.
+//
+// Head sampling (Config.TraceSample) decides at Begin; errors, degraded
+// responses, and entries into the slowest-N list are force-kept, so the
+// traces most worth reading survive any sampling rate.
 package service

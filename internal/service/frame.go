@@ -7,6 +7,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Zero-copy serving: the response LRU, the flight table, and the durable
@@ -51,14 +53,16 @@ func newCachedFrame(v any, frame []byte) *cachedFrame {
 
 // encodeFrame produces the canonical frame for a freshly built response —
 // the one cold encode a cacheable payload ever gets. Metered into the
-// encode_ns histogram and the cold-encode counter.
-func (p *Planner) encodeFrame(v any) (*cachedFrame, error) {
+// encode_ns histogram, the cold-encode counter, and the request's encode
+// stage span.
+func (p *Planner) encodeFrame(v any, tc *trace.Ctx) (*cachedFrame, error) {
 	start := time.Now()
 	b, err := json.Marshal(v)
 	if err != nil {
 		return nil, err
 	}
 	p.metrics.observeEncode(time.Since(start))
+	p.obsStage(tc, trace.StageEncode, start)
 	return newCachedFrame(v, b), nil
 }
 

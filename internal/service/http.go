@@ -9,9 +9,11 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/lp"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies. An n=1024, m=256 instance is ~5 MB
@@ -41,6 +43,8 @@ func NewServer(p *Planner) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/traces", s.handleDebugTraces)
+	s.mux.HandleFunc("/version", s.handleVersion)
 	if p.cfg.Store != nil {
 		// Peer protocol for the replicated plan store: other replicas
 		// read and write this node's local tiers here. Served from the
@@ -134,6 +138,68 @@ func writeError(w http.ResponseWriter, err error) {
 	}
 }
 
+// traceOutcome maps a serving error onto the trace outcome vocabulary:
+// overload and drain rejections are "rejected", the client walking away
+// is "canceled", everything else (bad requests included) is "error".
+func traceOutcome(err error) string {
+	switch {
+	case err == nil:
+		return trace.OutcomeOK
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShuttingDown):
+		return trace.OutcomeRejected
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return trace.OutcomeCanceled
+	default:
+		return trace.OutcomeError
+	}
+}
+
+// sourceOf labels how a single-request serve was answered, matching the
+// batch endpoint's source vocabulary.
+func sourceOf(sv served) string {
+	if pr, ok := sv.cf.val.(*PlanResponse); ok && pr.Degraded {
+		return sourceDegraded
+	}
+	switch {
+	case sv.coalesced:
+		return sourceCoalesced
+	case sv.cached:
+		return sourceCached
+	}
+	return sourceComputed
+}
+
+// traceServed stamps a successful serve's outcome and source on the trace
+// and, when the trace is kept, emits the X-Suu-Trace header the client
+// parses for stage attribution. Must run before the payload write starts.
+func (s *Server) traceServed(w http.ResponseWriter, tc *trace.Ctx, source string) {
+	if tc == nil {
+		return
+	}
+	tc.SetOutcome(trace.OutcomeOK)
+	tc.SetSource(source)
+	if tc.ShouldHeader() {
+		w.Header().Set(trace.ResponseHeader, tc.HeaderValue())
+	}
+}
+
+// traceError closes out a failed request: the non-ok outcome force-keeps
+// the trace, the header still goes out so clients can attribute failures,
+// and errors that will surface as 500s are logged with the trace ID.
+func (s *Server) traceError(w http.ResponseWriter, tc *trace.Ctx, err error) {
+	out := traceOutcome(err)
+	tc.SetOutcome(out)
+	if tc.ShouldHeader() {
+		w.Header().Set(trace.ResponseHeader, tc.HeaderValue())
+	}
+	if out == trace.OutcomeError &&
+		!errors.Is(err, ErrBadRequest) && !errors.Is(err, ErrRequestTooLarge) &&
+		!errors.Is(err, lp.ErrUnsolvable) {
+		trace.Error("request failed", "trace", tc.IDString(), "op", tc.Op(), "err", err)
+	}
+	writeError(w, err)
+}
+
 // observeAttempt meters retries a well-behaved client confesses to via the
 // X-Suu-Attempt header (1-based attempt number; ≥ 2 is a retry).
 func (s *Server) observeAttempt(r *http.Request) {
@@ -175,21 +241,26 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeAttempt(r)
+	tc := s.planner.tracer.Begin("plan")
+	defer s.planner.tracer.Finish(tc)
+	dstart := time.Now()
 	var wp wirePlanRequest
 	if err := s.decodeRequest(w, r, &wp); err != nil {
-		writeError(w, err)
+		s.traceError(w, tc, err)
 		return
 	}
 	req, err := s.planner.resolvePlanItem(&wp)
+	s.planner.obsStage(tc, trace.StageDecode, dstart)
 	if err != nil {
-		writeError(w, err)
+		s.traceError(w, tc, err)
 		return
 	}
-	sv, err := s.planner.planServe(r.Context(), req)
+	sv, err := s.planner.planServe(r.Context(), req, tc)
 	if err != nil {
-		writeError(w, err)
+		s.traceError(w, tc, err)
 		return
 	}
+	s.traceServed(w, tc, sourceOf(sv))
 	s.writePayload(w, sv)
 }
 
@@ -202,9 +273,12 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeAttempt(r)
+	tc := s.planner.tracer.Begin("batch")
+	defer s.planner.tracer.Finish(tc)
+	dstart := time.Now()
 	var wb wireBatchRequest
 	if err := s.decodeRequest(w, r, &wb); err != nil {
-		writeError(w, err)
+		s.traceError(w, tc, err)
 		return
 	}
 	req := BatchPlanRequest{Items: make([]PlanRequest, len(wb.Items)), DeadlineMS: wb.DeadlineMS}
@@ -213,16 +287,26 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// Exactly the typed-decode behavior: one malformed instance
 			// fails the whole document as a bad request, not per-item.
-			writeError(w, err)
+			s.planner.obsStage(tc, trace.StageDecode, dstart)
+			s.traceError(w, tc, err)
 			return
 		}
 		req.Items[i] = *item
 	}
-	resp, err := s.planner.PlanBatch(r.Context(), &req)
+	s.planner.obsStage(tc, trace.StageDecode, dstart)
+	resp, err := s.planner.planBatchServe(r.Context(), &req, tc)
 	if err != nil {
-		writeError(w, err)
+		s.traceError(w, tc, err)
 		return
 	}
+	// A batch that minted brownout fallbacks is labeled degraded (and
+	// force-kept); otherwise the envelope source is just "batch" — the
+	// per-item mix lives in the stage counts and the envelope counters.
+	source := "batch"
+	if resp.Degraded > 0 {
+		source = sourceDegraded
+	}
+	s.traceServed(w, tc, source)
 	// Batch responses are machine-consumed and carry one payload per item;
 	// compact encoding keeps the wire cost of a big batch proportional to
 	// its content, not to pretty-printing (indentation roughly doubles an
@@ -300,28 +384,33 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeAttempt(r)
+	tc := s.planner.tracer.Begin("estimate")
+	defer s.planner.tracer.Finish(tc)
+	dstart := time.Now()
 	var we wireEstimateRequest
 	if err := s.decodeRequest(w, r, &we); err != nil {
-		writeError(w, err)
+		s.traceError(w, tc, err)
 		return
 	}
 	ins, err := s.planner.decodeInstance(we.Instance)
+	s.planner.obsStage(tc, trace.StageDecode, dstart)
 	if err != nil {
-		writeError(w, err)
+		s.traceError(w, tc, err)
 		return
 	}
 	req := EstimateRequest{Instance: ins, Policy: we.Policy, Trials: we.Trials,
 		Seed: we.Seed, Stream: we.Stream, DeadlineMS: we.DeadlineMS}
 	if !req.Stream {
-		sv, err := s.planner.estimateServe(r.Context(), &req, nil)
+		sv, err := s.planner.estimateServe(r.Context(), &req, nil, tc)
 		if err != nil {
-			writeError(w, err)
+			s.traceError(w, tc, err)
 			return
 		}
+		s.traceServed(w, tc, sourceOf(sv))
 		s.writePayload(w, sv)
 		return
 	}
-	s.streamEstimate(w, r, &req)
+	s.streamEstimate(w, r, &req, tc)
 }
 
 // estimateEvent is one NDJSON line of a streamed estimate: progress lines
@@ -337,10 +426,16 @@ type estimateEvent struct {
 // requests still get real 4xx codes; only errors that arise mid-compute
 // (overload, shutdown, engine failures) surface as a final
 // {"error": ...} line — the price of streaming over plain HTTP.
-func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, req *EstimateRequest) {
+func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, req *EstimateRequest, tc *trace.Ctx) {
 	if err := s.planner.ValidateEstimate(req); err != nil {
-		writeError(w, err)
+		s.traceError(w, tc, err)
 		return
+	}
+	// Stage timings are not known before the 200 goes out, so a sampled
+	// stream carries only the trace ID; the stages still land in /metrics
+	// and the recorder.
+	if tc != nil && tc.Sampled() {
+		w.Header().Set(trace.ResponseHeader, tc.IDString())
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -362,11 +457,14 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, req *Est
 	sv, err := s.planner.estimateServe(r.Context(), req, func(pr Progress) {
 		p := pr
 		emit(estimateEvent{Progress: &p})
-	})
+	}, tc)
 	if err != nil {
+		tc.SetOutcome(traceOutcome(err))
 		emit(estimateEvent{Error: err.Error()})
 		return
 	}
+	tc.SetOutcome(trace.OutcomeOK)
+	tc.SetSource(sourceOf(sv))
 	// The result line splices the pre-encoded frame into the event
 	// envelope — a cache-hit stream serves its payload with zero Marshal.
 	buf := getBuf()
@@ -411,8 +509,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusServiceUnavailable, healthBody{Status: status, UptimeSeconds: s.planner.Metrics().UptimeSeconds})
 }
 
+// handleMetrics serves the snapshot as JSON, or as Prometheus text
+// exposition with ?format=prom — both rendered from one snapshot call,
+// so the two views of an instant agree.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.planner.Metrics())
+	snap := s.planner.Metrics()
+	if r.URL.Query().Get("format") == "prom" {
+		body := promMetrics(snap)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // String renders a snapshot compactly for operator logs.

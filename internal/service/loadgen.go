@@ -14,6 +14,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -139,14 +140,67 @@ type LoadReport struct {
 	FleetStoreHits     uint64             `json:"fleet_store_hits,omitempty"`
 	FleetPlansComputed uint64             `json:"fleet_plans_computed,omitempty"`
 
+	// Server-side attribution, parsed from the X-Suu-Trace headers of
+	// traced responses (run suud with -trace-sample 1 for full coverage).
+	// TracedBySource counts traced responses per serving source (cached /
+	// computed / coalesced / degraded / batch); ServerStageSeconds breaks
+	// the server's time down as source → stage → total seconds, and
+	// ServerTotalSeconds is each source's total server-side time — the
+	// difference between client latency and these is the network plus
+	// client-side cost, now measurable per source instead of guessed.
+	TracedResponses    uint64                        `json:"traced_responses,omitempty"`
+	TracedBySource     map[string]uint64             `json:"traced_by_source,omitempty"`
+	ServerStageSeconds map[string]map[string]float64 `json:"server_stage_seconds,omitempty"`
+	ServerTotalSeconds map[string]float64            `json:"server_total_seconds,omitempty"`
+	// ServerVersion is the target's /version document (first replica),
+	// so every saved report names the build it measured.
+	ServerVersion *VersionInfo `json:"server_version,omitempty"`
+
 	// Latencies is the merged histogram backing the quantiles above.
 	Latencies *stats.Histogram `json:"-"`
+}
+
+// loadSources is the serving-source vocabulary the attribution tables are
+// keyed by, in display order.
+var loadSources = [nLoadSources]string{"cached", "computed", "coalesced", "degraded", "batch"}
+
+const nLoadSources = 5
+
+func loadSourceIndex(src string) int {
+	for i, s := range loadSources {
+		if s == src {
+			return i
+		}
+	}
+	return -1
 }
 
 // loadWorkerState is one issuing goroutine's recorder; kept per-worker so
 // the hot path never contends, merged into the report at the end.
 type loadWorkerState struct {
 	hist *stats.Histogram
+	// Per-source server-side attribution in microseconds, accumulated
+	// from parsed X-Suu-Trace headers.
+	traced  [nLoadSources]uint64
+	stageUS [nLoadSources][trace.NumStages]int64
+	totalUS [nLoadSources]int64
+}
+
+// observeTrace folds one response's trace header into the worker ledger.
+func (ws *loadWorkerState) observeTrace(hdr string) {
+	sum, ok := trace.ParseHeader(hdr)
+	if !ok {
+		return
+	}
+	si := loadSourceIndex(sum.Source)
+	if si < 0 {
+		return
+	}
+	ws.traced[si]++
+	ws.totalUS[si] += sum.TotalUS
+	for st := 0; st < trace.NumStages; st++ {
+		ws.stageUS[si][st] += sum.DurUS[st]
+	}
 }
 
 // RunLoad drives the configured load and reports. The context cancels the
@@ -367,6 +421,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			}
 			return
 		}
+		if res.Trace != "" {
+			ws.observeTrace(res.Trace)
+		}
 		if batchOp {
 			// Split the batch's items by the per-item statuses the
 			// envelope summarizes; ok + errors = size, so the item ledger
@@ -486,9 +543,19 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	elapsed := time.Since(start).Seconds()
 
 	merged := stats.NewLatencyHistogram()
+	var traced [nLoadSources]uint64
+	var stageUS [nLoadSources][trace.NumStages]int64
+	var totalUS [nLoadSources]int64
 	for i := range workers {
 		if err := merged.Merge(workers[i].hist); err != nil {
 			return nil, err
+		}
+		for si := range loadSources {
+			traced[si] += workers[i].traced[si]
+			totalUS[si] += workers[i].totalUS[si]
+			for st := 0; st < trace.NumStages; st++ {
+				stageUS[si][st] += workers[i].stageUS[si][st]
+			}
 		}
 	}
 	cm := suu.Snapshot()
@@ -529,6 +596,26 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			rep.OfferedItemRate = cfg.Rate * float64(cfg.BatchSize)
 		}
 	}
+	for si, src := range loadSources {
+		if traced[si] == 0 {
+			continue
+		}
+		rep.TracedResponses += traced[si]
+		if rep.TracedBySource == nil {
+			rep.TracedBySource = make(map[string]uint64)
+			rep.ServerStageSeconds = make(map[string]map[string]float64)
+			rep.ServerTotalSeconds = make(map[string]float64)
+		}
+		rep.TracedBySource[src] = traced[si]
+		rep.ServerTotalSeconds[src] = float64(totalUS[si]) / 1e6
+		stages := make(map[string]float64)
+		for st := 0; st < trace.NumStages; st++ {
+			if stageUS[si][st] > 0 {
+				stages[trace.Stage(st).String()] = float64(stageUS[si][st]) / 1e6
+			}
+		}
+		rep.ServerStageSeconds[src] = stages
+	}
 	if merged.N() > 0 {
 		rep.LatMean = merged.Mean()
 		rep.LatP50 = merged.Quantile(0.50)
@@ -543,6 +630,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	// fleet-wide aggregates on top.
 	if snap, err := FetchMetrics(ctx, plainClient, bases[0]); err == nil {
 		rep.ServerMetrics = snap
+	}
+	if vi, err := FetchVersion(ctx, plainClient, bases[0]); err == nil {
+		rep.ServerVersion = vi
 	}
 	if len(bases) > 1 {
 		rep.Fleet = make([]*MetricsSnapshot, len(bases))
@@ -563,6 +653,27 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// FetchVersion GETs and decodes /version.
+func FetchVersion(ctx context.Context, client *http.Client, baseURL string) (*VersionInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/version", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("service: /version status %d", resp.StatusCode)
+	}
+	var vi VersionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&vi); err != nil {
+		return nil, err
+	}
+	return &vi, nil
 }
 
 // FetchMetrics GETs and decodes /metrics.

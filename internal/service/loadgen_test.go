@@ -161,3 +161,61 @@ func TestRunLoadClosedLoop(t *testing.T) {
 		t.Fatalf("report labels: %+v", rep)
 	}
 }
+
+// TestRunLoadTraceAttribution drives a fully sampled server and pins the
+// client-side attribution ledger: every completed request parsed into a
+// per-source stage table, sources split cached from computed, and server
+// time never exceeds client-observed time. The server's build info rides
+// along.
+func TestRunLoadTraceAttribution(t *testing.T) {
+	ts, _ := tracedServer(t, nil)
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:     ts.URL,
+		Mode:        "closed",
+		Duration:    400 * time.Millisecond,
+		Concurrency: 4,
+		Op:          "plan",
+		Specs: []workload.Spec{
+			{Family: "uniform", M: 4, N: 12, Seed: 1},
+			{Family: "uniform", M: 4, N: 12, Seed: 2},
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Done == 0 {
+		t.Fatalf("done=%d errors=%d", rep.Done, rep.Errors)
+	}
+	if rep.TracedResponses != rep.Done {
+		t.Fatalf("traced %d of %d completed requests at sample=1", rep.TracedResponses, rep.Done)
+	}
+	if rep.TracedBySource["computed"] == 0 || rep.TracedBySource["cached"] == 0 {
+		t.Fatalf("source split missing cached or computed: %v", rep.TracedBySource)
+	}
+	var n uint64
+	for _, c := range rep.TracedBySource {
+		n += c
+	}
+	if n != rep.TracedResponses {
+		t.Fatalf("by-source counts %v sum to %d, traced %d", rep.TracedBySource, n, rep.TracedResponses)
+	}
+	comp := rep.ServerStageSeconds["computed"]
+	if comp["solve"] <= 0 || comp["encode"] <= 0 {
+		t.Fatalf("computed stage table missing solve/encode: %v", comp)
+	}
+	if cached := rep.ServerStageSeconds["cached"]; cached["solve"] != 0 {
+		t.Fatalf("cached requests charged solve time: %v", cached)
+	}
+	totalServer := 0.0
+	for _, s := range rep.ServerTotalSeconds {
+		totalServer += s
+	}
+	clientTotal := rep.LatMean * float64(rep.Done)
+	if totalServer <= 0 || totalServer > clientTotal*1.05 {
+		t.Fatalf("server seconds %.6f vs client seconds %.6f", totalServer, clientTotal)
+	}
+	if rep.ServerVersion == nil || rep.ServerVersion.GoVersion == "" {
+		t.Fatal("server version not fetched")
+	}
+}

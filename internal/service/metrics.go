@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Metrics is the planner's instrumentation: monotone counters on atomics
@@ -70,6 +71,12 @@ type Metrics struct {
 	storeDiskLat *stats.Histogram
 	storePeerLat *stats.Histogram
 
+	// Per-stage latency, indexed by trace.Stage, under the same mutex.
+	// Stages are recorded only for traced requests (the HTTP layer creates
+	// a trace.Ctx; library calls and Warmup do not), so every stage sample
+	// belongs to a request the endpoint histograms also counted.
+	stageLat [trace.NumStages]*stats.Histogram
+
 	// Batch accounting lives under mu as plain counters (not atomics):
 	// observeBatch updates the whole family plus two histograms in one
 	// critical section, and snapshot reads under the same lock — so one
@@ -99,7 +106,7 @@ func newMetrics() *Metrics {
 	if err != nil {
 		panic(err) // static parameters; cannot fail
 	}
-	return &Metrics{
+	m := &Metrics{
 		start:        time.Now(),
 		planLat:      stats.NewLatencyHistogram(),
 		estLat:       stats.NewLatencyHistogram(),
@@ -110,6 +117,20 @@ func newMetrics() *Metrics {
 		storeDiskLat: stats.NewLatencyHistogram(),
 		storePeerLat: stats.NewLatencyHistogram(),
 	}
+	for i := range m.stageLat {
+		m.stageLat[i] = stats.NewLatencyHistogram()
+	}
+	return m
+}
+
+// observeStage records one stage span of a traced request.
+func (m *Metrics) observeStage(s trace.Stage, d time.Duration) {
+	if int(s) >= len(m.stageLat) {
+		return
+	}
+	m.mu.Lock()
+	m.stageLat[s].Observe(d.Seconds())
+	m.mu.Unlock()
 }
 
 // observeStore records one store lookup served by the named tier.
@@ -218,9 +239,13 @@ func (m *Metrics) observeBatch(d time.Duration, resp *BatchPlanResponse, err err
 	m.mu.Unlock()
 }
 
-// LatencySnapshot is one endpoint's latency quantiles in seconds.
+// LatencySnapshot is one endpoint's latency quantiles in seconds. Sum is
+// the histogram's total observed seconds — the field that lets stage sums
+// reconcile against endpoint sums within one document, and the _sum line
+// of the Prometheus summary exposition.
 type LatencySnapshot struct {
 	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum_s"`
 	Mean  float64 `json:"mean_s"`
 	P50   float64 `json:"p50_s"`
 	P95   float64 `json:"p95_s"`
@@ -234,6 +259,7 @@ func latencySnapshot(h *stats.Histogram) LatencySnapshot {
 	}
 	return LatencySnapshot{
 		Count: h.N(),
+		Sum:   h.Sum(),
 		Mean:  h.Mean(),
 		P50:   h.Quantile(0.50),
 		P95:   h.Quantile(0.95),
@@ -245,6 +271,7 @@ func latencySnapshot(h *stats.Histogram) LatencySnapshot {
 // DistSnapshot summarizes a unitless distribution (batch sizes).
 type DistSnapshot struct {
 	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
 	Mean  float64 `json:"mean"`
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
@@ -256,7 +283,7 @@ type DistSnapshot struct {
 // exists only for the unit-free JSON field names.
 func distSnapshot(h *stats.Histogram) DistSnapshot {
 	l := latencySnapshot(h)
-	return DistSnapshot{Count: l.Count, Mean: l.Mean, P50: l.P50, P95: l.P95, P99: l.P99, Max: l.Max}
+	return DistSnapshot{Count: l.Count, Sum: l.Sum, Mean: l.Mean, P50: l.P50, P95: l.P95, P99: l.P99, Max: l.Max}
 }
 
 // MetricsSnapshot is the JSON document /metrics serves.
@@ -349,6 +376,28 @@ type MetricsSnapshot struct {
 	StoreMemLatency    LatencySnapshot `json:"store_mem_latency"`
 	StoreDiskLatency   LatencySnapshot `json:"store_disk_latency"`
 	StorePeerLatency   LatencySnapshot `json:"store_peer_latency"`
+
+	// Stage-level attribution (tentpole of the tracing layer). Stages maps
+	// each canonical stage name (decode, queue, flight, store.mem,
+	// store.disk, store.peer, store.miss, solve, round, encode, degrade)
+	// to its latency distribution across traced requests. Stage samples
+	// are recorded only for requests that carried a trace context, so
+	// within one document each stage's sum_s is bounded by the endpoint
+	// latency sums (decode excepted: it is measured in the HTTP handler,
+	// before the planner's endpoint clock starts). The trace_* counters
+	// ledger the tracer itself: traced = requests that carried a context,
+	// trace_sampled of them won the head-sampling roll, trace_forced were
+	// kept regardless (errors/degraded), trace_ring_kept landed in the
+	// /debug/traces ring, trace_slow_kept in its slowest-N list, and
+	// trace_log_records/_bytes count the binary trace log's output.
+	Stages          map[string]LatencySnapshot `json:"stages,omitempty"`
+	Traced          uint64                     `json:"traced,omitempty"`
+	TraceSampled    uint64                     `json:"trace_sampled,omitempty"`
+	TraceForced     uint64                     `json:"trace_forced,omitempty"`
+	TraceRingKept   uint64                     `json:"trace_ring_kept,omitempty"`
+	TraceSlowKept   uint64                     `json:"trace_slow_kept,omitempty"`
+	TraceLogRecords uint64                     `json:"trace_log_records,omitempty"`
+	TraceLogBytes   uint64                     `json:"trace_log_bytes,omitempty"`
 }
 
 // PayloadBytesSnapshot splits served payload bytes by source.
@@ -371,6 +420,12 @@ func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
 	storeMemLat := m.storeMemLat.Clone()
 	storeDiskLat := m.storeDiskLat.Clone()
 	storePeerLat := m.storePeerLat.Clone()
+	var stageLat [trace.NumStages]*stats.Histogram
+	for i, h := range m.stageLat {
+		if h.N() > 0 {
+			stageLat[i] = h.Clone()
+		}
+	}
 	batches := m.batches
 	batchItems := m.batchItems
 	batchCached := m.batchItemsCached
@@ -441,5 +496,23 @@ func (m *Metrics) snapshot(cache *planCache) MetricsSnapshot {
 		StoreMemLatency:  latencySnapshot(storeMemLat),
 		StoreDiskLatency: latencySnapshot(storeDiskLat),
 		StorePeerLatency: latencySnapshot(storePeerLat),
+		Stages:           stageSnapshots(stageLat),
 	}
+}
+
+// stageSnapshots renders the observed stages under their canonical names;
+// stages never observed are omitted, so a tracing-off /metrics document
+// looks exactly like it did before the tracing layer existed.
+func stageSnapshots(stageLat [trace.NumStages]*stats.Histogram) map[string]LatencySnapshot {
+	var out map[string]LatencySnapshot
+	for i, h := range stageLat {
+		if h == nil {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]LatencySnapshot, trace.NumStages)
+		}
+		out[trace.Stage(i).String()] = latencySnapshot(h)
+	}
+	return out
 }

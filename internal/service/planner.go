@@ -19,6 +19,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Service errors. The HTTP layer maps ErrBadRequest-wrapped errors to 400,
@@ -149,6 +150,22 @@ type Config struct {
 	// 32 MiB; see decodecache.go). The cache cannot be disabled — it is
 	// byte-verified, so it only ever changes performance, not results.
 	DecodeCacheBytes int64
+	// TraceSample is the head-based request-trace sampling probability in
+	// [0, 1]. Errors, degraded responses, and slowest-N qualifiers are
+	// always kept when tracing is enabled. The default 0 together with
+	// TraceRing 0 and no TraceLog disables tracing entirely — library
+	// callers and benchmarks pay nothing.
+	TraceSample float64
+	// TraceRing is the /debug/traces ring-buffer capacity; 0 disables the
+	// recorder (and slowest-N tracking).
+	TraceRing int
+	// TraceSlowN is how many slowest traces to retain when TraceRing > 0
+	// (default 32).
+	TraceSlowN int
+	// TraceLog, if non-nil, receives one CRC-framed binary record per
+	// kept trace (see internal/trace). The planner does not own its
+	// lifecycle — whoever opened it closes it, after Planner.Close.
+	TraceLog *trace.LogWriter
 }
 
 func (c Config) withDefaults() Config {
@@ -212,6 +229,7 @@ type Planner struct {
 	metrics *Metrics
 	cache   *planCache
 	decode  *decodeCache
+	tracer  *trace.Tracer
 	flight  flightGroup
 	pool    rounding.WorkspacePool
 	// policies maps each policy name to a factory building a fresh
@@ -256,6 +274,12 @@ func NewPlanner(cfg Config) *Planner {
 		metrics: newMetrics(),
 		cache:   newPlanCache(cfg.CacheCap, cfg.CacheShards),
 		decode:  newDecodeCache(cfg.DecodeCacheBytes),
+		tracer: trace.NewTracer(trace.Config{
+			Sample: cfg.TraceSample,
+			Ring:   cfg.TraceRing,
+			SlowN:  cfg.TraceSlowN,
+			Log:    cfg.TraceLog,
+		}),
 		slots:   make(chan struct{}, cfg.Workers),
 		drained: make(chan struct{}),
 		policies: map[string]func() sim.Policy{
@@ -287,6 +311,24 @@ func NewPlanner(cfg Config) *Planner {
 // Config returns the resolved configuration.
 func (p *Planner) Config() Config { return p.cfg }
 
+// Tracer returns the planner's request tracer (never nil; disabled when
+// no Trace* config was set).
+func (p *Planner) Tracer() *trace.Tracer { return p.tracer }
+
+// obsStage closes one stage span: the elapsed time lands on the request's
+// trace context and in the per-stage latency histogram. Stage metrics are
+// recorded only for traced requests — library calls and Warmup never
+// create a Ctx — so within one /metrics document the stage sums stay
+// attributable to the requests the endpoint histograms counted.
+func (p *Planner) obsStage(tc *trace.Ctx, s trace.Stage, start time.Time) {
+	if tc == nil {
+		return
+	}
+	d := time.Since(start)
+	tc.Add(s, d)
+	p.metrics.observeStage(s, d)
+}
+
 // Metrics returns the current metrics snapshot.
 func (p *Planner) Metrics() MetricsSnapshot {
 	s := p.metrics.snapshot(p.cache)
@@ -299,6 +341,22 @@ func (p *Planner) Metrics() MetricsSnapshot {
 		s.StoreHandoffDrain = st.HandoffDrained
 		s.StoreHandoffDrop = st.HandoffDropped
 		s.StoreAntiEntropy = st.AntiEntropyPulled
+	}
+	if p.tracer.Enabled() {
+		ts := p.tracer.Stats()
+		s.Traced = ts.Begun
+		s.TraceSampled = ts.Sampled
+		s.TraceForced = ts.Forced
+		if rec := p.tracer.Recorder(); rec != nil {
+			rs := rec.Stats()
+			s.TraceRingKept = rs.Kept
+			s.TraceSlowKept = rs.SlowKept
+		}
+		if lg := p.tracer.Log(); lg != nil {
+			ls := lg.Stats()
+			s.TraceLogRecords = ls.Records
+			s.TraceLogBytes = ls.Bytes
+		}
 	}
 	return s
 }
@@ -334,7 +392,7 @@ func (p *Planner) Warmup() error {
 	if err != nil {
 		return err
 	}
-	if _, err := p.computePlan(ins, sched.FingerprintInstance(ins), 0.5, dag.ClassIndependent, nil); err != nil {
+	if _, err := p.computePlan(ins, sched.FingerprintInstance(ins), 0.5, dag.ClassIndependent, nil, nil); err != nil {
 		return err
 	}
 	// A replica with a store also waits for it to be fleet-worthy — disk
@@ -498,7 +556,9 @@ func (p *Planner) overloaded() error {
 // abandoned one (every caller gone) ends before its next expensive phase,
 // and the injected ComputeHook (chaos) gets its shot at failing or
 // stalling the compute. abandoned may be nil (warmup, degraded serves).
-func (p *Planner) checkpoint(abandoned <-chan struct{}) error {
+// A chaos-injected failure logs the active trace ID so the fault can be
+// tied back to the request that absorbed it.
+func (p *Planner) checkpoint(abandoned <-chan struct{}, tc *trace.Ctx) error {
 	select {
 	case <-abandoned:
 		p.metrics.deadlineAbandoned.Add(1)
@@ -507,6 +567,7 @@ func (p *Planner) checkpoint(abandoned <-chan struct{}) error {
 	}
 	if h := p.cfg.ComputeHook; h != nil {
 		if err := h(); err != nil {
+			trace.Warn("compute fault injected", "trace", tc.IDString(), "err", err)
 			return err
 		}
 	}
@@ -518,16 +579,22 @@ func (p *Planner) checkpoint(abandoned <-chan struct{}) error {
 // poisoned request must 500 its own callers, not crash the server (the
 // detached goroutine is outside net/http's per-connection recover) — and
 // the flight always finishes, so followers never wait on a dead leader.
-func (p *Planner) spawn(key requestKey, c *flightCall, fn func() (any, error)) {
+// tc (may be nil) is retained across the goroutine: the computation can
+// outlive the request that started it, and the pooled Ctx must not be
+// recycled under it.
+func (p *Planner) spawn(key requestKey, c *flightCall, tc *trace.Ctx, fn func() (any, error)) {
 	p.track()
+	tc.Retain()
 	go func() {
 		defer p.untrack()
+		defer tc.Release()
 		var v any
 		err := errFlightAbandoned
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
 					err = fmt.Errorf("service: computation panicked: %v", r)
+					trace.Error("computation panicked", "trace", tc.IDString(), "panic", fmt.Sprintf("%v", r))
 				}
 			}()
 			v, err = fn()
@@ -560,9 +627,14 @@ func (p *Planner) spawn(key requestKey, c *flightCall, fn func() (any, error)) {
 // goroutine, so onProgress never runs on the detached computation
 // goroutine — it may touch the caller's ResponseWriter, which dies with
 // the caller.
-func (p *Planner) runShared(ctx context.Context, key requestKey, onProgress func(Progress), fn func(fl *flightCall, emit func(Progress)) (any, error)) (v any, err error, follower, fromCache bool) {
+func (p *Planner) runShared(ctx context.Context, key requestKey, onProgress func(Progress), tc *trace.Ctx, fn func(fl *flightCall, emit func(Progress)) (any, error)) (v any, err error, follower, fromCache bool) {
 	c, follower := p.flight.join(key)
 	var progCh chan Progress
+	if follower {
+		// A coalesced follower's wait on the leader is its whole story:
+		// meter it as the flight stage.
+		defer p.obsStage(tc, trace.StageFlight, time.Now())
+	}
 	if !follower {
 		if cv, ok := p.cache.peek(key); ok {
 			p.flight.finish(key, c, cv, nil)
@@ -579,7 +651,7 @@ func (p *Planner) runShared(ctx context.Context, key requestKey, onProgress func
 				}
 			}
 		}
-		p.spawn(key, c, func() (any, error) { return fn(c, emit) })
+		p.spawn(key, c, tc, func() (any, error) { return fn(c, emit) })
 	}
 	for {
 		select {
@@ -662,7 +734,7 @@ type PlanResponse struct {
 
 // Plan computes (or serves from cache) the rounded schedule for req.
 func (p *Planner) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
-	sv, err := p.planServe(ctx, req)
+	sv, err := p.planServe(ctx, req, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -672,14 +744,15 @@ func (p *Planner) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 // planServe is Plan for the zero-copy path: it resolves the request to the
 // shared pre-encoded frame plus this caller's serving flags, without ever
 // materializing a flag-bearing struct copy. The HTTP layer splices the
-// frame straight into the response.
-func (p *Planner) planServe(ctx context.Context, req *PlanRequest) (served, error) {
+// frame straight into the response. tc, if non-nil, is the request's
+// trace context; the planner records stage spans onto it.
+func (p *Planner) planServe(ctx context.Context, req *PlanRequest, tc *trace.Ctx) (served, error) {
 	if err := p.begin(); err != nil {
 		return served{}, err
 	}
 	defer p.end()
 	start := time.Now()
-	sv, err := p.plan(ctx, req)
+	sv, err := p.plan(ctx, req, tc)
 	p.metrics.observe(kindPlan, time.Since(start), err)
 	return sv, err
 }
@@ -720,7 +793,7 @@ func (p *Planner) validatePlan(req *PlanRequest) (ins *model.Instance, target fl
 	return ins, target, class, nil
 }
 
-func (p *Planner) plan(ctx context.Context, req *PlanRequest) (served, error) {
+func (p *Planner) plan(ctx context.Context, req *PlanRequest, tc *trace.Ctx) (served, error) {
 	ins, target, class, err := p.validatePlan(req)
 	if err != nil {
 		return served{}, err
@@ -728,6 +801,7 @@ func (p *Planner) plan(ctx context.Context, req *PlanRequest) (served, error) {
 	ctx, cancel := withDeadlineMS(ctx, req.DeadlineMS)
 	defer cancel()
 	fp := sched.FingerprintInstance(ins)
+	tc.SetFingerprint(fp.Hi, fp.Lo)
 	key := requestKey{fp: fp, kind: kindPlan, target: target}
 	if v, ok := p.cache.get(key); ok {
 		return served{cf: v.(*cachedFrame), cached: true}, nil
@@ -736,37 +810,39 @@ func (p *Planner) plan(ctx context.Context, req *PlanRequest) (served, error) {
 	// line (and the flight table — degraded answers are never shared or
 	// cached) and gets the cheap fallback immediately.
 	if p.shouldDegrade(class) {
-		return p.degradedServe(ins, fp, target, class)
+		return p.degradedServe(ins, fp, target, class, tc)
 	}
-	v, err, shared, fromCache := p.runShared(ctx, key, nil, func(fl *flightCall, _ func(Progress)) (any, error) {
+	v, err, shared, fromCache := p.runShared(ctx, key, nil, tc, func(fl *flightCall, _ func(Progress)) (any, error) {
 		// Read through the durable store before burning a worker slot:
 		// a plan any replica ever computed is a deserialization, not a
 		// solve. Coalesced followers ride the same lookup.
-		if sv, ok := p.storeGet(key); ok {
+		if sv, ok := p.storeGet(key, tc); ok {
 			return storeServed{val: sv}, nil
 		}
+		qstart := time.Now()
 		if err := p.acquireFlight(fl); err != nil {
 			return nil, err
 		}
+		p.obsStage(tc, trace.StageQueue, qstart)
 		defer p.release()
-		resp, err := p.computePlan(ins, fp, target, class, fl.abandoned)
+		resp, err := p.computePlan(ins, fp, target, class, fl.abandoned, tc)
 		if err != nil {
 			return nil, err
 		}
-		cf, err := p.encodeFrame(resp)
+		cf, err := p.encodeFrame(resp, tc)
 		if err != nil {
 			return nil, err
 		}
 		p.metrics.plansComputed.Add(1)
 		p.cache.put(key, cf)
-		p.storePut(key, cf)
+		p.storePut(key, cf, tc)
 		return cf, nil
 	})
 	if err != nil {
 		// The line filled between the pressure check and admission; under
 		// a degrade policy the fallback still beats a 429.
 		if errors.Is(err, ErrOverloaded) && p.degradeAllowed(class) {
-			return p.degradedServe(ins, fp, target, class)
+			return p.degradedServe(ins, fp, target, class, tc)
 		}
 		return served{}, err
 	}
@@ -785,8 +861,11 @@ func (p *Planner) plan(ctx context.Context, req *PlanRequest) (served, error) {
 // degradedServe wraps the brownout fallback in a one-off frame. Degraded
 // plans are never cached or shared, so their encode is a per-request cold
 // encode — metered, like every other cold encode.
-func (p *Planner) degradedServe(ins *model.Instance, fp sched.Fingerprint, target float64, class dag.Class) (served, error) {
-	cf, err := p.encodeFrame(p.degradedPlan(ins, fp, target, class))
+func (p *Planner) degradedServe(ins *model.Instance, fp sched.Fingerprint, target float64, class dag.Class, tc *trace.Ctx) (served, error) {
+	dstart := time.Now()
+	resp := p.degradedPlan(ins, fp, target, class)
+	p.obsStage(tc, trace.StageDegrade, dstart)
+	cf, err := p.encodeFrame(resp, tc)
 	if err != nil {
 		return served{}, err
 	}
@@ -797,8 +876,8 @@ func (p *Planner) degradedServe(ins *model.Instance, fp sched.Fingerprint, targe
 // before the solve is the last stop for abandoned work (and the chaos
 // hook); a solve that starts always finishes — LP solves are finite and
 // their result is worth caching even if every caller has gone.
-func (p *Planner) computePlan(ins *model.Instance, fp sched.Fingerprint, target float64, class dag.Class, abandoned <-chan struct{}) (*PlanResponse, error) {
-	if err := p.checkpoint(abandoned); err != nil {
+func (p *Planner) computePlan(ins *model.Instance, fp sched.Fingerprint, target float64, class dag.Class, abandoned <-chan struct{}, tc *trace.Ctx) (*PlanResponse, error) {
+	if err := p.checkpoint(abandoned, tc); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -848,7 +927,13 @@ func (p *Planner) computePlan(ins *model.Instance, fp sched.Fingerprint, target 
 		asn = r.Assignment
 		resp.TStar = r.TFrac
 	}
+	// The LP solve and its rounding are fused inside the workspace Round
+	// call, so StageSolve covers both; StageRound is the rounded
+	// assignment's serialization into the wire shape.
+	p.obsStage(tc, trace.StageSolve, start)
+	rstart := time.Now()
 	resp.Machines = serializeRuns(asn, &resp.Length)
+	p.obsStage(tc, trace.StageRound, rstart)
 	p.observeUnitCost(itemCost(ins), time.Since(start))
 	return resp, nil
 }
@@ -968,7 +1053,7 @@ func (p *Planner) resolvePolicy(name string, class dag.Class) (string, func() si
 // req. onProgress, if non-nil, observes partial means while the estimate
 // computes; cache hits and coalesced requests skip straight to the result.
 func (p *Planner) Estimate(ctx context.Context, req *EstimateRequest, onProgress func(Progress)) (*EstimateResponse, error) {
-	sv, err := p.estimateServe(ctx, req, onProgress)
+	sv, err := p.estimateServe(ctx, req, onProgress, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -976,13 +1061,13 @@ func (p *Planner) Estimate(ctx context.Context, req *EstimateRequest, onProgress
 }
 
 // estimateServe is Estimate for the zero-copy path; see planServe.
-func (p *Planner) estimateServe(ctx context.Context, req *EstimateRequest, onProgress func(Progress)) (served, error) {
+func (p *Planner) estimateServe(ctx context.Context, req *EstimateRequest, onProgress func(Progress), tc *trace.Ctx) (served, error) {
 	if err := p.begin(); err != nil {
 		return served{}, err
 	}
 	defer p.end()
 	start := time.Now()
-	sv, err := p.estimate(ctx, req, onProgress)
+	sv, err := p.estimate(ctx, req, onProgress, tc)
 	p.metrics.observe(kindEstimate, time.Since(start), err)
 	return sv, err
 }
@@ -1021,7 +1106,7 @@ func (p *Planner) ValidateEstimate(req *EstimateRequest) error {
 	return err
 }
 
-func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress func(Progress)) (served, error) {
+func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress func(Progress), tc *trace.Ctx) (served, error) {
 	trials, name, newPol, err := p.estimateParams(req)
 	if err != nil {
 		return served{}, err
@@ -1030,28 +1115,31 @@ func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress
 	defer cancel()
 	ins := req.Instance
 	fp := sched.FingerprintInstance(ins)
+	tc.SetFingerprint(fp.Hi, fp.Lo)
 	key := requestKey{fp: fp, kind: kindEstimate, policy: name, trials: trials, seed: req.Seed}
 	if v, ok := p.cache.get(key); ok {
 		return served{cf: v.(*cachedFrame), cached: true}, nil
 	}
-	v, err, shared, fromCache := p.runShared(ctx, key, onProgress, func(fl *flightCall, emit func(Progress)) (any, error) {
-		if sv, ok := p.storeGet(key); ok {
+	v, err, shared, fromCache := p.runShared(ctx, key, onProgress, tc, func(fl *flightCall, emit func(Progress)) (any, error) {
+		if sv, ok := p.storeGet(key, tc); ok {
 			return storeServed{val: sv}, nil
 		}
+		qstart := time.Now()
 		if err := p.acquireFlight(fl); err != nil {
 			return nil, err
 		}
+		p.obsStage(tc, trace.StageQueue, qstart)
 		defer p.release()
-		resp, err := p.computeEstimate(ins, fp, name, newPol(), trials, req.Seed, fl.abandoned, emit)
+		resp, err := p.computeEstimate(ins, fp, name, newPol(), trials, req.Seed, fl.abandoned, emit, tc)
 		if err != nil {
 			return nil, err
 		}
-		cf, err := p.encodeFrame(resp)
+		cf, err := p.encodeFrame(resp, tc)
 		if err != nil {
 			return nil, err
 		}
 		p.cache.put(key, cf)
-		p.storePut(key, cf)
+		p.storePut(key, cf, tc)
 		return cf, nil
 	})
 	if err != nil {
@@ -1076,17 +1164,19 @@ func (p *Planner) estimate(ctx context.Context, req *EstimateRequest, onProgress
 // trial budget. pol is this computation's own instance: its LP caches
 // warm up across the request's trials (which all share ins) and die with
 // the computation.
-func (p *Planner) computeEstimate(ins *model.Instance, fp sched.Fingerprint, name string, pol sim.Policy, trials int, seed int64, abandoned <-chan struct{}, emit func(Progress)) (*EstimateResponse, error) {
+func (p *Planner) computeEstimate(ins *model.Instance, fp sched.Fingerprint, name string, pol sim.Policy, trials int, seed int64, abandoned <-chan struct{}, emit func(Progress), tc *trace.Ctx) (*EstimateResponse, error) {
 	all := make([]float64, 0, trials)
 	for done := 0; done < trials; {
-		if err := p.checkpoint(abandoned); err != nil {
+		if err := p.checkpoint(abandoned, tc); err != nil {
 			return nil, err
 		}
 		c := p.cfg.ProgressChunk
 		if rest := trials - done; c > rest {
 			c = rest
 		}
+		cstart := time.Now()
 		res, err := sim.MonteCarlo(ins, pol, c, seed+int64(done), p.cfg.TrialWorkers)
+		p.obsStage(tc, trace.StageSolve, cstart)
 		if err != nil {
 			return nil, fmt.Errorf("estimate with %s: %w", name, err)
 		}

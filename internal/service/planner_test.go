@@ -415,7 +415,7 @@ func TestRunSharedLeaderServesRacedCache(t *testing.T) {
 	key := requestKey{kind: kindPlan, target: 0.25}
 	want := &PlanResponse{Fingerprint: "raced"}
 	p.cache.put(key, want)
-	v, err, shared, fromCache := p.runShared(context.Background(), key, nil, func(*flightCall, func(Progress)) (any, error) {
+	v, err, shared, fromCache := p.runShared(context.Background(), key, nil, nil, func(*flightCall, func(Progress)) (any, error) {
 		t.Error("computation ran despite a cached result for its key")
 		return nil, errors.New("unreachable")
 	})

@@ -106,7 +106,7 @@ func TestSpawnRecoversPanics(t *testing.T) {
 	p := smallPlanner(nil)
 	key := planKeyN(9)
 	c, _ := p.flight.join(key)
-	p.spawn(key, c, func() (any, error) {
+	p.spawn(key, c, nil, func() (any, error) {
 		panic("poisoned instance")
 	})
 	<-c.done

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // The durable store sits under the response LRU as a read-through /
@@ -103,27 +104,44 @@ func decodeStored(kind uint8, b []byte) (*cachedFrame, error) {
 // reaches the store at all. Runs under context.Background(): the store's
 // own timeouts bound a peer fetch, and a result is worth caching even if
 // this caller's deadline is about to expire (same reasoning as detached
-// computations).
-func (p *Planner) storeGet(key requestKey) (*cachedFrame, bool) {
+// computations). The request's trace rides along two ways: the tier that
+// answered becomes a stage span (store.mem / store.disk / store.peer, or
+// store.miss when every tier came up empty), and the trace context — and
+// through it the bare trace ID — flows into the store stack so a peer
+// fetch carries X-Suu-Trace-Id across the fleet.
+func (p *Planner) storeGet(key requestKey, tc *trace.Ctx) (*cachedFrame, bool) {
 	st := p.cfg.Store
 	if st == nil {
 		return nil, false
 	}
 	start := time.Now()
-	b, tier, err := st.Get(context.Background(), storeKeyOf(key))
-	elapsed := time.Since(start)
+	b, tier, err := st.Get(trace.NewContext(context.Background(), tc), storeKeyOf(key))
 	if err != nil {
 		p.metrics.storeMisses.Add(1)
+		p.obsStage(tc, trace.StageStoreMiss, start)
 		return nil, false
 	}
+	elapsed := time.Since(start)
 	v, err := decodeStored(key.kind, b)
 	if err != nil {
 		// Undecodable content is a quarantine case the checksum cannot
 		// catch (e.g. a schema change): miss, recompute, overwrite.
 		p.metrics.storeMisses.Add(1)
+		p.obsStage(tc, trace.StageStoreMiss, start)
 		return nil, false
 	}
 	p.metrics.observeStore(tier, elapsed)
+	if tc != nil {
+		stage := trace.StageStoreMem
+		switch tier {
+		case store.TierDisk:
+			stage = trace.StageStoreDisk
+		case store.TierPeer:
+			stage = trace.StageStorePeer
+		}
+		tc.Add(stage, elapsed)
+		p.metrics.observeStage(stage, elapsed)
+	}
 	p.cache.put(key, v)
 	return v, true
 }
@@ -136,7 +154,7 @@ func (p *Planner) storeGet(key requestKey) (*cachedFrame, bool) {
 // "degraded plans are never cached"). Errors are counted, not surfaced: a
 // full or failing store degrades the fleet to compute-only, it does not
 // fail requests.
-func (p *Planner) storePut(key requestKey, cf *cachedFrame) {
+func (p *Planner) storePut(key requestKey, cf *cachedFrame, tc *trace.Ctx) {
 	st := p.cfg.Store
 	if st == nil {
 		return
@@ -149,7 +167,10 @@ func (p *Planner) storePut(key requestKey, cf *cachedFrame) {
 		p.metrics.storePutErrors.Add(1)
 		return
 	}
-	if err := st.Put(context.Background(), storeKeyOf(key), b); err != nil {
+	// Only the bare trace ID crosses into the put: the fan-out to peers
+	// is asynchronous and must never hold the pooled trace context.
+	if err := st.Put(trace.WithID(context.Background(), tc.ID()), storeKeyOf(key), b); err != nil {
 		p.metrics.storePutErrors.Add(1)
+		trace.Warn("store put failed", "trace", tc.IDString(), "err", err)
 	}
 }

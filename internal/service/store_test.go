@@ -201,20 +201,20 @@ func TestDegradedPlansNeverPersisted(t *testing.T) {
 	defer p.Close()
 
 	key := requestKey{kind: kindPlan, policy: "lp1", target: 0.5}
-	p.storePut(key, testFrame(t, &PlanResponse{Degraded: true, Length: 7}))
+	p.storePut(key, testFrame(t, &PlanResponse{Degraded: true, Length: 7}), nil)
 	if got := st.Stats(); got.Puts != 0 || got.Entries != 0 {
 		t.Fatalf("degraded plan persisted: %+v", got)
 	}
 
 	// The same call with a certified plan does persist — the guard is
 	// specific, not a dead store.
-	p.storePut(key, testFrame(t, &PlanResponse{Length: 7}))
+	p.storePut(key, testFrame(t, &PlanResponse{Length: 7}), nil)
 	if got := st.Stats(); got.Puts != 1 || got.Entries != 1 {
 		t.Fatalf("certified plan not persisted: %+v", got)
 	}
 	// And a degraded response never overwrites a certified one.
-	p.storePut(key, testFrame(t, &PlanResponse{Degraded: true}))
-	if v, ok := p.storeGet(key); !ok {
+	p.storePut(key, testFrame(t, &PlanResponse{Degraded: true}), nil)
+	if v, ok := p.storeGet(key, nil); !ok {
 		t.Fatal("stored plan unreadable")
 	} else if v.val.(*PlanResponse).Degraded {
 		t.Fatal("degraded response overwrote the stored plan")

@@ -45,7 +45,7 @@ func TestFrameRoundTripAcrossShapes(t *testing.T) {
 				t.Fatal(err)
 			}
 			req := &PlanRequest{Instance: ins}
-			sv, err := p.planServe(context.Background(), req)
+			sv, err := p.planServe(context.Background(), req, nil)
 			if err != nil {
 				// The serving path must reject exactly what the library
 				// rejects — nothing shape-specific may leak in.
@@ -86,7 +86,7 @@ func TestConcurrentHitsShareFrame(t *testing.T) {
 	if _, err := p.Plan(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
-	first, err := p.planServe(context.Background(), req)
+	first, err := p.planServe(context.Background(), req, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestConcurrentHitsShareFrame(t *testing.T) {
 			defer wg.Done()
 			buf := new(bytes.Buffer)
 			for i := 0; i < 50; i++ {
-				sv, err := p.planServe(context.Background(), req)
+				sv, err := p.planServe(context.Background(), req, nil)
 				if err != nil {
 					errs <- err
 					return

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestHistogramMergeQuantileBound is the property behind suuload's
+// per-worker recorders: split a sample across many histograms, merge
+// them, and every interior quantile of the merged histogram stays
+// within the documented RelativeError() = 2^(1/perOctave)−1 bound of
+// the exact sample quantile — the same guarantee a single histogram
+// gives, i.e. merging loses nothing.
+func TestHistogramMergeQuantileBound(t *testing.T) {
+	quantiles := []float64{0.05, 0.25, 0.5, 0.9, 0.95, 0.99}
+	for _, tc := range []struct {
+		name    string
+		workers int
+		n       int
+		draw    func(*rand.Rand) float64
+	}{
+		{"uniform-log", 4, 20000, func(r *rand.Rand) float64 {
+			return math.Pow(10, -5+3*r.Float64())
+		}},
+		{"bimodal", 8, 20000, func(r *rand.Rand) float64 {
+			// Cache hits near 100µs, cold solves near 50ms — the shape
+			// suud actually produces.
+			if r.Float64() < 0.9 {
+				return 1e-4 * (1 + 0.2*r.Float64())
+			}
+			return 5e-2 * (1 + 0.5*r.Float64())
+		}},
+		{"heavy-tail", 3, 20000, func(r *rand.Rand) float64 {
+			// Pareto-ish: p99 orders of magnitude above the median.
+			return 1e-4 / math.Pow(r.Float64()+1e-9, 1.5)
+		}},
+		{"skewed-split", 5, 20000, func(r *rand.Rand) float64 {
+			return math.Exp(r.NormFloat64() - 7)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(tc.name))))
+			parts := make([]*Histogram, tc.workers)
+			for i := range parts {
+				parts[i] = NewLatencyHistogram()
+			}
+			exact := make([]float64, 0, tc.n)
+			for i := 0; i < tc.n; i++ {
+				v := tc.draw(rng)
+				exact = append(exact, v)
+				// Uneven split: worker 0 sees half the traffic, mirroring
+				// a load generator whose first worker starts early.
+				w := 0
+				if i%2 == 1 {
+					w = 1 + rng.Intn(tc.workers-1)
+				}
+				parts[w].Observe(v)
+			}
+			merged := NewLatencyHistogram()
+			for _, p := range parts {
+				if err := merged.Merge(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if merged.N() != uint64(tc.n) {
+				t.Fatalf("merged N = %d, want %d", merged.N(), tc.n)
+			}
+			sort.Float64s(exact)
+			bound := merged.RelativeError()
+			for _, q := range quantiles {
+				want := Quantile(exact, q)
+				got := merged.Quantile(q)
+				if want <= 0 {
+					continue
+				}
+				if rel := math.Abs(got-want) / want; rel > bound+1e-12 {
+					t.Errorf("Quantile(%g) = %g, exact %g: relative error %.4f exceeds bound %.4f",
+						q, got, want, rel, bound)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramConcurrentSnapshot exercises the documented concurrency
+// discipline under -race: a Histogram is not safe for concurrent use,
+// so owners guard it with a mutex and snapshot by Clone-under-lock
+// (service.Metrics) or keep one per goroutine and Merge after joining
+// (suuload). Both patterns run here against racing readers.
+func TestHistogramConcurrentSnapshot(t *testing.T) {
+	var mu sync.Mutex
+	shared := NewLatencyHistogram()
+	const (
+		writers   = 4
+		perWriter = 5000
+	)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				snap := shared.Clone()
+				mu.Unlock()
+				// Reads on the clone need no lock.
+				if snap.N() > 0 && !(snap.Quantile(0.5) > 0) {
+					t.Error("snapshot median not positive")
+					return
+				}
+			}
+		}()
+	}
+
+	locals := make([]*Histogram, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		locals[w] = NewLatencyHistogram()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				v := math.Pow(10, -5+3*rng.Float64())
+				mu.Lock()
+				shared.Observe(v)
+				mu.Unlock()
+				locals[w].Observe(v) // per-goroutine: no lock needed
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	// The per-goroutine histograms merge (after the join) into the same
+	// distribution the mutex-guarded shared histogram accumulated.
+	merged := NewLatencyHistogram()
+	for _, l := range locals {
+		if err := merged.Merge(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.N() != writers*perWriter {
+		t.Fatalf("merged N = %d, want %d", merged.N(), writers*perWriter)
+	}
+	if shared.N() != merged.N() {
+		t.Fatalf("shared N = %d, merged N = %d", shared.N(), merged.N())
+	}
+	if shared.Min() != merged.Min() || shared.Max() != merged.Max() {
+		t.Fatal("shared and merged extremes differ")
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if shared.Quantile(q) != merged.Quantile(q) {
+			t.Fatalf("Quantile(%g): shared %g vs merged %g", q, shared.Quantile(q), merged.Quantile(q))
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/trace"
 )
 
 // ReplicatedConfig configures NewReplicated.
@@ -82,6 +83,10 @@ type Replicated struct {
 type fanoutItem struct {
 	k Key
 	v []byte
+	// id is the originating request's trace ID (zero when untraced): the
+	// fan-out runs long after that request finished, so only the value-
+	// typed ID crosses the channel, never a live trace context.
+	id trace.ID
 }
 
 // NewReplicated wraps local with the replication layer and starts its
@@ -177,6 +182,9 @@ func (r *Replicated) Get(ctx context.Context, k Key) ([]byte, string, error) {
 		r.peerFetches.Add(1)
 		v, err := pc.get(ctx, k)
 		if err == nil {
+			// The fetch was answered by this owner: stamp it on the trace
+			// so /debug/traces shows which replica served the bytes.
+			trace.FromContext(ctx).SetPeer(owner)
 			_ = r.local.Put(ctx, k, v)
 			return v, TierPeer, nil
 		}
@@ -201,7 +209,7 @@ func (r *Replicated) Put(ctx context.Context, k Key, v []byte) error {
 		return err
 	}
 	select {
-	case r.fanout <- fanoutItem{k: k, v: v}:
+	case r.fanout <- fanoutItem{k: k, v: v, id: trace.IDFromContext(ctx)}:
 	default:
 		// Fan-out backlog is full: skip straight to the hint queues so
 		// the write path stays non-blocking.
@@ -235,7 +243,7 @@ func (r *Replicated) fanoutWorker() {
 		case it := <-r.fanout:
 			for _, owner := range r.remoteOwners(it.k) {
 				ctx, cancel := context.WithTimeout(context.Background(), r.cfg.OpTimeout)
-				err := r.peers[owner].put(ctx, it.k, it.v)
+				err := r.peers[owner].put(trace.WithID(ctx, it.id), it.k, it.v)
 				cancel()
 				if err != nil {
 					r.queueHints(it.k, it.v, []string{owner})

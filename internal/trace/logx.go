@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Leveled, structured logging for the daemon and the service layer: one
+// line per event, "ts=<RFC3339> level=<l> msg=<quoted> k=v k=v ...".
+// This replaces the ad-hoc log.Printf calls so every operational line
+// is grep-able by key — in particular trace=<id> ties log lines to
+// /debug/traces records and X-Suu-Trace headers.
+
+// Level is a log severity.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "level(" + strconv.Itoa(int(l)) + ")"
+}
+
+// LevelFromString parses "debug", "info", "warn", "error".
+func LevelFromString(s string) (Level, bool) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, true
+	case "info":
+		return LevelInfo, true
+	case "warn", "warning":
+		return LevelWarn, true
+	case "error":
+		return LevelError, true
+	}
+	return LevelInfo, false
+}
+
+var (
+	logLevel atomic.Int32 // Level; default LevelInfo
+	logMu    sync.Mutex
+	logOut   io.Writer = os.Stderr
+)
+
+func init() { logLevel.Store(int32(LevelInfo)) }
+
+// SetLevel sets the global minimum level.
+func SetLevel(l Level) { logLevel.Store(int32(l)) }
+
+// SetOutput redirects log output (default os.Stderr).
+func SetOutput(w io.Writer) {
+	logMu.Lock()
+	logOut = w
+	logMu.Unlock()
+}
+
+// Debug, Info, Warn, Error emit one structured line when the level is
+// enabled. kv is alternating key, value pairs; values are rendered with
+// %v and quoted only when they contain spaces, quotes, or '='.
+func Debug(msg string, kv ...any) { emit(LevelDebug, msg, kv...) }
+func Info(msg string, kv ...any)  { emit(LevelInfo, msg, kv...) }
+func Warn(msg string, kv ...any)  { emit(LevelWarn, msg, kv...) }
+func Error(msg string, kv ...any) { emit(LevelError, msg, kv...) }
+
+// Fatal logs at error level and exits the process.
+func Fatal(msg string, kv ...any) {
+	emitAlways(msg, kv...)
+	os.Exit(1)
+}
+
+func emit(l Level, msg string, kv ...any) {
+	if int32(l) < logLevel.Load() {
+		return
+	}
+	write(l, msg, kv...)
+}
+
+func emitAlways(msg string, kv ...any) { write(LevelError, msg, kv...) }
+
+func needsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '"', '=', '\n', '\t':
+			return true
+		}
+	}
+	return false
+}
+
+func appendValue(b []byte, v any) []byte {
+	var s string
+	switch x := v.(type) {
+	case string:
+		s = x
+	case error:
+		s = x.Error()
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case bool:
+		return strconv.AppendBool(b, x)
+	case float64:
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	case time.Duration:
+		s = x.String()
+	default:
+		s = fmt.Sprintf("%v", v)
+	}
+	if needsQuote(s) {
+		return strconv.AppendQuote(b, s)
+	}
+	return append(b, s...)
+}
+
+func write(l Level, msg string, kv ...any) {
+	b := make([]byte, 0, 160)
+	b = append(b, "ts="...)
+	b = time.Now().UTC().AppendFormat(b, time.RFC3339)
+	b = append(b, " level="...)
+	b = append(b, l.String()...)
+	b = append(b, " msg="...)
+	b = appendValue(b, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b = append(b, ' ')
+		if k, ok := kv[i].(string); ok {
+			b = append(b, k...)
+		} else {
+			b = append(b, fmt.Sprintf("%v", kv[i])...)
+		}
+		b = append(b, '=')
+		b = appendValue(b, kv[i+1])
+	}
+	b = append(b, '\n')
+	logMu.Lock()
+	logOut.Write(b)
+	logMu.Unlock()
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func captureLog(t *testing.T, level Level, fn func()) string {
+	t.Helper()
+	var buf bytes.Buffer
+	SetOutput(&buf)
+	SetLevel(level)
+	t.Cleanup(func() {
+		SetOutput(os.Stderr)
+		SetLevel(LevelInfo)
+	})
+	fn()
+	return buf.String()
+}
+
+func TestLogxFormat(t *testing.T) {
+	out := captureLog(t, LevelInfo, func() {
+		Info("serving", "addr", "127.0.0.1:8080", "workers", 8,
+			"rate", 0.5, "chaos", false, "drain", 5*time.Second,
+			"err", errors.New("boom boom"), "trace", "-")
+	})
+	line := strings.TrimSuffix(out, "\n")
+	if strings.Contains(line, "\n") {
+		t.Fatalf("one event must be one line: %q", out)
+	}
+	for _, want := range []string{
+		"level=info", "msg=serving", "addr=127.0.0.1:8080", "workers=8",
+		"rate=0.5", "chaos=false", "drain=5s", `err="boom boom"`, "trace=-", "ts=",
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestLogxLevels(t *testing.T) {
+	out := captureLog(t, LevelWarn, func() {
+		Debug("d")
+		Info("i")
+		Warn("w")
+		Error("e")
+	})
+	if strings.Contains(out, "msg=d") || strings.Contains(out, "msg=i") {
+		t.Fatalf("suppressed levels leaked: %q", out)
+	}
+	if !strings.Contains(out, "msg=w") || !strings.Contains(out, "msg=e") {
+		t.Fatalf("enabled levels missing: %q", out)
+	}
+}
+
+func TestLogxQuoting(t *testing.T) {
+	out := captureLog(t, LevelInfo, func() {
+		Info("has spaces and = signs", "k", `va"l`)
+	})
+	if !strings.Contains(out, `msg="has spaces and = signs"`) {
+		t.Fatalf("message not quoted: %q", out)
+	}
+	if !strings.Contains(out, `k="va\"l"`) {
+		t.Fatalf("value not quoted: %q", out)
+	}
+}
+
+func TestLevelFromString(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "WARN": LevelWarn,
+		"warning": LevelWarn, "Error": LevelError,
+	} {
+		got, ok := LevelFromString(s)
+		if !ok || got != want {
+			t.Fatalf("LevelFromString(%q) = %v, %v", s, got, ok)
+		}
+	}
+	if _, ok := LevelFromString("loud"); ok {
+		t.Fatal("accepted unknown level")
+	}
+}

@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Record is one finished request's trace, fixed-size except for the
+// small label strings — cheap to copy by value into the ring.
+type Record struct {
+	ID      ID
+	Start   int64 // UnixNano
+	Op      string
+	Outcome string
+	Source  string
+	Peer    string
+	FPHi    uint64
+	FPLo    uint64
+	TotalNS int64
+	Durs    [NumStages]int64
+	Counts  [NumStages]uint32
+}
+
+// Recorder keeps the most recent kept traces in a bounded ring and the
+// slowest-N traces (regardless of sampling) in a small sorted list.
+// Every access is guarded by one mutex; the hot path for an unkept,
+// not-slow trace is a single atomic load.
+type Recorder struct {
+	mu   sync.Mutex
+	ring []Record
+	next int
+	full bool
+
+	slow    []Record // ascending by TotalNS; len <= slowCap
+	slowCap int
+	// slowMin caches slow[0].TotalNS once the list is full so the
+	// common "not slow enough" case skips the mutex entirely.
+	slowMin atomic.Int64
+
+	kept        atomic.Uint64
+	overwritten atomic.Uint64
+	slowKept    atomic.Uint64
+}
+
+// NewRecorder builds a recorder with the given ring capacity and
+// slowest-N capacity (both must be > 0).
+func NewRecorder(ringCap, slowCap int) *Recorder {
+	if ringCap < 1 {
+		ringCap = 1
+	}
+	if slowCap < 1 {
+		slowCap = 1
+	}
+	r := &Recorder{ring: make([]Record, ringCap), slowCap: slowCap}
+	r.slowMin.Store(-1) // not full: everything qualifies
+	return r
+}
+
+// Observe offers a finished trace. keep puts it in the recent ring;
+// slowest-N qualification is checked for every trace regardless of
+// keep (the slowest requests are interesting precisely when sampling
+// would have dropped them). Returns whether the trace entered the
+// slowest-N list.
+func (r *Recorder) Observe(rec *Record, keep bool) (slow bool) {
+	qualifies := rec.TotalNS > r.slowMin.Load()
+	if !keep && !qualifies {
+		return false
+	}
+	r.mu.Lock()
+	if keep {
+		if r.full {
+			r.overwritten.Add(1)
+		}
+		r.ring[r.next] = *rec
+		r.next++
+		if r.next == len(r.ring) {
+			r.next, r.full = 0, true
+		}
+		r.kept.Add(1)
+	}
+	if qualifies {
+		// Re-check under the lock (slowMin may have moved).
+		if len(r.slow) < r.slowCap || rec.TotalNS > r.slow[0].TotalNS {
+			slow = true
+			r.slowKept.Add(1)
+			i := 0
+			for i < len(r.slow) && r.slow[i].TotalNS < rec.TotalNS {
+				i++
+			}
+			if len(r.slow) < r.slowCap {
+				r.slow = append(r.slow, Record{})
+				copy(r.slow[i+1:], r.slow[i:])
+				r.slow[i] = *rec
+			} else {
+				// Evict the fastest (index 0), shift, insert.
+				copy(r.slow[:i-1], r.slow[1:i])
+				r.slow[i-1] = *rec
+			}
+			if len(r.slow) == r.slowCap {
+				r.slowMin.Store(r.slow[0].TotalNS)
+			}
+		}
+	}
+	r.mu.Unlock()
+	return slow
+}
+
+// Recent returns up to limit kept traces, newest first, optionally
+// filtered by op and/or outcome (empty string matches all).
+func (r *Recorder) Recent(limit int, op, outcome string) []Record {
+	if limit <= 0 {
+		limit = len(r.ring)
+	}
+	out := make([]Record, 0, min(limit, len(r.ring)))
+	r.mu.Lock()
+	n := r.next
+	if r.full {
+		n = len(r.ring)
+	}
+	for i := 0; i < n && len(out) < limit; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.ring)
+		}
+		rec := &r.ring[idx]
+		if (op == "" || rec.Op == op) && (outcome == "" || rec.Outcome == outcome) {
+			out = append(out, *rec)
+		}
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Slowest returns the slowest-N traces, slowest first.
+func (r *Recorder) Slowest() []Record {
+	r.mu.Lock()
+	out := make([]Record, len(r.slow))
+	for i := range r.slow {
+		out[i] = r.slow[len(r.slow)-1-i]
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// RecorderStats snapshots the recorder's ledger.
+type RecorderStats struct {
+	RingCap     int    `json:"ring_cap"`
+	SlowCap     int    `json:"slow_cap"`
+	Kept        uint64 `json:"kept"`
+	Overwritten uint64 `json:"overwritten"`
+	SlowKept    uint64 `json:"slow_kept"`
+}
+
+// Stats returns the recorder's counters.
+func (r *Recorder) Stats() RecorderStats {
+	return RecorderStats{
+		RingCap:     len(r.ring),
+		SlowCap:     r.slowCap,
+		Kept:        r.kept.Load(),
+		Overwritten: r.overwritten.Load(),
+		SlowKept:    r.slowKept.Load(),
+	}
+}
+
+// StageView is one stage of a RecordView.
+type StageView struct {
+	Stage string  `json:"stage"`
+	Count uint32  `json:"count"`
+	MS    float64 `json:"ms"`
+}
+
+// RecordView is the JSON shape /debug/traces serves.
+type RecordView struct {
+	ID          string      `json:"id"`
+	Time        string      `json:"time"`
+	Op          string      `json:"op"`
+	Outcome     string      `json:"outcome"`
+	Source      string      `json:"source,omitempty"`
+	Peer        string      `json:"peer,omitempty"`
+	Fingerprint string      `json:"fingerprint,omitempty"`
+	TotalMS     float64     `json:"total_ms"`
+	Stages      []StageView `json:"stages"`
+}
+
+// View renders the record for JSON exposition.
+func (rec *Record) View() RecordView {
+	v := RecordView{
+		ID:      rec.ID.String(),
+		Time:    time.Unix(0, rec.Start).UTC().Format(time.RFC3339Nano),
+		Op:      rec.Op,
+		Outcome: rec.Outcome,
+		Source:  rec.Source,
+		Peer:    rec.Peer,
+		TotalMS: float64(rec.TotalNS) / 1e6,
+	}
+	if rec.FPHi != 0 || rec.FPLo != 0 {
+		v.Fingerprint = ID{Hi: rec.FPHi, Lo: rec.FPLo}.String()
+	}
+	for i := 0; i < NumStages; i++ {
+		if rec.Counts[i] == 0 {
+			continue
+		}
+		v.Stages = append(v.Stages, StageView{
+			Stage: Stage(i).String(),
+			Count: rec.Counts[i],
+			MS:    float64(rec.Durs[i]) / 1e6,
+		})
+	}
+	return v
+}

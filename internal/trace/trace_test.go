@@ -1,0 +1,302 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDStringParseRoundTrip(t *testing.T) {
+	ids := []ID{
+		{},
+		{Hi: 1, Lo: 2},
+		{Hi: 0xdeadbeefcafebabe, Lo: 0x0123456789abcdef},
+		{Hi: ^uint64(0), Lo: ^uint64(0)},
+	}
+	for _, id := range ids {
+		s := id.String()
+		if len(s) != 32 {
+			t.Fatalf("ID %v renders %d chars: %q", id, len(s), s)
+		}
+		got, ok := ParseID(s)
+		if !ok || got != id {
+			t.Fatalf("ParseID(%q) = %v, %v; want %v", s, got, ok, id)
+		}
+	}
+	if _, ok := ParseID("nothex"); ok {
+		t.Fatal("ParseID accepted a short non-hex string")
+	}
+	if _, ok := ParseID(strings.Repeat("g", 32)); ok {
+		t.Fatal("ParseID accepted non-hex digits")
+	}
+}
+
+func TestDisabledTracerIsFree(t *testing.T) {
+	tr := NewTracer(Config{})
+	if tr.Enabled() {
+		t.Fatal("zero-config tracer should be disabled")
+	}
+	tc := tr.Begin("plan")
+	if tc != nil {
+		t.Fatal("disabled tracer handed out a context")
+	}
+	// Every nil-receiver method must be a no-op, not a panic.
+	tc.Add(StageSolve, time.Millisecond)
+	tc.SetOutcome(OutcomeError)
+	tc.SetSource("cached")
+	tc.SetPeer("http://x")
+	tc.SetFingerprint(1, 2)
+	tc.Retain()
+	tc.Release()
+	if tc.ShouldHeader() || tc.HeaderValue() != "" || tc.IDString() != "-" {
+		t.Fatal("nil Ctx leaked state")
+	}
+	tr.Finish(tc)
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	tr := NewTracer(Config{Sample: 1})
+	tc := tr.Begin("plan")
+	if tc == nil || !tc.Sampled() {
+		t.Fatal("sample=1 must yield a sampled context")
+	}
+	tc.Add(StageDecode, 1500*time.Microsecond)
+	tc.Add(StageSolve, 2*time.Millisecond)
+	tc.Add(StageSolve, 3*time.Millisecond)
+	tc.Add(StageEncode, 250*time.Microsecond)
+	tc.SetSource("computed")
+	hv := tc.HeaderValue()
+	sum, ok := ParseHeader(hv)
+	if !ok {
+		t.Fatalf("ParseHeader(%q) failed", hv)
+	}
+	if sum.ID != tc.ID().String() {
+		t.Fatalf("header ID %q != ctx ID %q", sum.ID, tc.ID())
+	}
+	if sum.Source != "computed" {
+		t.Fatalf("source = %q", sum.Source)
+	}
+	if sum.DurUS[StageDecode] != 1500 {
+		t.Fatalf("decode µs = %d, want 1500", sum.DurUS[StageDecode])
+	}
+	if sum.DurUS[StageSolve] != 5000 || sum.Counts[StageSolve] != 2 {
+		t.Fatalf("solve = %dµs x%d, want 5000 x2", sum.DurUS[StageSolve], sum.Counts[StageSolve])
+	}
+	if sum.Counts[StageQueue] != 0 {
+		t.Fatal("unobserved stage leaked into the header")
+	}
+	if sum.TotalUS < 0 {
+		t.Fatalf("total = %d", sum.TotalUS)
+	}
+	tr.Finish(tc)
+
+	if _, ok := ParseHeader(""); ok {
+		t.Fatal("ParseHeader accepted empty value")
+	}
+	if _, ok := ParseHeader("tooshort;src=x"); ok {
+		t.Fatal("ParseHeader accepted malformed ID")
+	}
+	// Unknown fields are skipped, not fatal.
+	sum2, ok := ParseHeader(strings.Repeat("a", 32) + ";future=1;src=cached")
+	if !ok || sum2.Source != "cached" {
+		t.Fatalf("forward-compat parse failed: %+v %v", sum2, ok)
+	}
+}
+
+func TestForcedKeepsErrorsAndDegraded(t *testing.T) {
+	tr := NewTracer(Config{Ring: 8}) // sample=0: only forced traces kept
+	tc := tr.Begin("plan")
+	if tc.Sampled() {
+		t.Fatal("sample=0 context must not be sampled")
+	}
+	if tc.ShouldHeader() {
+		t.Fatal("ok outcome with sample=0 should not emit a header")
+	}
+	tc.SetOutcome(OutcomeError)
+	if !tc.ShouldHeader() {
+		t.Fatal("error outcome must force the header")
+	}
+	tr.Finish(tc)
+
+	tc = tr.Begin("plan")
+	tc.SetSource("degraded")
+	if !tc.ShouldHeader() {
+		t.Fatal("degraded source must force the header")
+	}
+	tr.Finish(tc)
+
+	tc = tr.Begin("plan")
+	tr.Finish(tc) // ok, unsampled: only slowest-N can keep it
+
+	st := tr.Stats()
+	if st.Begun != 3 || st.Forced != 2 || st.Sampled != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	recent := tr.Recorder().Recent(0, "", "")
+	if len(recent) != 2 {
+		t.Fatalf("ring kept %d records, want the 2 forced ones", len(recent))
+	}
+	if got := tr.Recorder().Recent(0, "", OutcomeError); len(got) != 1 {
+		t.Fatalf("outcome filter returned %d", len(got))
+	}
+	// Slowest-N saw all three (slow tracking ignores sampling).
+	if got := tr.Recorder().Slowest(); len(got) != 3 {
+		t.Fatalf("slowest kept %d, want 3", len(got))
+	}
+}
+
+func TestRecorderRingAndSlowest(t *testing.T) {
+	r := NewRecorder(4, 3)
+	for i := 1; i <= 10; i++ {
+		rec := Record{ID: ID{Lo: uint64(i)}, Op: "plan", Outcome: OutcomeOK, TotalNS: int64(i) * 1000}
+		r.Observe(&rec, true)
+	}
+	recent := r.Recent(0, "", "")
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d", len(recent))
+	}
+	// Newest first: 10, 9, 8, 7.
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if recent[i].ID.Lo != want {
+			t.Fatalf("recent[%d] = %d, want %d", i, recent[i].ID.Lo, want)
+		}
+	}
+	slow := r.Slowest()
+	if len(slow) != 3 {
+		t.Fatalf("slowest holds %d", len(slow))
+	}
+	for i, want := range []uint64{10, 9, 8} {
+		if slow[i].ID.Lo != want {
+			t.Fatalf("slowest[%d] = %d, want %d", i, slow[i].ID.Lo, want)
+		}
+	}
+	// A fast request no longer qualifies once the slow list is full.
+	fast := Record{ID: ID{Lo: 99}, TotalNS: 1}
+	if r.Observe(&fast, false) {
+		t.Fatal("fast trace entered the slow list")
+	}
+	st := r.Stats()
+	if st.Kept != 10 || st.Overwritten != 6 || st.RingCap != 4 || st.SlowCap != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SlowKept < 3 {
+		t.Fatalf("slow kept = %d", st.SlowKept)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rec := Record{ID: ID{Hi: uint64(g), Lo: uint64(i)}, Op: "plan", Outcome: OutcomeOK, TotalNS: int64(i)}
+				r.Observe(&rec, i%3 == 0)
+				if i%17 == 0 {
+					r.Recent(8, "plan", "")
+					r.Slowest()
+					r.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Slowest()); got != 8 {
+		t.Fatalf("slowest holds %d, want 8", got)
+	}
+}
+
+func TestCtxRefcountAndReuse(t *testing.T) {
+	tr := NewTracer(Config{Sample: 1})
+	tc := tr.Begin("plan")
+	id1 := tc.ID()
+	tc.Retain() // simulated detached computation
+	tr.Finish(tc)
+	// The detached holder can still record safely.
+	tc.Add(StageSolve, time.Millisecond)
+	tc.Release()
+
+	tc2 := tr.Begin("plan")
+	if tc2.ID() == id1 {
+		t.Fatal("reused Ctx kept its old ID")
+	}
+	tc2.mu.Lock()
+	for i, c := range tc2.counts {
+		if c != 0 || tc2.durs[i] != 0 {
+			t.Fatalf("reused Ctx kept stage state at %d", i)
+		}
+	}
+	tc2.mu.Unlock()
+	if tc2.Op() != "plan" || tc2.outcome != "" || tc2.source != "" {
+		t.Fatal("reused Ctx kept labels")
+	}
+	tr.Finish(tc2)
+}
+
+func TestTracerUniqueIDs(t *testing.T) {
+	tr := NewTracer(Config{Sample: 1})
+	seen := make(map[ID]bool)
+	for i := 0; i < 10000; i++ {
+		tc := tr.Begin("plan")
+		id := tc.ID()
+		if id.IsZero() || seen[id] {
+			t.Fatalf("duplicate or zero ID %v at %d", id, i)
+		}
+		seen[id] = true
+		tr.Finish(tc)
+	}
+}
+
+func TestSamplingRate(t *testing.T) {
+	tr := NewTracer(Config{Sample: 0.25})
+	sampled := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tc := tr.Begin("plan")
+		if tc.Sampled() {
+			sampled++
+		}
+		tr.Finish(tc)
+	}
+	frac := float64(sampled) / n
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("sample=0.25 kept %.3f", frac)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTracer(Config{Sample: 1})
+	tc := tr.Begin("plan")
+	ctx := NewContext(context.Background(), tc)
+	if FromContext(ctx) != tc {
+		t.Fatal("FromContext lost the Ctx")
+	}
+	if IDFromContext(ctx) != tc.ID() {
+		t.Fatal("IDFromContext mismatch via Ctx")
+	}
+	// Bare ID survives after the Ctx would be pooled.
+	id := tc.ID()
+	ctx2 := WithID(context.Background(), id)
+	if IDFromContext(ctx2) != id {
+		t.Fatal("IDFromContext mismatch via bare ID")
+	}
+	if !IDFromContext(context.Background()).IsZero() {
+		t.Fatal("empty context yielded an ID")
+	}
+	tr.Finish(tc)
+}
+
+func BenchmarkBeginFinishUnsampled(b *testing.B) {
+	tr := NewTracer(Config{Ring: 512})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tc := tr.Begin("plan")
+		tc.Add(StageDecode, time.Microsecond)
+		tc.Add(StageSolve, time.Microsecond)
+		tr.Finish(tc)
+	}
+}

@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Binary trace log: the record half of record/replay. Framing matches
+// the durable store's segment log discipline —
+//
+//	[4B little-endian payload length][4B CRC32C of payload][payload]
+//
+// — so a torn tail (crash mid-write) truncates cleanly and a corrupt
+// record is detected, skipped, and counted rather than served.
+//
+// Payload layout (version 1, little-endian):
+//
+//	u8  version
+//	u8  op code        u8 outcome code   u8 source code
+//	u64 id.Hi          u64 id.Lo
+//	u64 fp.Hi          u64 fp.Lo
+//	i64 start unixnano i64 total ns
+//	u8  nstages, then per stage: u8 stage, u32 count, i64 dur ns
+
+const logVersion = 1
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Small closed code tables keep records compact; unknown strings map
+// to 0 ("?") rather than failing.
+var opCodes = []string{"?", "plan", "estimate", "batch"}
+var outcomeCodes = []string{"?", OutcomeOK, OutcomeError, OutcomeRejected, OutcomeCanceled}
+var sourceCodes = []string{"", "cached", "computed", "coalesced", "degraded", "batch"}
+
+func code(table []string, s string) uint8 {
+	for i, v := range table {
+		if v == s {
+			return uint8(i)
+		}
+	}
+	return 0
+}
+
+func decode(table []string, c uint8) string {
+	if int(c) < len(table) {
+		return table[c]
+	}
+	return table[0]
+}
+
+// maxLogRecord bounds a single record; anything longer is corrupt.
+const maxLogRecord = 4096
+
+// logFlushInterval bounds how stale the on-disk log can be while records
+// sit in the write buffer: an operator tailing the file sees a kept trace
+// within about a second, not whenever 32 KB of them have accumulated.
+const logFlushInterval = time.Second
+
+// LogWriter appends trace records to an io.Writer behind a mutex.
+type LogWriter struct {
+	mu        sync.Mutex
+	w         *bufio.Writer
+	c         io.Closer
+	buf       []byte
+	lastFlush time.Time
+
+	records atomic.Uint64
+	bytes   atomic.Uint64
+	errs    atomic.Uint64
+}
+
+// NewLogWriter wraps w; if w is also an io.Closer, Close closes it.
+func NewLogWriter(w io.Writer) *LogWriter {
+	lw := &LogWriter{w: bufio.NewWriterSize(w, 1<<15)}
+	if c, ok := w.(io.Closer); ok {
+		lw.c = c
+	}
+	return lw
+}
+
+// OpenLog opens (creating or appending) a trace log file.
+func OpenLog(path string) (*LogWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening log: %w", err)
+	}
+	return NewLogWriter(f), nil
+}
+
+// Append writes one record. Errors are counted, not returned — the
+// trace log must never fail a request.
+func (lw *LogWriter) Append(rec *Record) {
+	if lw == nil {
+		return
+	}
+	lw.mu.Lock()
+	b := lw.buf[:0]
+	b = append(b, logVersion,
+		code(opCodes, rec.Op),
+		code(outcomeCodes, rec.Outcome),
+		code(sourceCodes, rec.Source))
+	b = binary.LittleEndian.AppendUint64(b, rec.ID.Hi)
+	b = binary.LittleEndian.AppendUint64(b, rec.ID.Lo)
+	b = binary.LittleEndian.AppendUint64(b, rec.FPHi)
+	b = binary.LittleEndian.AppendUint64(b, rec.FPLo)
+	b = binary.LittleEndian.AppendUint64(b, uint64(rec.Start))
+	b = binary.LittleEndian.AppendUint64(b, uint64(rec.TotalNS))
+	nstages := 0
+	for i := 0; i < NumStages; i++ {
+		if rec.Counts[i] > 0 {
+			nstages++
+		}
+	}
+	b = append(b, uint8(nstages))
+	for i := 0; i < NumStages; i++ {
+		if rec.Counts[i] == 0 {
+			continue
+		}
+		b = append(b, uint8(i))
+		b = binary.LittleEndian.AppendUint32(b, rec.Counts[i])
+		b = binary.LittleEndian.AppendUint64(b, uint64(rec.Durs[i]))
+	}
+	lw.buf = b // keep the grown buffer
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(b)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(b, crcTable))
+	_, err1 := lw.w.Write(hdr[:])
+	_, err2 := lw.w.Write(b)
+	if now := time.Now(); now.Sub(lw.lastFlush) >= logFlushInterval {
+		lw.lastFlush = now
+		if ferr := lw.w.Flush(); err2 == nil {
+			err2 = ferr
+		}
+	}
+	lw.mu.Unlock()
+	if err1 != nil || err2 != nil {
+		lw.errs.Add(1)
+		return
+	}
+	lw.records.Add(1)
+	lw.bytes.Add(uint64(8 + len(b)))
+}
+
+// Flush pushes buffered records to the underlying writer.
+func (lw *LogWriter) Flush() error {
+	if lw == nil {
+		return nil
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Flush()
+}
+
+// Close flushes and closes the underlying writer if it is closable.
+func (lw *LogWriter) Close() error {
+	if lw == nil {
+		return nil
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	err := lw.w.Flush()
+	if lw.c != nil {
+		if cerr := lw.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// LogStats snapshots the writer's ledger.
+type LogStats struct {
+	Records uint64 `json:"records"`
+	Bytes   uint64 `json:"bytes"`
+	Errors  uint64 `json:"errors"`
+}
+
+// Stats returns the writer's counters (zero value when nil).
+func (lw *LogWriter) Stats() LogStats {
+	if lw == nil {
+		return LogStats{}
+	}
+	return LogStats{Records: lw.records.Load(), Bytes: lw.bytes.Load(), Errors: lw.errs.Load()}
+}
+
+// ReadLog decodes every intact record from r. A torn tail (short read
+// mid-record) ends the scan cleanly; a complete record with a bad CRC
+// or malformed payload is skipped and counted. Returns the records,
+// the number skipped, and any I/O error other than EOF.
+func ReadLog(r io.Reader) (recs []Record, skipped int, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return recs, skipped, nil // torn tail
+			}
+			return recs, skipped, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxLogRecord {
+			// Length is garbage: we cannot resync, stop here.
+			return recs, skipped + 1, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return recs, skipped, nil // torn tail
+			}
+			return recs, skipped, err
+		}
+		if crc32.Checksum(payload, crcTable) != want {
+			skipped++
+			continue
+		}
+		rec, ok := decodeLogRecord(payload)
+		if !ok {
+			skipped++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+}
+
+func decodeLogRecord(b []byte) (Record, bool) {
+	var rec Record
+	if len(b) < 53 || b[0] != logVersion {
+		return rec, false
+	}
+	rec.Op = decode(opCodes, b[1])
+	rec.Outcome = decode(outcomeCodes, b[2])
+	rec.Source = decode(sourceCodes, b[3])
+	rec.ID.Hi = binary.LittleEndian.Uint64(b[4:])
+	rec.ID.Lo = binary.LittleEndian.Uint64(b[12:])
+	rec.FPHi = binary.LittleEndian.Uint64(b[20:])
+	rec.FPLo = binary.LittleEndian.Uint64(b[28:])
+	rec.Start = int64(binary.LittleEndian.Uint64(b[36:]))
+	rec.TotalNS = int64(binary.LittleEndian.Uint64(b[44:]))
+	nstages := int(b[52])
+	off := 53
+	for i := 0; i < nstages; i++ {
+		if off+13 > len(b) {
+			return rec, false
+		}
+		st := int(b[off])
+		if st >= NumStages {
+			return rec, false
+		}
+		rec.Counts[st] = binary.LittleEndian.Uint32(b[off+1:])
+		rec.Durs[st] = int64(binary.LittleEndian.Uint64(b[off+5:]))
+		off += 13
+	}
+	return rec, off == len(b)
+}
