@@ -20,6 +20,14 @@
 // an item-level ledger (items_issued = items_done + items_errors) next to
 // the request ledger.
 //
+// Traffic shaping: -curve ramps or switches the offered rate over the run
+// (constant:<rps>, linstep:<from>:<to>:<ramp>, switching:<hi>:<lo>:<period>)
+// and -pop skews which spec each arrival requests (roundrobin, zipf:<s>).
+// -record <path> writes a framed binary trace of every issued request;
+// -replay <path> re-issues a recorded trace at -speed × the original
+// schedule, rebuilding the exact request bodies from the trace header (the
+// shape flags are ignored on replay). Summarize a trace with cmd/suutrace.
+//
 // With -smoke the process exits nonzero unless the run completed requests
 // with zero request and item errors — the CI contract.
 package main
@@ -62,18 +70,21 @@ func main() {
 		seed        = flag.Int64("seed", 1, "seed for instance generation and arrivals")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-attempt client timeout")
 		retries     = flag.Int("retries", 0, "extra attempts per request beyond the first (conn errors and 429/503 retry with backoff)")
+		curve       = flag.String("curve", "", "open-mode rate curve: constant[:rps], linstep:from:to:ramp, or switching:hi:lo:period (default constant at -rate)")
+		pop         = flag.String("pop", "", "spec popularity: roundrobin (default) or zipf:s")
+		record      = flag.String("record", "", "write a binary trace of every issued request to this path")
+		replay      = flag.String("replay", "", "re-issue a recorded trace instead of generating load (shape flags are ignored)")
+		speed       = flag.Float64("speed", 1, "replay schedule scale: 2 replays twice as fast")
 		jsonOut     = flag.Bool("json", false, "emit a bench.Report JSON document on stdout")
 		note        = flag.String("note", "", "free-form note recorded in the JSON report")
 		smoke       = flag.Bool("smoke", false, "exit nonzero unless done > 0 and errors == 0")
 	)
 	flag.Parse()
 
-	if *instances < 1 {
-		*instances = 1
-	}
-	specs := make([]workload.Spec, *instances)
-	for i := range specs {
-		specs[i] = workload.Spec{Family: *family, M: *m, N: *n, Seed: *seed + int64(i)}
+	// On replay the spec catalog comes from the recording's header.
+	var specs []workload.Spec
+	if *replay == "" {
+		specs = workload.Catalog(*family, *m, *n, *instances, *seed)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -109,6 +120,11 @@ func main() {
 		Seed:        *seed,
 		Timeout:     *timeout,
 		MaxAttempts: *retries + 1,
+		Curve:       *curve,
+		Popularity:  *pop,
+		RecordPath:  *record,
+		ReplayPath:  *replay,
+		ReplaySpeed: *speed,
 	})
 	if err != nil {
 		trace.Fatal("load run failed", "err", err)
@@ -122,6 +138,19 @@ func main() {
 	fmt.Fprintf(os.Stderr,
 		"suuload: wire: read=%d bytes (%.1f KB/s) — payload cost per delivered item: %.0f bytes\n",
 		rep.BytesRead, rep.BytesPerSec/1e3, perItemBytes(rep))
+	if rep.Curve != "" || rep.Popularity != "" || rep.Recorded > 0 || *replay != "" {
+		fmt.Fprintf(os.Stderr, "suuload: traffic: curve=%s pop=%s drain=%.2fs", rep.Curve, rep.Popularity, rep.DrainS)
+		if rep.Recorded > 0 {
+			fmt.Fprintf(os.Stderr, " recorded=%d->%s", rep.Recorded, *record)
+			if rep.RecordErrors > 0 {
+				fmt.Fprintf(os.Stderr, " RECORD_ERRORS=%d", rep.RecordErrors)
+			}
+		}
+		if *replay != "" {
+			fmt.Fprintf(os.Stderr, " replayed=%s@%gx", *replay, rep.ReplaySpeed)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 	if rep.Op == "plan-batch" {
 		fmt.Fprintf(os.Stderr,
 			"suuload: items(%s size %d): issued=%d done=%d errors=%d item-throughput=%.1f items/s\n",
@@ -188,7 +217,15 @@ func main() {
 			target = strings.Join(baseURLs, ",")
 		}
 		report.Notes = append(report.Notes,
-			fmt.Sprintf("suuload %s/%s against %s: %d×%s m=%d n=%d", *mode, *arrival, target, *instances, *family, *m, *n))
+			fmt.Sprintf("suuload %s/%s against %s: %d×%s m=%d n=%d", rep.Mode, rep.Arrival, target, *instances, *family, *m, *n))
+		if rep.Curve != "" || rep.Popularity != "" {
+			report.Notes = append(report.Notes,
+				fmt.Sprintf("traffic: curve=%s pop=%s", rep.Curve, rep.Popularity))
+		}
+		if *replay != "" {
+			report.Notes = append(report.Notes,
+				fmt.Sprintf("replay of %s at %gx", *replay, rep.ReplaySpeed))
+		}
 		rec := bench.Record{
 			Experiment: "suuload-" + *op,
 			NsPerOp:    int64(rep.LatMean * 1e9),
@@ -242,7 +279,20 @@ func main() {
 				"retries":         float64(rep.Retries),
 				"conn_errors":     float64(rep.ConnErrors),
 				"breaker_opens":   float64(rep.BreakerOpens),
+				// Traffic ledger: throughput divides by the issuing window
+				// only; drain_s is the extra wait for in-flight requests
+				// after the last arrival.
+				"duration_s":       rep.DurationS,
+				"drain_s":          rep.DrainS,
+				"offered_rate_rps": rep.OfferedRate,
 			},
+		}
+		if rep.Recorded > 0 || rep.RecordErrors > 0 {
+			rec.Extra["recorded"] = float64(rep.Recorded)
+			rec.Extra["record_errors"] = float64(rep.RecordErrors)
+		}
+		if rep.ReplaySpeed != 0 {
+			rec.Extra["replay_speed"] = rep.ReplaySpeed
 		}
 		if rep.Op == "plan-batch" {
 			rec.Extra["batch_size"] = float64(rep.BatchSize)

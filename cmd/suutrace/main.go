@@ -1,0 +1,204 @@
+// Suutrace summarizes a binary request trace recorded by `suuload
+// -record`: run totals by outcome, source, and op, a latency CDF, and a
+// per-window timeseries (rate, error counts, hit ratio, p50/p99) that
+// shows how the run evolved under its rate curve. Output is one JSON
+// document on stdout, ready for jq or a plotting script.
+//
+// Usage:
+//
+//	suutrace run.trace
+//	suutrace -window 500ms run.trace | jq .windows
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// Summary is the document suutrace emits. Latencies are seconds; window
+// boundaries are seconds from the run start.
+type Summary struct {
+	Path       string `json:"path,omitempty"`
+	Op         string `json:"op"`
+	Curve      string `json:"curve,omitempty"`
+	Popularity string `json:"popularity,omitempty"`
+	Seed       int64  `json:"seed"`
+	Specs      int    `json:"specs"`
+	StartUnix  int64  `json:"start_unix_ns,omitempty"`
+
+	Requests  uint64  `json:"requests"`
+	Items     uint64  `json:"items,omitempty"`
+	Skipped   int     `json:"skipped_frames,omitempty"`
+	DurationS float64 `json:"duration_s"`
+	RateRPS   float64 `json:"rate_rps"`
+
+	ByOutcome map[string]uint64 `json:"by_outcome"`
+	BySource  map[string]uint64 `json:"by_source,omitempty"`
+	ByOp      map[string]uint64 `json:"by_op,omitempty"`
+	// HitRatio is (cached + coalesced) / traced completions — the share
+	// of requests the fleet answered without a fresh solve.
+	HitRatio float64 `json:"hit_ratio,omitempty"`
+
+	LatencyCDF []CDFPoint `json:"latency_cdf"`
+	LatMeanS   float64    `json:"lat_mean_s"`
+	LatMaxS    float64    `json:"lat_max_s"`
+
+	WindowS float64  `json:"window_s"`
+	Windows []Window `json:"windows"`
+}
+
+// CDFPoint is one quantile of the completed-request latency distribution.
+type CDFPoint struct {
+	Q    float64 `json:"q"`
+	LatS float64 `json:"lat_s"`
+}
+
+// Window aggregates the requests issued in one [StartS, StartS+window)
+// slice of the run.
+type Window struct {
+	StartS   float64 `json:"start_s"`
+	Requests uint64  `json:"requests"`
+	RateRPS  float64 `json:"rate_rps"`
+	Errors   uint64  `json:"errors,omitempty"`
+	Rejected uint64  `json:"rejected,omitempty"`
+	HitRatio float64 `json:"hit_ratio,omitempty"`
+	LatP50S  float64 `json:"lat_p50_s,omitempty"`
+	LatP99S  float64 `json:"lat_p99_s,omitempty"`
+}
+
+// cdfGrid is the quantile grid every summary reports; dense at the tail
+// because that is where serving regressions hide.
+var cdfGrid = []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999}
+
+// summarize folds a decoded trace into the report document.
+func summarize(tr *traffic.Trace, window time.Duration) *Summary {
+	s := &Summary{
+		Op:         tr.Header.Op,
+		Curve:      tr.Header.Curve,
+		Popularity: tr.Header.Popularity,
+		Seed:       tr.Header.Seed,
+		Specs:      len(tr.Header.Specs),
+		StartUnix:  tr.Header.StartUnixNS,
+		Skipped:    tr.Skipped,
+		ByOutcome:  map[string]uint64{},
+		BySource:   map[string]uint64{},
+		ByOp:       map[string]uint64{},
+		WindowS:    window.Seconds(),
+	}
+	lat := stats.NewLatencyHistogram()
+	var traced, hits uint64
+	nWindows := 0
+	if d := tr.Duration(); d > 0 {
+		nWindows = int(d/window) + 1
+	} else if len(tr.Requests) > 0 {
+		nWindows = 1
+	}
+	wins := make([]Window, nWindows)
+	winLat := make([]*stats.Histogram, nWindows)
+	winTraced := make([]uint64, nWindows)
+	winHits := make([]uint64, nWindows)
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		s.Requests++
+		s.Items += uint64(r.Items)
+		s.ByOutcome[r.Outcome]++
+		s.ByOp[r.Op]++
+		if r.Source != "" {
+			s.BySource[r.Source]++
+			traced++
+			if r.Source == "cached" || r.Source == "coalesced" {
+				hits++
+			}
+		}
+		if r.Outcome == "ok" {
+			lat.Observe(r.Latency.Seconds())
+		}
+		w := int(r.Rel / window)
+		if w < 0 || w >= nWindows {
+			continue // defensive: a corrupt Rel must not panic the report
+		}
+		win := &wins[w]
+		win.Requests++
+		switch r.Outcome {
+		case "error":
+			win.Errors++
+		case "rejected":
+			win.Rejected++
+		case "ok":
+			if winLat[w] == nil {
+				winLat[w] = stats.NewLatencyHistogram()
+			}
+			winLat[w].Observe(r.Latency.Seconds())
+		}
+		if r.Source != "" {
+			winTraced[w]++
+			if r.Source == "cached" || r.Source == "coalesced" {
+				winHits[w]++
+			}
+		}
+	}
+	s.DurationS = tr.Duration().Seconds()
+	if s.DurationS > 0 {
+		s.RateRPS = float64(s.Requests) / s.DurationS
+	}
+	if traced > 0 {
+		s.HitRatio = float64(hits) / float64(traced)
+	}
+	if lat.N() > 0 {
+		s.LatMeanS = lat.Mean()
+		s.LatMaxS = lat.Max()
+		for _, q := range cdfGrid {
+			s.LatencyCDF = append(s.LatencyCDF, CDFPoint{Q: q, LatS: lat.Quantile(q)})
+		}
+	}
+	for w := range wins {
+		wins[w].StartS = float64(w) * window.Seconds()
+		wins[w].RateRPS = float64(wins[w].Requests) / window.Seconds()
+		if winTraced[w] > 0 {
+			wins[w].HitRatio = float64(winHits[w]) / float64(winTraced[w])
+		}
+		if h := winLat[w]; h != nil && h.N() > 0 {
+			wins[w].LatP50S = h.Quantile(0.50)
+			wins[w].LatP99S = h.Quantile(0.99)
+		}
+	}
+	s.Windows = wins
+	return s
+}
+
+func main() {
+	window := flag.Duration("window", time.Second, "timeseries bucket width")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: suutrace [-window 1s] <trace>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *window <= 0 {
+		fmt.Fprintln(os.Stderr, "suutrace: -window must be positive")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	tr, err := traffic.OpenTrace(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "suutrace: %v\n", err)
+		os.Exit(1)
+	}
+	s := summarize(tr, *window)
+	s.Path = path
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		fmt.Fprintf(os.Stderr, "suutrace: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+// buildTrace records a synthetic 3-second run in memory: 2 requests/s in
+// windows 0 and 2, a burst of 6 in window 1, with a known outcome and
+// source mix.
+func buildTrace(t *testing.T) *traffic.Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	rec, err := traffic.NewRecorder(&buf, traffic.Header{
+		Op:         "plan",
+		Specs:      workload.Catalog("uniform", 3, 8, 4, 1),
+		Seed:       1,
+		Curve:      "switching:6:2:2s",
+		Popularity: "zipf:0.9",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(relMS int, outcome, source string, latMS int) {
+		rec.Append(&traffic.Request{
+			Rel:     time.Duration(relMS) * time.Millisecond,
+			Latency: time.Duration(latMS) * time.Millisecond,
+			Op:      "plan",
+			Outcome: outcome,
+			Source:  source,
+			Spec:    uint32(relMS % 4),
+			Items:   1,
+		})
+	}
+	// Window 0: two oks, one cached.
+	add(100, "ok", "cached", 2)
+	add(600, "ok", "computed", 20)
+	// Window 1: burst of six — four ok (three cached), one error, one rejected.
+	add(1100, "ok", "cached", 2)
+	add(1200, "ok", "cached", 2)
+	add(1300, "ok", "coalesced", 3)
+	add(1400, "ok", "computed", 30)
+	add(1500, "error", "", 1)
+	add(1600, "rejected", "", 1)
+	// Window 2: two oks.
+	add(2200, "ok", "cached", 2)
+	add(2800, "ok", "computed", 25)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traffic.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSummarize(t *testing.T) {
+	tr := buildTrace(t)
+	s := summarize(tr, time.Second)
+
+	if s.Requests != 10 || s.Items != 10 {
+		t.Fatalf("totals: %+v", s)
+	}
+	if s.Op != "plan" || s.Curve != "switching:6:2:2s" || s.Popularity != "zipf:0.9" || s.Specs != 4 {
+		t.Fatalf("header labels: %+v", s)
+	}
+	if s.ByOutcome["ok"] != 8 || s.ByOutcome["error"] != 1 || s.ByOutcome["rejected"] != 1 {
+		t.Fatalf("by_outcome: %v", s.ByOutcome)
+	}
+	if s.BySource["cached"] != 4 || s.BySource["computed"] != 3 || s.BySource["coalesced"] != 1 {
+		t.Fatalf("by_source: %v", s.BySource)
+	}
+	// 5 hits (4 cached + 1 coalesced) over 8 traced completions.
+	if math.Abs(s.HitRatio-5.0/8.0) > 1e-9 {
+		t.Fatalf("hit_ratio = %g", s.HitRatio)
+	}
+	if s.DurationS != 2.8 || s.RateRPS <= 0 {
+		t.Fatalf("duration=%g rate=%g", s.DurationS, s.RateRPS)
+	}
+
+	if len(s.LatencyCDF) != len(cdfGrid) {
+		t.Fatalf("cdf has %d points", len(s.LatencyCDF))
+	}
+	for i := 1; i < len(s.LatencyCDF); i++ {
+		if s.LatencyCDF[i].LatS < s.LatencyCDF[i-1].LatS {
+			t.Fatalf("cdf not monotone: %+v", s.LatencyCDF)
+		}
+	}
+	// p99 must land near the slowest completion (30ms) within histogram
+	// resolution, and the failed requests' latencies must stay out of it.
+	p99 := s.LatencyCDF[len(s.LatencyCDF)-2]
+	if p99.Q != 0.99 || p99.LatS < 0.02 || p99.LatS > 0.04 {
+		t.Fatalf("p99 = %+v", p99)
+	}
+
+	if len(s.Windows) != 3 {
+		t.Fatalf("windows: %d", len(s.Windows))
+	}
+	w0, w1, w2 := s.Windows[0], s.Windows[1], s.Windows[2]
+	if w0.Requests != 2 || w1.Requests != 6 || w2.Requests != 2 {
+		t.Fatalf("window counts: %d %d %d", w0.Requests, w1.Requests, w2.Requests)
+	}
+	if w1.RateRPS != 6 || w0.RateRPS != 2 {
+		t.Fatalf("window rates: %g %g", w0.RateRPS, w1.RateRPS)
+	}
+	if w1.Errors != 1 || w1.Rejected != 1 || w0.Errors != 0 {
+		t.Fatalf("window errors: %+v", w1)
+	}
+	if math.Abs(w0.HitRatio-0.5) > 1e-9 || math.Abs(w1.HitRatio-0.75) > 1e-9 {
+		t.Fatalf("window hit ratios: %g %g", w0.HitRatio, w1.HitRatio)
+	}
+	if w1.StartS != 1 || w2.StartS != 2 {
+		t.Fatalf("window starts: %g %g", w1.StartS, w2.StartS)
+	}
+	if w0.LatP50S <= 0 || w0.LatP99S < w0.LatP50S {
+		t.Fatalf("window latency quantiles: %+v", w0)
+	}
+}
+
+func TestSummarizeEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	rec, err := traffic.NewRecorder(&buf, traffic.Header{Op: "plan", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traffic.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := summarize(tr, time.Second)
+	if s.Requests != 0 || len(s.Windows) != 0 || len(s.LatencyCDF) != 0 {
+		t.Fatalf("empty trace summary: %+v", s)
+	}
+}

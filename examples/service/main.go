@@ -1,6 +1,8 @@
 // Service: run the suud planner in-process, hit it over real HTTP with
 // the suuload open-loop harness — single requests first, then batch mode
-// at the same offered item rate — and print what the service measured.
+// at the same offered item rate, then shaped traffic (a switching rate
+// curve with zipf popularity) recorded to a binary trace and replayed at
+// 2× — and print what the service measured.
 // Then the resilience layer: a second, deliberately tiny server under
 // fault injection and overload, driven through the retrying client, shows
 // brownout fallbacks, retries, and the readiness lifecycle.
@@ -145,6 +147,45 @@ func main() {
 	fmt.Printf("\nbatch load: %d batches, %d items, %d item errors, %.1f items/s (offered %.0f)\n",
 		brep.Done, brep.ItemsDone, brep.ItemsErrors, brep.ItemThroughput, brep.OfferedItemRate)
 	fmt.Printf("per-batch latency: p50=%.2fms p99=%.2fms\n", brep.LatP50*1e3, brep.LatP99*1e3)
+
+	// Traffic shaping and record/replay: a switching (on/off square wave)
+	// rate curve with zipf-skewed spec popularity over a 16-spec catalog,
+	// recorded to a binary trace — then the exact same arrival sequence
+	// replayed at 2× speed. The replay rebuilds every request body from the
+	// trace header alone; the shape flags are ignored.
+	traceDir, err := os.MkdirTemp("", "suud-trace-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(traceDir)
+	tracePath := traceDir + "/run.trace"
+	srep, err := service.RunLoad(context.Background(), service.LoadConfig{
+		BaseURL:    base,
+		Mode:       "open",
+		Arrival:    "poisson",
+		Curve:      "switching:300:60:1s", // 300 req/s half the time, 60 the other half
+		Popularity: "zipf:0.9",            // a few hot specs, a long cold tail
+		Duration:   3 * time.Second,
+		Op:         "plan",
+		Specs:      workload.Catalog("uniform", 8, 32, 16, 50),
+		Seed:       3,
+		RecordPath: tracePath,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nshaped load (%s, %s): issued=%d done=%d over %.1fs issuing + %.2fs drain; recorded %d requests\n",
+		srep.Curve, srep.Popularity, srep.Issued, srep.Done, srep.DurationS, srep.DrainS, srep.Recorded)
+	rrep, err := service.RunLoad(context.Background(), service.LoadConfig{
+		BaseURL:     base,
+		ReplayPath:  tracePath,
+		ReplaySpeed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replay at 2x: issued=%d (same sequence) in %.1fs — measured rate %.0f req/s vs %.0f recorded\n",
+		rrep.Issued, rrep.DurationS, rrep.OfferedRate, srep.OfferedRate)
 
 	// Durability: the same planner core over a disk-backed plan store.
 	// Plans computed once survive a full restart — close the planner and

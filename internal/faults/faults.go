@@ -5,14 +5,16 @@
 // seeded deterministic stream, so a chaos run is reproducible — the same
 // seed and the same arrival order fail the same requests.
 //
-// Injected HTTP errors are marked twice over: the response carries the
-// X-Suu-Injected header and the body contains the word "injected", so a
-// load harness can ledger injected failures separately from organic ones.
-// Injected panics are indistinguishable from real ones by design — that
-// is the point of injecting them: middleware panics kill the connection
-// (the client sees a retryable transport error), compute panics exercise
-// the planner's panic isolation and surface as 500s whose body names the
-// injected cause.
+// Injected failures are marked in-band, and only in-band: middleware 503s
+// carry the X-Suu-Injected header, and compute errors are typed
+// (InjectedError) so the serving layer can mirror the same header onto the
+// 500 it writes. A load harness must classify on that header alone — body
+// text is not a marker, and an organic failure whose message happens to
+// contain the word "injected" counts as organic. Injected panics are
+// indistinguishable from real ones by design — that is the point of
+// injecting them: middleware panics kill the connection (the client sees a
+// retryable transport error), compute panics exercise the planner's panic
+// isolation and surface as unmarked 500s.
 package faults
 
 import (
@@ -24,8 +26,20 @@ import (
 	"time"
 )
 
-// Header marks an injected HTTP-level failure response.
+// Header marks an injected failure response.
 const Header = "X-Suu-Injected"
+
+// InjectedError is the typed error injected compute failures return. It
+// travels the planner's error path like any compute error, and the HTTP
+// layer recognizes it by its InjectedFault method (a marker interface, so
+// the serving path never imports the chaos tooling) and mirrors Header
+// onto the 5xx it writes.
+type InjectedError struct{ Cause string }
+
+func (e *InjectedError) Error() string { return "injected fault: " + e.Cause }
+
+// InjectedFault marks the error as deliberately injected.
+func (e *InjectedError) InjectedFault() bool { return true }
 
 // Config sets per-decision probabilities (0..1) and magnitudes. The zero
 // value injects nothing.
@@ -176,7 +190,7 @@ func (in *Injector) ComputeHook() func() error {
 		}
 		if in.roll(in.cfg.ComputeErrP) {
 			in.computeErrors.Add(1)
-			return fmt.Errorf("injected fault: compute error")
+			return &InjectedError{Cause: "compute error"}
 		}
 		if in.roll(in.cfg.ComputePanic) {
 			in.computePanics.Add(1)

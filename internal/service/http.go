@@ -106,7 +106,22 @@ func (s *Server) writePayload(w http.ResponseWriter, sv served) {
 // means the instance is beyond what any engine here can solve — retrying
 // the same request is useless; 4xx never retries; 408 means the server
 // gave up at the client's own deadline.
+// injectedHeader mirrors faults.Header without importing the chaos
+// tooling into the serving path, the same way the client package mirrors
+// it on the read side.
+const injectedHeader = "X-Suu-Injected"
+
+// injectedFault is the marker interface deliberately injected errors
+// implement (internal/faults.InjectedError). Marking the response
+// in-band is what lets a harness split injected from organic 5xx without
+// grepping body text.
+type injectedFault interface{ InjectedFault() bool }
+
 func writeError(w http.ResponseWriter, err error) {
+	var inj injectedFault
+	if errors.As(err, &inj) && inj.InjectedFault() {
+		w.Header().Set(injectedHeader, "compute")
+	}
 	switch {
 	case errors.Is(err, ErrRequestTooLarge):
 		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})

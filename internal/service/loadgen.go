@@ -1,7 +1,6 @@
 package service
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -15,6 +14,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 	"repro/internal/workload"
 )
 
@@ -57,8 +57,9 @@ type LoadConfig struct {
 	// This is how batch and single runs are compared at equal offered
 	// item rate. Open-mode plan-batch only.
 	ItemRate float64
-	// Specs are the instances to cycle through round-robin. Repeats are
-	// the point: they measure the server's content-addressed cache.
+	// Specs are the instances arrivals draw from (see Popularity; the
+	// default cycles them round-robin). Repeats are the point: they
+	// measure the server's content-addressed cache.
 	Specs []workload.Spec
 	// Trials for estimate ops (0 = server default).
 	Trials int
@@ -70,6 +71,29 @@ type LoadConfig struct {
 	// (default 1: no retries — measurement runs should see raw failures;
 	// chaos runs turn retries on).
 	MaxAttempts int
+	// Curve shapes open-mode offered load over time: "" or "constant"
+	// (stationary at Rate), "constant:<rps>", "linstep:<from>:<to>:<ramp>"
+	// (linear ramp then hold), or "switching:<hi>:<lo>:<period>" (square
+	// wave). The dispatcher inverts the curve's cumulative rate, so the
+	// offered count over the run matches the curve's integral exactly.
+	Curve string
+	// Popularity picks which pre-built body each arrival requests: "" or
+	// "roundrobin" (cycle, the historical behavior), or "zipf:<s>" over
+	// the body pool with index 0 hottest. Seeded from Seed.
+	Popularity string
+	// RecordPath, when set, appends one framed binary record per issued
+	// request (issue time, op, body index, batch size, latency, outcome,
+	// serving source) plus a header that lets a replay rebuild the
+	// identical bodies from the file alone.
+	RecordPath string
+	// ReplayPath re-issues a recorded trace: the op, spec catalog, batch
+	// shape, and seed come from the recording's header, and arrivals
+	// follow the recorded schedule scaled by ReplaySpeed. Mode, Arrival,
+	// Rate, Curve, Popularity, Specs, and Duration are ignored.
+	ReplayPath string
+	// ReplaySpeed scales the replayed schedule (2 = twice as fast;
+	// 0 means 1).
+	ReplaySpeed float64
 }
 
 // LoadReport is the measured outcome. Latencies are seconds and are
@@ -84,21 +108,29 @@ type LoadReport struct {
 	Mode            string  `json:"mode"`
 	Op              string  `json:"op"`
 	Arrival         string  `json:"arrival,omitempty"`
+	Curve           string  `json:"curve,omitempty"`
+	Popularity      string  `json:"popularity,omitempty"`
 	OfferedRate     float64 `json:"offered_rate_rps,omitempty"`
 	OfferedItemRate float64 `json:"offered_item_rate_rps,omitempty"`
 	BatchSize       int     `json:"batch_size,omitempty"`
 	BatchDist       string  `json:"batch_dist,omitempty"`
-	DurationS       float64 `json:"duration_s"`
-	Issued          uint64  `json:"issued"` // requests actually sent; Issued = Done + Errors after the drain
-	Done            uint64  `json:"done"`
-	Errors          uint64  `json:"errors"`
-	Rejected        uint64  `json:"rejected"` // server 429s, a subset of Errors
-	Dropped         uint64  `json:"dropped"`  // open-mode arrivals over the in-flight cap, never issued
-	ItemsIssued     uint64  `json:"items_issued"`
-	ItemsDone       uint64  `json:"items_done"`
-	ItemsErrors     uint64  `json:"items_errors"`
-	Throughput      float64 `json:"throughput_rps"`
-	ItemThroughput  float64 `json:"item_throughput_rps"`
+	// DurationS is the issuing window — run start to the last arrival
+	// offered — and DrainS is the extra time spent waiting for in-flight
+	// requests to finish. Throughput, ItemThroughput, and BytesPerSec
+	// divide by the issuing window only: dividing by window+drain (the
+	// old behavior) let one slow straggler deflate every reported rate.
+	DurationS      float64 `json:"duration_s"`
+	DrainS         float64 `json:"drain_s"`
+	Issued         uint64  `json:"issued"` // requests actually sent; Issued = Done + Errors after the drain
+	Done           uint64  `json:"done"`
+	Errors         uint64  `json:"errors"`
+	Rejected       uint64  `json:"rejected"` // server 429s, a subset of Errors
+	Dropped        uint64  `json:"dropped"`  // open-mode arrivals over the in-flight cap, never issued
+	ItemsIssued    uint64  `json:"items_issued"`
+	ItemsDone      uint64  `json:"items_done"`
+	ItemsErrors    uint64  `json:"items_errors"`
+	Throughput     float64 `json:"throughput_rps"`
+	ItemThroughput float64 `json:"item_throughput_rps"`
 	// Wire-cost ledger: BytesRead sums every response body the harness
 	// read (and discarded), across successes and failures alike, and
 	// BytesPerSec normalizes it over the run — items/s can stay flat while
@@ -109,9 +141,11 @@ type LoadReport struct {
 	// Resilience ledger. Degraded splits Done (and ItemsDegraded splits
 	// ItemsDone): those requests succeeded but carried the brownout
 	// fallback. InjectedErrors and OrganicServerErrors split the 5xx part
-	// of Errors by whether the response was marked injected (X-Suu-Injected
-	// or an "injected" body) — a chaos run asserts the organic half is
-	// zero. Retries/ConnErrors/BreakerOpens come off the retrying client.
+	// of Errors by the X-Suu-Injected response header — the only injected
+	// marker; an organic failure whose message happens to contain the word
+	// "injected" counts as organic. A chaos run asserts the organic half
+	// is zero. Retries/ConnErrors/BreakerOpens come off the retrying
+	// client.
 	Degraded            uint64 `json:"degraded"`
 	ItemsDegraded       uint64 `json:"items_degraded"`
 	InjectedErrors      uint64 `json:"injected_errors"`
@@ -119,6 +153,12 @@ type LoadReport struct {
 	Retries             uint64 `json:"retries"`
 	ConnErrors          uint64 `json:"conn_errors"`
 	BreakerOpens        uint64 `json:"breaker_opens"`
+	// Record/replay ledger: Recorded counts trace records written (one
+	// per issued request), RecordErrors counts swallowed write failures,
+	// and ReplaySpeed is the schedule scale of a replay run.
+	Recorded     uint64  `json:"recorded,omitempty"`
+	RecordErrors uint64  `json:"record_errors,omitempty"`
+	ReplaySpeed  float64 `json:"replay_speed,omitempty"`
 
 	LatMean       float64          `json:"lat_mean_s"`
 	LatP50        float64          `json:"lat_p50_s"`
@@ -186,12 +226,8 @@ type loadWorkerState struct {
 	totalUS [nLoadSources]int64
 }
 
-// observeTrace folds one response's trace header into the worker ledger.
-func (ws *loadWorkerState) observeTrace(hdr string) {
-	sum, ok := trace.ParseHeader(hdr)
-	if !ok {
-		return
-	}
+// observeTrace folds one parsed trace summary into the worker ledger.
+func (ws *loadWorkerState) observeTrace(sum trace.Summary) {
 	si := loadSourceIndex(sum.Source)
 	if si < 0 {
 		return
@@ -201,6 +237,27 @@ func (ws *loadWorkerState) observeTrace(hdr string) {
 	for st := 0; st < trace.NumStages; st++ {
 		ws.stageUS[si][st] += sum.DurUS[st]
 	}
+}
+
+// rotationOf picks the preferred-replica rotation for one arrival. Every
+// block of n consecutive arrivals covers each replica exactly once (the
+// even spread fleet warmth comparisons rely on), but the block's phase is
+// a SplitMix64 hash of the block number, so the choice is decorrelated
+// from any periodic body sequence. Deriving the rotation from the body
+// index (the old behavior) pinned each spec to one replica whenever the
+// body count was a multiple of the replica count — round-robin over 8
+// specs against 2 replicas sent every even spec to replica 0, silently
+// doubling the apparent per-replica cache hit rate.
+func rotationOf(arrival uint64, seed int64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := arrival/uint64(n) + uint64(seed)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int((arrival + x) % uint64(n))
 }
 
 // RunLoad drives the configured load and reports. The context cancels the
@@ -214,6 +271,35 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if len(bases) == 0 {
 		return nil, fmt.Errorf("service: load needs a base URL")
 	}
+	var replay *traffic.Trace
+	if cfg.ReplayPath != "" {
+		if cfg.RecordPath == cfg.ReplayPath {
+			return nil, fmt.Errorf("service: record and replay cannot share a path")
+		}
+		tr, err := traffic.OpenTrace(cfg.ReplayPath)
+		if err != nil {
+			return nil, err
+		}
+		if len(tr.Requests) == 0 {
+			return nil, fmt.Errorf("service: replay trace %s has no requests", cfg.ReplayPath)
+		}
+		if cfg.ReplaySpeed == 0 {
+			cfg.ReplaySpeed = 1
+		}
+		if !(cfg.ReplaySpeed > 0) || math.IsInf(cfg.ReplaySpeed, 1) {
+			return nil, fmt.Errorf("service: replay speed %g (want finite > 0)", cfg.ReplaySpeed)
+		}
+		// The recording's header rebuilds the exact bodies the trace
+		// indexes into; the caller's shape flags do not apply. Duration
+		// becomes the recording's own issuing window, scaled — the
+		// caller's context still cancels a replay early.
+		h := tr.Header
+		cfg.Mode, cfg.Arrival, cfg.Curve, cfg.Popularity = "open", "replay", "", ""
+		cfg.Op, cfg.Specs, cfg.Seed = h.Op, h.Specs, h.Seed
+		cfg.BatchSize, cfg.BatchDist, cfg.Rate, cfg.ItemRate = h.BatchSize, h.BatchDist, 0, 0
+		cfg.Duration = time.Duration(float64(tr.Duration())/cfg.ReplaySpeed) + time.Second
+		replay = tr
+	}
 	if len(cfg.Specs) == 0 {
 		return nil, fmt.Errorf("service: load needs at least one instance spec")
 	}
@@ -223,11 +309,13 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if cfg.Mode != "open" && cfg.Mode != "closed" {
 		return nil, fmt.Errorf("service: load mode %q (want open or closed)", cfg.Mode)
 	}
-	if cfg.Arrival == "" {
-		cfg.Arrival = "poisson"
-	}
-	if cfg.Arrival != "poisson" && cfg.Arrival != "fixed" {
-		return nil, fmt.Errorf("service: arrival %q (want poisson or fixed)", cfg.Arrival)
+	if replay == nil {
+		if cfg.Arrival == "" {
+			cfg.Arrival = "poisson"
+		}
+		if cfg.Arrival != "poisson" && cfg.Arrival != "fixed" {
+			return nil, fmt.Errorf("service: arrival %q (want poisson or fixed)", cfg.Arrival)
+		}
 	}
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 64
@@ -263,8 +351,27 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	} else if cfg.BatchSize > 0 || cfg.BatchDist != "" || cfg.ItemRate > 0 {
 		return nil, fmt.Errorf("service: batch options need op plan-batch, got %q", cfg.Op)
 	}
-	if cfg.Mode == "open" && cfg.Rate <= 0 {
-		return nil, fmt.Errorf("service: open mode needs rate > 0, got %g", cfg.Rate)
+	// The rate curve subsumes the old "open mode needs rate > 0" check:
+	// the default curve is constant at cfg.Rate and ParseCurve rejects a
+	// nonpositive rate. A constant spelled as "constant:<rps>" overrides
+	// cfg.Rate so the offered-rate report stays truthful.
+	var curve traffic.RateCurve
+	if replay == nil {
+		switch {
+		case cfg.Mode == "open":
+			c, err := traffic.ParseCurve(cfg.Curve, cfg.Rate)
+			if err != nil {
+				return nil, err
+			}
+			if cv, ok := c.(traffic.Constant); ok {
+				cfg.Rate = cv.RPS
+			} else if cfg.ItemRate > 0 {
+				return nil, fmt.Errorf("service: item-rate pacing needs a constant curve, got %q", cfg.Curve)
+			}
+			curve = c
+		case cfg.Curve != "" && cfg.Curve != "constant":
+			return nil, fmt.Errorf("service: rate curve %q needs open mode", cfg.Curve)
+		}
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
@@ -346,10 +453,50 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			}
 		}
 	}
+	// Popularity draws over the pre-built body pool (for plan-batch, over
+	// batches rather than specs — the batch bodies already cycle every
+	// spec). Replay has no distribution to draw: the trace is the draw.
+	var pop traffic.Popularity
+	if replay == nil {
+		p, err := traffic.ParsePopularity(cfg.Popularity, len(bodies), cfg.Seed+0x909)
+		if err != nil {
+			return nil, err
+		}
+		pop = p
+	}
+	var recorder *traffic.Recorder
+	if cfg.RecordPath != "" {
+		hdr := traffic.Header{
+			Op:          cfg.Op,
+			Specs:       cfg.Specs,
+			BatchSize:   cfg.BatchSize,
+			BatchDist:   cfg.BatchDist,
+			Seed:        cfg.Seed,
+			StartUnixNS: time.Now().UnixNano(),
+		}
+		switch {
+		case replay != nil:
+			// Label a re-recorded replay by its provenance; the schedule
+			// in the records is what a future replay uses, so the curve
+			// string is documentation, not configuration.
+			hdr.Curve = fmt.Sprintf("replay:%gx:%s", cfg.ReplaySpeed, replay.Header.Curve)
+			hdr.Popularity = replay.Header.Popularity
+		case curve != nil:
+			hdr.Curve = curve.String()
+			hdr.Popularity = pop.String()
+		default:
+			hdr.Popularity = pop.String()
+		}
+		rec, err := traffic.Create(cfg.RecordPath, hdr)
+		if err != nil {
+			return nil, err
+		}
+		recorder = rec
+	}
 	// Fleet mode pre-builds every rotation of the replica URL list:
-	// request i prefers replica i mod n but hands the retrying client the
-	// whole ring, so failover costs an attempt, not an error. Precomputing
-	// keeps the per-arrival hot path allocation-free.
+	// each arrival prefers one replica (see rotationOf) but hands the
+	// retrying client the whole ring, so failover costs an attempt, not an
+	// error. Precomputing keeps the per-arrival hot path allocation-free.
 	urls := make([]string, len(bases))
 	for i, b := range bases {
 		urls[i] = b + path
@@ -385,35 +532,58 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	batchOp := cfg.Op == "plan-batch"
-	issue := func(ws *loadWorkerState, idx int) {
+	// rel is the arrival's scheduled offset from run start — computed by
+	// the dispatcher, not measured in the worker, so the recorded
+	// schedule is strictly ordered and free of dispatch jitter: a replay
+	// of a recording re-issues the exact same sequence.
+	issue := func(ws *loadWorkerState, arrival uint64, idx int, rel time.Duration) {
 		items := uint64(1)
 		if batchOp {
 			items = bodyItems[idx]
 		}
 		itemsIssued.Add(items)
 		start := time.Now()
-		res, err := suu.DoAny(ctx, rotations[idx%len(rotations)], bodies[idx])
-		lat := time.Since(start).Seconds()
+		res, err := suu.DoAny(ctx, rotations[rotationOf(arrival, cfg.Seed, len(rotations))], bodies[idx])
+		latD := time.Since(start)
+		lat := latD.Seconds()
+		outcome, source := "ok", ""
+		if recorder != nil {
+			defer func() {
+				recorder.Append(&traffic.Request{
+					Rel:     rel,
+					Latency: latD,
+					Op:      cfg.Op,
+					Outcome: outcome,
+					Source:  source,
+					Spec:    uint32(idx),
+					Items:   uint32(items),
+				})
+			}()
+		}
 		if err != nil {
 			// No response at all: every attempt died on the wire (or the
 			// breaker was open). The client's own ledger has the split.
 			errs.Add(1)
 			itemsErr.Add(items)
+			outcome = "error"
 			return
 		}
 		bytesRead.Add(uint64(len(res.Body)))
 		if res.Status != http.StatusOK {
 			errs.Add(1)
 			itemsErr.Add(items) // a failed request delivered none of its items
+			outcome = "error"
 			switch {
 			case res.Status == http.StatusTooManyRequests:
 				rejected.Add(1)
+				outcome = "rejected"
 			case res.Status >= 500:
-				// Ledger injected separately from organic: injected faults
-				// announce themselves (header or an "injected" body); any
-				// other 5xx is the server's own bug and a chaos run must
-				// report it as such.
-				if res.Injected || bytes.Contains(res.Body, []byte("injected")) {
+				// Ledger injected separately from organic, on the
+				// X-Suu-Injected header alone: injected faults must
+				// announce themselves in-band, and matching on body text
+				// misfiled any organic failure whose message happened to
+				// contain the word "injected".
+				if res.Injected {
 					injectedErrs.Add(1)
 				} else {
 					organic5xx.Add(1)
@@ -422,7 +592,10 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			return
 		}
 		if res.Trace != "" {
-			ws.observeTrace(res.Trace)
+			if sum, ok := trace.ParseHeader(res.Trace); ok {
+				source = sum.Source
+				ws.observeTrace(sum)
+			}
 		}
 		if batchOp {
 			// Split the batch's items by the per-item statuses the
@@ -436,6 +609,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			if derr := json.Unmarshal(res.Body, &sum); derr != nil {
 				errs.Add(1)
 				itemsErr.Add(items)
+				outcome = "error"
 				return
 			}
 			itemsDone.Add(sum.OK)
@@ -462,21 +636,26 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 
 	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
-	start := time.Now()
+	var issuingS float64
+	startWall := time.Now()
 
 	if cfg.Mode == "closed" {
 		var wg sync.WaitGroup
+		var arrivals atomic.Uint64
 		for w := 0; w < cfg.Concurrency; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
 				ws := &workers[w]
-				for i := w; runCtx.Err() == nil; i += cfg.Concurrency {
+				for runCtx.Err() == nil {
+					a := arrivals.Add(1) - 1
 					issued.Add(1)
-					issue(ws, i%len(bodies))
+					issue(ws, a, pop.Next(), time.Since(startWall))
 				}
 			}(w)
 		}
+		<-runCtx.Done()
+		issuingS = time.Since(startWall).Seconds()
 		wg.Wait()
 	} else {
 		// Open loop: a dispatcher paces arrivals from the configured
@@ -486,32 +665,54 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			slots <- w
 		}
 		src := rng.New(cfg.Seed + 0x10ad)
-		period := float64(time.Second) / cfg.Rate
-		interArrival := func() time.Duration {
+		units := func() float64 {
 			if cfg.Arrival == "fixed" {
-				return time.Duration(period)
+				return 1
 			}
-			// Exponential inter-arrival via inverse CDF; the SplitMix
-			// draw is uniform in [0,1).
+			// Exp(1) draw via inverse CDF; the SplitMix draw is uniform
+			// in [0,1). Pushed through the curve's cumulative rate this
+			// is the time-change construction of an inhomogeneous
+			// Poisson process.
 			u := float64(src.Uint64()>>11) / (1 << 53)
-			return time.Duration(period * -math.Log(1-u))
+			return -math.Log(1 - u)
 		}
-		// Arrivals follow an absolute-deadline schedule (fire i at
-		// start + Σ inter-arrivals), not timer-chaining: resetting a
-		// timer after each fire would add per-arrival dispatch latency to
-		// every gap and systematically under-offer the configured rate.
-		// A late wakeup fires immediately and catches up.
+		// Arrivals follow an absolute-deadline schedule (fire arrival a
+		// at start + curve⁻¹(Σ units), or at its recorded offset for
+		// replay), not timer-chaining: resetting a timer after each fire
+		// would add per-arrival dispatch latency to every gap and
+		// systematically under-offer the configured shape. A late wakeup
+		// fires immediately and catches up.
 		var wg sync.WaitGroup
-		deadline := time.Now()
+		virtual := time.Duration(0)
 		timer := time.NewTimer(0)
 		if !timer.Stop() {
 			<-timer.C
 		}
 		defer timer.Stop()
 	dispatch:
-		for i := 0; ; i++ {
-			deadline = deadline.Add(interArrival())
-			wait := time.Until(deadline)
+		for a := uint64(0); ; a++ {
+			var idx int
+			var rel time.Duration
+			if replay != nil {
+				if a >= uint64(len(replay.Requests)) {
+					break dispatch
+				}
+				r := &replay.Requests[a]
+				if int(r.Spec) >= len(bodies) {
+					// A record pointing outside the body pool its own
+					// header defines: corrupt or hand-edited. Skip it —
+					// it was never issuable.
+					dropped.Add(1)
+					continue
+				}
+				idx = int(r.Spec)
+				rel = time.Duration(float64(r.Rel) / cfg.ReplaySpeed)
+			} else {
+				virtual = curve.Advance(virtual, units())
+				idx = pop.Next()
+				rel = virtual
+			}
+			wait := time.Until(startWall.Add(rel))
 			if wait < 0 {
 				wait = 0
 			}
@@ -528,19 +729,20 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 					// after the drain.
 					issued.Add(1)
 					wg.Add(1)
-					go func(w, i int) {
+					go func(w int, a uint64, idx int, rel time.Duration) {
 						defer wg.Done()
-						issue(&workers[w], i%len(bodies))
+						issue(&workers[w], a, idx, rel)
 						slots <- w
-					}(w, i)
+					}(w, a, idx, rel)
 				default:
 					dropped.Add(1)
 				}
 			}
 		}
+		issuingS = time.Since(startWall).Seconds()
 		wg.Wait()
 	}
-	elapsed := time.Since(start).Seconds()
+	totalS := time.Since(startWall).Seconds()
 
 	merged := stats.NewLatencyHistogram()
 	var traced [nLoadSources]uint64
@@ -562,7 +764,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	rep := &LoadReport{
 		Mode:                cfg.Mode,
 		Op:                  cfg.Op,
-		DurationS:           elapsed,
+		DurationS:           issuingS,
+		DrainS:              totalS - issuingS,
 		Issued:              issued.Load(),
 		Done:                done.Load(),
 		Errors:              errs.Load(),
@@ -578,11 +781,19 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		Retries:             cm.Retries,
 		ConnErrors:          cm.ConnErrors,
 		BreakerOpens:        cm.BreakerOpens,
-		Throughput:          float64(done.Load()) / elapsed,
-		ItemThroughput:      float64(itemsDone.Load()) / elapsed,
+		Throughput:          float64(done.Load()) / issuingS,
+		ItemThroughput:      float64(itemsDone.Load()) / issuingS,
 		BytesRead:           bytesRead.Load(),
-		BytesPerSec:         float64(bytesRead.Load()) / elapsed,
+		BytesPerSec:         float64(bytesRead.Load()) / issuingS,
 		Latencies:           merged,
+	}
+	if recorder != nil {
+		recs, recErrs := recorder.Stats()
+		if err := recorder.Close(); err != nil {
+			recErrs++
+		}
+		rep.Recorded = recs
+		rep.RecordErrors = recErrs
 	}
 	if batchOp {
 		rep.BatchSize = cfg.BatchSize
@@ -590,11 +801,28 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	}
 	if cfg.Mode == "open" {
 		rep.Arrival = cfg.Arrival
-		rep.OfferedRate = cfg.Rate
-		rep.OfferedItemRate = cfg.Rate
-		if batchOp {
-			rep.OfferedItemRate = cfg.Rate * float64(cfg.BatchSize)
+		if replay != nil {
+			rep.ReplaySpeed = cfg.ReplaySpeed
+			rep.Curve = replay.Header.Curve
+			rep.Popularity = replay.Header.Popularity
+			if issuingS > 0 {
+				// A replay's offered rate is whatever the recording
+				// offered, scaled: measured, not configured.
+				rep.OfferedRate = float64(issued.Load()+dropped.Load()) / issuingS
+			}
+		} else {
+			rep.Curve = curve.String()
+			rep.Popularity = pop.String()
+			// The mean of r(t) over the window, so shaped curves report
+			// the rate they actually offered instead of a flag value.
+			rep.OfferedRate = traffic.Integral(curve, cfg.Duration) / cfg.Duration.Seconds()
 		}
+		rep.OfferedItemRate = rep.OfferedRate
+		if batchOp {
+			rep.OfferedItemRate = rep.OfferedRate * float64(cfg.BatchSize)
+		}
+	} else {
+		rep.Popularity = pop.String()
 	}
 	for si, src := range loadSources {
 		if traced[si] == 0 {

@@ -18,9 +18,15 @@ func TestRunLoadValidation(t *testing.T) {
 		{BaseURL: "http://x", Specs: specs, Arrival: "bursty"},
 		{BaseURL: "http://x", Specs: specs, Mode: "open", Rate: 0},
 		{BaseURL: "http://x", Specs: specs, Mode: "closed", Op: "delete"},
-		{BaseURL: "http://x", Specs: specs, Op: "plan", BatchSize: 4},                                 // batch knobs without batch op
-		{BaseURL: "http://x", Specs: specs, Op: "plan-batch", BatchDist: "zipf", Rate: 10},            // unknown distribution
-		{BaseURL: "http://x", Specs: specs, Op: "plan-batch", Mode: "closed", ItemRate: 10, Rate: 10}, // item pacing is open-mode
+		{BaseURL: "http://x", Specs: specs, Op: "plan", BatchSize: 4},                                           // batch knobs without batch op
+		{BaseURL: "http://x", Specs: specs, Op: "plan-batch", BatchDist: "zipf", Rate: 10},                      // unknown distribution
+		{BaseURL: "http://x", Specs: specs, Op: "plan-batch", Mode: "closed", ItemRate: 10, Rate: 10},           // item pacing is open-mode
+		{BaseURL: "http://x", Specs: specs, Mode: "open", Rate: 10, Curve: "sawtooth:1:2:3s"},                   // unknown curve
+		{BaseURL: "http://x", Specs: specs, Mode: "closed", Curve: "switching:10:1:1s"},                         // shaped curve needs open mode
+		{BaseURL: "http://x", Specs: specs, Mode: "open", Rate: 10, Popularity: "pareto:1"},                     // unknown popularity
+		{BaseURL: "http://x", Specs: specs, Op: "plan-batch", ItemRate: 10, Rate: 10, Curve: "linstep:1:20:1s"}, // item pacing needs a constant curve
+		{BaseURL: "http://x", Specs: specs, ReplayPath: "/nonexistent/run.trace"},                               // unreadable trace
+		{BaseURL: "http://x", Specs: specs, ReplayPath: "/tmp/run.trace", RecordPath: "/tmp/run.trace"},         // record over the replay source
 	}
 	for i, cfg := range cases {
 		if _, err := RunLoad(ctx, cfg); err == nil {

@@ -1,0 +1,273 @@
+// Package traffic models realistic load for the suud harness: seed-
+// deterministic arrival shapes (time-varying rate curves), popularity
+// distributions over a catalog of instance specs, and a compact binary
+// record/replay trace format, in the fabbench intgen/recorders tradition.
+//
+// The three pieces compose: a RateCurve decides *when* arrivals happen,
+// a Popularity decides *which* spec each arrival requests, and a Recorder
+// writes what actually happened so a later run can replay the exact
+// sequence at scaled speed against any target.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RateCurve is a deterministic offered-rate profile r(t) ≥ 0, in
+// requests/second, over elapsed run time. Implementations must be safe
+// for concurrent readers (they are immutable after construction).
+//
+// The open-loop dispatcher does not sample r(t) directly: it advances an
+// absolute-deadline schedule by inverting the cumulative rate, so the
+// arrival count over any interval matches the curve's integral exactly
+// (±1) instead of drifting with dispatch latency or discretization.
+type RateCurve interface {
+	// Rate reports the instantaneous rate at elapsed time t.
+	Rate(t time.Duration) float64
+	// Advance returns the elapsed time t' > t at which `units` more
+	// expected arrivals have accumulated: the solution of
+	// ∫ₜ^t' r(s) ds = units. For a fixed-period process units is 1;
+	// for Poisson it is an Exp(1) draw — that is the standard
+	// time-change construction of an inhomogeneous Poisson process.
+	Advance(t time.Duration, units float64) time.Duration
+	// String names the curve with its parameters, parseable by ParseCurve.
+	String() string
+}
+
+// seconds/duration helpers: curves integrate in float64 seconds and
+// convert at the boundary, so the quadratic solves stay readable.
+func secs(d time.Duration) float64 { return float64(d) / float64(time.Second) }
+func dur(s float64) time.Duration  { return time.Duration(s * float64(time.Second)) }
+
+// Constant is the stationary curve: r(t) = Rate.
+type Constant struct{ RPS float64 }
+
+// Rate implements RateCurve.
+func (c Constant) Rate(time.Duration) float64 { return c.RPS }
+
+// Advance implements RateCurve.
+func (c Constant) Advance(t time.Duration, units float64) time.Duration {
+	return t + dur(units/c.RPS)
+}
+
+func (c Constant) String() string { return fmt.Sprintf("constant:%g", c.RPS) }
+
+// Linstep ramps linearly from From to To over Ramp, then holds To — the
+// step-load / warmup pattern (fabbench's linstep).
+type Linstep struct {
+	From, To float64
+	Ramp     time.Duration
+}
+
+// Rate implements RateCurve.
+func (c Linstep) Rate(t time.Duration) float64 {
+	if t >= c.Ramp {
+		return c.To
+	}
+	return c.From + (c.To-c.From)*secs(t)/secs(c.Ramp)
+}
+
+// Advance implements RateCurve.
+func (c Linstep) Advance(t time.Duration, units float64) time.Duration {
+	ts, ramp := secs(t), secs(c.Ramp)
+	if ts < ramp {
+		// On the ramp the cumulative rate is quadratic:
+		// F(x) = From·x + k·x²/2 with k = (To−From)/Ramp. Solve
+		// F(t′) = F(t) + units for t′ and take it if it stays on the ramp.
+		k := (c.To - c.From) / ramp
+		target := c.From*ts + k*ts*ts/2 + units
+		var tp float64
+		if k == 0 {
+			tp = target / c.From
+		} else {
+			// Positive root of k/2·x² + From·x − target = 0; the
+			// discriminant is nonnegative whenever the ramp can
+			// accumulate `target` units (checked below via tp > ramp).
+			disc := c.From*c.From + 2*k*target
+			if disc < 0 {
+				tp = ramp + 1 // ramp can never accumulate this much (decreasing to ~0)
+			} else {
+				tp = (-c.From + math.Sqrt(disc)) / k
+			}
+		}
+		if tp <= ramp {
+			return dur(tp)
+		}
+		// Spill the leftover units into the constant tail.
+		units = target - (c.From*ramp + k*ramp*ramp/2)
+		ts = ramp
+	}
+	return dur(ts + units/c.To)
+}
+
+func (c Linstep) String() string {
+	return fmt.Sprintf("linstep:%g:%g:%s", c.From, c.To, c.Ramp)
+}
+
+// Switching is the high/low square wave: each Period spends its first
+// half at Hi and its second half at Lo, repeating — the on/off and
+// diurnal-burst pattern (fabbench's switching generator). Lo may be 0:
+// arrivals simply stop for that half period.
+type Switching struct {
+	Hi, Lo float64
+	Period time.Duration
+}
+
+// Rate implements RateCurve.
+func (c Switching) Rate(t time.Duration) float64 {
+	if t < 0 {
+		return c.Hi
+	}
+	phase := t % c.Period
+	if phase < c.Period/2 {
+		return c.Hi
+	}
+	return c.Lo
+}
+
+// Advance implements RateCurve.
+func (c Switching) Advance(t time.Duration, units float64) time.Duration {
+	// Walk the piecewise-constant segments from t, consuming capacity
+	// (rate × length) until the remaining units land inside one. The walk
+	// is indexed by period number k, not by recomputing floor(ts/period)
+	// after each hop: rounding can make a recomputed boundary equal ts
+	// while the phase test still points at the segment before it, and the
+	// walk would stop making progress. k increments unconditionally, and
+	// every period has positive capacity (Hi > 0), so this terminates.
+	period := secs(c.Period)
+	half := period / 2
+	ts := secs(t)
+	for k := math.Floor(ts / period); ; k++ {
+		hiEnd := k*period + half
+		if ts < hiEnd && c.Hi > 0 {
+			avail := c.Hi * (hiEnd - ts)
+			if units <= avail {
+				return dur(ts + units/c.Hi)
+			}
+			units -= avail
+		}
+		if ts < hiEnd {
+			ts = hiEnd
+		}
+		loEnd := (k + 1) * period
+		if ts < loEnd && c.Lo > 0 {
+			avail := c.Lo * (loEnd - ts)
+			if units <= avail {
+				return dur(ts + units/c.Lo)
+			}
+			units -= avail
+		}
+		if ts < loEnd {
+			ts = loEnd
+		}
+	}
+}
+
+func (c Switching) String() string {
+	return fmt.Sprintf("switching:%g:%g:%s", c.Hi, c.Lo, c.Period)
+}
+
+// ParseCurve builds a rate curve from its flag spelling. The empty string
+// and "constant" use fallbackRPS (the harness's -rate); otherwise:
+//
+//	constant:<rps>
+//	linstep:<from>:<to>:<ramp>      e.g. linstep:50:400:10s
+//	switching:<hi>:<lo>:<period>    e.g. switching:400:50:4s
+func ParseCurve(spec string, fallbackRPS float64) (RateCurve, error) {
+	parts := strings.Split(spec, ":")
+	bad := func(why string) error {
+		return fmt.Errorf("traffic: curve %q: %s", spec, why)
+	}
+	switch parts[0] {
+	case "", "constant":
+		rps := fallbackRPS
+		if len(parts) == 2 {
+			v, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return nil, bad("bad rate")
+			}
+			rps = v
+		} else if len(parts) > 2 {
+			return nil, bad("want constant[:rps]")
+		}
+		if rps <= 0 {
+			return nil, bad("rate must be positive")
+		}
+		return Constant{RPS: rps}, nil
+	case "linstep":
+		if len(parts) != 4 {
+			return nil, bad("want linstep:from:to:ramp")
+		}
+		from, err1 := strconv.ParseFloat(parts[1], 64)
+		to, err2 := strconv.ParseFloat(parts[2], 64)
+		ramp, err3 := time.ParseDuration(parts[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, bad("bad numbers")
+		}
+		// A ramp from 0 is fine (the quadratic inversion handles it);
+		// a ramp *to* 0 would strand the schedule in the flat tail.
+		if from < 0 || to <= 0 || ramp <= 0 {
+			return nil, bad("want from ≥ 0, to > 0, ramp > 0")
+		}
+		return Linstep{From: from, To: to, Ramp: ramp}, nil
+	case "switching":
+		if len(parts) != 4 {
+			return nil, bad("want switching:hi:lo:period")
+		}
+		hi, err1 := strconv.ParseFloat(parts[1], 64)
+		lo, err2 := strconv.ParseFloat(parts[2], 64)
+		period, err3 := time.ParseDuration(parts[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, bad("bad numbers")
+		}
+		if hi <= 0 || lo < 0 || period <= 0 {
+			return nil, bad("want hi > 0, lo ≥ 0, period > 0")
+		}
+		return Switching{Hi: hi, Lo: lo, Period: period}, nil
+	default:
+		return nil, bad("unknown curve (want constant, linstep, or switching)")
+	}
+}
+
+// Integral is the expected arrival count ∫₀^d r(s) ds, computed by
+// stepping Advance one unit at a time would be O(count); instead each
+// curve's closed form is recovered by differencing Advance's inverse —
+// here done numerically only for reporting, exactly for the built-ins.
+func Integral(c RateCurve, d time.Duration) float64 {
+	switch cv := c.(type) {
+	case Constant:
+		return cv.RPS * secs(d)
+	case Linstep:
+		ds, ramp := secs(d), secs(cv.Ramp)
+		if ds <= ramp {
+			k := (cv.To - cv.From) / ramp
+			return cv.From*ds + k*ds*ds/2
+		}
+		return (cv.From+cv.To)/2*ramp + cv.To*(ds-ramp)
+	case Switching:
+		period := secs(cv.Period)
+		half := period / 2
+		ds := secs(d)
+		full := math.Floor(ds / period)
+		rem := ds - full*period
+		total := full * (cv.Hi + cv.Lo) * half
+		total += cv.Hi * math.Min(rem, half)
+		if rem > half {
+			total += cv.Lo * (rem - half)
+		}
+		return total
+	default:
+		// Trapezoid fallback for curves this package did not define.
+		const steps = 10000
+		h := secs(d) / steps
+		sum := (c.Rate(0) + c.Rate(d)) / 2
+		for i := 1; i < steps; i++ {
+			sum += c.Rate(dur(float64(i) * h))
+		}
+		return sum * h
+	}
+}

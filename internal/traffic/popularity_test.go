@@ -1,0 +1,128 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := NewRoundRobin(5)
+	for i := 0; i < 23; i++ {
+		if got := p.Next(); got != i%5 {
+			t.Fatalf("draw %d = %d, want %d", i, got, i%5)
+		}
+	}
+}
+
+// TestZipfianChiSquared is the satellite property: empirical frequencies
+// over a fixed-seed run must match the analytic pmf under a χ² bound.
+// With n=64 bins (63 degrees of freedom) the 99.99th percentile of χ² is
+// ≈ 117; the seed is fixed, so the test is deterministic and the bound
+// only needs to catch a broken sampler, not statistical noise.
+func TestZipfianChiSquared(t *testing.T) {
+	for _, s := range []float64{0, 0.9, 1.2} {
+		const n, draws = 64, 200000
+		z, err := NewZipfian(s, n, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Next()]++
+		}
+		pmf := z.PMF()
+		chi2 := 0.0
+		for k := 0; k < n; k++ {
+			exp := pmf[k] * draws
+			d := float64(counts[k]) - exp
+			chi2 += d * d / exp
+		}
+		if chi2 > 120 {
+			t.Fatalf("s=%g: χ² = %.1f over %d bins (bound 120); head counts %v",
+				s, chi2, n, counts[:4])
+		}
+	}
+}
+
+// TestZipfianShape pins the distribution's gross shape: the pmf is a
+// proper, monotone-decreasing distribution; s=0 is uniform; larger s
+// concentrates more mass on the hottest entry.
+func TestZipfianShape(t *testing.T) {
+	uniform, _ := NewZipfian(0, 16, 1)
+	for _, p := range uniform.PMF() {
+		if math.Abs(p-1.0/16) > 1e-12 {
+			t.Fatalf("s=0 pmf not uniform: %v", uniform.PMF())
+		}
+	}
+	prevHead := 0.0
+	for _, s := range []float64{0, 0.5, 0.9, 1.2, 2} {
+		z, err := NewZipfian(s, 16, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pmf := z.PMF()
+		sum := 0.0
+		for k, p := range pmf {
+			sum += p
+			if k > 0 && p > pmf[k-1]+1e-15 {
+				t.Fatalf("s=%g: pmf not monotone at rank %d: %v", s, k, pmf)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("s=%g: pmf sums to %g", s, sum)
+		}
+		if pmf[0] <= prevHead {
+			t.Fatalf("s=%g: head mass %g not above smaller exponent's %g", s, pmf[0], prevHead)
+		}
+		prevHead = pmf[0]
+	}
+}
+
+// TestZipfianDeterminism: same seed, same sequence; different seed,
+// different sequence (overwhelmingly).
+func TestZipfianDeterminism(t *testing.T) {
+	a, _ := NewZipfian(0.9, 32, 7)
+	b, _ := NewZipfian(0.9, 32, 7)
+	c, _ := NewZipfian(0.9, 32, 8)
+	same, diff := true, false
+	for i := 0; i < 1000; i++ {
+		av, bv, cv := a.Next(), b.Next(), c.Next()
+		if av != bv {
+			same = false
+		}
+		if av != cv {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("identical seeds diverged")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical draws")
+	}
+}
+
+func TestParsePopularity(t *testing.T) {
+	for spec, want := range map[string]string{
+		"":           "roundrobin",
+		"roundrobin": "roundrobin",
+		"zipf:0.9":   "zipf:0.9",
+		"zipfian:0":  "zipf:0",
+	} {
+		p, err := ParsePopularity(spec, 8, 1)
+		if err != nil {
+			t.Fatalf("ParsePopularity(%q): %v", spec, err)
+		}
+		if p.String() != want {
+			t.Fatalf("ParsePopularity(%q) = %s, want %s", spec, p, want)
+		}
+	}
+	for _, spec := range []string{"zipf", "zipf:x", "zipf:-1", "zipf:1:2", "roundrobin:3", "pareto:1"} {
+		if _, err := ParsePopularity(spec, 8, 1); err == nil {
+			t.Fatalf("ParsePopularity(%q) accepted", spec)
+		}
+	}
+	if _, err := ParsePopularity("zipf:1", 0, 1); err == nil {
+		t.Fatal("empty catalog accepted")
+	}
+}

@@ -337,6 +337,22 @@ func Table1XLargeCells() []Spec {
 	}
 }
 
+// Catalog builds a deterministic catalog of count specs for one family
+// and size: spec i is seeded seed+i, so two runs with the same flags
+// request byte-identical instances. The load harness's popularity
+// distribution picks over this catalog by index, which makes the
+// catalog order part of the workload contract.
+func Catalog(family string, m, n, count int, seed int64) []Spec {
+	if count < 1 {
+		count = 1
+	}
+	specs := make([]Spec, count)
+	for i := range specs {
+		specs[i] = Spec{Family: family, M: m, N: n, Seed: seed + int64(i)}
+	}
+	return specs
+}
+
 // Spec is a declarative instance request, used by the CLI tools and the
 // benchmark harness.
 type Spec struct {

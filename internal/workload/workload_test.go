@@ -50,6 +50,37 @@ func TestGenerateAllFamilies(t *testing.T) {
 // workload mirrors Spec for readable table literals.
 type workload = Spec
 
+func TestCatalog(t *testing.T) {
+	specs := Catalog("uniform", 4, 16, 64, 100)
+	if len(specs) != 64 {
+		t.Fatalf("len = %d", len(specs))
+	}
+	seen := map[int64]bool{}
+	for i, s := range specs {
+		if s.Family != "uniform" || s.M != 4 || s.N != 16 {
+			t.Fatalf("spec %d: %+v", i, s)
+		}
+		if s.Seed != 100+int64(i) {
+			t.Fatalf("spec %d seed %d, want %d", i, s.Seed, 100+int64(i))
+		}
+		if seen[s.Seed] {
+			t.Fatalf("duplicate seed %d", s.Seed)
+		}
+		seen[s.Seed] = true
+	}
+	// Degenerate counts clamp to a single spec.
+	if got := Catalog("skill", 2, 4, 0, 7); len(got) != 1 || got[0].Seed != 7 {
+		t.Fatalf("count 0: %+v", got)
+	}
+	// Same flags, same catalog — the instances are byte-identical too.
+	again := Catalog("uniform", 4, 16, 64, 100)
+	for i := range specs {
+		if specs[i] != again[i] {
+			t.Fatalf("catalog not deterministic at %d", i)
+		}
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	a, err := Generate(Spec{Family: "volunteer", M: 4, N: 8, Seed: 42})
 	if err != nil {
